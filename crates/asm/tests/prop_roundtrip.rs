@@ -1,0 +1,39 @@
+//! Property test: the assembly writer and parser are exact inverses over
+//! arbitrary generated programs.
+
+use proptest::prelude::*;
+use spike_asm::{parse_asm, write_asm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn executables_round_trip(seed in any::<u64>(), size in 1usize..8) {
+        let program = spike_synth::generate_executable(seed, size);
+        let text = write_asm(&program);
+        let parsed = parse_asm(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(parsed, program);
+    }
+
+    #[test]
+    fn profiles_round_trip(seed in any::<u64>(), which in 0usize..16) {
+        let profiles = spike_synth::profiles();
+        let p = &profiles[which];
+        let program = spike_synth::generate(p, 15.0 / p.routines as f64, seed);
+        let text = write_asm(&program);
+        let parsed = parse_asm(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(parsed, program);
+    }
+
+    /// Writing is deterministic and stable under a write→parse→write
+    /// cycle.
+    #[test]
+    fn writer_is_stable(seed in any::<u64>()) {
+        let program = spike_synth::generate_executable(seed, 4);
+        let text = write_asm(&program);
+        let again = write_asm(&parse_asm(&text).expect("parses"));
+        prop_assert_eq!(text, again);
+    }
+}

@@ -1,0 +1,146 @@
+//! Criterion benchmarks mirroring the paper's evaluation:
+//!
+//! * `table2/analyze/<bench>` — end-to-end interprocedural dataflow time
+//!   per benchmark profile (Table 2's "Total Dataflow Time");
+//! * `table4/<bench>/{with,without}-branch-nodes` — the §3.6 ablation;
+//! * `table5/<bench>/{psg,full-cfg}` — PSG vs whole-program-CFG analysis;
+//! * `fig14/gcc/scale-*` — analysis time as program size grows;
+//! * `stages/<stage>` — the Figure 13 stage split on one mid-size input;
+//! * `opt/passes` — the Figure 1 optimizer on a mid-size input.
+//!
+//! Profiles are scaled down (default 5%) so the whole suite runs in
+//! minutes; relative shapes are what the paper's claims are about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spike_baseline::analyze_baseline;
+use spike_cfg::{ProgramCfg, RoutineCfg};
+use spike_core::{analyze, analyze_with, AnalysisOptions};
+use spike_synth::{generate, profile, profiles};
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 0x5B1CE;
+
+/// The subset of profiles benchmarked individually (one small, one large
+/// per suite plus the branch-node extremes).
+const PICKS: [&str; 6] = ["compress", "li", "gcc", "perl", "sqlservr", "vc"];
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for p in profiles() {
+        if !PICKS.contains(&p.name) {
+            continue;
+        }
+        let program = generate(&p, SCALE, SEED);
+        g.bench_with_input(BenchmarkId::new("analyze", p.name), &program, |b, prog| {
+            b.iter(|| black_box(analyze(prog)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    for name in ["sqlservr", "winword"] {
+        let p = profile(name).expect("known benchmark");
+        let program = generate(&p, SCALE, SEED);
+        g.bench_with_input(
+            BenchmarkId::new(name, "with-branch-nodes"),
+            &program,
+            |b, prog| b.iter(|| black_box(analyze(prog))),
+        );
+        let ablated = AnalysisOptions { branch_nodes: false, ..AnalysisOptions::default() };
+        g.bench_with_input(
+            BenchmarkId::new(name, "without-branch-nodes"),
+            &program,
+            |b, prog| b.iter(|| black_box(analyze_with(prog, &ablated))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    for name in ["gcc", "texim"] {
+        let p = profile(name).expect("known benchmark");
+        let program = generate(&p, SCALE, SEED);
+        g.bench_with_input(BenchmarkId::new(name, "psg"), &program, |b, prog| {
+            b.iter(|| black_box(analyze(prog)));
+        });
+        g.bench_with_input(BenchmarkId::new(name, "full-cfg"), &program, |b, prog| {
+            b.iter(|| black_box(analyze_baseline(prog)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    let p = profile("gcc").expect("known benchmark");
+    for scale_pct in [2usize, 5, 10, 20] {
+        let program = generate(&p, scale_pct as f64 / 100.0, SEED);
+        g.bench_with_input(
+            BenchmarkId::new("gcc", format!("scale-{scale_pct}pct")),
+            &program,
+            |b, prog| b.iter(|| black_box(analyze(prog))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stages");
+    g.sample_size(10);
+    let p = profile("perl").expect("known benchmark");
+    let program = generate(&p, SCALE, SEED);
+
+    g.bench_function("cfg-build", |b| {
+        b.iter(|| {
+            for (id, _) in program.iter() {
+                black_box(RoutineCfg::build_structure(&program, id));
+            }
+        })
+    });
+    g.bench_function("init-def-ubd", |b| {
+        let mut cfgs: Vec<RoutineCfg> = program
+            .iter()
+            .map(|(id, _)| RoutineCfg::build_structure(&program, id))
+            .collect();
+        b.iter(|| {
+            for c in &mut cfgs {
+                c.init_def_ubd(&program);
+            }
+            black_box(&cfgs);
+        })
+    });
+    g.bench_function("full-pipeline", |b| b.iter(|| black_box(analyze(&program))));
+    let _ = ProgramCfg::build(&program);
+    g.finish();
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt");
+    g.sample_size(10);
+    let p = profile("li").expect("known benchmark");
+    let program = generate(&p, 0.1, SEED);
+    g.bench_function("passes", |b| {
+        b.iter(|| black_box(spike_opt::optimize(&program).expect("optimizes")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_table4,
+    bench_table5,
+    bench_fig14,
+    bench_stages,
+    bench_opt
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Property tests for the SCC computation: Tarjan's answer must agree
+//! with a transitive-closure oracle, and the bottom-up order must be a
+//! topological order of the condensation.
+
+use proptest::prelude::*;
+use spike_callgraph::CallGraph;
+use spike_cfg::ProgramCfg;
+use spike_program::{Program, RoutineId};
+
+fn graph_of(seed: u64) -> (Program, CallGraph) {
+    let p = spike_synth::profile("li").expect("known benchmark");
+    let program = spike_synth::generate(&p, 20.0 / p.routines as f64, seed);
+    let cfg = ProgramCfg::build(&program);
+    let cg = CallGraph::build(&program, &cfg);
+    (program, cg)
+}
+
+/// Floyd–Warshall reachability over the call graph.
+fn closure(cg: &CallGraph) -> Vec<Vec<bool>> {
+    let n = cg.len();
+    let mut reach = vec![vec![false; n]; n];
+    for i in 0..n {
+        for &c in cg.callees(RoutineId::from_index(i)) {
+            reach[i][c.index()] = true;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two routines share a component iff they are mutually reachable.
+    #[test]
+    fn components_match_mutual_reachability(seed in any::<u64>()) {
+        let (_, cg) = graph_of(seed);
+        let sccs = cg.sccs();
+        let reach = closure(&cg);
+        let n = cg.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same = sccs.component_of(RoutineId::from_index(i))
+                    == sccs.component_of(RoutineId::from_index(j));
+                let mutual = reach[i][j] && reach[j][i];
+                prop_assert_eq!(same, mutual, "routines {} and {}", i, j);
+            }
+        }
+    }
+
+    /// The bottom-up order is a topological order of the condensation:
+    /// every call edge goes from a later component to an earlier (or the
+    /// same) one.
+    #[test]
+    fn bottom_up_is_topological(seed in any::<u64>()) {
+        let (_, cg) = graph_of(seed);
+        let sccs = cg.sccs();
+        for i in 0..cg.len() {
+            let caller = RoutineId::from_index(i);
+            for &callee in cg.callees(caller) {
+                prop_assert!(
+                    sccs.component_of(callee) <= sccs.component_of(caller),
+                    "edge {} -> {} violates bottom-up order",
+                    i,
+                    callee.index()
+                );
+            }
+        }
+    }
+
+    /// Components partition the routines.
+    #[test]
+    fn components_partition(seed in any::<u64>()) {
+        let (_, cg) = graph_of(seed);
+        let sccs = cg.sccs();
+        let total: usize = sccs.components().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, cg.len());
+        let mut seen = vec![false; cg.len()];
+        for comp in sccs.components() {
+            for &r in comp {
+                prop_assert!(!seen[r.index()], "routine in two components");
+                seen[r.index()] = true;
+            }
+        }
+    }
+}

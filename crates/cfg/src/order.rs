@@ -1,0 +1,124 @@
+//! Graph traversal orders shared by the dataflow solvers.
+
+use crate::block::BlockId;
+use crate::build::RoutineCfg;
+
+/// Postorder over the blocks reachable from `roots`, following
+/// intraprocedural successor arcs. Unreachable blocks are omitted.
+///
+/// Backward dataflow problems (like the paper's `MAY-USE`/`MUST-DEF`
+/// computations) converge fastest when blocks are visited in postorder —
+/// each block is processed after its successors.
+pub fn postorder(cfg: &RoutineCfg, roots: &[BlockId]) -> Vec<BlockId> {
+    let n = cfg.blocks().len();
+    let mut state = vec![0u8; n]; // 0 = unseen, 1 = open, 2 = done
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
+
+    for &root in roots {
+        if state[root.index()] != 0 {
+            continue;
+        }
+        state[root.index()] = 1;
+        stack.push((root, 0));
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = cfg.block(b).succs();
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+/// Reverse postorder (topological order for acyclic graphs) over the blocks
+/// reachable from `roots`.
+pub fn reverse_postorder(cfg: &RoutineCfg, roots: &[BlockId]) -> Vec<BlockId> {
+    let mut order = postorder(cfg, roots);
+    order.reverse();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::{BranchCond, Reg};
+    use spike_program::ProgramBuilder;
+
+    fn diamond_cfg() -> RoutineCfg {
+        let mut b = ProgramBuilder::new();
+        b.routine("f")
+            .cond(BranchCond::Eq, Reg::A0, "else")
+            .def(Reg::T0)
+            .br("join")
+            .label("else")
+            .def(Reg::T1)
+            .label("join")
+            .ret();
+        let p = b.build().unwrap();
+        RoutineCfg::build(&p, p.routine_by_name("f").unwrap())
+    }
+
+    #[test]
+    fn postorder_visits_successors_first() {
+        let cfg = diamond_cfg();
+        let order = postorder(&cfg, cfg.entries());
+        assert_eq!(order.len(), 4);
+        let pos = |b: usize| {
+            order
+                .iter()
+                .position(|x| x.index() == b)
+                .expect("block in order")
+        };
+        // Join (B3) precedes both arms, which precede the entry.
+        assert!(pos(3) < pos(1));
+        assert!(pos(3) < pos(2));
+        assert!(pos(1) < pos(0));
+        assert!(pos(2) < pos(0));
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_root() {
+        let cfg = diamond_cfg();
+        let order = reverse_postorder(&cfg, cfg.entries());
+        assert_eq!(order.first().map(|b| b.index()), Some(0));
+        assert_eq!(order.last().map(|b| b.index()), Some(3));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_skipped() {
+        let mut b = ProgramBuilder::new();
+        b.routine("f")
+            .br("end")      // B0
+            .def(Reg::T0)   // B1: unreachable
+            .label("end")
+            .ret();         // B2
+        let p = b.build().unwrap();
+        let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
+        let order = postorder(&cfg, cfg.entries());
+        assert_eq!(order.len(), 2);
+        assert!(!order.iter().any(|b| b.index() == 1));
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate() {
+        let mut b = ProgramBuilder::new();
+        b.routine("f")
+            .label("top")
+            .cond(BranchCond::Ne, Reg::A0, "top")
+            .br("top"); // endless loop: no exit
+        let p = b.build().unwrap();
+        let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
+        let order = postorder(&cfg, cfg.entries());
+        assert_eq!(order.len(), cfg.blocks().len());
+    }
+}

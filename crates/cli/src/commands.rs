@@ -1,0 +1,335 @@
+//! Subcommand implementations for the `spike` binary.
+
+use std::error::Error;
+use std::fs;
+
+use spike_cfg::ProgramCfg;
+use spike_core::analyze;
+use spike_program::Program;
+use spike_sim::Outcome;
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+const USAGE: &str = "\
+usage: spike <command> [options]
+
+commands:
+  gen <benchmark> [--scale S] [--seed N] -o <img>   generate a paper-profile image
+  gen-exec [--routines K] [--seed N] -o <img>       generate a runnable image
+  asm <file.s> -o <img>                             assemble a text module
+  disasm <img>                                      disassemble to parseable assembly
+  analyze <img> [--summaries] [--routine NAME]      interprocedural dataflow analysis
+  optimize <img> -o <img>                           apply the Figure-1 optimizations
+  run <img> [--fuel N]                              execute under the simulator
+  compare <img>                                     PSG vs whole-CFG comparison
+  dot <img> [--routine NAME]                        Program Summary Graph as GraphViz
+  profiles                                          list generator benchmarks
+";
+
+/// Parses and executes one invocation.
+pub fn dispatch(args: &[String]) -> Result<()> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("gen") => gen(&args[1..]),
+        Some("gen-exec") => gen_exec(&args[1..]),
+        Some("asm") => asm(&args[1..]),
+        Some("disasm") => disasm(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        Some("dot") => dot(&args[1..]),
+        Some("profiles") => {
+            for p in spike_synth::profiles() {
+                println!(
+                    "{:<10} {:>7} routines {:>9} instructions  {}",
+                    p.name, p.routines, p.instructions, p.description
+                );
+            }
+            Ok(())
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    }
+}
+
+/// Pulls `--flag value` pairs and positionals out of an argument list.
+struct Opts<'a> {
+    positional: Vec<&'a str>,
+    scale: f64,
+    seed: u64,
+    routines: usize,
+    fuel: u64,
+    out: Option<&'a str>,
+    summaries: bool,
+    routine: Option<&'a str>,
+}
+
+fn parse(args: &[String]) -> Result<Opts<'_>> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        scale: 0.05,
+        seed: 1,
+        routines: 6,
+        fuel: 10_000_000,
+        out: None,
+        summaries: false,
+        routine: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut want = |name: &str| -> Result<&str> {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match a.as_str() {
+            "--scale" => o.scale = want("--scale")?.parse()?,
+            "--seed" => o.seed = want("--seed")?.parse()?,
+            "--routines" => o.routines = want("--routines")?.parse()?,
+            "--fuel" => o.fuel = want("--fuel")?.parse()?,
+            "-o" | "--out" => o.out = Some(want("-o")?),
+            "--summaries" => o.summaries = true,
+            "--routine" => o.routine = Some(want("--routine")?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`").into())
+            }
+            other => o.positional.push(other),
+        }
+    }
+    Ok(o)
+}
+
+fn load(path: &str) -> Result<Program> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(Program::from_image(&bytes)?)
+}
+
+fn save(program: &Program, path: &str) -> Result<()> {
+    fs::write(path, program.to_image()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [name] = o.positional[..] else {
+        return Err("gen needs a benchmark name (see `spike profiles`)".into());
+    };
+    let profile =
+        spike_synth::profile(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let program = spike_synth::generate(&profile, o.scale, o.seed);
+    let out = o.out.ok_or("gen needs -o <img>")?;
+    save(&program, out)?;
+    println!(
+        "wrote {out}: {} routines, {} instructions ({} at scale {})",
+        program.routines().len(),
+        program.total_instructions(),
+        name,
+        o.scale
+    );
+    Ok(())
+}
+
+fn gen_exec(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let program = spike_synth::generate_executable(o.seed, o.routines);
+    let out = o.out.ok_or("gen-exec needs -o <img>")?;
+    save(&program, out)?;
+    println!(
+        "wrote {out}: {} routines, {} instructions (runnable)",
+        program.routines().len(),
+        program.total_instructions()
+    );
+    Ok(())
+}
+
+fn asm(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("asm needs a source path".into());
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = spike_asm::parse_asm(&text)?;
+    let out = o.out.ok_or("asm needs -o <img>")?;
+    save(&program, out)?;
+    println!(
+        "wrote {out}: {} routines, {} instructions",
+        program.routines().len(),
+        program.total_instructions()
+    );
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("disasm needs an image path".into());
+    };
+    let program = load(path)?;
+    // The output is the assembler's input format: `spike asm` accepts it.
+    print!("{}", spike_asm::write_asm(&program));
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("analyze needs an image path".into());
+    };
+    let program = load(path)?;
+    let analysis = analyze(&program);
+    let stats = &analysis.stats;
+    let psg = analysis.psg.stats();
+    let counts = analysis.cfg.counts();
+    let cg = spike_callgraph::CallGraph::build(&program, &analysis.cfg);
+
+    println!(
+        "{}: {} routines, {} basic blocks, {} instructions",
+        path,
+        program.routines().len(),
+        analysis.cfg.total_blocks(),
+        program.total_instructions()
+    );
+    println!("call graph: {}", cg.stats());
+    println!(
+        "psg: {} nodes, {} edges ({} flow, {} call-return, {} branch nodes)",
+        psg.nodes, psg.edges, psg.flow_edges, psg.call_return_edges, psg.branch_nodes
+    );
+    println!(
+        "cfg: {} blocks, {} arcs -> psg is {:.0}% / {:.0}% smaller",
+        counts.basic_blocks,
+        counts.total_arcs(),
+        100.0 * (1.0 - psg.nodes as f64 / counts.basic_blocks as f64),
+        100.0 * (1.0 - psg.edges as f64 / counts.total_arcs() as f64)
+    );
+    println!(
+        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}), memory {:.2} MB",
+        stats.total(),
+        stats.cfg_build,
+        stats.init,
+        stats.psg_build,
+        stats.phase1,
+        stats.phase2,
+        stats.memory_bytes as f64 / 1e6
+    );
+
+    let wanted = |name: &str| o.routine.map_or(o.summaries, |r| r == name);
+    for (rid, r) in program.iter() {
+        if !wanted(r.name()) {
+            continue;
+        }
+        let s = analysis.summary.routine(rid);
+        println!("\n{}:", r.name());
+        for (i, _) in s.call_used.iter().enumerate() {
+            println!(
+                "  entrance {i}: call-used={} call-defined={} call-killed={}",
+                s.call_used[i], s.call_defined[i], s.call_killed[i]
+            );
+            println!("  live-at-entry[{i}] = {}", s.live_at_entry[i]);
+        }
+        for (i, live) in s.live_at_exit.iter().enumerate() {
+            println!("  live-at-exit[{i}]  = {live}");
+        }
+        if !s.saved_restored.is_empty() {
+            println!("  saves/restores {}", s.saved_restored);
+        }
+    }
+    if let Some(name) = o.routine {
+        if program.routine_by_name(name).is_none() {
+            return Err(format!("no routine named `{name}`").into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("optimize needs an image path".into());
+    };
+    let program = load(path)?;
+    let (optimized, report) = spike_opt::optimize(&program)?;
+    let out = o.out.ok_or("optimize needs -o <img>")?;
+    save(&optimized, out)?;
+    println!(
+        "{} -> {}: {} -> {} instructions ({} dead, {} spill pairs, {} reallocations)",
+        path,
+        out,
+        report.instructions_before,
+        report.instructions_after,
+        report.dead_deleted,
+        report.spill_pairs_removed,
+        report.registers_reallocated
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("run needs an image path".into());
+    };
+    let program = load(path)?;
+    match spike_sim::run(&program, o.fuel) {
+        Outcome::Halted { output, steps } => {
+            for v in output {
+                println!("{v}");
+            }
+            eprintln!("halted after {steps} instructions");
+            Ok(())
+        }
+        Outcome::OutOfFuel { .. } => Err(format!("did not halt within {} steps", o.fuel).into()),
+        Outcome::Fault(f) => Err(format!("fault: {f}").into()),
+    }
+}
+
+fn dot(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("dot needs an image path".into());
+    };
+    let program = load(path)?;
+    let analysis = analyze(&program);
+    let routine = match o.routine {
+        Some(name) => Some(
+            program
+                .routine_by_name(name)
+                .ok_or_else(|| format!("no routine named `{name}`"))?,
+        ),
+        None => None,
+    };
+    print!("{}", analysis.psg.to_dot(&program, routine));
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("compare needs an image path".into());
+    };
+    let program = load(path)?;
+    let psg = analyze(&program);
+    let full = spike_baseline::analyze_baseline(&program);
+    for (rid, r) in program.iter() {
+        if psg.summary.routine(rid) != &full.summaries[rid.index()] {
+            return Err(format!("summary mismatch for {} — this is a bug", r.name()).into());
+        }
+    }
+    let s = psg.psg.stats();
+    let c = full.counts;
+    println!("summaries identical for all {} routines", program.routines().len());
+    println!(
+        "psg: {} nodes / {} edges in {:?}; full cfg: {} blocks / {} arcs in {:?}",
+        s.nodes,
+        s.edges,
+        psg.stats.total(),
+        c.basic_blocks,
+        c.total_arcs(),
+        full.stats.total()
+    );
+    let _ = ProgramCfg::build(&program);
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `spike` — the command-line front end of the post-link optimizer.
+//!
+//! ```text
+//! spike gen <benchmark> [--scale S] [--seed N] -o prog.img
+//! spike gen-exec [--routines K] [--seed N] -o prog.img
+//! spike disasm <img>
+//! spike analyze <img> [--summaries] [--routine NAME]
+//! spike optimize <img> -o out.img
+//! spike run <img> [--fuel N]
+//! spike compare <img>
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

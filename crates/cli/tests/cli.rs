@@ -1,0 +1,214 @@
+//! End-to-end tests of the `spike` binary: every subcommand, driven the
+//! way a user would drive it, through real image files on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn spike(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spike-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> (tempdir::TempDirGuard, String) {
+    let dir = tempdir::create();
+    let path = dir.path.join(name).to_string_lossy().into_owned();
+    (dir, path)
+}
+
+/// Minimal self-cleaning temp dir (no external crates).
+mod tempdir {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempDirGuard {
+        pub path: PathBuf,
+    }
+
+    impl Drop for TempDirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
+    pub fn create() -> TempDirGuard {
+        let path = std::env::temp_dir().join(format!(
+            "spike-cli-test-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("temp dir");
+        TempDirGuard { path }
+    }
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_commands() {
+    let o = spike(&["--help"]);
+    assert!(o.status.success());
+    for cmd in ["gen", "disasm", "analyze", "optimize", "run", "compare"] {
+        assert!(stdout(&o).contains(cmd), "missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let o = spike(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn profiles_lists_all_sixteen() {
+    let o = spike(&["profiles"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    for name in ["compress", "gcc", "acad", "winword"] {
+        assert!(out.contains(name));
+    }
+}
+
+#[test]
+fn gen_analyze_compare_pipeline() {
+    let (_dir, img) = tmp("li.img");
+    let o = spike(&["gen", "li", "--scale", "0.05", "--seed", "3", "-o", &img]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("routines"));
+
+    let o = spike(&["analyze", &img]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("psg:"));
+    assert!(out.contains("call graph:"));
+
+    let o = spike(&["analyze", &img, "--routine", "r1"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("call-used"));
+
+    let o = spike(&["compare", &img]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("summaries identical"));
+}
+
+#[test]
+fn gen_exec_optimize_run_pipeline() {
+    let (_dir, img) = tmp("prog.img");
+    let (_dir2, opt) = tmp("prog.opt.img");
+
+    let o = spike(&["gen-exec", "--seed", "7", "--routines", "5", "-o", &img]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let before = spike(&["run", &img]);
+    assert!(before.status.success(), "{}", stderr(&before));
+
+    let o = spike(&["optimize", &img, "-o", &opt]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("instructions"));
+
+    let after = spike(&["run", &opt]);
+    assert!(after.status.success(), "{}", stderr(&after));
+    // Identical observable output.
+    assert_eq!(stdout(&before), stdout(&after));
+}
+
+#[test]
+fn disasm_emits_reassemblable_text() {
+    let dir = tempdir::create();
+    let img = dir.path.join("gcc.img");
+    let asm = dir.path.join("gcc.s");
+    let img2 = dir.path.join("gcc2.img");
+    let o = spike(&["gen", "gcc", "--scale", "0.01", "--seed", "5", "-o", img.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let o = spike(&["disasm", img.to_str().unwrap()]);
+    assert!(o.status.success());
+    let text = stdout(&o);
+    assert!(text.contains(".routine r0"));
+    assert!(text.contains("bsr") || text.contains("jsr"));
+
+    // disasm | asm round-trips to a byte-identical image.
+    std::fs::write(&asm, &text).unwrap();
+    let o = spike(&["asm", asm.to_str().unwrap(), "-o", img2.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert_eq!(std::fs::read(&img).unwrap(), std::fs::read(&img2).unwrap());
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (_dir, img) = tmp("dot.img");
+    let o = spike(&["gen-exec", "--seed", "2", "--routines", "3", "-o", &img]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = spike(&["dot", &img, "--routine", "main"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.starts_with("digraph psg {"));
+    assert!(out.contains("main entry 0"));
+}
+
+#[test]
+fn asm_reports_errors_with_line_numbers() {
+    let dir = tempdir::create();
+    let src = dir.path.join("bad.s");
+    std::fs::write(&src, ".routine main\n    frobnicate a0\n    halt\n").unwrap();
+    let o = spike(&["asm", src.to_str().unwrap(), "-o", "/dev/null"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("line 2"));
+}
+
+#[test]
+fn hand_written_assembly_runs() {
+    let dir = tempdir::create();
+    let src = dir.path.join("prog.s");
+    let img = dir.path.join("prog.img");
+    std::fs::write(
+        &src,
+        "\
+.routine main
+    lda a0, 20(zero)
+    bsr double
+    putint
+    halt
+
+.routine double
+    addq a0, a0, v0
+    ret (ra)
+",
+    )
+    .unwrap();
+    let o = spike(&["asm", src.to_str().unwrap(), "-o", img.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = spike(&["run", img.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert_eq!(stdout(&o).trim(), "40");
+}
+
+#[test]
+fn run_reports_faults_and_missing_files() {
+    let o = spike(&["run", "/nonexistent/image.img"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("cannot read"));
+
+    let o = spike(&["analyze"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("needs an image path"));
+}
+
+#[test]
+fn corrupt_images_are_rejected() {
+    let dir = tempdir::create();
+    let path: PathBuf = dir.path.join("junk.img");
+    std::fs::write(&path, b"not an image").unwrap();
+    let o = spike(&["analyze", path.to_str().unwrap()]);
+    assert!(!o.status.success());
+}

@@ -1,0 +1,224 @@
+//! The analysis pipeline: CFG build → initialization → PSG build →
+//! phase 1 → phase 2, with per-stage timing and memory accounting.
+
+use std::time::{Duration, Instant};
+
+use spike_cfg::{ProgramCfg, RoutineCfg};
+use spike_isa::{CallingStandard, HeapSize, Reg, RegSet};
+use spike_program::Program;
+
+use crate::build::build_psg;
+use crate::dataflow::{run_phase1, run_phase2};
+use crate::psg::{NodeId, Psg};
+use crate::summary::ProgramSummary;
+
+/// Tuning knobs for the analysis, mirroring the paper's design choices.
+#[derive(Clone, Debug)]
+pub struct AnalysisOptions {
+    /// Insert branch nodes at multiway branches (§3.6). Disabling this is
+    /// the Table 4 ablation: the PSG grows up to 80% more edges.
+    pub branch_nodes: bool,
+    /// Filter saved-and-restored callee-saved registers out of routine
+    /// summaries (§3.4).
+    pub callee_saved_filter: bool,
+    /// Register roles used for callee-saved filtering and unknown-target
+    /// assumptions (§3.5).
+    pub calling_standard: CallingStandard,
+    /// Registers assumed live at the exits of externally callable routines
+    /// (exported routines and the program entry), whose callers are
+    /// outside the program.
+    pub exported_live_at_exit: RegSet,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> AnalysisOptions {
+        let calling_standard = CallingStandard::alpha_nt();
+        // An unseen caller may read the return values, expects callee-saved
+        // registers preserved, and needs the stack and global pointers.
+        let exported_live_at_exit = calling_standard.return_value()
+            | calling_standard.callee_saved()
+            | RegSet::of(&[Reg::SP, Reg::GP]);
+        AnalysisOptions {
+            branch_nodes: true,
+            callee_saved_filter: true,
+            calling_standard,
+            exported_live_at_exit,
+        }
+    }
+}
+
+/// Wall-clock time and effort per pipeline stage (Figure 13 of the paper)
+/// plus the deterministic memory footprint (Table 2 / Figure 15).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalysisStats {
+    /// Time building block structure for every routine (*CFG Build*).
+    pub cfg_build: Duration,
+    /// Time computing per-block `DEF`/`UBD` sets (*Initialization*).
+    pub init: Duration,
+    /// Time creating PSG nodes and labeling edges (*PSG Build*).
+    pub psg_build: Duration,
+    /// Time for the first dataflow phase.
+    pub phase1: Duration,
+    /// Time for the second dataflow phase.
+    pub phase2: Duration,
+    /// Node evaluations performed by phase 1.
+    pub phase1_visits: usize,
+    /// Node evaluations performed by phase 2.
+    pub phase2_visits: usize,
+    /// Bytes of analysis structures (CFGs + PSG + summaries), counted
+    /// deterministically via [`HeapSize`].
+    pub memory_bytes: usize,
+}
+
+impl AnalysisStats {
+    /// Total analysis time across all stages.
+    pub fn total(&self) -> Duration {
+        self.cfg_build + self.init + self.psg_build + self.phase1 + self.phase2
+    }
+}
+
+/// The result of analyzing a program: the converged PSG, the extracted
+/// summaries, the per-routine CFGs (retained for the optimizer), and the
+/// stage statistics.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The converged Program Summary Graph.
+    pub psg: Psg,
+    /// Per-routine summaries and call-site resolution.
+    pub summary: ProgramSummary,
+    /// The control-flow graphs the analysis was computed over.
+    pub cfg: ProgramCfg,
+    /// Stage timings, effort counters and memory footprint.
+    pub stats: AnalysisStats,
+}
+
+/// Analyzes `program` with default options.
+///
+/// ```
+/// use spike_isa::Reg;
+/// use spike_program::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.routine("main").def(Reg::A0).call("id").put_int().halt();
+/// b.routine("id").copy(Reg::A0, Reg::V0).ret();
+/// let program = b.build()?;
+///
+/// let analysis = spike_core::analyze(&program);
+/// let id = program.routine_by_name("id").unwrap();
+/// let s = analysis.summary.routine(id);
+/// assert!(s.call_used[0].contains(Reg::A0));
+/// assert!(s.call_defined[0].contains(Reg::V0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(program: &Program) -> Analysis {
+    analyze_with(program, &AnalysisOptions::default())
+}
+
+/// Analyzes `program` with explicit [`AnalysisOptions`].
+pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
+    let t = Instant::now();
+    let mut cfgs: Vec<RoutineCfg> = program
+        .iter()
+        .map(|(id, _)| RoutineCfg::build_structure(program, id))
+        .collect();
+    let cfg_build = t.elapsed();
+
+    let t = Instant::now();
+    for c in &mut cfgs {
+        c.init_def_ubd(program);
+    }
+    let init = t.elapsed();
+    let cfg = ProgramCfg::from_cfgs(cfgs);
+
+    let t = Instant::now();
+    let mut psg = build_psg(program, &cfg, options);
+    let psg_build = t.elapsed();
+
+    let t = Instant::now();
+    let seed_order = phase1_seed_order(program, &cfg, &psg);
+    let phase1_visits = run_phase1(&mut psg, &seed_order);
+    let phase1 = t.elapsed();
+
+    let t = Instant::now();
+    let exit_seeds = exported_exit_seeds(program, &psg, options);
+    let phase2_visits = run_phase2(&mut psg, &exit_seeds);
+    let phase2 = t.elapsed();
+
+    let summary = ProgramSummary::from_psg(&psg, options.calling_standard);
+    let memory_bytes = cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes();
+
+    Analysis {
+        psg,
+        summary,
+        cfg,
+        stats: AnalysisStats {
+            cfg_build,
+            init,
+            psg_build,
+            phase1,
+            phase2,
+            phase1_visits,
+            phase2_visits,
+            memory_bytes,
+        },
+    }
+}
+
+/// The phase-1 worklist seed order: routines bottom-up in call-graph SCC
+/// order (callees before callers), and within a routine the nodes in
+/// reverse creation order (sinks before the entry). Most call-return
+/// edges then carry their final callee summary the first time their call
+/// node is evaluated.
+fn phase1_seed_order(
+    program: &Program,
+    cfg: &ProgramCfg,
+    psg: &Psg,
+) -> Vec<NodeId> {
+    let callgraph = spike_callgraph::CallGraph::build(program, cfg);
+    let sccs = callgraph.sccs();
+    let mut order = Vec::with_capacity(psg.nodes().len());
+    for component in sccs.bottom_up() {
+        for &rid in component {
+            let rn = psg.routine_nodes(rid);
+            let mut nodes: Vec<NodeId> = rn
+                .entries()
+                .iter()
+                .chain(rn.exits())
+                .copied()
+                .chain(rn.calls().iter().flat_map(|&(_, c, r)| [c, r]))
+                .chain(rn.branches().iter().map(|&(_, n)| n))
+                .collect();
+            nodes.sort_unstable();
+            nodes.reverse();
+            order.extend(nodes);
+        }
+    }
+    // Halt/unknown-jump/diverge sinks are pinned and never evaluated, but
+    // the worklist seed must still cover every node.
+    for i in 0..psg.nodes().len() {
+        let n = NodeId::from_index(i);
+        if psg.pinned[i] {
+            order.push(n);
+        }
+    }
+    debug_assert_eq!(order.len(), psg.nodes().len());
+    order
+}
+
+/// Liveness seeds for the exits of routines callable from outside the
+/// program: exported routines and the program entry routine.
+fn exported_exit_seeds(
+    program: &Program,
+    psg: &Psg,
+    options: &AnalysisOptions,
+) -> Vec<(NodeId, RegSet)> {
+    let mut seeds = Vec::new();
+    for (id, r) in program.iter() {
+        if r.exported() || id == program.entry() {
+            for &exit in psg.routine_nodes(id).exits() {
+                seeds.push((exit, options.exported_live_at_exit));
+            }
+        }
+    }
+    seeds
+}

@@ -1,0 +1,559 @@
+//! Program Summary Graph construction (§3.1, §3.5, §3.6).
+
+use spike_cfg::{BlockId, BlockSet, CallTarget, ProgramCfg, RoutineCfg, TermKind};
+use spike_isa::RegSet;
+use spike_program::Program;
+
+use crate::analysis::AnalysisOptions;
+use crate::callee_saved::saved_restored_registers;
+use crate::flow::{solve_edge, FlowScratch};
+use crate::psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, RoutineNodes};
+
+/// Builds the PSG for `program`: one set of entry/exit/call/return (and
+/// optionally branch) nodes per routine, flow-summary edges labeled by the
+/// Figure-6 subgraph dataflow, and call-return edges wired to their callee
+/// entry nodes for the phase-1 broadcast.
+pub(crate) fn build_psg(program: &Program, pcfg: &ProgramCfg, options: &AnalysisOptions) -> Psg {
+    let mut psg = Psg {
+        nodes: Vec::new(),
+        edges: Vec::new(),
+        out_edges: Vec::new(),
+        in_edges: Vec::new(),
+        routines: Vec::with_capacity(pcfg.cfgs().len()),
+        cr_sources: Vec::new(),
+        entry_cr_edges: Vec::new(),
+        return_exit_targets: Vec::new(),
+        pinned: Vec::new(),
+        uj_live: Vec::new(),
+        may_use: Vec::new(),
+        may_def: Vec::new(),
+        must_def: Vec::new(),
+        live: Vec::new(),
+    };
+
+    // Pass 1: create every node, so cross-routine references (call-return
+    // sources, return-to-exit broadcasts) can be resolved in pass 2.
+    for cfg in pcfg.cfgs() {
+        let rid = cfg.routine();
+        let mut rn = RoutineNodes::default();
+
+        for (i, _) in cfg.entries().iter().enumerate() {
+            rn.entries.push(push_node(&mut psg, NodeKind::Entry { routine: rid, index: i }));
+        }
+        for (i, _) in cfg.exits().iter().enumerate() {
+            rn.exits.push(push_node(&mut psg, NodeKind::Exit { routine: rid, index: i }));
+        }
+        for block in cfg.call_blocks() {
+            let call = push_node(&mut psg, NodeKind::Call { routine: rid, block });
+            let ret = push_node(&mut psg, NodeKind::Return { routine: rid, block });
+            rn.calls.push((block, call, ret));
+        }
+        if options.branch_nodes {
+            for (bi, b) in cfg.blocks().iter().enumerate() {
+                if matches!(b.term(), TermKind::MultiwayJump) {
+                    let block = BlockId::from_index(bi);
+                    let node = push_node(&mut psg, NodeKind::Branch { routine: rid, block });
+                    rn.branches.push((block, node));
+                }
+            }
+        }
+        for &block in cfg.halts() {
+            let n = push_node(&mut psg, NodeKind::Halt { routine: rid, block });
+            psg.pinned[n.index()] = true;
+            rn.halts.push(n);
+        }
+        for &block in cfg.unknown_jumps() {
+            let n = push_node(&mut psg, NodeKind::UnknownJump { routine: rid, block });
+            psg.pinned[n.index()] = true;
+            // §3.5 extension: a compiler-provided hint replaces the
+            // all-registers-live assumption at the unknown target.
+            if let Some(hint) = program.jump_hint(cfg.block(block).term_addr()) {
+                psg.uj_live[n.index()] = hint;
+            }
+            rn.unknown_jumps.push(n);
+        }
+
+        rn.saved_restored = if options.callee_saved_filter {
+            saved_restored_registers(program, cfg, &options.calling_standard)
+        } else {
+            RegSet::EMPTY
+        };
+        psg.routines.push(rn);
+    }
+
+    // Pass 2: per routine, chop the CFG at summary points and create
+    // flow-summary edges; then wire call-return edges.
+    let mut scratch = FlowScratch::new();
+    for cfg in pcfg.cfgs() {
+        build_routine_edges(&mut psg, cfg, options, &mut scratch);
+    }
+
+    // Finalize adjacency and value arrays.
+    let n = psg.nodes.len();
+    psg.in_edges = vec![Vec::new(); n];
+    for (ei, e) in psg.edges.iter().enumerate() {
+        psg.in_edges[e.to().index()].push(EdgeId::from_index(ei));
+    }
+    psg.may_use = vec![RegSet::EMPTY; n];
+    psg.may_def = vec![RegSet::EMPTY; n];
+    psg.must_def = vec![RegSet::EMPTY; n];
+    psg.live = vec![RegSet::EMPTY; n];
+    psg
+}
+
+fn push_node(psg: &mut Psg, kind: NodeKind) -> NodeId {
+    let id = NodeId::from_index(psg.nodes.len());
+    psg.nodes.push(kind);
+    psg.out_edges.push(Vec::new());
+    psg.entry_cr_edges.push(Vec::new());
+    psg.return_exit_targets.push(Vec::new());
+    psg.pinned.push(false);
+    psg.uj_live.push(RegSet::ALL);
+    id
+}
+
+fn push_edge(psg: &mut Psg, edge: Edge) -> EdgeId {
+    let id = EdgeId::from_index(psg.edges.len());
+    psg.out_edges[edge.from().index()].push(id);
+    psg.edges.push(edge);
+    psg.cr_sources.push(Vec::new());
+    id
+}
+
+/// A summary point terminating paths at the end of a block.
+fn terminal_node(
+    psg: &Psg,
+    cfg: &RoutineCfg,
+    options: &AnalysisOptions,
+    block: BlockId,
+) -> Option<NodeId> {
+    let rid = cfg.routine();
+    let rn = &psg.routines[rid.index()];
+    match cfg.block(block).term() {
+        TermKind::Call { .. } => rn
+            .calls
+            .iter()
+            .find(|(b, _, _)| *b == block)
+            .map(|&(_, call, _)| call),
+        TermKind::Ret => cfg
+            .exits()
+            .iter()
+            .position(|&b| b == block)
+            .map(|i| rn.exits[i]),
+        TermKind::Halt => cfg
+            .halts()
+            .iter()
+            .position(|&b| b == block)
+            .map(|i| rn.halts[i]),
+        TermKind::UnknownJump => cfg
+            .unknown_jumps()
+            .iter()
+            .position(|&b| b == block)
+            .map(|i| rn.unknown_jumps[i]),
+        TermKind::MultiwayJump if options.branch_nodes => rn
+            .branches
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|&(_, n)| n),
+        _ => None,
+    }
+}
+
+fn build_routine_edges(
+    psg: &mut Psg,
+    cfg: &RoutineCfg,
+    options: &AnalysisOptions,
+    scratch: &mut FlowScratch,
+) {
+    let rid = cfg.routine();
+    let nblocks = cfg.blocks().len();
+
+    // Block -> terminal summary node at its end, if any.
+    let terminals: Vec<Option<NodeId>> = (0..nblocks)
+        .map(|i| terminal_node(psg, cfg, options, BlockId::from_index(i)))
+        .collect();
+
+    // Backward reachability to each terminal block: the blocks from which
+    // the terminal can be reached without crossing another summary point.
+    // `reaches_term` is their union; blocks outside it sit in regions that
+    // can reach no summary point (infinite loops) and are summarized by a
+    // conservative edge to the routine's diverge sink.
+    let mut bwd: Vec<Option<BlockSet>> = vec![None; nblocks];
+    let mut reaches_term = BlockSet::new(nblocks);
+    for ti in 0..nblocks {
+        if terminals[ti].is_none() {
+            continue;
+        }
+        let t = BlockId::from_index(ti);
+        let mut set = BlockSet::new(nblocks);
+        set.insert(t);
+        let mut stack = vec![t];
+        while let Some(b) = stack.pop() {
+            for &p in cfg.block(b).preds() {
+                // Paths may not flow *through* another summary point; a
+                // predecessor ending at a summary point cannot be interior.
+                if terminals[p.index()].is_none() && set.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+        for b in set.iter() {
+            reaches_term.insert(b);
+        }
+        bwd[ti] = Some(set);
+    }
+
+    // Source points and the blocks their paths start at.
+    let rn = psg.routines[rid.index()].clone();
+    let mut sources: Vec<(NodeId, Vec<BlockId>)> = Vec::new();
+    for (i, &node) in rn.entries.iter().enumerate() {
+        sources.push((node, vec![cfg.entries()[i]]));
+    }
+    for &(block, _, ret_node) in &rn.calls {
+        if let TermKind::Call { return_to: Some(rt), .. } = cfg.block(block).term() {
+            sources.push((ret_node, vec![*rt]));
+        }
+    }
+    for &(block, branch_node) in &rn.branches {
+        sources.push((branch_node, cfg.block(block).succs().to_vec()));
+    }
+
+    for (source, starts) in sources {
+        // Forward traversal from the start blocks, cut at summary points.
+        let mut visited = BlockSet::new(nblocks);
+        let mut reached: Vec<BlockId> = Vec::new();
+        let mut stack: Vec<BlockId> = Vec::new();
+        for &s in &starts {
+            if visited.insert(s) {
+                stack.push(s);
+            }
+        }
+        while let Some(b) = stack.pop() {
+            if terminals[b.index()].is_some() {
+                reached.push(b);
+                continue; // paths end at the summary point
+            }
+            for &s in cfg.block(b).succs() {
+                if visited.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        reached.sort_unstable();
+
+        for &t in &reached {
+            let subgraph =
+                visited.intersection(bwd[t.index()].as_ref().expect("terminal has bwd set"));
+            let label = solve_edge(cfg, &subgraph, t, &starts, scratch);
+            let to = terminals[t.index()].expect("reached block has a terminal");
+            push_edge(
+                psg,
+                Edge {
+                    from: source,
+                    to,
+                    kind: EdgeKind::FlowSummary,
+                    may_use: label.may_use,
+                    may_def: label.may_def,
+                    must_def: label.must_def,
+                },
+            );
+        }
+
+        // Regions reachable from this source that can reach no summary
+        // point (infinite loops): summarize their register reads with a
+        // conservative edge to the routine's diverge sink, so the uses on
+        // never-terminating paths are not lost.
+        let stranded: Vec<BlockId> =
+            visited.iter().filter(|b| !reaches_term.contains(*b)).collect();
+        if !stranded.is_empty() {
+            let diverge = match psg.routines[rid.index()].diverge {
+                Some(d) => d,
+                None => {
+                    let d = push_node(psg, NodeKind::Diverge { routine: rid });
+                    psg.pinned[d.index()] = true;
+                    psg.routines[rid.index()].diverge = Some(d);
+                    d
+                }
+            };
+            let mut may_use = RegSet::EMPTY;
+            let mut may_def = RegSet::EMPTY;
+            for b in stranded {
+                may_use |= cfg.block(b).ubd();
+                may_def |= cfg.block(b).def();
+            }
+            push_edge(
+                psg,
+                Edge {
+                    from: source,
+                    to: diverge,
+                    kind: EdgeKind::FlowSummary,
+                    may_use,
+                    may_def,
+                    must_def: RegSet::EMPTY,
+                },
+            );
+        }
+    }
+
+    // Call-return edges (§3.1): initially empty for known callees (filled
+    // by the phase-1 broadcast), fixed calling-standard assumptions for
+    // unknown callees (§3.5).
+    for &(block, call_node, ret_node) in &rn.calls {
+        let TermKind::Call { target, .. } = cfg.block(block).term() else {
+            unreachable!("call list contains only call blocks");
+        };
+
+        let (label, entry_sources, exit_targets) = match target {
+            // Known-target labels are filled by the phase-1 broadcast.
+            // MUST-DEF iterates downward from ⊤, so it starts at ALL.
+            CallTarget::Direct(callee, entry) => {
+                let callee_nodes = &psg.routines[callee.index()];
+                (
+                    (RegSet::EMPTY, RegSet::EMPTY, RegSet::ALL),
+                    vec![callee_nodes.entries[*entry]],
+                    callee_nodes.exits.clone(),
+                )
+            }
+            CallTarget::IndirectKnown(list) => {
+                let mut entries = Vec::with_capacity(list.len());
+                let mut exits = Vec::new();
+                for &(callee, entry) in list {
+                    let callee_nodes = &psg.routines[callee.index()];
+                    entries.push(callee_nodes.entries[entry]);
+                    exits.extend_from_slice(&callee_nodes.exits);
+                }
+                ((RegSet::EMPTY, RegSet::EMPTY, RegSet::ALL), entries, exits)
+            }
+            CallTarget::IndirectUnknown => {
+                let std = &options.calling_standard;
+                (
+                    (
+                        std.unknown_call_used(),
+                        std.unknown_call_killed(),
+                        std.unknown_call_defined(),
+                    ),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+            // §3.5 extension: exact effects supplied by the compiler take
+            // the place of the calling-standard assumptions.
+            CallTarget::IndirectHinted { used, defined, killed } => {
+                ((*used, *killed, *defined), Vec::new(), Vec::new())
+            }
+        };
+
+        let eid = push_edge(
+            psg,
+            Edge {
+                from: call_node,
+                to: ret_node,
+                kind: EdgeKind::CallReturn,
+                may_use: label.0,
+                may_def: label.1,
+                must_def: label.2,
+            },
+        );
+        for &entry in &entry_sources {
+            psg.entry_cr_edges[entry.index()].push(eid);
+        }
+        psg.cr_sources[eid.index()] = entry_sources;
+        psg.return_exit_targets[ret_node.index()] = exit_targets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisOptions;
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    fn build(b: &ProgramBuilder, options: &AnalysisOptions) -> (Program, ProgramCfg, Psg) {
+        let p = b.build().unwrap();
+        let pcfg = ProgramCfg::build(&p);
+        let psg = build_psg(&p, &pcfg, options);
+        (p, pcfg, psg)
+    }
+
+    /// The paper's Figure 4: entry, one call, one exit, a diamond around
+    /// the call. Nodes: entry, exit, call, return. Edges: E_A
+    /// (entry→exit), E_B (entry→call), E_C (return→exit), E_CR.
+    fn figure4_builder() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            // Block 1: use R1 (a0), branch.
+            .use_reg(Reg::A0)
+            .cond(spike_isa::BranchCond::Eq, Reg::A0, "b3")
+            // Block 2: def R2 (t0), def R3 (t1).
+            .def(Reg::T0)
+            .def(Reg::T1)
+            .br("b4")
+            // Block 3: def R2 (t0), call.
+            .label("b3")
+            .def(Reg::T0)
+            .call("callee")
+            // Block 4: def R3 (t1), exit.
+            .label("b4")
+            .def(Reg::T1)
+            .ret();
+        b.routine("callee").def(Reg::V0).ret();
+        b
+    }
+
+    #[test]
+    fn figure4_node_and_edge_shape() {
+        let b = figure4_builder();
+        let (p, _, psg) = build(&b, &AnalysisOptions::default());
+        let main = p.routine_by_name("main").unwrap();
+        let rn = psg.routine_nodes(main);
+        assert_eq!(rn.entries().len(), 1);
+        assert_eq!(rn.exits().len(), 1);
+        assert_eq!(rn.calls().len(), 1);
+
+        // Edges within main: entry→exit, entry→call, return→exit + E_CR.
+        let main_edges: Vec<&Edge> = psg
+            .edges()
+            .iter()
+            .filter(|e| psg.node(e.from()).routine() == main)
+            .collect();
+        assert_eq!(main_edges.len(), 4);
+        let entry = rn.entries()[0];
+        let exit = rn.exits()[0];
+        let (_, call, ret) = rn.calls()[0];
+        let find = |from, to| {
+            main_edges
+                .iter()
+                .find(|e| e.from() == from && e.to() == to)
+                .copied()
+        };
+        let ea = find(entry, exit).expect("E_A entry→exit");
+        let eb = find(entry, call).expect("E_B entry→call");
+        let ec = find(ret, exit).expect("E_C return→exit");
+        let ecr = find(call, ret).expect("E_CR call→return");
+        assert_eq!(ecr.kind(), EdgeKind::CallReturn);
+
+        // E_A: paths through blocks 1,2,4: must-def {t0,t1}, may-use {a0,ra}.
+        assert!(ea.must_def().contains(Reg::T0));
+        assert!(ea.must_def().contains(Reg::T1));
+        assert!(ea.may_use().contains(Reg::A0));
+        assert!(!ea.may_use().contains(Reg::T0));
+
+        // E_B: paths through blocks 1,3: defines t0 (and ra via bsr).
+        assert!(eb.must_def().contains(Reg::T0));
+        assert!(!eb.must_def().contains(Reg::T1));
+        assert!(eb.may_use().contains(Reg::A0));
+
+        // E_C: block 4 only: defines t1, uses ra (ret).
+        assert_eq!(ec.may_def(), RegSet::of(&[Reg::T1]));
+        assert!(ec.may_use().contains(Reg::RA));
+    }
+
+    /// Figure 12: a 3-way branch in a loop with a call at each target
+    /// produces 9 return→call flow edges without branch nodes and 6 edges
+    /// through a branch node with them.
+    fn figure12_builder() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .label("top")
+            .switch(Reg::T0, &["c1", "c2", "c3"])
+            .label("c1")
+            .call("f")
+            .br("top")
+            .label("c2")
+            .call("f")
+            .br("top")
+            .label("c3")
+            .call("f")
+            .br("top");
+        b.routine("f").ret();
+        b
+    }
+
+    fn flow_edges_between_calls(p: &Program, psg: &Psg) -> usize {
+        let main = p.routine_by_name("main").unwrap();
+        psg.edges()
+            .iter()
+            .filter(|e| {
+                e.kind() == EdgeKind::FlowSummary
+                    && psg.node(e.from()).routine() == main
+            })
+            .count()
+    }
+
+    #[test]
+    fn figure12_branch_nodes_reduce_nine_edges_to_six() {
+        let b = figure12_builder();
+
+        let without = AnalysisOptions { branch_nodes: false, ..AnalysisOptions::default() };
+        let (p, _, psg) = build(&b, &without);
+        // entry→{3 calls} = 3, return_i→call_j = 9. Total 12 flow edges.
+        assert_eq!(flow_edges_between_calls(&p, &psg), 12);
+        assert_eq!(psg.stats().branch_nodes, 0);
+
+        let with = AnalysisOptions::default();
+        let (p, _, psg) = build(&b, &with);
+        // entry→branch 1, branch→calls 3, return_i→branch 3. Total 7.
+        assert_eq!(flow_edges_between_calls(&p, &psg), 7);
+        assert_eq!(psg.stats().branch_nodes, 1);
+        // The return→call portion went from 9 to 6 (3 return→branch +
+        // 3 branch→call), exactly the paper's reduction.
+    }
+
+    #[test]
+    fn unknown_indirect_call_gets_calling_standard_label() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").jsr_unknown(Reg::PV).halt();
+        let (_, _, psg) = build(&b, &AnalysisOptions::default());
+        let cr = psg
+            .edges()
+            .iter()
+            .find(|e| e.kind() == EdgeKind::CallReturn)
+            .expect("call-return edge");
+        let std = spike_isa::CallingStandard::alpha_nt();
+        assert_eq!(cr.may_use(), std.unknown_call_used());
+        assert_eq!(cr.may_def(), std.unknown_call_killed());
+        assert_eq!(cr.must_def(), std.unknown_call_defined());
+    }
+
+    #[test]
+    fn halt_and_unknown_jump_nodes_are_pinned_sinks() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .cond(spike_isa::BranchCond::Eq, Reg::A0, "j")
+            .halt()
+            .label("j")
+            .insn(spike_isa::Instruction::Jmp { base: Reg::T0 });
+        let (p, _, psg) = build(&b, &AnalysisOptions::default());
+        let main = p.routine_by_name("main").unwrap();
+        let rn = psg.routine_nodes(main);
+        assert_eq!(rn.halts.len(), 1);
+        assert_eq!(rn.unknown_jumps.len(), 1);
+        assert!(psg.pinned[rn.halts[0].index()]);
+        assert!(psg.pinned[rn.unknown_jumps[0].index()]);
+        // Both received incoming flow edges from the entry.
+        assert!(!psg.in_edges(rn.halts[0]).is_empty());
+        assert!(!psg.in_edges(rn.unknown_jumps[0]).is_empty());
+    }
+
+    #[test]
+    fn recursive_call_produces_self_routine_wiring() {
+        let mut b = ProgramBuilder::new();
+        b.routine("rec")
+            .cond(spike_isa::BranchCond::Eq, Reg::A0, "base")
+            .call("rec")
+            .ret()
+            .label("base")
+            .ret();
+        b.routine("main").call("rec").halt();
+        let (p, _, psg) = build(&b, &AnalysisOptions::default());
+        let rec = p.routine_by_name("rec").unwrap();
+        let rn = psg.routine_nodes(rec);
+        let entry = rn.entries()[0];
+        // Two call sites target rec's entry: its own and main's.
+        assert_eq!(psg.entry_cr_edges[entry.index()].len(), 2);
+        // rec's return node broadcasts to rec's two exits.
+        let (_, _, ret_node) = rn.calls()[0];
+        assert_eq!(psg.return_exit_targets[ret_node.index()].len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Detection of saved-and-restored callee-saved registers (§3.4).
+//!
+//! The Alpha/NT calling standard requires a routine to save a callee-saved
+//! register before using it and restore it before exiting. As seen by a
+//! caller, such a register is not used, killed, or defined by the call, so
+//! phase 1 strips these registers from a routine's summary sets before
+//! propagating them to call sites.
+//!
+//! Detection is structural, mirroring what a post-link optimizer can prove
+//! from the code alone: a register counts as *saved* if every entrance
+//! stores it to the stack frame before any other definition or use, and as
+//! *restored* if every exit block reloads it from the frame before the
+//! `ret`. Anything the detector cannot prove is left unfiltered, which is
+//! conservative (the register then simply appears call-killed).
+
+use spike_cfg::RoutineCfg;
+use spike_isa::{CallingStandard, Instruction, Reg, RegSet};
+use spike_program::Program;
+
+/// Returns the callee-saved registers that `cfg`'s routine provably saves
+/// on every entrance and restores on every exit.
+///
+/// A routine with an unrecoverable indirect jump (§3.5) gets the empty
+/// set: control may leave without running any epilogue.
+pub fn saved_restored_registers(
+    program: &Program,
+    cfg: &RoutineCfg,
+    callstd: &CallingStandard,
+) -> RegSet {
+    if !cfg.unknown_jumps().is_empty() {
+        return RegSet::EMPTY;
+    }
+    if cfg.exits().is_empty() {
+        // No `ret`: nothing is ever restored.
+        return RegSet::EMPTY;
+    }
+    let routine = program.routine(cfg.routine());
+
+    // Saved: intersect over entrances the registers stored to the frame
+    // before any definition or use.
+    let mut saved = callstd.callee_saved();
+    for &entry in cfg.entries() {
+        let block = cfg.block(entry);
+        let mut touched = RegSet::EMPTY; // defined or used other than by the save
+        let mut saved_here = RegSet::EMPTY;
+        for addr in block.start()..block.end() {
+            let insn = routine.insn_at(addr).expect("block address in routine");
+            if let Instruction::Store { rs, base: Reg::SP, .. } = *insn {
+                if callstd.callee_saved().contains(rs) && !touched.contains(rs) {
+                    saved_here.insert(rs);
+                    touched.insert(Reg::SP); // `sp` use is fine; mark nothing else
+                    continue;
+                }
+            }
+            touched |= insn.uses() | insn.defs();
+        }
+        saved &= saved_here;
+        if saved.is_empty() {
+            return RegSet::EMPTY;
+        }
+    }
+
+    // Restored: intersect over exits the registers reloaded from the frame
+    // with no later definition or use before the `ret`.
+    let mut restored = saved;
+    for &exit in cfg.exits() {
+        let block = cfg.block(exit);
+        let mut restored_here = RegSet::EMPTY;
+        for addr in block.start()..block.end() {
+            let insn = routine.insn_at(addr).expect("block address in routine");
+            if let Instruction::Load { rd, base: Reg::SP, .. } = *insn {
+                if restored.contains(rd) {
+                    restored_here.insert(rd);
+                    continue;
+                }
+            }
+            // A later def or use (other than the final ret) invalidates the
+            // restore.
+            restored_here -= insn.defs() | insn.uses();
+        }
+        restored &= restored_here;
+        if restored.is_empty() {
+            return RegSet::EMPTY;
+        }
+    }
+
+    restored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::{BranchCond, MemWidth};
+    use spike_program::ProgramBuilder;
+
+    fn detect(build: impl FnOnce(&mut spike_program::RoutineBuilder)) -> RegSet {
+        let mut b = ProgramBuilder::new();
+        build(b.routine("f"));
+        let p = b.build().unwrap();
+        let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
+        saved_restored_registers(&p, &cfg, &CallingStandard::alpha_nt())
+    }
+
+    fn save(r: &mut spike_program::RoutineBuilder, reg: Reg, slot: i16) {
+        r.insn(Instruction::Store { width: MemWidth::Q, rs: reg, base: Reg::SP, disp: slot });
+    }
+
+    fn restore(r: &mut spike_program::RoutineBuilder, reg: Reg, slot: i16) {
+        r.insn(Instruction::Load { width: MemWidth::Q, rd: reg, base: Reg::SP, disp: slot });
+    }
+
+    #[test]
+    fn classic_prologue_epilogue_is_detected() {
+        let s = detect(|r| {
+            save(r, Reg::S0, 0);
+            save(r, Reg::S1, 8);
+            r.def(Reg::S0).def(Reg::S1).use_reg(Reg::S0);
+            restore(r, Reg::S0, 0);
+            restore(r, Reg::S1, 8);
+            r.ret();
+        });
+        assert_eq!(s, RegSet::of(&[Reg::S0, Reg::S1]));
+    }
+
+    #[test]
+    fn save_without_restore_is_not_filtered() {
+        let s = detect(|r| {
+            save(r, Reg::S0, 0);
+            r.def(Reg::S0).ret();
+        });
+        assert_eq!(s, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn use_before_save_is_not_filtered() {
+        let s = detect(|r| {
+            r.use_reg(Reg::S0);
+            save(r, Reg::S0, 0);
+            restore(r, Reg::S0, 0);
+            r.ret();
+        });
+        assert_eq!(s, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn every_exit_must_restore() {
+        // Two exits; only one restores s0.
+        let s = detect(|r| {
+            save(r, Reg::S0, 0);
+            r.cond(BranchCond::Eq, Reg::A0, "other");
+            restore(r, Reg::S0, 0);
+            r.ret();
+            r.label("other");
+            r.ret();
+        });
+        assert_eq!(s, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn redefinition_after_restore_invalidates() {
+        let s = detect(|r| {
+            save(r, Reg::S0, 0);
+            restore(r, Reg::S0, 0);
+            r.def(Reg::S0); // clobbered again after the restore
+            r.ret();
+        });
+        assert_eq!(s, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn temporaries_are_never_reported() {
+        let s = detect(|r| {
+            save(r, Reg::T0, 0); // a store of a temporary is just a store
+            restore(r, Reg::T0, 0);
+            r.ret();
+        });
+        assert_eq!(s, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn unknown_jump_disables_filtering() {
+        let s = detect(|r| {
+            save(r, Reg::S0, 0);
+            r.cond(BranchCond::Eq, Reg::A0, "out");
+            r.insn(Instruction::Jmp { base: Reg::T0 }); // no table
+            r.label("out");
+            restore(r, Reg::S0, 0);
+            r.ret();
+        });
+        assert_eq!(s, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn multiple_entrances_all_need_the_save() {
+        let mut b = ProgramBuilder::new();
+        {
+            let r = b.routine("f");
+            save(r, Reg::S0, 0);
+            r.label("alt").alt_entry("alt");
+            r.def(Reg::S0);
+            restore(r, Reg::S0, 0);
+            r.ret();
+        }
+        let p = b.build().unwrap();
+        let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
+        // The alternate entrance skips the save.
+        assert_eq!(
+            saved_restored_registers(&p, &cfg, &CallingStandard::alpha_nt()),
+            RegSet::EMPTY
+        );
+    }
+}

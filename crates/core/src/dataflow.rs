@@ -1,0 +1,303 @@
+//! The two interprocedural dataflow phases (§3.2, §3.3).
+//!
+//! Phase 1 (Figure 8) computes each routine's `MAY-USE`/`MAY-DEF`/
+//! `MUST-DEF` at its entry nodes — the call-used / call-killed /
+//! call-defined summaries — propagating information from callees to
+//! callers by copying entry-node values onto the call-return edges that
+//! target the routine. Phase 2 (Figure 10) computes liveness
+//! (live-at-entry / live-at-exit), propagating from callers to callees by
+//! broadcasting each return node's liveness to the exits of every routine
+//! that could return to it.
+//!
+//! Both phases run a monotone worklist to the least fixpoint. The paper
+//! writes the equations as per-edge assignments; with several outgoing
+//! edges the combination is union for the `MAY` sets and intersection for
+//! `MUST-DEF` (see DESIGN.md). Because every value only grows, chaotic
+//! iteration from the empty sets converges to the meet-over-all-valid-
+//! paths solution.
+
+use std::collections::VecDeque;
+
+use spike_isa::RegSet;
+
+use crate::psg::{EdgeKind, NodeId, NodeKind, Psg};
+
+/// Simple FIFO worklist with membership dedup.
+struct Worklist {
+    queue: VecDeque<NodeId>,
+    queued: Vec<bool>,
+}
+
+impl Worklist {
+    fn new(n: usize) -> Worklist {
+        Worklist { queue: VecDeque::with_capacity(n), queued: vec![false; n] }
+    }
+
+    fn push(&mut self, n: NodeId) {
+        if !std::mem::replace(&mut self.queued[n.index()], true) {
+            self.queue.push_back(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<NodeId> {
+        let n = self.queue.pop_front()?;
+        self.queued[n.index()] = false;
+        Some(n)
+    }
+}
+
+/// Runs phase 1 to convergence. Returns the number of node evaluations
+/// (a proxy for analysis effort reported alongside the stage timers).
+///
+/// The phase is stratified: `MAY-DEF`/`MUST-DEF` are solved to their
+/// fixpoint first, then `MAY-USE` with the (now frozen) `MUST-DEF` kill
+/// sets. `MAY-USE`'s equation subtracts `MUST-DEF[E]`, so it is not
+/// monotone while the kill sets are still growing; solving the kill sets
+/// first restores monotonicity and yields the meet-over-valid-paths
+/// solution for both strata.
+///
+/// `seed_order` gives the initial worklist order; callers pass PSG nodes
+/// grouped by routine in bottom-up call-graph order (callees before
+/// callers), which lets most call-return edges receive their final labels
+/// on the first visit.
+pub(crate) fn run_phase1(psg: &mut Psg, seed_order: &[NodeId]) -> usize {
+    let n = psg.nodes.len();
+    debug_assert_eq!(seed_order.len(), n, "seed order must cover every node");
+
+    // Initialization. MAY sets start at ⊥ and grow; MUST-DEF is a
+    // greatest-fixpoint problem and starts at ⊤ for interior nodes,
+    // iterating downward. Sinks fix the boundary:
+    //
+    // * exits: nothing more happens within the callee — MUST-DEF = ∅
+    //   (the caller takes over);
+    // * unknown jumps (§3.5): may use and clobber anything, guarantee
+    //   nothing — MAY = ⊤, MUST-DEF = ∅;
+    // * halts and diverging regions: no continuation ever returns, so
+    //   MUST-DEF is vacuously ⊤ — paths that cannot return must not
+    //   weaken a caller-visible intersection — and the MAY sets are ∅.
+    for i in 0..n {
+        match psg.nodes[i] {
+            NodeKind::UnknownJump { .. } => {
+                // The default is all registers live/clobbered; a §3.5 hint
+                // narrows the live set.
+                psg.may_use[i] = psg.uj_live[i];
+                psg.may_def[i] = RegSet::ALL;
+                psg.must_def[i] = RegSet::EMPTY;
+            }
+            NodeKind::Halt { .. } | NodeKind::Diverge { .. } => {
+                psg.must_def[i] = RegSet::ALL;
+            }
+            NodeKind::Exit { .. } => {
+                psg.must_def[i] = RegSet::EMPTY;
+            }
+            _ => {
+                psg.must_def[i] = RegSet::ALL;
+            }
+        }
+    }
+
+    // ---- Stratum A: MAY-DEF and MUST-DEF. ----
+    let mut wl = Worklist::new(n);
+    for &node in seed_order {
+        wl.push(node);
+    }
+    let mut visits = 0usize;
+    while let Some(x) = wl.pop() {
+        let xi = x.index();
+        if psg.pinned[xi] || psg.out_edges[xi].is_empty() {
+            continue;
+        }
+        visits += 1;
+
+        let mut may_def = RegSet::EMPTY;
+        let mut must_def = RegSet::EMPTY;
+        let mut first = true;
+        for &e in &psg.out_edges[xi] {
+            let edge = &psg.edges[e.index()];
+            let yi = edge.to().index();
+            may_def |= edge.may_def() | psg.may_def[yi];
+            let md = edge.must_def() | psg.must_def[yi];
+            if first {
+                must_def = md;
+                first = false;
+            } else {
+                must_def &= md;
+            }
+        }
+        debug_assert!(
+            psg.may_def[xi].is_subset(may_def) && must_def.is_subset(psg.must_def[xi]),
+            "stratum A: MAY-DEF grows, MUST-DEF shrinks"
+        );
+        if may_def == psg.may_def[xi] && must_def == psg.must_def[xi] {
+            continue;
+        }
+        psg.may_def[xi] = may_def;
+        psg.must_def[xi] = must_def;
+
+        for &e in &psg.in_edges[xi] {
+            wl.push(psg.edges[e.index()].from());
+        }
+        // §3.2 broadcast: an entry node's values flow onto every
+        // call-return edge representing a call that targets it, filtered
+        // by the routine's saved-and-restored callee-saved registers
+        // (§3.4). Multi-target (indirect) calls meet over their targets.
+        if matches!(psg.nodes[xi], NodeKind::Entry { .. }) {
+            for &e in &psg.entry_cr_edges[xi].clone() {
+                if recompute_cr_defs(psg, e) {
+                    wl.push(psg.edges[e.index()].from());
+                }
+            }
+        }
+    }
+
+    // ---- Stratum B: MAY-USE, with MUST-DEF kill sets frozen. ----
+    let mut wl = Worklist::new(n);
+    for &node in seed_order {
+        wl.push(node);
+    }
+    while let Some(x) = wl.pop() {
+        let xi = x.index();
+        if psg.pinned[xi] || psg.out_edges[xi].is_empty() {
+            continue;
+        }
+        visits += 1;
+
+        let mut may_use = RegSet::EMPTY;
+        for &e in &psg.out_edges[xi] {
+            let edge = &psg.edges[e.index()];
+            let yi = edge.to().index();
+            may_use |= edge.may_use() | (psg.may_use[yi] - edge.must_def());
+        }
+        debug_assert!(
+            psg.may_use[xi].is_subset(may_use),
+            "stratum B values must grow monotonically"
+        );
+        if may_use == psg.may_use[xi] {
+            continue;
+        }
+        psg.may_use[xi] = may_use;
+
+        for &e in &psg.in_edges[xi] {
+            wl.push(psg.edges[e.index()].from());
+        }
+        if matches!(psg.nodes[xi], NodeKind::Entry { .. }) {
+            for &e in &psg.entry_cr_edges[xi].clone() {
+                if recompute_cr_uses(psg, e) {
+                    wl.push(psg.edges[e.index()].from());
+                }
+            }
+        }
+    }
+    visits
+}
+
+/// Recomputes a call-return edge's `MAY-DEF`/`MUST-DEF` from its source
+/// entry nodes; returns whether either changed.
+fn recompute_cr_defs(psg: &mut Psg, e: crate::psg::EdgeId) -> bool {
+    let sources = &psg.cr_sources[e.index()];
+    debug_assert!(!sources.is_empty(), "only known-target edges are recomputed");
+    let mut may_def = RegSet::EMPTY;
+    let mut must_def = RegSet::EMPTY;
+    let mut first = true;
+    for &s in sources {
+        let si = s.index();
+        let csr = psg.routines[psg.nodes[si].routine().index()].saved_restored;
+        may_def |= psg.may_def[si] - csr;
+        let md = psg.must_def[si] - csr;
+        if first {
+            must_def = md;
+            first = false;
+        } else {
+            must_def &= md;
+        }
+    }
+    let edge = &mut psg.edges[e.index()];
+    debug_assert_eq!(edge.kind(), EdgeKind::CallReturn);
+    let changed = edge.may_def != may_def || edge.must_def != must_def;
+    edge.may_def = may_def;
+    edge.must_def = must_def;
+    changed
+}
+
+/// Recomputes a call-return edge's `MAY-USE` from its source entry nodes;
+/// returns whether it changed.
+fn recompute_cr_uses(psg: &mut Psg, e: crate::psg::EdgeId) -> bool {
+    let sources = &psg.cr_sources[e.index()];
+    debug_assert!(!sources.is_empty(), "only known-target edges are recomputed");
+    let mut may_use = RegSet::EMPTY;
+    for &s in sources {
+        let si = s.index();
+        let csr = psg.routines[psg.nodes[si].routine().index()].saved_restored;
+        may_use |= psg.may_use[si] - csr;
+    }
+    let edge = &mut psg.edges[e.index()];
+    debug_assert_eq!(edge.kind(), EdgeKind::CallReturn);
+    let changed = edge.may_use != may_use;
+    edge.may_use = may_use;
+    changed
+}
+
+/// Runs phase 2 to convergence. `exit_seeds` pre-loads liveness at exit
+/// nodes of externally callable routines (exported routines and the
+/// program entry, whose unseen callers are assumed to follow the calling
+/// standard). Returns the number of node evaluations.
+pub(crate) fn run_phase2(psg: &mut Psg, exit_seeds: &[(NodeId, RegSet)]) -> usize {
+    let n = psg.nodes.len();
+
+    for i in 0..n {
+        psg.live[i] = match psg.nodes[i] {
+            NodeKind::UnknownJump { .. } => psg.uj_live[i],
+            _ => RegSet::EMPTY,
+        };
+    }
+    for &(node, set) in exit_seeds {
+        psg.live[node.index()] |= set;
+    }
+
+    let mut wl = Worklist::new(n);
+    for i in (0..n).rev() {
+        wl.push(NodeId::from_index(i));
+    }
+
+    let mut visits = 0usize;
+    while let Some(x) = wl.pop() {
+        let xi = x.index();
+        if psg.pinned[xi] || psg.out_edges[xi].is_empty() {
+            // Sinks (exits, halts, unknown jumps) are updated only by
+            // seeds and broadcasts; nothing to evaluate.
+            continue;
+        }
+        visits += 1;
+
+        let mut live = psg.live[xi];
+        for &e in &psg.out_edges[xi] {
+            let edge = &psg.edges[e.index()];
+            let yi = edge.to().index();
+            live |= edge.may_use() | (psg.live[yi] - edge.must_def());
+        }
+        if live == psg.live[xi] {
+            continue;
+        }
+        psg.live[xi] = live;
+
+        for &e in &psg.in_edges[xi] {
+            wl.push(psg.edges[e.index()].from());
+        }
+
+        // §3.3 broadcast: liveness at a return node flows to the exit
+        // nodes of every routine that could return to it.
+        if !psg.return_exit_targets[xi].is_empty() {
+            for t in psg.return_exit_targets[xi].clone() {
+                let ti = t.index();
+                let merged = psg.live[ti] | live;
+                if merged != psg.live[ti] {
+                    psg.live[ti] = merged;
+                    for &e in &psg.in_edges[ti] {
+                        wl.push(psg.edges[e.index()].from());
+                    }
+                }
+            }
+        }
+    }
+    visits
+}

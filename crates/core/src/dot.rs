@@ -1,0 +1,106 @@
+//! GraphViz export of the Program Summary Graph, for debugging and for
+//! papers-style figures (the crate's rendering of Figure 7/9/11).
+
+use std::fmt::Write as _;
+
+use spike_program::{Program, RoutineId};
+
+use crate::psg::{EdgeKind, NodeId, NodeKind, Psg};
+
+impl Psg {
+    /// Renders the PSG (or one routine of it) in GraphViz `dot` syntax.
+    ///
+    /// Nodes show their kind and, once the phases have run, their
+    /// `MAY-USE`/`MAY-DEF`/`MUST-DEF` sets; edges show their labels.
+    /// Call-return edges are dashed, like the figures in the paper.
+    pub fn to_dot(&self, program: &Program, routine: Option<RoutineId>) -> String {
+        let mut out = String::new();
+        writeln!(out, "digraph psg {{").unwrap();
+        writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];").unwrap();
+
+        let wanted = |n: NodeId| routine.is_none_or(|r| self.node(n).routine() == r);
+
+        for (i, kind) in self.nodes().iter().enumerate() {
+            let n = NodeId::from_index(i);
+            if !wanted(n) {
+                continue;
+            }
+            let rname = program.routine(kind.routine()).name();
+            let label = match kind {
+                NodeKind::Entry { index, .. } => format!("{rname} entry {index}"),
+                NodeKind::Exit { index, .. } => format!("{rname} exit {index}"),
+                NodeKind::Call { block, .. } => format!("{rname} call @{block}"),
+                NodeKind::Return { block, .. } => format!("{rname} return @{block}"),
+                NodeKind::Branch { block, .. } => format!("{rname} branch @{block}"),
+                NodeKind::Halt { block, .. } => format!("{rname} halt @{block}"),
+                NodeKind::UnknownJump { block, .. } => format!("{rname} unknown-jump @{block}"),
+                NodeKind::Diverge { .. } => format!("{rname} diverge"),
+            };
+            writeln!(
+                out,
+                "  n{i} [label=\"{label}\\nmu={} md={}\\nmust={}\"];",
+                self.may_use(n),
+                self.may_def(n),
+                self.must_def(n),
+            )
+            .unwrap();
+        }
+
+        for edge in self.edges() {
+            if !wanted(edge.from()) {
+                continue;
+            }
+            let style = match edge.kind() {
+                EdgeKind::FlowSummary => "solid",
+                EdgeKind::CallReturn => "dashed",
+            };
+            writeln!(
+                out,
+                "  n{} -> n{} [style={style}, label=\"mu={} md={} must={}\"];",
+                edge.from().index(),
+                edge.to().index(),
+                edge.may_use(),
+                edge.may_def(),
+                edge.must_def(),
+            )
+            .unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_sets() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).call("f").put_int().halt();
+        b.routine("f").use_reg(Reg::A0).def(Reg::V0).ret();
+        let p = b.build().unwrap();
+        let analysis = crate::analyze(&p);
+        let dot = analysis.psg.to_dot(&p, None);
+        assert!(dot.starts_with("digraph psg {"));
+        assert!(dot.contains("main entry 0"));
+        assert!(dot.contains("f exit 0"));
+        assert!(dot.contains("style=dashed"), "call-return edges are dashed");
+        assert!(dot.contains("mu={a0"), "callee may-use is labeled");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_can_filter_to_one_routine() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt();
+        b.routine("f").ret();
+        let p = b.build().unwrap();
+        let analysis = crate::analyze(&p);
+        let f = p.routine_by_name("f").unwrap();
+        let dot = analysis.psg.to_dot(&p, Some(f));
+        assert!(dot.contains("f entry 0"));
+        assert!(!dot.contains("main call"));
+    }
+}

@@ -1,0 +1,368 @@
+//! The Figure-6 dataflow solver: labels one flow-summary edge by solving
+//! `MAY-USE`/`MAY-DEF`/`MUST-DEF` over the CFG subgraph its paths cover.
+
+use spike_cfg::{BlockId, BlockSet, RoutineCfg};
+use spike_isa::RegSet;
+
+/// The register-summary label of one flow-summary edge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct EdgeLabel {
+    pub may_use: RegSet,
+    pub may_def: RegSet,
+    pub must_def: RegSet,
+}
+
+/// Reusable buffers for [`solve_edge`]. PSG construction solves one
+/// subgraph per flow-summary edge — hundreds of thousands on large
+/// programs — so per-edge allocations dominate without this.
+pub(crate) struct FlowScratch {
+    /// Block index → local dense index (`u32::MAX` = not in subgraph).
+    local: Vec<u32>,
+    members: Vec<BlockId>,
+    may_use_in: Vec<RegSet>,
+    may_def_in: Vec<RegSet>,
+    must_def_in: Vec<RegSet>,
+}
+
+impl FlowScratch {
+    pub(crate) fn new() -> FlowScratch {
+        FlowScratch {
+            local: Vec::new(),
+            members: Vec::new(),
+            may_use_in: Vec::new(),
+            may_def_in: Vec::new(),
+            must_def_in: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, n_blocks: usize) {
+        self.local.clear();
+        self.local.resize(n_blocks, u32::MAX);
+        self.members.clear();
+        self.may_use_in.clear();
+        self.may_def_in.clear();
+        self.must_def_in.clear();
+    }
+}
+
+/// Solves the Figure-6 equations for the flow-summary edge whose paths run
+/// from the blocks in `starts` (the source location's start blocks) to the
+/// terminal block `target`, over `subgraph` (the blocks on any such path).
+///
+/// Within the subgraph, successor arcs are restricted to subgraph members,
+/// and `target` — the only block in the subgraph ending at a summary point
+/// — contributes no successor arcs: paths end there. The returned label
+/// combines the converged `IN` sets of the start blocks present in the
+/// subgraph: union for the `MAY` sets, intersection for `MUST-DEF`.
+///
+/// `MAY-USE`/`MAY-DEF` grow from ⊥; `MUST-DEF` is a greatest-fixpoint
+/// problem and iterates down from ⊤ (loop back-edges would otherwise
+/// poison the intersection — see DESIGN.md on the Figure-6 deviation).
+///
+/// The framework is distributive and every subgraph block reaches `target`
+/// by construction, so the iterative solution equals the
+/// meet-over-all-paths solution (verified against a path-enumeration
+/// oracle in the tests).
+pub(crate) fn solve_edge(
+    cfg: &RoutineCfg,
+    subgraph: &BlockSet,
+    target: BlockId,
+    starts: &[BlockId],
+    scratch: &mut FlowScratch,
+) -> EdgeLabel {
+    scratch.reset(cfg.blocks().len());
+    for b in subgraph.iter() {
+        scratch.local[b.index()] = scratch.members.len() as u32;
+        scratch.members.push(b);
+    }
+    debug_assert!(!scratch.members.is_empty(), "edge subgraph must be non-empty");
+
+    let n = scratch.members.len();
+    scratch.may_use_in.resize(n, RegSet::EMPTY);
+    scratch.may_def_in.resize(n, RegSet::EMPTY);
+    scratch.must_def_in.resize(n, RegSet::ALL);
+    let local = &scratch.local;
+    let members = &scratch.members;
+    let may_use_in = &mut scratch.may_use_in;
+    let may_def_in = &mut scratch.may_def_in;
+    let must_def_in = &mut scratch.must_def_in;
+
+    // Iterate to fixpoint. Blocks are visited in descending address order,
+    // which approximates postorder for reducible routine bodies and keeps
+    // the number of sweeps small.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for li in (0..n).rev() {
+            let b = members[li];
+            let block = cfg.block(b);
+
+            let mut may_use_out = RegSet::EMPTY;
+            let mut may_def_out = RegSet::EMPTY;
+            let mut must_def_out = RegSet::EMPTY;
+            if b != target {
+                let mut first = true;
+                for &s in block.succs() {
+                    let sl = local[s.index()];
+                    if sl == u32::MAX {
+                        continue; // arc leaves the subgraph: not on a path to target
+                    }
+                    let sl = sl as usize;
+                    may_use_out |= may_use_in[sl];
+                    may_def_out |= may_def_in[sl];
+                    if first {
+                        must_def_out = must_def_in[sl];
+                        first = false;
+                    } else {
+                        must_def_out &= must_def_in[sl];
+                    }
+                }
+                debug_assert!(!first, "non-target subgraph block {b} has no subgraph successor");
+            }
+
+            let new_may_use = block.ubd() | (may_use_out - block.def());
+            let new_may_def = block.def() | may_def_out;
+            let new_must_def = block.def() | must_def_out;
+            if new_may_use != may_use_in[li]
+                || new_may_def != may_def_in[li]
+                || new_must_def != must_def_in[li]
+            {
+                may_use_in[li] = new_may_use;
+                may_def_in[li] = new_may_def;
+                must_def_in[li] = new_must_def;
+                changed = true;
+            }
+        }
+    }
+
+    // Combine over the start blocks that actually reach the target.
+    let mut label = EdgeLabel::default();
+    let mut first = true;
+    for &s in starts {
+        let sl = local[s.index()];
+        if sl == u32::MAX {
+            continue;
+        }
+        let sl = sl as usize;
+        label.may_use |= may_use_in[sl];
+        label.may_def |= may_def_in[sl];
+        if first {
+            label.must_def = must_def_in[sl];
+            first = false;
+        } else {
+            label.must_def &= must_def_in[sl];
+        }
+    }
+    debug_assert!(!first, "no start block reaches the edge target");
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::{BranchCond, Reg};
+    use spike_program::ProgramBuilder;
+
+    /// Builds a CFG and runs `solve_edge` over the whole routine treating
+    /// the unique exit block as the target and block 0 as the start.
+    fn solve_whole(cfg: &RoutineCfg) -> EdgeLabel {
+        let mut sub = BlockSet::new(cfg.blocks().len());
+        for i in 0..cfg.blocks().len() {
+            sub.insert(BlockId::from_index(i));
+        }
+        let target = cfg.exits()[0];
+        let mut scratch = FlowScratch::new();
+        solve_edge(cfg, &sub, target, &[BlockId::from_index(0)], &mut scratch)
+    }
+
+    fn cfg_for(build: impl FnOnce(&mut spike_program::RoutineBuilder)) -> RoutineCfg {
+        let mut b = ProgramBuilder::new();
+        build(b.routine("f"));
+        let p = b.build().unwrap();
+        RoutineCfg::build(&p, p.routine_by_name("f").unwrap())
+    }
+
+    #[test]
+    fn straight_line_label() {
+        // use a0; def t0; ret
+        let cfg = cfg_for(|r| {
+            r.use_reg(Reg::A0).def(Reg::T0).ret();
+        });
+        let l = solve_whole(&cfg);
+        assert!(l.may_use.contains(Reg::A0));
+        assert!(l.may_use.contains(Reg::RA)); // ret reads ra
+        assert!(!l.may_use.contains(Reg::T0));
+        assert_eq!(l.may_def, RegSet::of(&[Reg::T0]));
+        assert_eq!(l.must_def, RegSet::of(&[Reg::T0]));
+    }
+
+    #[test]
+    fn diamond_must_def_is_intersection() {
+        // if: def t0, def t1 / else: def t0; join: ret
+        let cfg = cfg_for(|r| {
+            r.cond(BranchCond::Eq, Reg::A0, "else")
+                .def(Reg::T0)
+                .def(Reg::T1)
+                .br("join")
+                .label("else")
+                .def(Reg::T0)
+                .label("join")
+                .ret();
+        });
+        let l = solve_whole(&cfg);
+        assert!(l.must_def.contains(Reg::T0));
+        assert!(!l.must_def.contains(Reg::T1));
+        assert!(l.may_def.contains(Reg::T1));
+        assert!(l.may_use.contains(Reg::A0));
+    }
+
+    #[test]
+    fn def_kills_downstream_use() {
+        // def a0; use a0; ret — a0 not in MAY-USE.
+        let cfg = cfg_for(|r| {
+            r.def(Reg::A0).use_reg(Reg::A0).ret();
+        });
+        let l = solve_whole(&cfg);
+        assert!(!l.may_use.contains(Reg::A0));
+        assert!(l.must_def.contains(Reg::A0));
+    }
+
+    #[test]
+    fn loop_defs_are_may_not_must() {
+        // while (a0) { def t0 }; ret  — t0 may be defined but not must.
+        let cfg = cfg_for(|r| {
+            r.label("head")
+                .cond(BranchCond::Eq, Reg::A0, "done")
+                .def(Reg::T0)
+                .br("head")
+                .label("done")
+                .ret();
+        });
+        let l = solve_whole(&cfg);
+        assert!(l.may_def.contains(Reg::T0));
+        assert!(!l.must_def.contains(Reg::T0));
+        // The loop's condition register is used before any def.
+        assert!(l.may_use.contains(Reg::A0));
+    }
+
+    #[test]
+    fn loop_body_defs_on_every_path_are_must() {
+        // do { def t0 } while (a0); ret — t0 defined on every path.
+        let cfg = cfg_for(|r| {
+            r.label("head")
+                .def(Reg::T0)
+                .cond(BranchCond::Ne, Reg::A0, "head")
+                .ret();
+        });
+        let l = solve_whole(&cfg);
+        assert!(l.must_def.contains(Reg::T0), "loop body runs at least once");
+    }
+
+    #[test]
+    fn use_after_loop_def_not_in_may_use() {
+        // t0 defined on every path through the loop body before its use.
+        let cfg = cfg_for(|r| {
+            r.def(Reg::T0)
+                .label("head")
+                .use_reg(Reg::T0)
+                .cond(BranchCond::Ne, Reg::A0, "head")
+                .ret();
+        });
+        let l = solve_whole(&cfg);
+        assert!(!l.may_use.contains(Reg::T0));
+        assert!(l.must_def.contains(Reg::T0));
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_calls() {
+        // Two very different routines solved with the same scratch must
+        // produce the same labels as fresh scratch.
+        let cfg1 = cfg_for(|r| {
+            r.def(Reg::T0).use_reg(Reg::A1).ret();
+        });
+        let cfg2 = cfg_for(|r| {
+            r.cond(BranchCond::Eq, Reg::A0, "e")
+                .def(Reg::T1)
+                .label("e")
+                .def(Reg::T2)
+                .ret();
+        });
+        let mut scratch = FlowScratch::new();
+        let mut sub1 = BlockSet::new(cfg1.blocks().len());
+        for i in 0..cfg1.blocks().len() {
+            sub1.insert(BlockId::from_index(i));
+        }
+        let mut sub2 = BlockSet::new(cfg2.blocks().len());
+        for i in 0..cfg2.blocks().len() {
+            sub2.insert(BlockId::from_index(i));
+        }
+        let a1 = solve_edge(&cfg1, &sub1, cfg1.exits()[0], &[BlockId::from_index(0)], &mut scratch);
+        let a2 = solve_edge(&cfg2, &sub2, cfg2.exits()[0], &[BlockId::from_index(0)], &mut scratch);
+        assert_eq!(a1, solve_whole(&cfg1));
+        assert_eq!(a2, solve_whole(&cfg2));
+    }
+
+    /// Path-enumeration oracle: on an acyclic subgraph, MAY-USE/MAY-DEF/
+    /// MUST-DEF must equal the union/union/intersection over all explicit
+    /// paths of the per-path backward composition.
+    #[test]
+    fn matches_path_enumeration_oracle_on_acyclic_graph() {
+        // Two nested diamonds with distinct defs/uses per arm.
+        let cfg = cfg_for(|r| {
+            r.cond(BranchCond::Eq, Reg::A0, "d1else")
+                .def(Reg::T0)
+                .use_reg(Reg::A1)
+                .br("mid")
+                .label("d1else")
+                .def(Reg::T1)
+                .label("mid")
+                .cond(BranchCond::Ne, Reg::A2, "d2else")
+                .def(Reg::T2)
+                .br("end")
+                .label("d2else")
+                .def(Reg::T0)
+                .use_reg(Reg::T0)
+                .label("end")
+                .def(Reg::T3)
+                .ret();
+        });
+        let solved = solve_whole(&cfg);
+
+        // Enumerate all block paths from block 0 to the exit.
+        let target = cfg.exits()[0];
+        let mut paths: Vec<Vec<BlockId>> = Vec::new();
+        let mut stack = vec![(vec![BlockId::from_index(0)])];
+        while let Some(path) = stack.pop() {
+            let last = *path.last().unwrap();
+            if last == target {
+                paths.push(path);
+                continue;
+            }
+            for &s in cfg.block(last).succs() {
+                let mut p = path.clone();
+                p.push(s);
+                stack.push(p);
+            }
+        }
+        assert!(paths.len() >= 4, "expected all 4 diamond paths");
+
+        let mut oracle_may_use = RegSet::EMPTY;
+        let mut oracle_may_def = RegSet::EMPTY;
+        let mut oracle_must_def = RegSet::ALL;
+        for path in &paths {
+            let mut used = RegSet::EMPTY;
+            let mut defined = RegSet::EMPTY;
+            for &b in path {
+                let blk = cfg.block(b);
+                used |= blk.ubd() - defined;
+                defined |= blk.def();
+            }
+            oracle_may_use |= used;
+            oracle_may_def |= defined;
+            oracle_must_def &= defined;
+        }
+        assert_eq!(solved.may_use, oracle_may_use);
+        assert_eq!(solved.may_def, oracle_may_def);
+        assert_eq!(solved.must_def, oracle_must_def);
+    }
+}

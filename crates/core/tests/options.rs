@@ -1,0 +1,134 @@
+//! Behaviour of the analysis options and less-common program shapes:
+//! multiple entrances, exported-exit policies, and option interactions.
+
+use spike_core::{analyze, analyze_with, AnalysisOptions};
+use spike_isa::{CallingStandard, Reg, RegSet};
+use spike_program::ProgramBuilder;
+
+/// A routine with two entrances gets two independent summaries, and each
+/// call site uses the one for the entrance it targets.
+#[test]
+fn alternate_entrances_have_their_own_summaries() {
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .call("dual") // primary entrance
+        .call("dual:fast") // alternate entrance
+        .halt();
+    b.routine("dual")
+        .use_reg(Reg::A0) // only on the primary path
+        .def(Reg::T0)
+        .label("fast")
+        .alt_entry("fast")
+        .def(Reg::V0)
+        .ret();
+    let p = b.build().unwrap();
+    let analysis = analyze(&p);
+    let dual = p.routine_by_name("dual").unwrap();
+    let s = analysis.summary.routine(dual);
+
+    assert_eq!(s.call_used.len(), 2);
+    // The primary entrance reads a0; the fast entrance does not.
+    assert!(s.call_used[0].contains(Reg::A0));
+    assert!(!s.call_used[1].contains(Reg::A0));
+    // Both must define v0; only the primary also defines t0.
+    assert!(s.call_defined[0].contains(Reg::T0));
+    assert!(s.call_defined[0].contains(Reg::V0));
+    assert!(!s.call_defined[1].contains(Reg::T0));
+    assert!(s.call_defined[1].contains(Reg::V0));
+
+    // Per-call-site summaries pick the right entrance.
+    let main = p.routine_by_name("main").unwrap();
+    let cfg = analysis.cfg.routine_cfg(main);
+    let calls: Vec<_> = cfg.call_blocks().collect();
+    let first = analysis.summary.call_site(&analysis.cfg, main, calls[0]).unwrap();
+    let second = analysis.summary.call_site(&analysis.cfg, main, calls[1]).unwrap();
+    assert!(first.used.contains(Reg::A0));
+    assert!(!second.used.contains(Reg::A0));
+}
+
+/// The exported-exit policy is configurable: an empty policy means even
+/// exported routines owe nothing to their unseen callers.
+#[test]
+fn exported_live_at_exit_policy_is_configurable() {
+    let mut b = ProgramBuilder::new();
+    b.routine("main").halt();
+    b.routine("api").export().def(Reg::V0).ret();
+    let p = b.build().unwrap();
+    let api = p.routine_by_name("api").unwrap();
+
+    let default = analyze(&p);
+    assert!(
+        default.summary.routine(api).live_at_exit[0].contains(Reg::V0),
+        "default policy: unseen callers may read the return value"
+    );
+
+    let lax = AnalysisOptions { exported_live_at_exit: RegSet::EMPTY, ..AnalysisOptions::default() };
+    let analysis = analyze_with(&p, &lax);
+    assert_eq!(analysis.summary.routine(api).live_at_exit[0], RegSet::EMPTY);
+
+    let strict = AnalysisOptions { exported_live_at_exit: RegSet::ALL, ..AnalysisOptions::default() };
+    let analysis = analyze_with(&p, &strict);
+    assert_eq!(analysis.summary.routine(api).live_at_exit[0], RegSet::ALL);
+}
+
+/// The program entry routine is treated as externally callable even
+/// without the export flag.
+#[test]
+fn entry_routine_is_externally_callable() {
+    let mut b = ProgramBuilder::new();
+    b.routine("lib").ret();
+    b.routine("start").def(Reg::V0).ret();
+    b.set_entry("start");
+    let p = b.build().unwrap();
+    let analysis = analyze(&p);
+    let start = p.routine_by_name("start").unwrap();
+    let lib = p.routine_by_name("lib").unwrap();
+    assert!(analysis.summary.routine(start).live_at_exit[0].contains(Reg::V0));
+    // The uncalled, unexported library routine owes nothing.
+    assert_eq!(analysis.summary.routine(lib).live_at_exit[0], RegSet::EMPTY);
+}
+
+/// The calling standard itself is injectable; §3.5 unknown-call
+/// assumptions follow it.
+#[test]
+fn calling_standard_drives_unknown_call_assumptions() {
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .lda(Reg::PV, Reg::ZERO, 1)
+        .jsr_unknown(Reg::PV)
+        .halt();
+    let p = b.build().unwrap();
+    let analysis = analyze(&p);
+    let std = CallingStandard::alpha_nt();
+    let main = p.routine_by_name("main").unwrap();
+    let cfg = analysis.cfg.routine_cfg(main);
+    let call = cfg.call_blocks().next().unwrap();
+    let cs = analysis.summary.call_site(&analysis.cfg, main, call).unwrap();
+    assert_eq!(cs.used, std.unknown_call_used());
+    assert_eq!(cs.defined, std.unknown_call_defined());
+    assert_eq!(cs.killed, std.unknown_call_killed());
+}
+
+/// Indirect calls with a recovered multi-target set meet over targets:
+/// union of uses/kills, intersection of must-defines.
+#[test]
+fn multi_target_call_sites_meet_over_targets() {
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .lda(Reg::PV, Reg::ZERO, 1)
+        .jsr_known(Reg::PV, &["a", "b"])
+        .halt();
+    b.routine("a").use_reg(Reg::A0).def(Reg::V0).def(Reg::T0).ret();
+    b.routine("b").use_reg(Reg::A1).def(Reg::V0).ret();
+    let p = b.build().unwrap();
+    let analysis = analyze(&p);
+    let main = p.routine_by_name("main").unwrap();
+    let cfg = analysis.cfg.routine_cfg(main);
+    let call = cfg.call_blocks().next().unwrap();
+    let cs = analysis.summary.call_site(&analysis.cfg, main, call).unwrap();
+
+    assert!(cs.used.contains(Reg::A0) && cs.used.contains(Reg::A1), "union of uses");
+    assert!(cs.killed.contains(Reg::T0), "union of kills");
+    assert!(cs.defined.contains(Reg::V0), "both must define v0");
+    assert!(!cs.defined.contains(Reg::T0), "only `a` defines t0");
+}

@@ -1,0 +1,155 @@
+//! The paper's worked example: routines P1, P2, P3 of Figure 2, with the
+//! exact dataflow sets stated in §2, §3.2 (Figure 9) and §3.3 (Figure 11).
+//!
+//! The paper uses abstract registers R0–R3; we map them to `v0`, `t0`,
+//! `t1`, `t2` and compare set intersections with that universe, since the
+//! real ISA also tracks `ra` (defined by `bsr`, read by `ret`) and the
+//! calling-standard registers seeded at externally callable exits.
+
+use spike_core::analyze;
+use spike_isa::{BranchCond, Reg, RegSet};
+use spike_program::{Program, ProgramBuilder, RoutineId};
+
+const R0: Reg = Reg::V0; // v0
+const R1: Reg = Reg::T0; // t0
+const R2: Reg = Reg::T1; // t1
+const R3: Reg = Reg::T2; // t2
+
+fn paper_regs() -> RegSet {
+    RegSet::of(&[R0, R1, R2, R3])
+}
+
+/// Figure 2:
+/// * P1: defines R0 and R1, calls P2, then uses R0.
+/// * P2: uses R1, then on one path defines R2 and R3, on the other only
+///   R2.
+/// * P3: defines R1, calls P2.
+fn figure2_program() -> (Program, RoutineId, RoutineId, RoutineId) {
+    let mut b = ProgramBuilder::new();
+    b.routine("p1")
+        .def(R0)
+        .def(R1)
+        .call("p2")
+        .use_reg(R0)
+        .ret();
+    b.routine("p2")
+        .cond(BranchCond::Eq, R1, "else") // use R1
+        .def(R2)
+        .def(R3)
+        .br("join")
+        .label("else")
+        .def(R2)
+        .label("join")
+        .ret();
+    b.routine("p3").def(R1).call("p2").ret();
+    b.set_entry("p1");
+    let p = b.build().unwrap();
+    let p1 = p.routine_by_name("p1").unwrap();
+    let p2 = p.routine_by_name("p2").unwrap();
+    let p3 = p.routine_by_name("p3").unwrap();
+    (p, p1, p2, p3)
+}
+
+/// §3.2 / Figure 9: the phase-1 results for every entry node.
+#[test]
+fn phase1_sets_match_section_3_2() {
+    let (program, p1, p2, p3) = figure2_program();
+    let analysis = analyze(&program);
+    let universe = paper_regs();
+
+    // MAY-USE[P1] = ∅, MAY-DEF[P1] = {R0,R1,R2,R3}, MUST-DEF[P1] = {R0,R1,R2}.
+    let s1 = analysis.summary.routine(p1);
+    assert_eq!(s1.call_used[0] & universe, RegSet::EMPTY);
+    assert_eq!(s1.call_killed[0] & universe, RegSet::of(&[R0, R1, R2, R3]));
+    assert_eq!(s1.call_defined[0] & universe, RegSet::of(&[R0, R1, R2]));
+
+    // MAY-USE[P2] = {R1}, MAY-DEF[P2] = {R2,R3}, MUST-DEF[P2] = {R2}.
+    let s2 = analysis.summary.routine(p2);
+    assert_eq!(s2.call_used[0] & universe, RegSet::of(&[R1]));
+    assert_eq!(s2.call_killed[0] & universe, RegSet::of(&[R2, R3]));
+    assert_eq!(s2.call_defined[0] & universe, RegSet::of(&[R2]));
+
+    // MAY-USE[P3] = ∅, MAY-DEF[P3] = {R1,R2,R3}, MUST-DEF[P3] = {R1,R2}.
+    let s3 = analysis.summary.routine(p3);
+    assert_eq!(s3.call_used[0] & universe, RegSet::EMPTY);
+    assert_eq!(s3.call_killed[0] & universe, RegSet::of(&[R1, R2, R3]));
+    assert_eq!(s3.call_defined[0] & universe, RegSet::of(&[R1, R2]));
+}
+
+/// §2 / Figure 11: live-at-entry and live-at-exit for P2. R0 is live
+/// through P2 because a return path from P2 leads to a use of R0 in P1.
+#[test]
+fn phase2_liveness_matches_section_2() {
+    let (program, _, p2, _) = figure2_program();
+    let analysis = analyze(&program);
+    let universe = paper_regs();
+
+    let s2 = analysis.summary.routine(p2);
+    assert_eq!(s2.live_at_entry[0] & universe, RegSet::of(&[R0, R1]));
+    assert_eq!(s2.live_at_exit[0] & universe, RegSet::of(&[R0]));
+}
+
+/// §2's call-summary instruction for a call to P2: uses R1, defines R2,
+/// kills R2 and R3 (Figure 3).
+#[test]
+fn call_summary_for_p2_matches_figure_3() {
+    let (program, p1, _, _) = figure2_program();
+    let analysis = analyze(&program);
+    let universe = paper_regs();
+
+    // P1's single call block.
+    let cfg1 = analysis.cfg.routine_cfg(p1);
+    let call_block = cfg1.call_blocks().next().expect("p1 calls p2");
+    let cs = analysis
+        .summary
+        .call_site(&analysis.cfg, p1, call_block)
+        .expect("call block has a summary");
+    assert_eq!(cs.used & universe, RegSet::of(&[R1]));
+    assert_eq!(cs.defined & universe, RegSet::of(&[R2]));
+    assert_eq!(cs.killed & universe, RegSet::of(&[R2, R3]));
+}
+
+/// Liveness is a meet over *valid* paths (§5): registers live at P1's
+/// return point must not leak to P3's return point through P2.
+#[test]
+fn liveness_respects_valid_paths_only() {
+    let (program, p1, _, p3) = figure2_program();
+    let analysis = analyze(&program);
+
+    // R0 is live across P1's call (used after it) but must not appear
+    // live at P3's return point: a path entering P2 from P3 cannot return
+    // to P1.
+    let cfg3 = analysis.cfg.routine_cfg(p3);
+    let call_block = cfg3.call_blocks().next().expect("p3 calls p2");
+    let rn3 = analysis.psg.routine_nodes(p3);
+    let &(_, _, ret_node) = rn3
+        .calls()
+        .iter()
+        .find(|(b, _, _)| *b == call_block)
+        .expect("call node exists");
+    assert!(
+        !analysis.psg.live(ret_node).contains(R0),
+        "R0 leaked to P3's return point: live = {}",
+        analysis.psg.live(ret_node)
+    );
+
+    // And R0 *is* live at P1's return point.
+    let rn1 = analysis.psg.routine_nodes(p1);
+    let &(_, _, p1_ret) = &rn1.calls()[0];
+    assert!(analysis.psg.live(p1_ret).contains(R0));
+}
+
+/// The PSG for Figure 2 has the node inventory of Figure 9: one entry and
+/// one exit per routine, one call/return pair in P1 and P3.
+#[test]
+fn figure9_node_inventory() {
+    let (program, p1, p2, p3) = figure2_program();
+    let analysis = analyze(&program);
+    for (rid, entries, exits, calls) in [(p1, 1, 1, 1), (p2, 1, 1, 0), (p3, 1, 1, 1)] {
+        let rn = analysis.psg.routine_nodes(rid);
+        assert_eq!(rn.entries().len(), entries, "{rid} entries");
+        assert_eq!(rn.exits().len(), exits, "{rid} exits");
+        assert_eq!(rn.calls().len(), calls, "{rid} calls");
+    }
+    let _ = program;
+}

@@ -1,0 +1,383 @@
+//! Dense bitsets over the architectural register file.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not, Sub, SubAssign};
+
+use crate::reg::Reg;
+
+#[cfg(test)]
+use crate::reg::NUM_REGS;
+
+/// A set of architectural registers, represented as a 64-bit bitset.
+///
+/// `RegSet` is the currency of every dataflow computation in this
+/// workspace: per-block `DEF`/`UBD` sets, flow-summary-edge labels, and the
+/// per-routine `MAY-USE`/`MAY-DEF`/`MUST-DEF` summaries are all `RegSet`s.
+/// All operations are O(1).
+///
+/// ```
+/// use spike_isa::{Reg, RegSet};
+///
+/// let a = RegSet::of(&[Reg::V0, Reg::A0]);
+/// let b = RegSet::of(&[Reg::A0, Reg::A1]);
+/// assert_eq!(a | b, RegSet::of(&[Reg::V0, Reg::A0, Reg::A1]));
+/// assert_eq!(a & b, RegSet::of(&[Reg::A0]));
+/// assert_eq!(a - b, RegSet::of(&[Reg::V0]));
+/// assert_eq!((a | b).len(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct RegSet(u64);
+
+impl RegSet {
+    /// The empty register set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// The set of every architectural register, including the zero
+    /// registers.
+    pub const ALL: RegSet = RegSet(u64::MAX);
+
+    /// Creates an empty set. Equivalent to [`RegSet::EMPTY`].
+    #[inline]
+    pub const fn new() -> RegSet {
+        RegSet(0)
+    }
+
+    /// Creates a set containing exactly the given registers.
+    #[inline]
+    pub fn of(regs: &[Reg]) -> RegSet {
+        let mut s = RegSet::new();
+        for &r in regs {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Creates a set containing the single register `r`.
+    #[inline]
+    pub const fn singleton(r: Reg) -> RegSet {
+        RegSet(1u64 << r.index())
+    }
+
+    /// Creates a set from its raw 64-bit representation. Bit `i`
+    /// corresponds to [`Reg::from_index`]`(i)`.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> RegSet {
+        RegSet(bits)
+    }
+
+    /// The raw 64-bit representation of the set.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Inserts `r`, returning `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let prev = self.0;
+        self.0 |= 1u64 << r.index();
+        self.0 != prev
+    }
+
+    /// Removes `r`, returning `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let prev = self.0;
+        self.0 &= !(1u64 << r.index());
+        self.0 != prev
+    }
+
+    /// Whether `r` is in the set.
+    #[inline]
+    pub const fn contains(self, r: Reg) -> bool {
+        self.0 & (1u64 << r.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The number of registers in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `self` is a subset of `other` (not necessarily proper).
+    #[inline]
+    pub const fn is_subset(self, other: RegSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self` and `other` have no register in common.
+    #[inline]
+    pub const fn is_disjoint(self, other: RegSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Set union; identical to `self | other`.
+    #[inline]
+    pub const fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set intersection; identical to `self & other`.
+    #[inline]
+    pub const fn intersection(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Set difference; identical to `self - other`.
+    #[inline]
+    pub const fn difference(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Iterates over the registers in the set in ascending index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl BitOr for RegSet {
+    type Output = RegSet;
+    #[inline]
+    fn bitor(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for RegSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: RegSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for RegSet {
+    type Output = RegSet;
+    #[inline]
+    fn bitand(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for RegSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: RegSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitXor for RegSet {
+    type Output = RegSet;
+    #[inline]
+    fn bitxor(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for RegSet {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: RegSet) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for RegSet {
+    type Output = RegSet;
+    #[inline]
+    fn sub(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 & !rhs.0)
+    }
+}
+
+impl SubAssign for RegSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: RegSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl Not for RegSet {
+    type Output = RegSet;
+    #[inline]
+    fn not(self) -> RegSet {
+        RegSet(!self.0)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl From<Reg> for RegSet {
+    fn from(r: Reg) -> RegSet {
+        RegSet::singleton(r)
+    }
+}
+
+impl IntoIterator for RegSet {
+    type Item = Reg;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the registers in a [`RegSet`], ascending by index.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = Reg;
+
+    #[inline]
+    fn next(&mut self) -> Option<Reg> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(Reg::from_index(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Display for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegSet{self}")
+    }
+}
+
+impl fmt::Binary for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Reg::V0));
+        assert!(!s.insert(Reg::V0));
+        assert!(s.contains(Reg::V0));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Reg::V0));
+        assert!(!s.remove(Reg::V0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra_matches_boolean_identities() {
+        let a = RegSet::of(&[Reg::V0, Reg::A0, Reg::F0]);
+        let b = RegSet::of(&[Reg::A0, Reg::RA]);
+        assert_eq!((a | b) - b, a - b);
+        assert_eq!(a & (a | b), a);
+        assert_eq!(a | (a & b), a);
+        assert_eq!(a ^ b, (a | b) - (a & b));
+        assert_eq!(!(!a), a);
+    }
+
+    #[test]
+    fn difference_is_not_symmetric() {
+        let a = RegSet::of(&[Reg::V0, Reg::A0]);
+        let b = RegSet::of(&[Reg::A0]);
+        assert_eq!(a - b, RegSet::singleton(Reg::V0));
+        assert_eq!(b - a, RegSet::EMPTY);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = RegSet::of(&[Reg::V0, Reg::A0]);
+        let b = RegSet::of(&[Reg::A0]);
+        assert!(b.is_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(a.is_subset(a));
+        assert!(a.is_disjoint(RegSet::singleton(Reg::RA)));
+        assert!(!a.is_disjoint(b));
+        assert!(RegSet::EMPTY.is_subset(b));
+    }
+
+    #[test]
+    fn iter_yields_ascending_order() {
+        let s = RegSet::of(&[Reg::RA, Reg::V0, Reg::F0, Reg::A1]);
+        let v: Vec<usize> = s.iter().map(Reg::index).collect();
+        assert_eq!(v, vec![0, 17, 26, 32]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn collect_round_trips() {
+        let s = RegSet::of(&[Reg::T0, Reg::SP, Reg::FZERO]);
+        let collected: RegSet = s.iter().collect();
+        assert_eq!(collected, s);
+    }
+
+    #[test]
+    fn display_lists_register_names() {
+        let s = RegSet::of(&[Reg::V0, Reg::A0]);
+        assert_eq!(s.to_string(), "{v0, a0}");
+        assert_eq!(RegSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        for r in Reg::all() {
+            assert!(RegSet::ALL.contains(r));
+        }
+        assert_eq!(RegSet::ALL.len(), NUM_REGS);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the instruction encoding.
+
+use proptest::prelude::*;
+use spike_isa::{AluOp, BranchCond, FpOp, Instruction, MemWidth, Reg};
+
+fn arb_ireg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::int)
+}
+
+fn arb_freg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::fp)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::CmpEq),
+        Just(AluOp::CmpLt),
+        Just(AluOp::CmpLe),
+        Just(AluOp::CmpUlt),
+        Just(AluOp::CmovEq),
+        Just(AluOp::CmovNe),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Le),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Gt),
+        Just(BranchCond::Lbc),
+        Just(BranchCond::Lbs),
+    ]
+}
+
+fn arb_fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::CmpEq),
+        Just(FpOp::CmpLt),
+    ]
+}
+
+fn arb_disp21() -> impl Strategy<Value = i32> {
+    -(1i32 << 20)..(1i32 << 20)
+}
+
+fn arb_disp26() -> impl Strategy<Value = i32> {
+    -(1i32 << 25)..(1i32 << 25)
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_alu_op(), arb_ireg(), arb_ireg(), arb_ireg())
+            .prop_map(|(op, ra, rb, rc)| Instruction::Operate { op, ra, rb, rc }),
+        (arb_alu_op(), arb_ireg(), any::<u8>(), arb_ireg())
+            .prop_map(|(op, ra, imm, rc)| Instruction::OperateImm { op, ra, imm, rc }),
+        (arb_ireg(), arb_ireg(), any::<i16>())
+            .prop_map(|(rd, base, disp)| Instruction::Lda { rd, base, disp }),
+        (arb_ireg(), arb_ireg(), any::<i16>())
+            .prop_map(|(rd, base, disp)| Instruction::Ldah { rd, base, disp }),
+        (arb_ireg(), arb_ireg(), any::<i16>(), prop_oneof![Just(MemWidth::L), Just(MemWidth::Q)])
+            .prop_map(|(rd, base, disp, width)| Instruction::Load { width, rd, base, disp }),
+        (arb_freg(), arb_ireg(), any::<i16>())
+            .prop_map(|(rd, base, disp)| Instruction::Load { width: MemWidth::T, rd, base, disp }),
+        (arb_ireg(), arb_ireg(), any::<i16>(), prop_oneof![Just(MemWidth::L), Just(MemWidth::Q)])
+            .prop_map(|(rs, base, disp, width)| Instruction::Store { width, rs, base, disp }),
+        (arb_fp_op(), arb_freg(), arb_freg(), arb_freg())
+            .prop_map(|(op, fa, fb, fc)| Instruction::FpOperate { op, fa, fb, fc }),
+        arb_disp26().prop_map(|disp| Instruction::Br { disp }),
+        arb_disp26().prop_map(|disp| Instruction::Bsr { disp }),
+        (arb_cond(), arb_ireg(), arb_disp21())
+            .prop_map(|(cond, ra, disp)| Instruction::CondBranch { cond, ra, disp }),
+        arb_ireg().prop_map(|base| Instruction::Jmp { base }),
+        arb_ireg().prop_map(|base| Instruction::Jsr { base }),
+        arb_ireg().prop_map(|base| Instruction::Ret { base }),
+        Just(Instruction::Halt),
+        Just(Instruction::PutInt),
+    ]
+}
+
+proptest! {
+    /// Every encodable instruction decodes back to itself.
+    #[test]
+    fn encode_decode_round_trip(insn in arb_instruction()) {
+        let word = insn.encode();
+        prop_assert_eq!(Instruction::decode(word), Ok(insn));
+    }
+
+    /// Decoding any word either fails or re-encodes to a word that decodes
+    /// to the same instruction (decode is a partial inverse of encode).
+    #[test]
+    fn decode_encode_is_stable(word in any::<u32>()) {
+        if let Ok(insn) = Instruction::decode(word) {
+            let word2 = insn.encode();
+            prop_assert_eq!(Instruction::decode(word2), Ok(insn));
+        }
+    }
+
+    /// Defs and uses never mention the hardwired zero registers.
+    #[test]
+    fn def_use_never_contains_zero_registers(insn in arb_instruction()) {
+        prop_assert!(!insn.defs().contains(Reg::ZERO));
+        prop_assert!(!insn.defs().contains(Reg::FZERO));
+        prop_assert!(!insn.uses().contains(Reg::ZERO));
+        prop_assert!(!insn.uses().contains(Reg::FZERO));
+    }
+}

@@ -1,0 +1,82 @@
+//! Model-based property tests for [`RegSet`]: every operation must agree
+//! with a reference implementation over `BTreeSet<usize>`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use spike_isa::{Reg, RegSet};
+
+fn arb_regs() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..64, 0..20)
+}
+
+fn build(regs: &[u8]) -> (RegSet, BTreeSet<usize>) {
+    let mut s = RegSet::new();
+    let mut m = BTreeSet::new();
+    for &r in regs {
+        s.insert(Reg::from_index(r as usize));
+        m.insert(r as usize);
+    }
+    (s, m)
+}
+
+fn model_of(s: RegSet) -> BTreeSet<usize> {
+    s.iter().map(|r| r.index()).collect()
+}
+
+proptest! {
+    #[test]
+    fn construction_matches_model(a in arb_regs()) {
+        let (s, m) = build(&a);
+        prop_assert_eq!(model_of(s), m.clone());
+        prop_assert_eq!(s.len(), m.len());
+        prop_assert_eq!(s.is_empty(), m.is_empty());
+    }
+
+    #[test]
+    fn union_intersection_difference_match_model(a in arb_regs(), b in arb_regs()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        prop_assert_eq!(model_of(sa | sb), ma.union(&mb).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(model_of(sa & sb), ma.intersection(&mb).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(model_of(sa - sb), ma.difference(&mb).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(
+            model_of(sa ^ sb),
+            ma.symmetric_difference(&mb).copied().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn subset_and_disjoint_match_model(a in arb_regs(), b in arb_regs()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        prop_assert_eq!(sa.is_subset(sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn de_morgan_holds(a in arb_regs(), b in arb_regs()) {
+        let (sa, _) = build(&a);
+        let (sb, _) = build(&b);
+        prop_assert_eq!(!(sa | sb), (!sa) & (!sb));
+        prop_assert_eq!(!(sa & sb), (!sa) | (!sb));
+    }
+
+    #[test]
+    fn insert_remove_round_trip(a in arb_regs(), r in 0u8..64) {
+        let (mut s, _) = build(&a);
+        let reg = Reg::from_index(r as usize);
+        let had = s.contains(reg);
+        let inserted = s.insert(reg);
+        prop_assert_eq!(inserted, !had);
+        prop_assert!(s.contains(reg));
+        let removed = s.remove(reg);
+        prop_assert!(removed);
+        prop_assert!(!s.contains(reg));
+    }
+
+    #[test]
+    fn bits_round_trip(bits in any::<u64>()) {
+        prop_assert_eq!(RegSet::from_bits(bits).bits(), bits);
+    }
+}

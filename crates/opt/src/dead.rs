@@ -1,0 +1,169 @@
+//! Dead-code elimination across call boundaries (Figure 1(a) and 1(b)).
+//!
+//! An instruction whose results are never read can be deleted. What makes
+//! the post-link version interesting is *which* reads count: with the
+//! interprocedural summaries, a value that only flows out of the routine
+//! is dead when no caller reads it on return (live-at-exit, Figure 1(a)),
+//! and an argument set up for a call is dead when the callee never reads
+//! it (call-used, Figure 1(b)). A traditional compiler, seeing one module
+//! at a time, must assume both are live.
+
+use std::collections::BTreeSet;
+
+use spike_core::Analysis;
+use spike_isa::Instruction;
+use spike_program::Program;
+
+use crate::liveness::{routine_liveness, step_back};
+
+/// Whether deleting `insn` can never change observable behaviour when its
+/// results are dead: pure register computations and loads (our machine
+/// model has no faulting loads).
+fn is_pure(insn: &Instruction) -> bool {
+    matches!(
+        insn,
+        Instruction::Operate { .. }
+            | Instruction::OperateImm { .. }
+            | Instruction::Lda { .. }
+            | Instruction::Ldah { .. }
+            | Instruction::Load { .. }
+            | Instruction::FpOperate { .. }
+    )
+}
+
+/// Finds all dead instructions, cascading (a deleted def can make its
+/// operands' defs dead) until no more are found. Returns the set of dead
+/// instruction addresses; the caller applies them with a
+/// [`spike_program::Rewriter`].
+pub(crate) fn find_dead(program: &Program, analysis: &Analysis) -> BTreeSet<u32> {
+    let mut dead: BTreeSet<u32> = BTreeSet::new();
+
+    for (rid, routine) in program.iter() {
+        let cfg = analysis.cfg.routine_cfg(rid);
+        loop {
+            let live = routine_liveness(program, analysis, rid, &|a| dead.contains(&a));
+            let mut found = false;
+
+            for (bi, block) in cfg.blocks().iter().enumerate() {
+                let b = spike_cfg::BlockId::from_index(bi);
+                let mut l = live.live_end(b);
+                for addr in (block.start()..block.end()).rev() {
+                    if dead.contains(&addr) {
+                        continue;
+                    }
+                    let insn = routine.insn_at(addr).expect("address in routine");
+                    let defs = insn.defs();
+                    if is_pure(insn)
+                        && !defs.is_empty()
+                        && defs.is_disjoint(l)
+                        && !program.relocations().contains_key(&addr)
+                    {
+                        dead.insert(addr);
+                        found = true;
+                        continue; // its uses no longer keep anything live
+                    }
+                    let cs = if addr == block.term_addr() && insn.is_call() {
+                        analysis.summary.call_site(&analysis.cfg, rid, b)
+                    } else {
+                        None
+                    };
+                    l = step_back(l, insn, cs.as_ref());
+                }
+            }
+
+            if !found {
+                break;
+            }
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_core::analyze;
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    fn dead_count(p: &Program) -> usize {
+        find_dead(p, &analyze(p)).len()
+    }
+
+    /// Figure 1(a): a value defined for the caller but never used on any
+    /// return is dead.
+    #[test]
+    fn dead_return_value_is_found() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt(); // never reads v0
+        b.routine("f").def(Reg::T0).def(Reg::V0).copy(Reg::T0, Reg::V0).ret();
+        let p = b.build().unwrap();
+        // def v0 (overwritten) + the whole v0 chain is dead since main
+        // ignores it: def t0, def v0, copy are all dead.
+        assert_eq!(dead_count(&p), 3);
+    }
+
+    /// Figure 1(b): an argument the callee never reads is dead.
+    #[test]
+    fn dead_argument_is_found() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::A0) // read by f
+            .def(Reg::A1) // never read by f: dead
+            .call("f")
+            .halt();
+        b.routine("f").use_reg(Reg::A0).ret();
+        let p = b.build().unwrap();
+        let dead = find_dead(&p, &analyze(&p));
+        let base = p.routines()[0].addr();
+        assert_eq!(dead, [base + 1].into_iter().collect());
+    }
+
+    /// Values that feed observable output stay: the argument is call-used
+    /// and the result flows into `put_int`.
+    #[test]
+    fn live_values_are_kept() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).call("f").put_int().halt();
+        b.routine("f").copy(Reg::A0, Reg::V0).ret();
+        let p = b.build().unwrap();
+        assert_eq!(dead_count(&p), 0);
+    }
+
+    #[test]
+    fn cascading_deletion() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .op(spike_isa::AluOp::Add, Reg::T0, Reg::T0, Reg::T1) // uses t0
+            .op(spike_isa::AluOp::Add, Reg::T1, Reg::T1, Reg::T2) // uses t1
+            .halt(); // t2 never used
+        let p = b.build().unwrap();
+        // t2 dead → t1's def dead → t0's def dead.
+        assert_eq!(dead_count(&p), 3);
+    }
+
+    #[test]
+    fn stores_and_putint_are_never_deleted() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .store(Reg::T0, Reg::SP, 0)
+            .put_int()
+            .halt();
+        let p = b.build().unwrap();
+        assert_eq!(dead_count(&p), 0);
+    }
+
+    #[test]
+    fn unknown_calls_keep_everything_conservative() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::A0) // assumed used by the unknown callee
+            .lda(Reg::PV, Reg::ZERO, 1)
+            .jsr_unknown(Reg::PV)
+            .halt();
+        let p = b.build().unwrap();
+        assert_eq!(dead_count(&p), 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! # spike-opt
+//!
+//! The summary-driven post-link optimizations of Figure 1 of the paper —
+//! the transformations that motivate Spike's interprocedural dataflow
+//! analysis:
+//!
+//! * **1(a) dead result elimination** — a definition is dead when no
+//!   caller reads it on any return (live-at-exit);
+//! * **1(b) dead argument elimination** — an argument set up for a call is
+//!   dead when the callee never reads it (call-used);
+//! * **1(c) spill elimination** — a store/reload of a register around a
+//!   call is removable when the call does not kill it (call-killed);
+//! * **1(d) callee-saved reallocation** — a value held in a callee-saved
+//!   register can move to a caller-saved register the calls do not kill,
+//!   deleting the save and restore.
+//!
+//! All decisions are justified exclusively by the summaries computed by
+//! [`spike_core::analyze`]; edits are applied with the relinking
+//! [`spike_program::Rewriter`]. Soundness is property-tested by running
+//! programs under `spike-sim` before and after optimization.
+//!
+//! # Example
+//!
+//! ```
+//! use spike_isa::Reg;
+//! use spike_program::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.routine("main")
+//!     .def(Reg::A0) // argument f never reads: deleted
+//!     .call("f")
+//!     .put_int()
+//!     .halt();
+//! b.routine("f").lda(Reg::V0, Reg::ZERO, 7).ret();
+//! let program = b.build()?;
+//!
+//! let (optimized, report) = spike_opt::optimize(&program)?;
+//! assert_eq!(report.dead_deleted, 1);
+//! assert_eq!(
+//!     optimized.total_instructions(),
+//!     program.total_instructions() - 1
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod dead;
+mod liveness;
+mod save_restore;
+mod spill;
+
+use spike_core::{analyze_with, AnalysisOptions};
+use spike_program::{Program, RewriteError, Rewriter};
+
+pub use liveness::{routine_liveness, step_back, RoutineLiveness};
+
+/// Which passes [`optimize_with`] runs.
+#[derive(Clone, Debug)]
+pub struct OptOptions {
+    /// Dead-code elimination (Figure 1(a)/(b)).
+    pub dead_code: bool,
+    /// Spill elimination around calls (Figure 1(c)).
+    pub spills: bool,
+    /// Callee-saved register reallocation (Figure 1(d)).
+    pub realloc: bool,
+    /// Analysis options used to compute the summaries.
+    pub analysis: AnalysisOptions,
+}
+
+impl Default for OptOptions {
+    fn default() -> OptOptions {
+        OptOptions {
+            dead_code: true,
+            spills: true,
+            realloc: true,
+            analysis: AnalysisOptions::default(),
+        }
+    }
+}
+
+/// What the optimizer did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Instructions deleted by dead-code elimination.
+    pub dead_deleted: usize,
+    /// Spill store/reload pairs removed.
+    pub spill_pairs_removed: usize,
+    /// Callee-saved registers reallocated to caller-saved homes (or whose
+    /// dead save/restore pairs were deleted).
+    pub registers_reallocated: usize,
+    /// Save/restore instructions deleted by reallocation.
+    pub save_restores_deleted: usize,
+    /// Instruction count before optimization.
+    pub instructions_before: usize,
+    /// Instruction count after optimization.
+    pub instructions_after: usize,
+}
+
+impl OptReport {
+    /// Total instructions removed.
+    pub fn removed(&self) -> usize {
+        self.instructions_before - self.instructions_after
+    }
+}
+
+/// Optimizes `program` with every pass enabled.
+///
+/// # Errors
+///
+/// Returns a [`RewriteError`] if relinking fails (which indicates a bug in
+/// a pass, not bad input — any validated program is optimizable).
+pub fn optimize(program: &Program) -> Result<(Program, OptReport), RewriteError> {
+    optimize_with(program, &OptOptions::default())
+}
+
+/// Optimizes `program` with explicit pass selection.
+///
+/// Each enabled pass analyzes, edits, and relinks once, in the order
+/// spills → reallocation → dead code: removing a spill first makes its
+/// register visibly live across the call, so reallocation cannot claim it;
+/// dead-code elimination last cleans up whatever the earlier passes
+/// expose.
+///
+/// # Errors
+///
+/// Returns a [`RewriteError`] if relinking fails; see [`optimize`].
+pub fn optimize_with(
+    program: &Program,
+    options: &OptOptions,
+) -> Result<(Program, OptReport), RewriteError> {
+    let mut report = OptReport {
+        instructions_before: program.total_instructions(),
+        ..OptReport::default()
+    };
+    let mut current = program.clone();
+
+    if options.spills {
+        let analysis = analyze_with(&current, &options.analysis);
+        let pairs = spill::find_spills(&current, &analysis);
+        if !pairs.is_empty() {
+            let mut rw = Rewriter::new(&current);
+            for p in &pairs {
+                rw.delete(p.store_addr).delete(p.load_addr);
+            }
+            report.spill_pairs_removed = pairs.len();
+            current = rw.finish()?;
+        }
+    }
+
+    if options.realloc {
+        let analysis = analyze_with(&current, &options.analysis);
+        let reallocs = save_restore::find_reallocs(&current, &analysis);
+        if !reallocs.is_empty() {
+            let mut rw = Rewriter::new(&current);
+            for r in &reallocs {
+                report.registers_reallocated += 1;
+                report.save_restores_deleted += r.delete.len();
+                for &addr in &r.delete {
+                    rw.delete(addr);
+                }
+                for &(addr, insn) in &r.rename {
+                    rw.replace(addr, insn);
+                }
+            }
+            current = rw.finish()?;
+        }
+    }
+
+    if options.dead_code {
+        let analysis = analyze_with(&current, &options.analysis);
+        let dead = dead::find_dead(&current, &analysis);
+        if !dead.is_empty() {
+            let mut rw = Rewriter::new(&current);
+            for &addr in &dead {
+                rw.delete(addr);
+            }
+            report.dead_deleted = dead.len();
+            current = rw.finish()?;
+        }
+    }
+
+    report.instructions_after = current.total_instructions();
+    Ok((current, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+    use spike_sim::{run, Outcome};
+
+    /// Observable behaviour: the output stream. Step counts are expected
+    /// to differ (that is the point of optimizing).
+    fn behaviour(p: &Program) -> Vec<i64> {
+        match run(p, 5_000_000) {
+            Outcome::Halted { output, .. } => output,
+            other => panic!("program did not halt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure1a_dead_result() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt();
+        b.routine("f")
+            .lda(Reg::T0, Reg::ZERO, 1)
+            .copy(Reg::T0, Reg::V0) // nobody reads v0 on return
+            .ret();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        assert_eq!(report.dead_deleted, 2);
+        assert_eq!(behaviour(&p), behaviour(&q));
+    }
+
+    #[test]
+    fn figure1b_dead_argument() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 5)
+            .lda(Reg::A1, Reg::ZERO, 6) // f never reads a1
+            .call("f")
+            .put_int()
+            .halt();
+        b.routine("f").copy(Reg::A0, Reg::V0).ret();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        assert_eq!(report.dead_deleted, 1);
+        assert_eq!(behaviour(&q), vec![5]);
+    }
+
+    #[test]
+    fn figure1c_spill_elimination() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 11)
+            .store(Reg::T0, Reg::SP, -8)
+            .call("quiet")
+            .load(Reg::T0, Reg::SP, -8)
+            .copy(Reg::T0, Reg::V0)
+            .put_int()
+            .halt();
+        b.routine("quiet").lda(Reg::int(6), Reg::ZERO, 1).ret();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        assert_eq!(report.spill_pairs_removed, 1);
+        assert_eq!(behaviour(&p), behaviour(&q));
+        // The dead pass then kills quiet's pointless def too.
+        assert!(q.total_instructions() <= p.total_instructions() - 2);
+    }
+
+    #[test]
+    fn figure1d_reallocation_end_to_end() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 3)
+            .call("f")
+            .put_int()
+            .halt();
+        b.routine("f")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::RA, Reg::SP, 8)
+            .store(Reg::S0, Reg::SP, 0)
+            .copy(Reg::A0, Reg::S0)
+            .call("quiet")
+            .copy(Reg::S0, Reg::V0)
+            .load(Reg::S0, Reg::SP, 0)
+            .load(Reg::RA, Reg::SP, 8)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        b.routine("quiet").lda(Reg::T0, Reg::ZERO, 1).ret();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        assert_eq!(report.registers_reallocated, 1);
+        assert_eq!(report.save_restores_deleted, 2);
+        assert_eq!(behaviour(&p), behaviour(&q));
+        assert_eq!(behaviour(&q), vec![3]);
+    }
+
+    #[test]
+    fn optimization_reduces_dynamic_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 9)
+            .store(Reg::T0, Reg::SP, -8)
+            .call("quiet")
+            .load(Reg::T0, Reg::SP, -8)
+            .copy(Reg::T0, Reg::V0)
+            .put_int()
+            .halt();
+        b.routine("quiet").ret();
+        let p = b.build().unwrap();
+        let (q, _) = optimize(&p).unwrap();
+        let (Outcome::Halted { steps: s0, output: o0 }, Outcome::Halted { steps: s1, output: o1 }) =
+            (run(&p, 1_000_000), run(&q, 1_000_000))
+        else {
+            panic!("both must halt");
+        };
+        assert_eq!(o0, o1);
+        assert!(s1 < s0, "optimization should execute fewer instructions");
+    }
+
+    #[test]
+    fn passes_can_be_disabled() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let options = OptOptions { dead_code: false, ..OptOptions::default() };
+        let (q, report) = optimize_with(&p, &options).unwrap();
+        assert_eq!(report.dead_deleted, 0);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn generated_executables_keep_their_behaviour() {
+        for seed in 0..25 {
+            let p = spike_synth::generate_executable(seed, 5);
+            let (q, report) = optimize(&p).unwrap();
+            assert_eq!(
+                behaviour(&p),
+                behaviour(&q),
+                "seed {seed} changed behaviour ({report:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_profile_programs_stay_valid() {
+        let profile = spike_synth::profile("li").unwrap();
+        let p = spike_synth::generate(&profile, 30.0 / profile.routines as f64, 5);
+        let (q, report) = optimize(&p).unwrap();
+        assert!(report.instructions_after <= report.instructions_before);
+        // The optimized program re-analyzes cleanly.
+        let _ = spike_core::analyze(&q);
+    }
+}

@@ -1,0 +1,200 @@
+//! Intra-routine liveness with interprocedural boundary values (§2).
+//!
+//! The paper's optimization model: replace each call with a call-summary
+//! instruction (uses = call-used, defs = call-defined, kills =
+//! call-killed), insert an exit instruction using live-at-exit at each
+//! `ret`, then run ordinary intraprocedural liveness. This module is that
+//! computation, with the call-summary/exit values drawn from a completed
+//! [`spike_core::Analysis`].
+
+use spike_cfg::{BlockId, RoutineCfg, TermKind};
+use spike_core::{Analysis, CallSiteSummary};
+use spike_isa::{Instruction, RegSet};
+use spike_program::{Program, RoutineId};
+
+/// Per-block liveness for one routine: the registers live at block entry
+/// (`live_in`) and immediately after the block's last instruction
+/// (`live_end`), with calls summarized by their call-site summaries.
+#[derive(Clone, Debug)]
+pub struct RoutineLiveness {
+    live_in: Vec<RegSet>,
+    live_end: Vec<RegSet>,
+}
+
+impl RoutineLiveness {
+    /// Registers live at the entry of `b`.
+    pub fn live_in(&self, b: BlockId) -> RegSet {
+        self.live_in[b.index()]
+    }
+
+    /// Registers live immediately after the last instruction of `b`
+    /// (after the callee's effects, for call blocks).
+    pub fn live_end(&self, b: BlockId) -> RegSet {
+        self.live_end[b.index()]
+    }
+}
+
+/// The liveness boundary at the end of `b`, before applying the block's
+/// own instructions.
+fn block_end_live(
+    program: &Program,
+    analysis: &Analysis,
+    rid: RoutineId,
+    cfg: &RoutineCfg,
+    b: BlockId,
+    live_in: &[RegSet],
+) -> RegSet {
+    let block = cfg.block(b);
+    match block.term() {
+        TermKind::Ret => {
+            let i = cfg.exits().iter().position(|&x| x == b).expect("exit block");
+            analysis.summary.routine(rid).live_at_exit[i]
+        }
+        TermKind::Halt => RegSet::EMPTY,
+        TermKind::UnknownJump => {
+            program.jump_hint(block.term_addr()).unwrap_or(RegSet::ALL)
+        }
+        TermKind::Call { return_to, .. } => match return_to {
+            Some(rt) => live_in[rt.index()],
+            None => RegSet::EMPTY,
+        },
+        _ => {
+            let mut acc = RegSet::EMPTY;
+            for &s in block.succs() {
+                acc |= live_in[s.index()];
+            }
+            acc
+        }
+    }
+}
+
+/// Steps liveness backward over one instruction. For the call terminator
+/// of a call block, pass the call-site summary so the callee's effects are
+/// applied (the paper's call-summary instruction).
+pub fn step_back(live_after: RegSet, insn: &Instruction, call: Option<&CallSiteSummary>) -> RegSet {
+    match call {
+        Some(cs) => {
+            debug_assert!(insn.is_call(), "summary supplied for a non-call");
+            // The callee runs after the call instruction's own effects.
+            let after_callee = cs.used | (live_after - cs.defined);
+            insn.uses() | (after_callee - insn.defs())
+        }
+        None => insn.uses() | (live_after - insn.defs()),
+    }
+}
+
+/// Computes per-block liveness for routine `rid`, optionally treating the
+/// addresses in `ignore` as deleted (their uses and defs are skipped) —
+/// used by the dead-code pass to cascade without rebuilding the program.
+pub fn routine_liveness(
+    program: &Program,
+    analysis: &Analysis,
+    rid: RoutineId,
+    ignore: &dyn Fn(u32) -> bool,
+) -> RoutineLiveness {
+    let cfg = analysis.cfg.routine_cfg(rid);
+    let routine = program.routine(rid);
+    let n = cfg.blocks().len();
+    let mut live_in = vec![RegSet::EMPTY; n];
+    let mut live_end = vec![RegSet::EMPTY; n];
+
+    // Iterate to fixpoint; routine CFGs are small and reducible, so a few
+    // reverse sweeps suffice.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let b = BlockId::from_index(bi);
+            let block = cfg.block(b);
+            let end = block_end_live(program, analysis, rid, cfg, b, &live_in);
+
+            let mut live = end;
+            for addr in (block.start()..block.end()).rev() {
+                if ignore(addr) {
+                    continue;
+                }
+                let insn = routine.insn_at(addr).expect("address in routine");
+                let cs = if addr == block.term_addr() && insn.is_call() {
+                    analysis.summary.call_site(&analysis.cfg, rid, b)
+                } else {
+                    None
+                };
+                live = step_back(live, insn, cs.as_ref());
+            }
+
+            if end != live_end[bi] || live != live_in[bi] {
+                live_end[bi] = end;
+                live_in[bi] = live;
+                changed = true;
+            }
+        }
+    }
+
+    RoutineLiveness { live_in, live_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_core::analyze;
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    #[test]
+    fn argument_live_before_call_result_live_after() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::A0)
+            .call("id")
+            .copy(Reg::V0, Reg::T0)
+            .halt();
+        b.routine("id").copy(Reg::A0, Reg::V0).ret();
+        let p = b.build().unwrap();
+        let a = analyze(&p);
+        let main = p.routine_by_name("main").unwrap();
+        let l = routine_liveness(&p, &a, main, &|_| false);
+
+        // After the call (block 1 entry) v0 is live; a0 is not.
+        let b1 = BlockId::from_index(1);
+        assert!(l.live_in(b1).contains(Reg::V0));
+        assert!(!l.live_in(b1).contains(Reg::A0));
+        // At the call block's end the callee has run.
+        let b0 = BlockId::from_index(0);
+        assert_eq!(l.live_end(b0), l.live_in(b1));
+    }
+
+    #[test]
+    fn ignore_mask_removes_uses() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .use_reg(Reg::T0)
+            .halt();
+        let p = b.build().unwrap();
+        let a = analyze(&p);
+        let main = p.routine_by_name("main").unwrap();
+        let base = p.routine(main).addr();
+
+        let l = routine_liveness(&p, &a, main, &|_| false);
+        // t0 is not live at entry (defined first).
+        assert!(!l.live_in(BlockId::from_index(0)).contains(Reg::T0));
+
+        // Ignoring the def exposes the use: t0 becomes live at entry.
+        let l = routine_liveness(&p, &a, main, &|addr| addr == base);
+        assert!(l.live_in(BlockId::from_index(0)).contains(Reg::T0));
+    }
+
+    #[test]
+    fn exit_liveness_comes_from_summary() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").use_reg(Reg::T3).halt();
+        b.routine("f").ret();
+        let p = b.build().unwrap();
+        let a = analyze(&p);
+        let f = p.routine_by_name("f").unwrap();
+        let l = routine_liveness(&p, &a, f, &|_| false);
+        // t3 is used after returning to main, so it is live at f's exit
+        // and at its entry.
+        assert!(l.live_in(BlockId::from_index(0)).contains(Reg::T3));
+    }
+}

@@ -1,0 +1,220 @@
+//! Spill elimination around calls (Figure 1(c)).
+//!
+//! Compilers spill caller-saved registers around calls because they must
+//! assume the callee clobbers them. The interprocedural summary often
+//! proves otherwise: when register `Rt` is **not** in a call's call-killed
+//! set, a `store Rt, d(sp)` just before the call paired with a
+//! `load Rt, d(sp)` just after it moves a value the call never touched —
+//! both instructions can go.
+//!
+//! The pattern matched is deliberately strict (the value must demonstrably
+//! round-trip through an otherwise-unused slot):
+//!
+//! * the store sits in the call block with no later definition of `Rt` or
+//!   `sp` before the call;
+//! * the load is in the call's return block, with no earlier definition of
+//!   `Rt` or `sp` and no intervening memory write;
+//! * `Rt` is not call-killed (nor `ra`, which every call defines);
+//! * no other instruction in the routine accesses `d(sp)`, and the
+//!   routine never re-points `sp` between frame setup and teardown other
+//!   than in prologue/epilogue (checked by requiring the store and load to
+//!   share the block pair).
+
+
+
+use spike_cfg::TermKind;
+use spike_core::Analysis;
+use spike_isa::{Instruction, Reg, RegSet};
+use spike_program::Program;
+
+/// One removable spill pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SpillPair {
+    pub store_addr: u32,
+    pub load_addr: u32,
+}
+
+/// Counts accesses to `sp+disp` in the whole routine.
+fn slot_accesses(program: &Program, rid: spike_program::RoutineId, disp: i16) -> usize {
+    let r = program.routine(rid);
+    r.insns()
+        .iter()
+        .filter(|i| match i {
+            Instruction::Load { base: Reg::SP, disp: d, .. }
+            | Instruction::Store { base: Reg::SP, disp: d, .. } => *d == disp,
+            _ => false,
+        })
+        .count()
+}
+
+pub(crate) fn find_spills(program: &Program, analysis: &Analysis) -> Vec<SpillPair> {
+    let mut pairs = Vec::new();
+
+    for (rid, routine) in program.iter() {
+        let cfg = analysis.cfg.routine_cfg(rid);
+        for b in cfg.call_blocks() {
+            let block = cfg.block(b);
+            let TermKind::Call { return_to: Some(rt), .. } = block.term() else {
+                continue;
+            };
+            let Some(cs) = analysis.summary.call_site(&analysis.cfg, rid, b) else {
+                continue;
+            };
+            let ret_block = cfg.block(*rt);
+
+            // Candidate stores in the call block, scanning backward from
+            // the call; track what gets defined after each store.
+            let mut defined_after = routine
+                .insn_at(block.term_addr())
+                .expect("call instruction")
+                .defs();
+            for addr in (block.start()..block.term_addr()).rev() {
+                let insn = routine.insn_at(addr).expect("address in routine");
+                if let Instruction::Store { rs, base: Reg::SP, disp, .. } = *insn {
+                    let protected = !cs.killed.contains(rs)
+                        && rs != Reg::RA
+                        && !defined_after.contains(rs)
+                        && !defined_after.contains(Reg::SP)
+                        && slot_accesses(program, rid, disp) == 2;
+                    if protected {
+                        if let Some(load_addr) =
+                            matching_load(routine, ret_block, rs, disp, cs.defined)
+                        {
+                            pairs.push(SpillPair { store_addr: addr, load_addr });
+                        }
+                    }
+                }
+                defined_after |= insn.defs();
+            }
+        }
+    }
+    pairs
+}
+
+/// Finds a reload of `(reg, disp)` in the return block with nothing
+/// disturbing the register or slot before it. `call_defined` are the
+/// registers the callee wrote; the reloaded register must not be among
+/// them (its pre-call value is what survives).
+fn matching_load(
+    routine: &spike_program::Routine,
+    ret_block: &spike_cfg::BasicBlock,
+    reg: Reg,
+    disp: i16,
+    call_defined: RegSet,
+) -> Option<u32> {
+    if call_defined.contains(reg) {
+        return None;
+    }
+    for addr in ret_block.start()..ret_block.end() {
+        let insn = routine.insn_at(addr).expect("address in routine");
+        match *insn {
+            Instruction::Load { rd, base: Reg::SP, disp: d, .. } if rd == reg && d == disp => {
+                return Some(addr);
+            }
+            Instruction::Store { .. } => return None, // may alias the slot
+            _ => {
+                if insn.defs().contains(reg) || insn.defs().contains(Reg::SP) {
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_core::analyze;
+    use spike_program::ProgramBuilder;
+
+    fn pairs_of(p: &Program) -> Vec<SpillPair> {
+        find_spills(p, &analyze(p))
+    }
+
+    /// Figure 1(c): the callee does not kill t0, so the spill around the
+    /// call is removable.
+    #[test]
+    fn removable_spill_is_found() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .store(Reg::T0, Reg::SP, -8)
+            .call("quiet")
+            .load(Reg::T0, Reg::SP, -8)
+            .copy(Reg::T0, Reg::V0)
+            .put_int()
+            .halt();
+        b.routine("quiet").def(Reg::int(6)).ret(); // touches only t5
+        let p = b.build().unwrap();
+        let pairs = pairs_of(&p);
+        assert_eq!(pairs.len(), 1);
+        let base = p.routines()[0].addr();
+        assert_eq!(pairs[0], SpillPair { store_addr: base + 1, load_addr: base + 3 });
+    }
+
+    /// If the callee kills the register, the spill must stay.
+    #[test]
+    fn killed_register_keeps_its_spill() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .store(Reg::T0, Reg::SP, -8)
+            .call("clobber")
+            .load(Reg::T0, Reg::SP, -8)
+            .copy(Reg::T0, Reg::V0)
+            .put_int()
+            .halt();
+        b.routine("clobber").def(Reg::T0).ret();
+        let p = b.build().unwrap();
+        assert!(pairs_of(&p).is_empty());
+    }
+
+    /// A slot read somewhere else pins both instructions.
+    #[test]
+    fn shared_slot_is_not_touched() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .store(Reg::T0, Reg::SP, -8)
+            .call("quiet")
+            .load(Reg::T0, Reg::SP, -8)
+            .load(Reg::T1, Reg::SP, -8) // second reader
+            .halt();
+        b.routine("quiet").ret();
+        let p = b.build().unwrap();
+        assert!(pairs_of(&p).is_empty());
+    }
+
+    /// An unknown callee kills all temporaries, so nothing fires.
+    #[test]
+    fn unknown_callee_keeps_spills() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .store(Reg::T0, Reg::SP, -8)
+            .lda(Reg::PV, Reg::ZERO, 1)
+            .jsr_unknown(Reg::PV)
+            .load(Reg::T0, Reg::SP, -8)
+            .halt();
+        let p = b.build().unwrap();
+        assert!(pairs_of(&p).is_empty());
+    }
+
+    /// A redefinition between the reload and the store's value kills the
+    /// pattern.
+    #[test]
+    fn redefined_register_keeps_spill() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .store(Reg::T0, Reg::SP, -8)
+            .def(Reg::T0) // redefined before the call
+            .call("quiet")
+            .load(Reg::T0, Reg::SP, -8)
+            .halt();
+        b.routine("quiet").ret();
+        let p = b.build().unwrap();
+        assert!(pairs_of(&p).is_empty());
+    }
+}

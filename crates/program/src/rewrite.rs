@@ -1,0 +1,484 @@
+//! Post-link program rewriting: delete instructions and relink.
+//!
+//! Spike's optimizations delete instructions from a linked executable,
+//! which moves every later instruction. The [`Rewriter`] performs the
+//! relinking a post-link optimizer must do: it compacts each routine,
+//! recomputes every branch and call displacement, remaps jump-table
+//! targets, indirect-call target lists, entry offsets, and the
+//! address-materialization relocations (`lda` immediates holding code
+//! addresses).
+//!
+//! # Example
+//!
+//! ```
+//! use spike_isa::Reg;
+//! use spike_program::{ProgramBuilder, Rewriter};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.routine("main")
+//!     .def(Reg::T0) // dead: delete it
+//!     .lda(Reg::V0, Reg::ZERO, 9)
+//!     .put_int()
+//!     .halt();
+//! let program = b.build()?;
+//!
+//! let mut rw = Rewriter::new(&program);
+//! rw.delete(program.routines()[0].addr());
+//! let optimized = rw.finish()?;
+//! assert_eq!(optimized.total_instructions(), program.total_instructions() - 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use spike_isa::{Instruction, Reg};
+
+use crate::program::{Program, ProgramError};
+use crate::routine::Routine;
+use crate::BASE_ADDR;
+
+/// Error produced by [`Rewriter::finish`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RewriteError {
+    /// An address marked for deletion holds no instruction.
+    NoSuchInstruction(u32),
+    /// The instruction at the address may not be deleted: terminators and
+    /// relocated address materializations anchor control flow.
+    NotDeletable(u32),
+    /// Deleting would leave a routine empty.
+    EmptyRoutine(String),
+    /// A relocated address constant no longer fits its immediate field.
+    RelocationOverflow { addr: u32 },
+    /// The rewritten program failed validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::NoSuchInstruction(a) => {
+                write!(f, "no instruction at {a:#x}")
+            }
+            RewriteError::NotDeletable(a) => {
+                write!(f, "instruction at {a:#x} may not be deleted")
+            }
+            RewriteError::EmptyRoutine(n) => write!(f, "deleting would empty routine {n}"),
+            RewriteError::RelocationOverflow { addr } => {
+                write!(f, "relocated constant at {addr:#x} overflows its field")
+            }
+            RewriteError::Invalid(e) => write!(f, "rewritten program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RewriteError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for RewriteError {
+    fn from(e: ProgramError) -> RewriteError {
+        RewriteError::Invalid(e)
+    }
+}
+
+/// Deletes instructions from a program and relinks it.
+///
+/// Collect deletions with [`Rewriter::delete`], then call
+/// [`Rewriter::finish`]. Only non-control-flow instructions may be
+/// deleted; branch targets that die are forwarded to the next surviving
+/// instruction.
+#[derive(Debug)]
+pub struct Rewriter<'a> {
+    program: &'a Program,
+    deleted: BTreeSet<u32>,
+    replaced: BTreeMap<u32, Instruction>,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter over `program` with no pending edits.
+    pub fn new(program: &'a Program) -> Rewriter<'a> {
+        Rewriter { program, deleted: BTreeSet::new(), replaced: BTreeMap::new() }
+    }
+
+    /// Marks the instruction at `addr` for deletion. Idempotent.
+    pub fn delete(&mut self, addr: u32) -> &mut Self {
+        self.deleted.insert(addr);
+        self
+    }
+
+    /// Replaces the instruction at `addr` with `insn` (e.g. a register
+    /// rename). The replacement must not change control flow:
+    /// [`Rewriter::finish`] rejects replacements that alter whether or
+    /// where the instruction transfers control.
+    pub fn replace(&mut self, addr: u32, insn: Instruction) -> &mut Self {
+        self.replaced.insert(addr, insn);
+        self
+    }
+
+    /// Number of pending edits (deletions plus replacements).
+    pub fn pending(&self) -> usize {
+        self.deleted.len() + self.replaced.len()
+    }
+
+    /// Compacts and relinks the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RewriteError`] if a deletion is invalid (missing
+    /// instruction, terminator, relocated constant), a routine would
+    /// become empty, a relocation overflows, or the relinked program
+    /// fails validation.
+    pub fn finish(&self) -> Result<Program, RewriteError> {
+        let p = self.program;
+
+        // Validate deletions.
+        for &addr in &self.deleted {
+            let Some(insn) = p.insn_at(addr) else {
+                return Err(RewriteError::NoSuchInstruction(addr));
+            };
+            if insn.is_terminator() || p.relocations().contains_key(&addr) {
+                return Err(RewriteError::NotDeletable(addr));
+            }
+        }
+        // Validate replacements: control flow must be untouched.
+        for (&addr, new) in &self.replaced {
+            let Some(old) = p.insn_at(addr) else {
+                return Err(RewriteError::NoSuchInstruction(addr));
+            };
+            if self.deleted.contains(&addr) {
+                return Err(RewriteError::NotDeletable(addr));
+            }
+            let same_flow = match (old, new) {
+                (Instruction::Br { disp: a }, Instruction::Br { disp: b }) => a == b,
+                (Instruction::Bsr { disp: a }, Instruction::Bsr { disp: b }) => a == b,
+                (
+                    Instruction::CondBranch { disp: a, .. },
+                    Instruction::CondBranch { disp: b, .. },
+                ) => a == b,
+                (Instruction::Jmp { .. }, Instruction::Jmp { .. })
+                | (Instruction::Jsr { .. }, Instruction::Jsr { .. })
+                | (Instruction::Ret { .. }, Instruction::Ret { .. }) => true,
+                (a, b) => !a.is_terminator() && !b.is_terminator(),
+            };
+            if !same_flow || p.relocations().contains_key(&addr) {
+                return Err(RewriteError::NotDeletable(addr));
+            }
+        }
+
+        // Pass 1: assign new addresses. `fwd` maps every old address to
+        // the new address of the first surviving instruction at or after
+        // it (within its routine) — branch targets forward past deleted
+        // instructions.
+        let mut fwd: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut new_bases = Vec::with_capacity(p.routines().len());
+        let mut next = BASE_ADDR;
+        for r in p.routines() {
+            new_bases.push(next);
+            let mut pending: Vec<u32> = Vec::new();
+            for old in r.addr()..r.end_addr() {
+                if self.deleted.contains(&old) {
+                    pending.push(old);
+                } else {
+                    for d in pending.drain(..) {
+                        fwd.insert(d, next);
+                    }
+                    fwd.insert(old, next);
+                    next += 1;
+                }
+            }
+            if !pending.is_empty() {
+                // Trailing deletions are impossible: terminators survive.
+                unreachable!("routine cannot end with deleted instructions");
+            }
+            if next == new_bases[new_bases.len() - 1] {
+                return Err(RewriteError::EmptyRoutine(r.name().to_string()));
+            }
+        }
+        let map = |old: u32| -> u32 { fwd[&old] };
+
+        // Pass 2: rebuild routines with recomputed displacements.
+        let mut routines = Vec::with_capacity(p.routines().len());
+        let mut relocations = BTreeMap::new();
+        for r in p.routines() {
+            let mut insns = Vec::with_capacity(r.len());
+            for old in r.addr()..r.end_addr() {
+                if self.deleted.contains(&old) {
+                    continue;
+                }
+                let new_addr = map(old);
+                let insn = self
+                    .replaced
+                    .get(&old)
+                    .copied()
+                    .unwrap_or_else(|| *r.insn_at(old).expect("address in routine"));
+                let relinked = match insn {
+                    Instruction::Br { disp } => Instruction::Br {
+                        disp: relink(old, disp, new_addr, &map),
+                    },
+                    Instruction::Bsr { disp } => Instruction::Bsr {
+                        disp: relink(old, disp, new_addr, &map),
+                    },
+                    Instruction::CondBranch { cond, ra, disp } => Instruction::CondBranch {
+                        cond,
+                        ra,
+                        disp: relink(old, disp, new_addr, &map),
+                    },
+                    Instruction::Lda { rd, base, .. }
+                        if p.relocations().contains_key(&old) =>
+                    {
+                        let target = map(p.relocations()[&old]);
+                        relocations.insert(new_addr, target);
+                        Instruction::Lda {
+                            rd,
+                            base,
+                            disp: i16::try_from(target)
+                                .map_err(|_| RewriteError::RelocationOverflow { addr: old })?,
+                        }
+                    }
+                    other => other,
+                };
+                insns.push(relinked);
+            }
+            let entry_offsets: Vec<u32> = r
+                .entry_addrs()
+                .map(|a| map(a) - map(r.addr()))
+                .collect();
+            routines.push(Routine::new(
+                r.name(),
+                map(r.addr()),
+                insns,
+                entry_offsets,
+                r.exported(),
+            ));
+        }
+
+        // Pass 3: remap auxiliary info.
+        let jump_tables = p
+            .jump_tables()
+            .iter()
+            .map(|(&addr, targets)| (map(addr), targets.iter().map(|&t| map(t)).collect()))
+            .collect();
+        let indirect_calls = p
+            .indirect_calls()
+            .iter()
+            .map(|(&addr, t)| {
+                let t = match t {
+                    crate::program::IndirectTargets::Known(list) => {
+                        crate::program::IndirectTargets::Known(
+                            list.iter().map(|&a| map(a)).collect(),
+                        )
+                    }
+                    other => other.clone(),
+                };
+                (map(addr), t)
+            })
+            .collect();
+        let jump_hints = p
+            .jump_hints()
+            .iter()
+            .map(|(&addr, &live)| (map(addr), live))
+            .collect();
+
+        Ok(Program::new(
+            routines,
+            jump_tables,
+            indirect_calls,
+            jump_hints,
+            relocations,
+            p.entry(),
+        )?)
+    }
+}
+
+/// Recomputes a branch displacement: resolve the old target, forward it
+/// through the address map, and re-express it relative to the new pc.
+fn relink(old_addr: u32, disp: i32, new_addr: u32, map: &impl Fn(u32) -> u32) -> i32 {
+    let old_target = old_addr.wrapping_add(1).wrapping_add(disp as u32);
+    let new_target = map(old_target);
+    new_target as i64 as i32 - (new_addr as i32 + 1)
+}
+
+// `Reg` is referenced by doc examples above; silence the unused warning
+// when docs are not built.
+const _: Option<Reg> = None;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use spike_isa::{AluOp, BranchCond};
+
+    #[test]
+    fn deleting_shifts_branches_correctly() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0) // will be deleted
+            .label("top")
+            .op_imm(AluOp::Sub, Reg::A0, 1, Reg::A0)
+            .def(Reg::T1) // will be deleted
+            .cond(BranchCond::Ne, Reg::A0, "top")
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+
+        let mut rw = Rewriter::new(&p);
+        rw.delete(base).delete(base + 2);
+        assert_eq!(rw.pending(), 2);
+        let q = rw.finish().unwrap();
+
+        assert_eq!(q.total_instructions(), 3);
+        // The loop branch still targets the subq.
+        let r = &q.routines()[0];
+        assert_eq!(
+            r.insns()[1],
+            Instruction::CondBranch { cond: BranchCond::Ne, ra: Reg::A0, disp: -2 }
+        );
+    }
+
+    #[test]
+    fn deleting_a_branch_target_forwards_to_next_survivor() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .cond(BranchCond::Eq, Reg::A0, "skip")
+            .def(Reg::T0)
+            .label("skip")
+            .def(Reg::T1) // the branch target; delete it
+            .def(Reg::T2)
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let q = Rewriter::new(&p).delete(base + 2).finish().unwrap();
+        // Branch now lands on `def t2`.
+        let r = &q.routines()[0];
+        assert_eq!(
+            r.insns()[0],
+            Instruction::CondBranch { cond: BranchCond::Eq, ra: Reg::A0, disp: 1 }
+        );
+    }
+
+    #[test]
+    fn calls_across_shifted_routines_are_relinked() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).def(Reg::T1).call("f").halt();
+        b.routine("f").def(Reg::V0).ret();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let q = Rewriter::new(&p).delete(base).delete(base + 1).finish().unwrap();
+        let main = q.routine_by_name("main").unwrap();
+        let f = q.routine_by_name("f").unwrap();
+        assert_eq!(q.direct_call_target(q.routine(main).addr()), Some((f, 0)));
+    }
+
+    #[test]
+    fn jump_tables_and_relocations_are_remapped() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T2) // deleted
+            .lda_label(Reg::T0, "c0")
+            .switch(Reg::T0, &["c0", "c1"])
+            .label("c0")
+            .br("end")
+            .label("c1")
+            .def(Reg::T1)
+            .label("end")
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let q = Rewriter::new(&p).delete(base).finish().unwrap();
+
+        // Everything shifted down one word; the table and reloc follow.
+        let jt: Vec<_> = q.jump_tables().iter().collect();
+        assert_eq!(jt.len(), 1);
+        assert_eq!(*jt[0].0, base + 1);
+        assert_eq!(jt[0].1, &vec![base + 2, base + 3]);
+        assert_eq!(q.relocations().get(&base), Some(&(base + 2)));
+        match q.insn_at(base) {
+            Some(&Instruction::Lda { disp, .. }) => assert_eq!(disp as u32, base + 2),
+            other => panic!("expected relocated lda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminators_are_not_deletable() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let err = Rewriter::new(&p).delete(base + 1).finish().unwrap_err();
+        assert_eq!(err, RewriteError::NotDeletable(base + 1));
+    }
+
+    #[test]
+    fn relocated_constants_are_not_deletable() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda_label(Reg::T0, "t")
+            .label("t")
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let err = Rewriter::new(&p).delete(base).finish().unwrap_err();
+        assert_eq!(err, RewriteError::NotDeletable(base));
+    }
+
+    #[test]
+    fn unknown_addresses_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").halt();
+        let p = b.build().unwrap();
+        let err = Rewriter::new(&p).delete(0xDEAD).finish().unwrap_err();
+        assert_eq!(err, RewriteError::NoSuchInstruction(0xDEAD));
+    }
+
+    #[test]
+    fn replace_renames_registers() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .op(AluOp::Add, Reg::A0, Reg::A1, Reg::S0)
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.replace(base, Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 });
+        let q = rw.finish().unwrap();
+        assert_eq!(
+            q.insn_at(base),
+            Some(&Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 })
+        );
+    }
+
+    #[test]
+    fn replace_rejects_control_flow_changes() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        // Turning a plain instruction into a terminator is rejected.
+        let mut rw = Rewriter::new(&p);
+        rw.replace(base, Instruction::Ret { base: Reg::RA });
+        assert_eq!(rw.finish().unwrap_err(), RewriteError::NotDeletable(base));
+        // Changing a branch displacement is rejected.
+        let mut b = ProgramBuilder::new();
+        b.routine("main").label("t").br("t");
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.replace(base, Instruction::Br { disp: 5 });
+        assert!(rw.finish().is_err());
+    }
+
+    #[test]
+    fn empty_rewrite_is_identity() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).call("f").halt();
+        b.routine("f").def(Reg::V0).ret();
+        let p = b.build().unwrap();
+        assert_eq!(Rewriter::new(&p).finish().unwrap(), p);
+    }
+}

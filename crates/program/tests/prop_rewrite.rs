@@ -1,0 +1,63 @@
+//! Property tests for the relinking rewriter: deleting any subset of
+//! deletable instructions must yield a valid, correctly-relinked program.
+
+use proptest::prelude::*;
+use spike_program::{Program, Rewriter};
+
+fn deletable_addrs(p: &Program) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_, r) in p.iter() {
+        for (i, insn) in r.insns().iter().enumerate() {
+            let addr = r.addr() + i as u32;
+            if !insn.is_terminator() && !p.relocations().contains_key(&addr) {
+                out.push(addr);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any subset of deletable instructions relinks into a valid program
+    /// with exactly the expected size, intact routine names and flags,
+    /// and consistent auxiliary info (guaranteed by `Program::new`'s
+    /// validation inside `finish`).
+    #[test]
+    fn arbitrary_deletions_relink_validly(
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let program = spike_synth::generate_executable(seed, 4);
+        let candidates = deletable_addrs(&program);
+
+        let mut rw = Rewriter::new(&program);
+        let mut deleted = 0usize;
+        for (i, &addr) in candidates.iter().enumerate() {
+            if mask & (1 << (i % 64)) != 0 {
+                rw.delete(addr);
+                deleted += 1;
+            }
+        }
+        let q = rw.finish().expect("relink succeeds");
+        prop_assert_eq!(
+            q.total_instructions(),
+            program.total_instructions() - deleted
+        );
+        for ((_, a), (_, b)) in program.iter().zip(q.iter()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert_eq!(a.exported(), b.exported());
+            prop_assert_eq!(a.entry_offsets().len(), b.entry_offsets().len());
+        }
+        // The relinked program still round-trips through the image format.
+        prop_assert_eq!(Program::from_image(&q.to_image()).expect("loads"), q);
+    }
+
+    /// Deleting nothing is the identity.
+    #[test]
+    fn empty_deletion_is_identity(seed in any::<u64>()) {
+        let program = spike_synth::generate_executable(seed, 3);
+        prop_assert_eq!(Rewriter::new(&program).finish().expect("relinks"), program);
+    }
+}

@@ -1,0 +1,629 @@
+//! # spike-sim
+//!
+//! An interpreter for the synthetic Alpha-like ISA.
+//!
+//! The paper validates Spike by running optimized Alpha/NT executables.
+//! This crate plays that role for the reproduction: it executes a
+//! [`spike_program::Program`] and reports its observable behaviour — the
+//! sequence of values emitted by `putint` — so tests can check that
+//! summary-driven optimizations preserve semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use spike_isa::{AluOp, Reg};
+//! use spike_program::ProgramBuilder;
+//! use spike_sim::{run, Outcome};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.routine("main")
+//!     .lda(Reg::A0, Reg::ZERO, 21)
+//!     .call("double")
+//!     .put_int()
+//!     .halt();
+//! b.routine("double")
+//!     .op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0)
+//!     .ret();
+//! let program = b.build()?;
+//!
+//! match run(&program, 1_000) {
+//!     Outcome::Halted { output, .. } => assert_eq!(output, vec![42]),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spike_isa::{AluOp, FpOp, Instruction, MemWidth, Reg, NUM_REGS};
+use spike_program::Program;
+
+/// Return address loaded into `ra` at startup; returning to it ends the
+/// program cleanly, as the OS loader would.
+pub const EXIT_ADDR: u32 = 0xFFFF_0000;
+
+/// Initial stack pointer (byte address).
+pub const STACK_TOP: i64 = 1 << 20;
+
+/// Why execution stopped.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The program executed `halt` or returned from its entry routine.
+    Halted {
+        /// Values emitted by `putint`, in order — the program's observable
+        /// behaviour.
+        output: Vec<i64>,
+        /// Instructions executed.
+        steps: u64,
+    },
+    /// The step budget was exhausted. Carries the output so far.
+    OutOfFuel {
+        /// Values emitted before the budget ran out.
+        output: Vec<i64>,
+    },
+    /// Execution faulted.
+    Fault(Fault),
+}
+
+/// A simulated machine fault.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Control transferred to an address holding no instruction.
+    BadPc(u32),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::BadPc(pc) => write!(f, "control reached non-code address {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// The architectural state of the simulated machine.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    regs: [i64; NUM_REGS],
+    mem: BTreeMap<i64, i64>,
+    pc: u32,
+    output: Vec<i64>,
+    steps: u64,
+}
+
+impl Machine {
+    /// Creates a machine poised at `program`'s entry routine, with `ra`
+    /// pointing at [`EXIT_ADDR`] and `sp` at [`STACK_TOP`].
+    pub fn new(program: &Program) -> Machine {
+        let mut m = Machine {
+            regs: [0; NUM_REGS],
+            mem: BTreeMap::new(),
+            pc: program.routine(program.entry()).addr(),
+            output: Vec::new(),
+            steps: 0,
+        };
+        m.regs[Reg::RA.index()] = EXIT_ADDR as i64;
+        m.regs[Reg::SP.index()] = STACK_TOP;
+        m
+    }
+
+    /// The value of `r`. Zero registers always read 0.
+    pub fn reg(&self, r: Reg) -> i64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Sets `r` to `v`. Writes to zero registers are discarded.
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The current program counter (word address).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Output emitted so far.
+    pub fn output(&self) -> &[i64] {
+        &self.output
+    }
+
+    /// Executes until halt, fault, or `fuel` instructions have run.
+    pub fn run(&mut self, program: &Program, fuel: u64) -> Outcome {
+        for _ in 0..fuel {
+            if self.pc == EXIT_ADDR {
+                return Outcome::Halted { output: self.output.clone(), steps: self.steps };
+            }
+            let Some(&insn) = program.insn_at(self.pc) else {
+                return Outcome::Fault(Fault::BadPc(self.pc));
+            };
+            self.steps += 1;
+            let next = self.pc + 1;
+            match insn {
+                Instruction::Operate { op, ra, rb, rc } => {
+                    let v = alu(op, self.reg(ra), self.reg(rb), self.reg(rc));
+                    self.set_reg(rc, v);
+                }
+                Instruction::OperateImm { op, ra, imm, rc } => {
+                    let v = alu(op, self.reg(ra), imm as i64, self.reg(rc));
+                    self.set_reg(rc, v);
+                }
+                Instruction::Lda { rd, base, disp } => {
+                    self.set_reg(rd, self.reg(base).wrapping_add(disp as i64));
+                }
+                Instruction::Ldah { rd, base, disp } => {
+                    self.set_reg(rd, self.reg(base).wrapping_add((disp as i64) << 16));
+                }
+                Instruction::Load { width, rd, base, disp } => {
+                    let addr = self.reg(base).wrapping_add(disp as i64);
+                    let raw = self.mem.get(&addr).copied().unwrap_or(0);
+                    let v = match width {
+                        MemWidth::L => raw as i32 as i64,
+                        MemWidth::Q | MemWidth::T => raw,
+                    };
+                    self.set_reg(rd, v);
+                }
+                Instruction::Store { width, rs, base, disp } => {
+                    let addr = self.reg(base).wrapping_add(disp as i64);
+                    let v = match width {
+                        MemWidth::L => self.reg(rs) as i32 as i64,
+                        MemWidth::Q | MemWidth::T => self.reg(rs),
+                    };
+                    self.mem.insert(addr, v);
+                }
+                Instruction::FpOperate { op, fa, fb, fc } => {
+                    let a = f64::from_bits(self.reg(fa) as u64);
+                    let b = f64::from_bits(self.reg(fb) as u64);
+                    let v = match op {
+                        FpOp::Add => a + b,
+                        FpOp::Sub => a - b,
+                        FpOp::Mul => a * b,
+                        FpOp::CmpEq => if a == b { 2.0 } else { 0.0 },
+                        FpOp::CmpLt => if a < b { 2.0 } else { 0.0 },
+                    };
+                    self.set_reg(fc, v.to_bits() as i64);
+                }
+                Instruction::Br { disp } => {
+                    self.pc = next.wrapping_add(disp as u32);
+                    continue;
+                }
+                Instruction::Bsr { disp } => {
+                    self.set_reg(Reg::RA, next as i64);
+                    self.pc = next.wrapping_add(disp as u32);
+                    continue;
+                }
+                Instruction::CondBranch { cond, ra, disp } => {
+                    if cond.eval(self.reg(ra)) {
+                        self.pc = next.wrapping_add(disp as u32);
+                        continue;
+                    }
+                }
+                Instruction::Jmp { base } => {
+                    self.pc = self.reg(base) as u32;
+                    continue;
+                }
+                Instruction::Jsr { base } => {
+                    let target = self.reg(base) as u32;
+                    self.set_reg(Reg::RA, next as i64);
+                    self.pc = target;
+                    continue;
+                }
+                Instruction::Ret { base } => {
+                    self.pc = self.reg(base) as u32;
+                    continue;
+                }
+                Instruction::Halt => {
+                    return Outcome::Halted { output: self.output.clone(), steps: self.steps };
+                }
+                Instruction::PutInt => {
+                    self.output.push(self.reg(Reg::V0));
+                }
+            }
+            self.pc = next;
+        }
+        Outcome::OutOfFuel { output: self.output.clone() }
+    }
+}
+
+fn alu(op: AluOp, a: i64, b: i64, old_c: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32 & 63),
+        AluOp::Srl => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+        AluOp::Sra => a.wrapping_shr(b as u32 & 63),
+        AluOp::CmpEq => (a == b) as i64,
+        AluOp::CmpLt => (a < b) as i64,
+        AluOp::CmpLe => (a <= b) as i64,
+        AluOp::CmpUlt => ((a as u64) < (b as u64)) as i64,
+        AluOp::CmovEq => if a == 0 { b } else { old_c },
+        AluOp::CmovNe => if a != 0 { b } else { old_c },
+    }
+}
+
+/// Runs `program` from a fresh [`Machine`] with the given step budget.
+pub fn run(program: &Program, fuel: u64) -> Outcome {
+    Machine::new(program).run(program, fuel)
+}
+
+/// Dynamic execution statistics, gathered by [`run_profiled`].
+///
+/// `call_overhead_steps` counts the instructions that exist only to
+/// maintain the calling convention: calls and returns themselves, frame
+/// pointer adjustment, and saves/restores of `ra` and callee-saved
+/// registers through the stack. The paper's introduction cites call
+/// overhead of up to 16% of execution time as the motivation for the
+/// Figure 1(d) optimization; this profile measures how much of it the
+/// optimizer removed.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecutionProfile {
+    /// Instructions executed per routine, indexed by routine id.
+    pub steps_per_routine: Vec<u64>,
+    /// Calls executed (`bsr` + `jsr`).
+    pub calls: u64,
+    /// Calling-convention maintenance instructions executed (see type
+    /// docs).
+    pub call_overhead_steps: u64,
+    /// Total instructions executed.
+    pub total_steps: u64,
+}
+
+impl ExecutionProfile {
+    /// Call overhead as a fraction of executed instructions.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_steps == 0 {
+            0.0
+        } else {
+            self.call_overhead_steps as f64 / self.total_steps as f64
+        }
+    }
+}
+
+/// Runs `program` and gathers an [`ExecutionProfile`] alongside the
+/// outcome.
+pub fn run_profiled(program: &Program, fuel: u64) -> (Outcome, ExecutionProfile) {
+    let callee_saved = spike_isa::CallingStandard::alpha_nt().callee_saved();
+    let mut m = Machine::new(program);
+    let mut profile = ExecutionProfile {
+        steps_per_routine: vec![0; program.routines().len()],
+        ..ExecutionProfile::default()
+    };
+
+    let outcome = loop {
+        if profile.total_steps >= fuel {
+            break Outcome::OutOfFuel { output: m.output().to_vec() };
+        }
+        let pc = m.pc();
+        if pc == EXIT_ADDR {
+            break Outcome::Halted { output: m.output().to_vec(), steps: m.steps() };
+        }
+        let Some(&insn) = program.insn_at(pc) else {
+            break Outcome::Fault(Fault::BadPc(pc));
+        };
+        if let Some(rid) = program.routine_containing(pc) {
+            profile.steps_per_routine[rid.index()] += 1;
+        }
+        profile.total_steps += 1;
+        let overhead = match insn {
+            Instruction::Bsr { .. } | Instruction::Jsr { .. } => {
+                profile.calls += 1;
+                true
+            }
+            Instruction::Ret { .. } => true,
+            Instruction::Lda { rd: Reg::SP, base: Reg::SP, .. } => true,
+            Instruction::Store { rs, base: Reg::SP, .. } => {
+                rs == Reg::RA || callee_saved.contains(rs)
+            }
+            Instruction::Load { rd, base: Reg::SP, .. } => {
+                rd == Reg::RA || callee_saved.contains(rd)
+            }
+            _ => false,
+        };
+        if overhead {
+            profile.call_overhead_steps += 1;
+        }
+        match m.run(program, 1) {
+            Outcome::OutOfFuel { .. } => {} // single step executed; continue
+            done => break done,
+        }
+    };
+    (outcome, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::BranchCond;
+    use spike_program::ProgramBuilder;
+
+    fn output_of(b: &ProgramBuilder) -> Vec<i64> {
+        let p = b.build().unwrap();
+        match run(&p, 100_000) {
+            Outcome::Halted { output, .. } => output,
+            other => panic!("program did not halt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 6)
+            .lda(Reg::T1, Reg::ZERO, 7)
+            .op(AluOp::Mul, Reg::T0, Reg::T1, Reg::V0)
+            .put_int()
+            .halt();
+        assert_eq!(output_of(&b), vec![42]);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 3)
+            .label("top")
+            .copy(Reg::A0, Reg::V0)
+            .put_int()
+            .op_imm(AluOp::Sub, Reg::A0, 1, Reg::A0)
+            .cond(BranchCond::Ne, Reg::A0, "top")
+            .halt();
+        assert_eq!(output_of(&b), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 20)
+            .call("inc")
+            .put_int()
+            .halt();
+        b.routine("inc")
+            .op_imm(AluOp::Add, Reg::A0, 1, Reg::V0)
+            .ret();
+        assert_eq!(output_of(&b), vec![21]);
+    }
+
+    #[test]
+    fn nested_calls_save_ra_on_stack() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 5)
+            .call("outer")
+            .put_int()
+            .halt();
+        b.routine("outer")
+            .lda(Reg::SP, Reg::SP, -8)
+            .store(Reg::RA, Reg::SP, 0)
+            .call("inner")
+            .load(Reg::RA, Reg::SP, 0)
+            .lda(Reg::SP, Reg::SP, 8)
+            .op_imm(AluOp::Add, Reg::V0, 1, Reg::V0)
+            .ret();
+        b.routine("inner")
+            .op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0)
+            .ret();
+        assert_eq!(output_of(&b), vec![11]);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 99)
+            .store(Reg::T0, Reg::SP, -16)
+            .load(Reg::V0, Reg::SP, -16)
+            .put_int()
+            .halt();
+        assert_eq!(output_of(&b), vec![99]);
+    }
+
+    #[test]
+    fn ldl_truncates_to_32_bits() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 1)
+            .lda(Reg::T1, Reg::ZERO, 33)
+            .op(AluOp::Sll, Reg::T0, Reg::T1, Reg::T0) // bit 33: above 32-bit range
+            .op_imm(AluOp::Add, Reg::T0, 7, Reg::T0)
+            .insn(Instruction::Store { width: MemWidth::L, rs: Reg::T0, base: Reg::SP, disp: 0 })
+            .insn(Instruction::Load { width: MemWidth::L, rd: Reg::V0, base: Reg::SP, disp: 0 })
+            .put_int()
+            .halt();
+        assert_eq!(output_of(&b), vec![7]);
+    }
+
+    #[test]
+    fn cmov_semantics() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 0) // condition: zero
+            .lda(Reg::T1, Reg::ZERO, 5)
+            .lda(Reg::V0, Reg::ZERO, 1)
+            .op(AluOp::CmovEq, Reg::T0, Reg::T1, Reg::V0) // taken: v0 = 5
+            .put_int()
+            .op(AluOp::CmovNe, Reg::T0, Reg::ZERO, Reg::V0) // not taken
+            .put_int()
+            .halt();
+        assert_eq!(output_of(&b), vec![5, 5]);
+    }
+
+    #[test]
+    fn indirect_jump_through_register() {
+        // Compute a label's address into t0 and jmp through it.
+        let target = spike_program::BASE_ADDR as i16 + 3;
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, target)
+            .insn(Instruction::Jmp { base: Reg::T0 })
+            .put_int() // skipped
+            .lda(Reg::V0, Reg::ZERO, 77) // the jmp target
+            .put_int()
+            .halt();
+        assert_eq!(output_of(&b), vec![77]);
+    }
+
+    #[test]
+    fn indirect_call_through_register() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 30)
+            .lda(Reg::PV, Reg::ZERO, 0) // patched below
+            .jsr_known(Reg::PV, &["callee"])
+            .put_int()
+            .halt();
+        b.routine("callee")
+            .op_imm(AluOp::Add, Reg::A0, 3, Reg::V0)
+            .ret();
+        // Resolve callee's address and patch the lda displacement.
+        let p = b.build().unwrap();
+        let callee_addr =
+            p.routine(p.routine_by_name("callee").unwrap()).addr() as i16;
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 30)
+            .lda(Reg::PV, Reg::ZERO, callee_addr)
+            .jsr_known(Reg::PV, &["callee"])
+            .put_int()
+            .halt();
+        b.routine("callee")
+            .op_imm(AluOp::Add, Reg::A0, 3, Reg::V0)
+            .ret();
+        assert_eq!(output_of(&b), vec![33]);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").label("spin").br("spin");
+        let p = b.build().unwrap();
+        assert!(matches!(run(&p, 100), Outcome::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn bad_pc_faults() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 5) // not a code address
+            .insn(Instruction::Jmp { base: Reg::T0 })
+            .halt();
+        let p = b.build().unwrap();
+        assert_eq!(run(&p, 100), Outcome::Fault(Fault::BadPc(5)));
+    }
+
+    #[test]
+    fn entry_routine_returning_to_loader_halts() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").lda(Reg::V0, Reg::ZERO, 1).put_int().ret();
+        let p = b.build().unwrap();
+        match run(&p, 100) {
+            Outcome::Halted { output, .. } => assert_eq!(output, vec![1]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_register_writes_are_discarded() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::ZERO, Reg::ZERO, 7)
+            .copy(Reg::ZERO, Reg::V0)
+            .put_int()
+            .halt();
+        assert_eq!(output_of(&b), vec![0]);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::A0, Reg::ZERO, 3)
+            .call("work")
+            .put_int()
+            .halt();
+        b.routine("work")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::RA, Reg::SP, 0)
+            .op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0)
+            .load(Reg::RA, Reg::SP, 0)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        let p = b.build().unwrap();
+        let (outcome, profile) = run_profiled(&p, 1_000);
+        assert_eq!(outcome, run(&p, 1_000));
+        assert_eq!(profile.calls, 1);
+        // bsr + ret + 2 sp adjusts + ra save + ra reload = 6 overhead steps.
+        assert_eq!(profile.call_overhead_steps, 6);
+        assert_eq!(profile.total_steps, 10);
+        let work = p.routine_by_name("work").unwrap();
+        assert_eq!(profile.steps_per_routine[work.index()], 6);
+        assert!(profile.overhead_fraction() > 0.5);
+    }
+
+    #[test]
+    fn profile_counts_callee_saved_traffic() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .store(Reg::S0, Reg::SP, -8) // callee-saved save: overhead
+            .store(Reg::T0, Reg::SP, -16) // plain spill: not call overhead
+            .load(Reg::S0, Reg::SP, -8)
+            .halt();
+        let p = b.build().unwrap();
+        let (_, profile) = run_profiled(&p, 100);
+        assert_eq!(profile.call_overhead_steps, 2);
+        assert_eq!(profile.calls, 0);
+    }
+
+    #[test]
+    fn profiled_run_respects_fuel() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").label("spin").br("spin");
+        let p = b.build().unwrap();
+        let (outcome, profile) = run_profiled(&p, 50);
+        assert!(matches!(outcome, Outcome::OutOfFuel { .. }));
+        assert_eq!(profile.total_steps, 50);
+    }
+
+    #[test]
+    fn fp_operations_compute() {
+        // 2.0 stored via integer bit pattern is awkward; build 0.0 + 0.0
+        // and compare equal → 2.0 truth value → compare again.
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .insn(Instruction::FpOperate {
+                op: FpOp::CmpEq,
+                fa: Reg::FZERO,
+                fb: Reg::FZERO,
+                fc: Reg::fp(0),
+            })
+            // f0 == 2.0 now; f0 < f0 → 0.0
+            .insn(Instruction::FpOperate {
+                op: FpOp::CmpLt,
+                fa: Reg::fp(0),
+                fb: Reg::fp(0),
+                fc: Reg::fp(1),
+            })
+            .halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(&p, 100);
+        assert_eq!(f64::from_bits(m.reg(Reg::fp(0)) as u64), 2.0);
+        assert_eq!(f64::from_bits(m.reg(Reg::fp(1)) as u64), 0.0);
+    }
+}

@@ -1,0 +1,603 @@
+//! The profile-driven program generator.
+//!
+//! Produces valid (analyzable, loadable) programs whose shape statistics —
+//! routines, basic blocks, instructions, calls/branches/exits per routine —
+//! match a [`Profile`](crate::Profile)'s Table 2/3 targets. The emission
+//! scheme mirrors how compiled code actually lands:
+//!
+//! * basic blocks are created by the terminators themselves (each call and
+//!   branch ends one), and forward-branch targets are placed at existing
+//!   block boundaries, so `blocks ≈ calls + branches + extra exits` per
+//!   routine — the identity the paper's Tables 2 and 3 obey;
+//! * a fraction of multiway branches sit in call-bearing loops (the
+//!   Figure-12 pattern), which is what makes branch nodes pay off in the
+//!   Table 4 ablation;
+//! * routines save and restore callee-saved registers with real
+//!   prologue/epilogue store/load sequences, so §3.4 filtering has
+//!   something to find;
+//! * indirect calls appear both with recovered target lists and as
+//!   unknown-target calls (§3.5).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use spike_isa::{AluOp, BranchCond, Reg};
+use spike_program::{Program, ProgramBuilder, RoutineBuilder};
+
+use crate::profiles::Profile;
+
+/// Generates a program matching `profile`'s shape statistics,
+/// deterministically from `seed`.
+///
+/// `scale` multiplies the routine count (and thereby total size) while
+/// preserving all per-routine densities; `scale = 1.0` reproduces the
+/// paper's benchmark sizes. At least two routines are always generated.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive.
+pub fn generate(profile: &Profile, scale: f64, seed: u64) -> Program {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+    let n = ((profile.routines as f64 * scale).round() as usize).max(2);
+    let mut b = ProgramBuilder::new();
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(splitmix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        emit_routine(&mut b, profile, n, i, &mut rng);
+    }
+    b.build().expect("generated program must be valid")
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Samples a non-negative count with mean `mean` (Knuth's Poisson; means
+/// in these profiles stay below ~30, where this is exact and fast).
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numeric safety net; unreachable for sane means
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Event {
+    Call,
+    Branch,
+    Multiway,
+    /// A dispatch loop: one `k`-way multiway branch in a loop with a call
+    /// behind every case (the Figure-12 pattern at scale).
+    Dispatch(usize),
+    /// A dispatch loop built from a chain of two-way branches (§3.6's
+    /// many-conditional-branches-in-a-loop case); branch nodes cannot
+    /// compress it.
+    BinaryDispatch(usize),
+    Exit,
+}
+
+const TEMPS: [Reg; 8] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::int(5),
+    Reg::int(6),
+    Reg::int(22),
+    Reg::int(23),
+];
+const ARGS: [Reg; 4] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+const SAVED: [Reg; 4] = [Reg::S0, Reg::S1, Reg::S2, Reg::int(12)];
+const CONDS: [BranchCond; 4] =
+    [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge];
+
+struct Emitter<'a, 'b> {
+    r: &'a mut RoutineBuilder,
+    rng: &'b mut StdRng,
+    /// Labels created by forward branches, each with a countdown of
+    /// boundaries still to skip. Labels are always placed *at* an event
+    /// boundary so they coincide with an existing block leader and create
+    /// no extra block; a countdown above one lets the branch bypass later
+    /// events (including call sites).
+    pending: Vec<(String, usize)>,
+    /// Labels at past boundaries, usable as backward-branch targets.
+    back_labels: Vec<String>,
+    next_label: usize,
+    /// Callee-saved registers this routine saves (restored at each exit).
+    saved: Vec<Reg>,
+    saves_ra: bool,
+    frame: i16,
+    emitted: usize,
+}
+
+impl Emitter<'_, '_> {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_label += 1;
+        format!("{prefix}{}", self.next_label)
+    }
+
+    fn temp(&mut self) -> Reg {
+        TEMPS[self.rng.gen_range(0..TEMPS.len())]
+    }
+
+    /// A register to read: temporaries, arguments, the return value, and
+    /// saved callee-saved registers all appear, giving the dataflow sets
+    /// realistic variety.
+    fn read_reg(&mut self) -> Reg {
+        match self.rng.gen_range(0..10) {
+            0..=4 => self.temp(),
+            5..=6 => ARGS[self.rng.gen_range(0..ARGS.len())],
+            7 => Reg::V0,
+            8 if !self.saved.is_empty() => self.saved[self.rng.gen_range(0..self.saved.len())],
+            _ => self.temp(),
+        }
+    }
+
+    fn pad(&mut self, n: usize) {
+        for _ in 0..n {
+            self.emitted += 1;
+            match self.rng.gen_range(0..8) {
+                0 => {
+                    let d = self.temp();
+                    let v = self.rng.gen_range(-128..=127i16);
+                    self.r.lda(d, Reg::ZERO, v);
+                }
+                1 => {
+                    let (s, d) = (self.read_reg(), self.temp());
+                    self.r.load(d, Reg::SP, 8 * (s.index() as i16 % 8));
+                }
+                2 => {
+                    let s = self.read_reg();
+                    self.r.store(s, Reg::SP, 8 * (s.index() as i16 % 8));
+                }
+                _ => {
+                    let op = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And]
+                        [self.rng.gen_range(0..5)];
+                    let (a, b2) = (self.read_reg(), self.read_reg());
+                    let d = self.temp();
+                    self.r.op(op, a, b2, d);
+                }
+            }
+        }
+    }
+
+    /// Places due pending labels at the current position — called right
+    /// after a terminator, where a block boundary already exists.
+    fn boundary(&mut self) {
+        let mut placed_any = false;
+        let mut still_pending = Vec::with_capacity(self.pending.len());
+        for (label, countdown) in std::mem::take(&mut self.pending) {
+            if countdown <= 1 {
+                self.r.label(&label);
+                if !placed_any && self.rng.gen_bool(0.5) {
+                    // Boundaries double as backward-branch targets.
+                    self.back_labels.push(label.clone());
+                }
+                placed_any = true;
+            } else {
+                still_pending.push((label, countdown - 1));
+            }
+        }
+        self.pending = still_pending;
+        if !placed_any && self.rng.gen_bool(0.35) {
+            let l = self.fresh("bk");
+            self.r.label(&l);
+            self.back_labels.push(l);
+        }
+    }
+
+    fn epilogue(&mut self) {
+        for (i, &s) in self.saved.clone().iter().enumerate() {
+            self.r.load(s, Reg::SP, 8 * i as i16);
+            self.emitted += 1;
+        }
+        if self.saves_ra {
+            self.r.load(Reg::RA, Reg::SP, self.frame - 8);
+            self.emitted += 1;
+        }
+        if self.frame > 0 {
+            self.r.lda(Reg::SP, Reg::SP, self.frame);
+            self.emitted += 1;
+        }
+        self.r.ret();
+        self.emitted += 1;
+    }
+}
+
+fn emit_routine(b: &mut ProgramBuilder, p: &Profile, n_routines: usize, idx: usize, rng: &mut StdRng) {
+    let name = format!("r{idx}");
+    let exported = idx != 0 && rng.gen_bool(p.exported_frac);
+
+    // Dispatch-style routines (rare): every call hides behind one big
+    // multiway branch (or §3.6 binary-branch chain) in a loop. Their call
+    // appetite is compensated in the plain-call mean so the Table 3
+    // calls/routine statistic holds.
+    let dispatch_frac = (p.fig12_frac / 8.0).min(1.0);
+    let dispatch_k = (3.0 * p.calls_per_routine).clamp(8.0, 40.0) as usize;
+    let binary_k = p.calls_per_routine.clamp(4.0, 12.0) as usize;
+    let dispatch = rng.gen_bool(dispatch_frac);
+    let binary_dispatch = !dispatch && rng.gen_bool(p.binary_dispatch_frac);
+    let consumed = dispatch_frac * dispatch_k as f64
+        + (1.0 - dispatch_frac) * p.binary_dispatch_frac * binary_k as f64;
+    let plain_call_mean = ((p.calls_per_routine - consumed)
+        / ((1.0 - dispatch_frac) * (1.0 - p.binary_dispatch_frac)).max(1e-9))
+    .max(0.3);
+
+    let n_calls = if dispatch || binary_dispatch { 0 } else { poisson(rng, plain_call_mean) };
+    // Dispatch loops contribute their own branch instructions (the
+    // selector chain and the per-case back-branches); charge them against
+    // the routine's branch budget so Table 3 and block counts hold.
+    let branch_mean = if binary_dispatch {
+        (p.branches_per_routine - 2.0 * binary_k as f64).max(0.5)
+    } else if dispatch {
+        (p.branches_per_routine - dispatch_k as f64).max(0.5)
+    } else {
+        p.branches_per_routine
+    };
+    let n_branches = poisson(rng, branch_mean);
+    let n_multi = poisson(rng, p.multiway_per_routine);
+    let n_exits = poisson(rng, p.exits_per_routine).max(1);
+    let n_alt = poisson(rng, (p.entrances_per_routine - 1.0).max(0.0));
+
+    // Heavy-tailed size factor: most routines small, a few large.
+    let factor = if rng.gen_bool(0.8) {
+        0.5 + rng.gen::<f64>() * 0.5
+    } else {
+        1.0 + rng.gen::<f64>() * 3.0
+    };
+    let instr_target = (p.instructions_per_routine() * factor) as usize;
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut plain_calls = n_calls;
+    events.extend(std::iter::repeat_n(Event::Branch, n_branches));
+    for _ in 0..n_multi {
+        // A multiway branch near calls is common (dispatch to handlers);
+        // emit a small call-bearing loop for a fraction of them, drawing
+        // the calls from the routine's call budget.
+        if rng.gen_bool(0.4) {
+            let k = rng.gen_range(2..=4usize).min(plain_calls.max(2));
+            plain_calls = plain_calls.saturating_sub(k);
+            events.push(Event::Dispatch(k));
+        } else {
+            events.push(Event::Multiway);
+        }
+    }
+    events.extend(std::iter::repeat_n(Event::Call, plain_calls));
+    events.extend(std::iter::repeat_n(Event::Exit, n_exits - 1));
+    if dispatch {
+        events.push(Event::Dispatch(dispatch_k));
+    }
+    if binary_dispatch {
+        events.push(Event::BinaryDispatch(binary_k));
+    }
+    events.shuffle(rng);
+
+    let saved: Vec<Reg> = if rng.gen_bool(p.callee_saved_frac) {
+        SAVED[..rng.gen_range(1..=SAVED.len())].to_vec()
+    } else {
+        Vec::new()
+    };
+    let saves_ra = n_calls > 0 || dispatch || binary_dispatch;
+    let frame: i16 = if saved.is_empty() && !saves_ra {
+        0
+    } else {
+        (8 * saved.len() as i16 + if saves_ra { 8 } else { 0 } + 8) & !15
+    };
+
+    let r = b.routine(&name);
+    if exported {
+        r.export();
+    }
+    let mut e = Emitter {
+        r,
+        rng,
+        pending: Vec::new(),
+        back_labels: Vec::new(),
+        next_label: 0,
+        saved: saved.clone(),
+        saves_ra,
+        frame,
+        emitted: 0,
+    };
+
+    // Prologue: allocate the frame, save ra and callee-saved registers.
+    if frame > 0 {
+        e.r.lda(Reg::SP, Reg::SP, -frame);
+        e.emitted += 1;
+    }
+    for (i, &s) in saved.iter().enumerate() {
+        e.r.store(s, Reg::SP, 8 * i as i16);
+        e.emitted += 1;
+    }
+    if saves_ra {
+        e.r.store(Reg::RA, Reg::SP, frame - 8);
+        e.emitted += 1;
+    }
+
+    // Estimated instruction overhead per event kind, to size the padding.
+    let overhead: usize = events
+        .iter()
+        .map(|ev| match ev {
+            Event::Call => 3,
+            Event::Branch => 1,
+            Event::Multiway => 2 + 2 * p.multiway_fanout,
+            Event::Dispatch(k) => 2 + 2 * k,
+            Event::BinaryDispatch(k) => 3 * k,
+            Event::Exit => 3 + saved.len(),
+        })
+        .sum::<usize>()
+        + 4
+        + saved.len() * 2;
+    let slots = events.len() + 1;
+    let pad_budget = instr_target.saturating_sub(overhead);
+
+    let mut alt_remaining = n_alt;
+    for (i, ev) in events.iter().enumerate() {
+        let pad_n = pad_budget * (i + 1) / slots - pad_budget * i / slots;
+        e.pad(pad_n);
+        match ev {
+            Event::Call => {
+                // Set up some arguments, then call.
+                for a in ARGS.iter().take(e.rng.gen_range(0..=2)) {
+                    e.r.lda(*a, Reg::ZERO, 1);
+                    e.emitted += 1;
+                }
+                let roll: f64 = e.rng.gen();
+                if roll < p.indirect_unknown_frac {
+                    e.r.lda(Reg::PV, Reg::ZERO, 1);
+                    e.r.jsr_unknown(Reg::PV);
+                    e.emitted += 2;
+                } else if roll < p.indirect_unknown_frac + p.indirect_known_frac {
+                    let k = e.rng.gen_range(2..=3);
+                    let targets: Vec<String> =
+                        (0..k).map(|_| format!("r{}", e.rng.gen_range(0..n_routines))).collect();
+                    let trefs: Vec<&str> = targets.iter().map(String::as_str).collect();
+                    e.r.lda(Reg::PV, Reg::ZERO, 1);
+                    e.r.jsr_known(Reg::PV, &trefs);
+                    e.emitted += 2;
+                } else {
+                    let callee = if e.rng.gen_bool(0.02) {
+                        idx // direct recursion
+                    } else {
+                        e.rng.gen_range(0..n_routines)
+                    };
+                    e.r.call(&format!("r{callee}"));
+                    e.emitted += 1;
+                }
+                e.boundary();
+                if alt_remaining > 0 && e.rng.gen_bool(0.5) {
+                    let l = e.fresh("alt");
+                    e.r.label(&l).alt_entry(&l);
+                    alt_remaining -= 1;
+                }
+            }
+            Event::Branch => {
+                let cond = CONDS[e.rng.gen_range(0..CONDS.len())];
+                let reg = e.read_reg();
+                let backward =
+                    e.rng.gen_bool(p.backward_branch_frac) && !e.back_labels.is_empty();
+                if backward {
+                    let l = e.back_labels[e.rng.gen_range(0..e.back_labels.len())].clone();
+                    e.r.cond(cond, reg, &l);
+                } else {
+                    let l = e.fresh("fw");
+                    e.r.cond(cond, reg, &l);
+                    let span = e.rng.gen_range(1..=p.branch_span.max(1));
+                    e.pending.push((l, span));
+                }
+                e.emitted += 1;
+                e.boundary();
+            }
+            Event::Multiway => {
+                // Plain switch: cases rejoin below.
+                let k = e.rng.gen_range(2..=p.multiway_fanout.max(2));
+                let idx_reg = e.temp();
+                let join = e.fresh("mj");
+                let cases: Vec<String> = (0..k).map(|_| e.fresh("mc")).collect();
+                let crefs: Vec<&str> = cases.iter().map(String::as_str).collect();
+                e.r.switch(idx_reg, &crefs);
+                e.emitted += 1;
+                for (ci, c) in cases.iter().enumerate() {
+                    e.r.label(c);
+                    let d = e.temp();
+                    e.r.lda(d, Reg::ZERO, ci as i16);
+                    e.emitted += 1;
+                    if ci + 1 < k {
+                        e.r.br(&join);
+                        e.emitted += 1;
+                    }
+                }
+                e.r.label(&join);
+                e.boundary();
+            }
+            Event::Dispatch(k) => {
+                // Figure-12 at scale: a k+1-way multiway branch in a loop
+                // with a call behind every case; the extra case exits.
+                let top = e.fresh("dt");
+                let out = e.fresh("do");
+                let idx_reg = e.temp();
+                let mut cases: Vec<String> = (0..*k).map(|_| e.fresh("dc")).collect();
+                cases.push(out.clone());
+                e.r.label(&top);
+                let crefs: Vec<&str> = cases.iter().map(String::as_str).collect();
+                e.r.switch(idx_reg, &crefs);
+                e.emitted += 1;
+                for c in &cases[..*k] {
+                    e.r.label(c);
+                    let callee = e.rng.gen_range(0..n_routines);
+                    e.r.call(&format!("r{callee}"));
+                    e.r.br(&top);
+                    e.emitted += 2;
+                }
+                e.r.label(&out);
+                e.boundary();
+            }
+            Event::BinaryDispatch(k) => {
+                // §3.6's hard case: a loop whose body selects among k
+                // call-bearing cases with a chain of two-way branches.
+                // Every case's return reaches every case's call through
+                // the loop head — O(k²) flow-summary edges that branch
+                // nodes cannot remove (there is no multiway branch).
+                let top = e.fresh("bt");
+                let out = e.fresh("bo");
+                let cases: Vec<String> = (0..*k).map(|_| e.fresh("bc")).collect();
+                e.r.label(&top);
+                let sel = e.temp();
+                for c in &cases[1..] {
+                    e.r.cond(BranchCond::Ne, sel, c);
+                    e.emitted += 1;
+                }
+                // The selector chain falls through into case 0, which is
+                // also the case that leaves the loop.
+                for (ci, c) in cases.iter().enumerate() {
+                    if ci > 0 {
+                        e.r.label(c);
+                    }
+                    let callee = e.rng.gen_range(0..n_routines);
+                    e.r.call(&format!("r{callee}"));
+                    e.emitted += 1;
+                    if ci == 0 {
+                        e.r.br(&out);
+                    } else {
+                        e.r.br(&top);
+                    }
+                    e.emitted += 1;
+                }
+                e.r.label(&out);
+                e.boundary();
+            }
+            Event::Exit => {
+                // Early return: skip label lands right after the ret.
+                let skip = e.fresh("sk");
+                let reg = e.read_reg();
+                e.r.cond(BranchCond::Eq, reg, &skip);
+                e.emitted += 1;
+                if e.rng.gen_bool(0.5) {
+                    e.r.lda(Reg::V0, Reg::ZERO, 1);
+                    e.emitted += 1;
+                }
+                e.epilogue();
+                e.r.label(&skip);
+                e.boundary();
+            }
+        }
+    }
+
+    let final_pad = pad_budget - pad_budget * events.len() / slots;
+    e.pad(final_pad);
+
+    // Place any labels still pending, then the final exit.
+    let leftovers: Vec<String> = e.pending.drain(..).map(|(l, _)| l).collect();
+    for l in &leftovers {
+        e.r.label(l);
+    }
+    if idx == 0 {
+        // The entry routine ends the program.
+        e.r.lda(Reg::V0, Reg::ZERO, 0);
+        e.r.halt();
+    } else {
+        if e.rng.gen_bool(0.5) {
+            e.r.lda(Reg::V0, Reg::ZERO, 1);
+            e.emitted += 1;
+        }
+        e.epilogue();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{profile, profiles};
+    use spike_cfg::ProgramCfg;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("li").unwrap();
+        let a = generate(&p, 0.1, 7);
+        let b = generate(&p, 0.1, 7);
+        assert_eq!(a, b);
+        let c = generate(&p, 0.1, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn all_profiles_generate_valid_programs() {
+        for p in profiles() {
+            let scale = (60.0 / p.routines as f64).min(1.0);
+            let prog = generate(&p, scale, 42);
+            assert!(prog.routines().len() >= 2, "{}", p.name);
+            // Round-trips through the image format.
+            let img = prog.to_image();
+            assert_eq!(spike_program::Program::from_image(&img).unwrap(), prog);
+        }
+    }
+
+    #[test]
+    fn shape_statistics_track_the_profile() {
+        let p = profile("gcc").unwrap();
+        let prog = generate(&p, 0.2, 11);
+        let pcfg = ProgramCfg::build(&prog);
+        let n = prog.routines().len() as f64;
+
+        let calls: usize = pcfg.cfgs().iter().map(|c| c.call_count()).sum();
+        let calls_per = calls as f64 / n;
+        assert!(
+            (calls_per - p.calls_per_routine).abs() / p.calls_per_routine < 0.25,
+            "calls/routine {calls_per:.2} vs target {:.2}",
+            p.calls_per_routine
+        );
+
+        let blocks_per = pcfg.total_blocks() as f64 / n;
+        assert!(
+            (blocks_per - p.blocks_per_routine()).abs() / p.blocks_per_routine() < 0.35,
+            "blocks/routine {blocks_per:.2} vs target {:.2}",
+            p.blocks_per_routine()
+        );
+
+        let instrs = prog.total_instructions() as f64 / n;
+        assert!(
+            (instrs - p.instructions_per_routine()).abs() / p.instructions_per_routine() < 0.5,
+            "instrs/routine {instrs:.1} vs target {:.1}",
+            p.instructions_per_routine()
+        );
+    }
+
+    #[test]
+    fn exported_and_indirect_features_appear() {
+        let p = profile("sqlservr").unwrap();
+        let prog = generate(&p, 0.2, 3);
+        assert!(prog.routines().iter().any(|r| r.exported()));
+        assert!(!prog.indirect_calls().is_empty());
+        assert!(!prog.jump_tables().is_empty());
+        // sqlservr's profile has 1.02 entrances/routine: at 655 routines
+        // some alternate entrances must appear.
+        assert!(prog
+            .routines()
+            .iter()
+            .any(|r| r.entry_offsets().len() > 1));
+    }
+
+    #[test]
+    fn scale_changes_size_proportionally() {
+        let p = profile("compress").unwrap();
+        let small = generate(&p, 0.25, 5);
+        let large = generate(&p, 0.5, 5);
+        let ratio = large.routines().len() as f64 / small.routines().len() as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+}

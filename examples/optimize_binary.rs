@@ -1,0 +1,67 @@
+//! The Figure 1 optimizations end to end: build an executable exhibiting
+//! all four patterns, optimize it, and execute both versions to show
+//! identical output with fewer instructions.
+//!
+//! ```text
+//! cargo run --example optimize_binary
+//! ```
+
+use spike::isa::{AluOp, Reg};
+use spike::opt::optimize;
+use spike::program::ProgramBuilder;
+use spike::sim::{run, Outcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = ProgramBuilder::new();
+    // main: passes two arguments (one dead — Figure 1(b)), spills a
+    // temporary around a call that doesn't kill it (Figure 1(c)).
+    b.routine("main")
+        .lda(Reg::SP, Reg::SP, -16)
+        .lda(Reg::A0, Reg::ZERO, 40)
+        .lda(Reg::A1, Reg::ZERO, 99) // dead argument: compute never reads a1
+        .lda(Reg::T0, Reg::ZERO, 2)
+        .store(Reg::T0, Reg::SP, 0) // spill t0 around the call...
+        .call("compute")
+        .load(Reg::T0, Reg::SP, 0) // ...though compute never kills t0
+        .op(AluOp::Add, Reg::V0, Reg::T0, Reg::V0)
+        .put_int()
+        .halt();
+    // compute: saves s0 although a quiet temporary would do (Figure 1(d)),
+    // and defines a scratch value nobody reads (Figure 1(a)).
+    b.routine("compute")
+        .lda(Reg::SP, Reg::SP, -16)
+        .store(Reg::RA, Reg::SP, 8)
+        .store(Reg::S0, Reg::SP, 0)
+        .copy(Reg::A0, Reg::S0)
+        .call("noise")
+        .copy(Reg::S0, Reg::V0)
+        .lda(Reg::T1, Reg::ZERO, 123) // dead result
+        .load(Reg::S0, Reg::SP, 0)
+        .load(Reg::RA, Reg::SP, 8)
+        .lda(Reg::SP, Reg::SP, 16)
+        .ret();
+    b.routine("noise").lda(Reg::int(6), Reg::ZERO, 7).ret();
+    let program = b.build()?;
+
+    let (optimized, report) = optimize(&program)?;
+
+    println!("optimization report: {report:#?}\n");
+    println!("before ({} instructions):\n{program}", program.total_instructions());
+    println!("after  ({} instructions):\n{optimized}", optimized.total_instructions());
+
+    let (before, after) = (run(&program, 1_000_000), run(&optimized, 1_000_000));
+    let (Outcome::Halted { output: o0, steps: s0 }, Outcome::Halted { output: o1, steps: s1 }) =
+        (&before, &after)
+    else {
+        panic!("programs must halt: {before:?} / {after:?}");
+    };
+    println!("output before: {o0:?} in {s0} steps");
+    println!("output after:  {o1:?} in {s1} steps");
+    assert_eq!(o0, o1, "optimization must preserve behaviour");
+    assert!(s1 < s0);
+    println!(
+        "\nsame output, {:.0}% fewer executed instructions",
+        100.0 * (s0 - s1) as f64 / *s0 as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Post-link-time flow on a large synthetic application: generate an
+//! excel-like benchmark, serialize it to an executable image, load the
+//! image back (decoding every instruction word), analyze it, and print
+//! Table-2-style statistics with the Figure-13 stage breakdown.
+//!
+//! ```text
+//! cargo run --release --example whole_program [scale]
+//! ```
+
+use spike::core::analyze;
+use spike::program::Program;
+use spike::synth::{generate, profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.05);
+
+    let p = profile("excel").expect("known benchmark");
+    println!("generating {} at scale {scale} ...", p.name);
+    let program = generate(&p, scale, 42);
+
+    // Round-trip through the executable image, as Spike would consume it.
+    let image = program.to_image();
+    println!(
+        "image: {} bytes for {} instructions in {} routines",
+        image.len(),
+        program.total_instructions(),
+        program.routines().len()
+    );
+    let loaded = Program::from_image(&image)?;
+    assert_eq!(loaded, program, "loader reproduces the program exactly");
+
+    let analysis = analyze(&loaded);
+    let stats = &analysis.stats;
+    let psg = analysis.psg.stats();
+
+    println!("\nTable-2 style row:");
+    println!(
+        "  routines {}  basic blocks {}  instructions {:.1}k  time {:?}  memory {:.2} MB",
+        loaded.routines().len(),
+        analysis.cfg.total_blocks(),
+        loaded.total_instructions() as f64 / 1e3,
+        stats.total(),
+        stats.memory_bytes as f64 / 1e6,
+    );
+
+    println!("\nFigure-13 stage breakdown:");
+    let total = stats.total().as_secs_f64().max(1e-12);
+    for (name, d) in [
+        ("cfg build", stats.cfg_build),
+        ("initialization", stats.init),
+        ("psg build", stats.psg_build),
+        ("phase 1", stats.phase1),
+        ("phase 2", stats.phase2),
+    ] {
+        println!("  {name:<15} {:>6.1}%  ({d:?})", 100.0 * d.as_secs_f64() / total);
+    }
+
+    println!("\nPSG: {} nodes, {} edges ({} flow, {} call-return, {} branch nodes)",
+        psg.nodes, psg.edges, psg.flow_edges, psg.call_return_edges, psg.branch_nodes);
+
+    let counts = analysis.cfg.counts();
+    println!(
+        "CFG: {} blocks, {} arcs  →  nodes/blocks = {:.2}, edges/arcs = {:.2}",
+        counts.basic_blocks,
+        counts.total_arcs(),
+        psg.nodes as f64 / counts.basic_blocks as f64,
+        psg.edges as f64 / counts.total_arcs() as f64,
+    );
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! The central correctness property: the compact PSG analysis computes
+//! exactly the same meet-over-all-valid-paths summaries as dataflow over
+//! the whole-program CFG, on arbitrary generated programs.
+
+use proptest::prelude::*;
+
+use spike::baseline::analyze_baseline_with;
+use spike::core::{analyze_with, AnalysisOptions};
+use spike::program::Program;
+
+fn assert_equivalent(program: &Program, options: &AnalysisOptions) {
+    let psg = analyze_with(program, options);
+    let full = analyze_baseline_with(program, options);
+    for (rid, r) in program.iter() {
+        assert_eq!(
+            psg.summary.routine(rid),
+            &full.summaries[rid.index()],
+            "summary mismatch for {}",
+            r.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Executable-style programs (DAG call graphs, loops, switches,
+    /// indirect calls).
+    #[test]
+    fn psg_equals_full_cfg_on_executables(seed in any::<u64>(), size in 1usize..8) {
+        let program = spike::synth::generate_executable(seed, size);
+        assert_equivalent(&program, &AnalysisOptions::default());
+    }
+
+    /// Profile-shaped programs (recursion, multiway dispatch, exports,
+    /// unknown indirect calls, callee-saved traffic).
+    #[test]
+    fn psg_equals_full_cfg_on_profiles(
+        seed in any::<u64>(),
+        which in 0usize..16,
+    ) {
+        let profiles = spike::synth::profiles();
+        let p = &profiles[which];
+        let scale = 25.0 / p.routines as f64;
+        let program = spike::synth::generate(p, scale, seed);
+        assert_equivalent(&program, &AnalysisOptions::default());
+    }
+
+    /// The equivalence must hold under every analysis configuration.
+    #[test]
+    fn psg_equals_full_cfg_under_option_matrix(
+        seed in any::<u64>(),
+        branch_nodes in any::<bool>(),
+        callee_saved_filter in any::<bool>(),
+    ) {
+        let p = spike::synth::profile("perl").expect("known benchmark");
+        let program = spike::synth::generate(&p, 25.0 / p.routines as f64, seed);
+        let options = AnalysisOptions {
+            branch_nodes,
+            callee_saved_filter,
+            ..AnalysisOptions::default()
+        };
+        assert_equivalent(&program, &options);
+    }
+}
+
+/// Branch nodes are a pure representation choice: toggling them must not
+/// change a single summary set, only the graph size.
+#[test]
+fn branch_nodes_do_not_change_results() {
+    for name in ["sqlservr", "perl", "vc", "winword"] {
+        let p = spike::synth::profile(name).expect("known benchmark");
+        let program = spike::synth::generate(&p, 40.0 / p.routines as f64, 9);
+        let with = analyze_with(&program, &AnalysisOptions::default());
+        let without = analyze_with(
+            &program,
+            &AnalysisOptions { branch_nodes: false, ..AnalysisOptions::default() },
+        );
+        for (rid, r) in program.iter() {
+            assert_eq!(
+                with.summary.routine(rid),
+                without.summary.routine(rid),
+                "{name}/{} differs",
+                r.name()
+            );
+        }
+        assert!(with.psg.stats().branch_nodes > 0, "{name} has branch nodes");
+    }
+}
+
+/// Disabling the §3.4 callee-saved filter can only make summaries more
+/// conservative: larger call-used/killed sets, never smaller.
+#[test]
+fn callee_saved_filter_only_sharpens() {
+    let p = spike::synth::profile("li").expect("known benchmark");
+    let program = spike::synth::generate(&p, 40.0 / p.routines as f64, 4);
+    let filtered = analyze_with(&program, &AnalysisOptions::default());
+    let raw = analyze_with(
+        &program,
+        &AnalysisOptions { callee_saved_filter: false, ..AnalysisOptions::default() },
+    );
+    for (rid, r) in program.iter() {
+        let f = filtered.summary.routine(rid);
+        let u = raw.summary.routine(rid);
+        for (a, b) in f.call_used.iter().zip(&u.call_used) {
+            assert!(a.is_subset(*b), "{}: filtered used must shrink", r.name());
+        }
+        for (a, b) in f.call_killed.iter().zip(&u.call_killed) {
+            assert!(a.is_subset(*b), "{}: filtered killed must shrink", r.name());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The §3.5 extension: "dataflow accuracy can be improved if additional
+//! information is provided to Spike by the compiler or linker" — exact
+//! live-register sets at indirect-jump targets and exact effects of
+//! external indirect calls.
+
+use spike::baseline::analyze_baseline;
+use spike::core::analyze;
+use spike::isa::{Reg, RegSet};
+use spike::program::{Program, ProgramBuilder};
+
+fn assert_psg_matches_baseline(program: &Program) {
+    let psg = analyze(program);
+    let full = analyze_baseline(program);
+    for (rid, r) in program.iter() {
+        assert_eq!(
+            psg.summary.routine(rid),
+            &full.summaries[rid.index()],
+            "mismatch for {}",
+            r.name()
+        );
+    }
+}
+
+/// Without a hint, everything is live at an unknown jump target; with
+/// one, only the hinted registers are.
+#[test]
+fn jump_hints_sharpen_liveness()
+{
+    let build = |hint: Option<RegSet>| {
+        let mut b = ProgramBuilder::new();
+        let r = b.routine("f");
+        r.def(Reg::T0).def(Reg::T1);
+        match hint {
+            Some(live) => r.jmp_hinted(Reg::T0, live),
+            None => r.insn(spike::isa::Instruction::Jmp { base: Reg::T0 }),
+        };
+        b.build().unwrap()
+    };
+
+    // Unhinted: both definitions are "used" by the unknown target.
+    let p = build(None);
+    let a = analyze(&p);
+    let f = p.routine_by_name("f").unwrap();
+    let s = a.summary.routine(f);
+    assert!(s.call_killed[0].contains(Reg::T1));
+    // Everything except the locally defined t0/t1 is live at entry: the
+    // unknown target may read it all.
+    assert_eq!(
+        s.live_at_entry[0],
+        RegSet::ALL - RegSet::of(&[Reg::T0, Reg::T1])
+    );
+
+    // Hinted: only t0 (the jump base) and the hinted registers are live.
+    let hint = RegSet::of(&[Reg::A0]);
+    let q = build(Some(hint));
+    let a = analyze(&q);
+    let f = q.routine_by_name("f").unwrap();
+    let s = a.summary.routine(f);
+    assert!(s.live_at_entry[0].contains(Reg::A0));
+    assert!(!s.live_at_entry[0].contains(Reg::A1), "a1 is not hinted live");
+    assert_psg_matches_baseline(&q);
+}
+
+/// A hinted external call uses the supplied sets instead of the
+/// calling-standard assumption.
+#[test]
+fn call_hints_replace_calling_standard_assumptions() {
+    let used = RegSet::of(&[Reg::A0]);
+    let defined = RegSet::of(&[Reg::V0]);
+    let killed = RegSet::of(&[Reg::V0, Reg::T0]);
+
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .def(Reg::A0)
+        .def(Reg::A1) // NOT used by the hinted external call: dead
+        .def(Reg::T1) // not killed by the hinted call: survives it
+        .lda(Reg::PV, Reg::ZERO, 1)
+        .jsr_hinted(Reg::PV, used, defined, killed)
+        .use_reg(Reg::T1)
+        .halt();
+    let p = b.build().unwrap();
+    assert_psg_matches_baseline(&p);
+
+    // The dead-argument pass can now delete `def a1`, which the
+    // calling-standard assumption would have kept.
+    let (q, report) = spike::opt::optimize(&p).unwrap();
+    assert!(report.dead_deleted >= 1, "{report:?}");
+    assert!(q.total_instructions() < p.total_instructions());
+
+    // Sanity: with a plain unknown call nothing is deletable.
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .def(Reg::A0)
+        .def(Reg::A1)
+        .def(Reg::T1)
+        .lda(Reg::PV, Reg::ZERO, 1)
+        .jsr_unknown(Reg::PV)
+        .use_reg(Reg::T1)
+        .halt();
+    let unhinted = b.build().unwrap();
+    let (_, report) = spike::opt::optimize(&unhinted).unwrap();
+    assert_eq!(report.dead_deleted, 0);
+}
+
+/// Hints survive the executable image round-trip and relinking.
+#[test]
+fn hints_round_trip_through_image_and_rewriter() {
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .def(Reg::T2) // deletable filler so the rewriter moves things
+        .lda(Reg::PV, Reg::ZERO, 1)
+        .jsr_hinted(
+            Reg::PV,
+            RegSet::of(&[Reg::A0]),
+            RegSet::of(&[Reg::V0]),
+            RegSet::of(&[Reg::V0]),
+        )
+        .jmp_hinted(Reg::T0, RegSet::of(&[Reg::V0]))
+        .halt();
+    let p = b.build().unwrap();
+
+    let loaded = Program::from_image(&p.to_image()).expect("image round-trips");
+    assert_eq!(loaded, p);
+
+    let base = p.routines()[0].addr();
+    let q = spike::program::Rewriter::new(&p).delete(base).finish().unwrap();
+    // Hint keys moved down one word with the code.
+    assert_eq!(q.jump_hints().len(), 1);
+    assert_eq!(q.jump_hint(base + 2), Some(RegSet::of(&[Reg::V0])));
+    assert!(matches!(
+        q.indirect_call_targets(base + 1),
+        spike::program::IndirectTargets::Hinted { .. }
+    ));
+    assert_psg_matches_baseline(&q);
+}
+
+/// Misplaced hints are rejected at validation.
+#[test]
+fn misplaced_jump_hints_are_rejected() {
+    // A hint on a jmp that *has* a table is contradictory.
+    let mut b = ProgramBuilder::new();
+    b.routine("main")
+        .switch(Reg::T0, &["c"])
+        .label("c")
+        .halt();
+    let p = b.build().unwrap();
+    let jmp_addr = p.routines()[0].addr();
+    let err = Program::new(
+        p.routines().to_vec(),
+        p.jump_tables().clone(),
+        p.indirect_calls().clone(),
+        [(jmp_addr, RegSet::ALL)].into_iter().collect(),
+        p.relocations().clone(),
+        p.entry(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        spike::program::ProgramError::MisplacedAuxInfo { .. }
+    ));
+}

@@ -1,0 +1,81 @@
+//! The full post-link pipeline, end to end: generate a program, write the
+//! executable image, load it back (decoding every word), analyze, optimize,
+//! re-serialize, reload, and execute — exactly the life cycle of a binary
+//! passing through Spike.
+
+use spike::core::analyze;
+use spike::opt::optimize;
+use spike::program::Program;
+use spike::sim::{run, Outcome};
+use spike::synth::{generate, generate_executable, profile};
+
+fn output_of(p: &Program) -> Vec<i64> {
+    match run(p, 10_000_000) {
+        Outcome::Halted { output, .. } => output,
+        other => panic!("program did not halt: {other:?}"),
+    }
+}
+
+#[test]
+fn executable_pipeline_preserves_behaviour() {
+    for seed in 0..10 {
+        let original = generate_executable(seed, 6);
+        let expected = output_of(&original);
+
+        // Ship as an image; load as Spike would.
+        let loaded = Program::from_image(&original.to_image()).expect("valid image");
+        assert_eq!(loaded, original);
+
+        // Analyze and optimize the loaded binary.
+        let analysis = analyze(&loaded);
+        assert_eq!(analysis.summary.routines().len(), loaded.routines().len());
+        let (optimized, report) = optimize(&loaded).expect("optimizes");
+        assert!(report.instructions_after <= report.instructions_before);
+
+        // Ship the optimized binary and run it.
+        let reshipped =
+            Program::from_image(&optimized.to_image()).expect("optimized image is valid");
+        assert_eq!(output_of(&reshipped), expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn profile_benchmark_pipeline_is_stable() {
+    let p = profile("vortex").expect("known benchmark");
+    let program = generate(&p, 30.0 / p.routines as f64, 77);
+
+    let image = program.to_image();
+    let loaded = Program::from_image(&image).expect("valid image");
+    assert_eq!(loaded, program);
+
+    // Analysis of the loaded image matches analysis of the original.
+    let a1 = analyze(&program);
+    let a2 = analyze(&loaded);
+    for (rid, _) in program.iter() {
+        assert_eq!(a1.summary.routine(rid), a2.summary.routine(rid));
+    }
+
+    // Optimization keeps the image loadable and analyzable.
+    let (optimized, _) = optimize(&loaded).expect("optimizes");
+    let reshipped = Program::from_image(&optimized.to_image()).expect("valid");
+    let _ = analyze(&reshipped);
+}
+
+#[test]
+fn analysis_stats_are_populated() {
+    let p = profile("m88ksim").expect("known benchmark");
+    let program = generate(&p, 30.0 / p.routines as f64, 3);
+    let analysis = analyze(&program);
+    let s = &analysis.stats;
+    assert!(s.memory_bytes > 0);
+    assert!(s.phase1_visits > 0);
+    assert!(s.phase2_visits > 0);
+    // Stage timers measure disjoint work; the sum is the total.
+    assert_eq!(
+        s.total(),
+        s.cfg_build + s.init + s.psg_build + s.phase1 + s.phase2
+    );
+    // Memory accounting is deterministic.
+    let again = analyze(&program);
+    assert_eq!(s.memory_bytes, again.stats.memory_bytes);
+}

@@ -1,0 +1,75 @@
+//! Optimizer soundness: on arbitrary terminating programs, the Figure 1
+//! passes must preserve the observable output stream, never increase
+//! static size, and never increase executed instructions.
+
+use proptest::prelude::*;
+
+use spike::opt::{optimize, optimize_with, OptOptions};
+use spike::sim::{run, Outcome};
+use spike::synth::generate_executable;
+
+const FUEL: u64 = 10_000_000;
+
+fn halted(outcome: Outcome) -> (Vec<i64>, u64) {
+    match outcome {
+        Outcome::Halted { output, steps } => (output, steps),
+        other => panic!("program did not halt: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimization_preserves_behaviour(seed in any::<u64>(), size in 1usize..9) {
+        let p = generate_executable(seed, size);
+        let (before_out, before_steps) = halted(run(&p, FUEL));
+        let (q, report) = optimize(&p).expect("optimization succeeds");
+        let (after_out, after_steps) = halted(run(&q, FUEL));
+
+        prop_assert_eq!(&before_out, &after_out, "output changed: {:?}", report);
+        prop_assert!(after_steps <= before_steps, "executed more instructions");
+        prop_assert!(report.instructions_after <= report.instructions_before);
+        prop_assert_eq!(q.total_instructions(), report.instructions_after);
+    }
+
+    /// Every single pass is independently sound.
+    #[test]
+    fn each_pass_is_independently_sound(seed in any::<u64>(), pass in 0usize..3) {
+        let p = generate_executable(seed, 6);
+        let options = OptOptions {
+            dead_code: pass == 0,
+            spills: pass == 1,
+            realloc: pass == 2,
+            ..OptOptions::default()
+        };
+        let (before_out, _) = halted(run(&p, FUEL));
+        let (q, _) = optimize_with(&p, &options).expect("optimization succeeds");
+        let (after_out, _) = halted(run(&q, FUEL));
+        prop_assert_eq!(before_out, after_out);
+    }
+
+    /// Optimizing twice reaches a fixpoint quickly: the second round may
+    /// shrink further, never grow, and still behaves identically.
+    #[test]
+    fn optimization_is_shrinking_and_idempotent_in_behaviour(seed in any::<u64>()) {
+        let p = generate_executable(seed, 5);
+        let (q, _) = optimize(&p).expect("first round");
+        let (r, rep2) = optimize(&q).expect("second round");
+        prop_assert!(rep2.instructions_after <= rep2.instructions_before);
+        let (o0, _) = halted(run(&p, FUEL));
+        let (o2, _) = halted(run(&r, FUEL));
+        prop_assert_eq!(o0, o2);
+    }
+
+    /// The optimized binary survives an image round-trip and re-analysis.
+    #[test]
+    fn optimized_binary_round_trips(seed in any::<u64>()) {
+        let p = generate_executable(seed, 5);
+        let (q, _) = optimize(&p).expect("optimization succeeds");
+        let image = q.to_image();
+        let loaded = spike::program::Program::from_image(&image).expect("loads");
+        prop_assert_eq!(&loaded, &q);
+        let _ = spike::core::analyze(&loaded);
+    }
+}
