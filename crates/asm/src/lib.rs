@@ -99,16 +99,8 @@ mod tests {
             )
             .put_int()
             .halt();
-        b.routine("util")
-            .export()
-            .def(Reg::T2)
-            .label("alt")
-            .alt_entry("alt")
-            .def(Reg::V0)
-            .ret();
-        b.routine("spinner")
-            .jmp_hinted(Reg::T3, RegSet::of(&[Reg::V0]))
-            .halt();
+        b.routine("util").export().def(Reg::T2).label("alt").alt_entry("alt").def(Reg::V0).ret();
+        b.routine("spinner").jmp_hinted(Reg::T3, RegSet::of(&[Reg::V0])).halt();
         let program = b.build().unwrap();
 
         let text = write_asm(&program);
@@ -122,8 +114,7 @@ mod tests {
             let p = spike_synth::profile(name).unwrap();
             let program = spike_synth::generate(&p, 25.0 / p.routines as f64, 11);
             let text = write_asm(&program);
-            let parsed =
-                parse_asm(&text).unwrap_or_else(|e| panic!("{name} parse failed: {e}"));
+            let parsed = parse_asm(&text).unwrap_or_else(|e| panic!("{name} parse failed: {e}"));
             assert_eq!(parsed, program, "{name} round trip");
         }
     }

@@ -52,9 +52,7 @@ pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
 
         if let Some(rest) = line.strip_prefix(".routine") {
             let mut parts = rest.split_whitespace();
-            let name = parts
-                .next()
-                .ok_or_else(|| err(lineno, ".routine needs a name"))?;
+            let name = parts.next().ok_or_else(|| err(lineno, ".routine needs a name"))?;
             let export = match parts.next() {
                 None => false,
                 Some("export") => true,
@@ -68,9 +66,8 @@ pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
             continue;
         }
 
-        let name = current
-            .clone()
-            .ok_or_else(|| err(lineno, "instruction outside of a .routine"))?;
+        let name =
+            current.clone().ok_or_else(|| err(lineno, "instruction outside of a .routine"))?;
         let r = builder.routine(&name);
 
         if let Some(rest) = line.strip_prefix(".entry") {
@@ -88,9 +85,7 @@ pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
         parse_instruction(r, line, lineno)?;
     }
 
-    builder
-        .build()
-        .map_err(|e| err(0, format!("assembly failed: {e}")))
+    builder.build().map_err(|e| err(0, format!("assembly failed: {e}")))
 }
 
 /// Splits an operand list on top-level commas (commas inside `{}`/`[]`
@@ -159,13 +154,9 @@ fn parse_paren_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
 
 /// Parses `disp(base)`.
 fn parse_mem(s: &str, line: usize) -> Result<(i16, Reg), AsmError> {
-    let open = s
-        .find('(')
-        .ok_or_else(|| err(line, format!("expected disp(base), got `{s}`")))?;
-    let disp: i16 = s[..open]
-        .trim()
-        .parse()
-        .map_err(|_| err(line, format!("bad displacement in `{s}`")))?;
+    let open = s.find('(').ok_or_else(|| err(line, format!("expected disp(base), got `{s}`")))?;
+    let disp: i16 =
+        s[..open].trim().parse().map_err(|_| err(line, format!("bad displacement in `{s}`")))?;
     let base = parse_paren_reg(s[open..].trim(), line)?;
     Ok((disp, base))
 }
@@ -262,9 +253,8 @@ fn parse_instruction(
         let ra = parse_reg(ops[0], lineno)?;
         let rc = parse_reg(ops[2], lineno)?;
         if let Some(imm) = ops[1].strip_prefix('#') {
-            let imm: u8 = imm
-                .parse()
-                .map_err(|_| err(lineno, format!("bad immediate `{}`", ops[1])))?;
+            let imm: u8 =
+                imm.parse().map_err(|_| err(lineno, format!("bad immediate `{}`", ops[1])))?;
             r.insn(Instruction::OperateImm { op, ra, imm, rc });
         } else {
             let rb = parse_reg(ops[1], lineno)?;
@@ -412,20 +402,15 @@ mod tests {
 
     #[test]
     fn parses_a_minimal_module() {
-        let p = parse_asm(
-            ".routine main\n    lda v0, 7(zero)\n    putint\n    halt\n",
-        )
-        .unwrap();
+        let p = parse_asm(".routine main\n    lda v0, 7(zero)\n    putint\n    halt\n").unwrap();
         assert_eq!(p.routines().len(), 1);
         assert_eq!(p.total_instructions(), 3);
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let p = parse_asm(
-            "; leading comment\n\n.routine main ; trailing\n    halt ; done\n",
-        )
-        .unwrap();
+        let p =
+            parse_asm("; leading comment\n\n.routine main ; trailing\n    halt ; done\n").unwrap();
         assert_eq!(p.total_instructions(), 1);
     }
 

@@ -90,9 +90,8 @@ fn write_routine(out: &mut String, program: &Program, r: &Routine) {
 }
 
 fn write_insn(out: &mut String, program: &Program, r: &Routine, addr: u32, insn: &Instruction) {
-    let local = |disp: i32| -> String {
-        format!("L{}", (addr + 1).wrapping_add(disp as u32) - r.addr())
-    };
+    let local =
+        |disp: i32| -> String { format!("L{}", (addr + 1).wrapping_add(disp as u32) - r.addr()) };
     match *insn {
         Instruction::Br { disp } => write!(out, "br {}", local(disp)).unwrap(),
         Instruction::CondBranch { cond, ra, disp } => {
@@ -117,8 +116,7 @@ fn write_insn(out: &mut String, program: &Program, r: &Routine, addr: u32, insn:
             match program.indirect_call_targets(addr) {
                 IndirectTargets::Unknown => {}
                 IndirectTargets::Known(list) => {
-                    let names: Vec<String> =
-                        list.iter().map(|&a| entry_name(program, a)).collect();
+                    let names: Vec<String> = list.iter().map(|&a| entry_name(program, a)).collect();
                     write!(out, ", {{{}}}", names.join(", ")).unwrap();
                 }
                 IndirectTargets::Hinted { used, defined, killed } => {
@@ -137,9 +135,7 @@ fn write_insn(out: &mut String, program: &Program, r: &Routine, addr: u32, insn:
                 write!(out, "lda {rd}, {disp}({base})").unwrap();
             }
         }
-        Instruction::Ldah { rd, base, disp } => {
-            write!(out, "ldah {rd}, {disp}({base})").unwrap()
-        }
+        Instruction::Ldah { rd, base, disp } => write!(out, "ldah {rd}, {disp}({base})").unwrap(),
         Instruction::Load { width, rd, base, disp } => {
             write!(out, "{} {rd}, {disp}({base})", load_mnemonic(width)).unwrap()
         }

@@ -43,6 +43,7 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use spike_cfg::{BlockId, CallTarget, ProgramCfg, RoutineCfg, SupergraphCounts, TermKind};
+use spike_core::parallel::{par_map, resolve_threads};
 use spike_core::{saved_restored_registers, AnalysisOptions, RoutineSummary};
 use spike_isa::{HeapSize, RegSet};
 use spike_program::{Program, RoutineId};
@@ -74,6 +75,9 @@ pub struct BaselineStats {
     pub phase1_visits: usize,
     /// Block evaluations in phase 2.
     pub phase2_visits: usize,
+    /// Worker threads the CFG build stage ran with (mirrors
+    /// [`AnalysisOptions::threads`]).
+    pub cfg_build_workers: usize,
     /// Bytes of analysis structures (CFGs + per-block dataflow sets).
     pub memory_bytes: usize,
 }
@@ -106,7 +110,12 @@ struct Super {
 }
 
 impl Super {
-    fn build(program: &Program, cfg: &ProgramCfg, options: &AnalysisOptions) -> Super {
+    fn build(
+        program: &Program,
+        cfg: &ProgramCfg,
+        options: &AnalysisOptions,
+        workers: usize,
+    ) -> Super {
         let n_routines = cfg.cfgs().len();
         let mut base = Vec::with_capacity(n_routines);
         let mut total = 0usize;
@@ -114,17 +123,15 @@ impl Super {
             base.push(total);
             total += c.blocks().len();
         }
-        let csr = cfg
-            .cfgs()
-            .iter()
-            .map(|c| {
-                if options.callee_saved_filter {
-                    saved_restored_registers(program, c, &options.calling_standard)
-                } else {
-                    RegSet::EMPTY
-                }
-            })
-            .collect();
+        // The §3.4 saved/restored scan reads every routine body; like the
+        // PSG builder's pass 1 it fans out per routine.
+        let csr = par_map(n_routines, workers, |i| {
+            if options.callee_saved_filter {
+                saved_restored_registers(program, &cfg.cfgs()[i], &options.calling_standard)
+            } else {
+                RegSet::EMPTY
+            }
+        });
 
         let mut callers = vec![Vec::new(); n_routines];
         let mut caller_returns = vec![Vec::new(); n_routines];
@@ -190,10 +197,18 @@ pub fn analyze_baseline(program: &Program) -> BaselineAnalysis {
 
 /// Analyzes `program` over the full supergraph.
 pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> BaselineAnalysis {
+    let n_routines = program.routines().len();
+    let workers = resolve_threads(options.threads).clamp(1, n_routines.max(1));
+
+    // CFG structure and DEF/UBD are independent per routine: fan out over
+    // the same scoped-thread helper the PSG front-end uses, then reattach
+    // in routine-id order (results are identical at any worker count).
     let t = Instant::now();
-    let cfg = ProgramCfg::build(program);
+    let cfg = ProgramCfg::from_cfgs(par_map(n_routines, workers, |i| {
+        RoutineCfg::build(program, RoutineId::from_index(i))
+    }));
     let cfg_build = t.elapsed();
-    let sp = Super::build(program, &cfg, options);
+    let sp = Super::build(program, &cfg, options, workers);
 
     // The summary a call site sees for its callees: meet over targets,
     // callee-saved registers filtered (§3.4), calling-standard assumptions
@@ -205,11 +220,7 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
         let one = |ins: &[Triple], rid: RoutineId, entry: usize| -> Triple {
             let t = ins[entry_gid(rid, entry)];
             let f = sp.csr[rid.index()];
-            Triple {
-                may_use: t.may_use - f,
-                may_def: t.may_def - f,
-                must_def: t.must_def - f,
-            }
+            Triple { may_use: t.may_use - f, may_def: t.may_def - f, must_def: t.must_def - f }
         };
         match target {
             CallTarget::Direct(rid, entry) => one(ins, *rid, *entry),
@@ -231,11 +242,9 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
                 must_def: options.calling_standard.unknown_call_defined(),
             },
             // §3.5 extension: compiler-provided exact effects.
-            CallTarget::IndirectHinted { used, defined, killed } => Triple {
-                may_use: *used,
-                may_def: *killed,
-                must_def: *defined,
-            },
+            CallTarget::IndirectHinted { used, defined, killed } => {
+                Triple { may_use: *used, may_def: *killed, must_def: *defined }
+            }
         }
     };
 
@@ -246,10 +255,11 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
     let t = Instant::now();
     // MUST-DEF iterates downward from ⊤ (greatest fixpoint); the MAY sets
     // grow from ⊥.
-    let mut ins = vec![
-        Triple { may_use: RegSet::EMPTY, may_def: RegSet::EMPTY, must_def: RegSet::ALL };
-        sp.total
-    ];
+    let mut ins =
+        vec![
+            Triple { may_use: RegSet::EMPTY, may_def: RegSet::EMPTY, must_def: RegSet::ALL };
+            sp.total
+        ];
     let mut phase1_visits = 0usize;
 
     for stratum in [0, 1] {
@@ -268,17 +278,13 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
                 // After a halt nothing runs: the MAY sets are empty and
                 // MUST-DEF is vacuously ⊤ — a path that never returns
                 // must not weaken a caller-visible intersection.
-                TermKind::Halt => Triple {
-                    may_use: RegSet::EMPTY,
-                    may_def: RegSet::EMPTY,
-                    must_def: RegSet::ALL,
-                },
+                TermKind::Halt => {
+                    Triple { may_use: RegSet::EMPTY, may_def: RegSet::EMPTY, must_def: RegSet::ALL }
+                }
                 TermKind::UnknownJump => Triple {
                     // A §3.5 hint narrows the live set at the unknown
                     // target; everything is still assumed clobbered.
-                    may_use: program
-                        .jump_hint(block.term_addr())
-                        .unwrap_or(RegSet::ALL),
+                    may_use: program.jump_hint(block.term_addr()).unwrap_or(RegSet::ALL),
                     may_def: RegSet::ALL,
                     must_def: RegSet::EMPTY,
                 },
@@ -321,10 +327,7 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
                     must_def: block.def() | out.must_def,
                 }
             } else {
-                Triple {
-                    may_use: block.ubd() | (out.may_use - block.def()),
-                    ..ins[g]
-                }
+                Triple { may_use: block.ubd() | (out.may_use - block.def()), ..ins[g] }
             };
             if new != ins[g] {
                 ins[g] = new;
@@ -388,9 +391,7 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
                 acc
             }
             TermKind::Halt => RegSet::EMPTY,
-            TermKind::UnknownJump => {
-                program.jump_hint(block.term_addr()).unwrap_or(RegSet::ALL)
-            }
+            TermKind::UnknownJump => program.jump_hint(block.term_addr()).unwrap_or(RegSet::ALL),
             TermKind::Call { target, return_to } => {
                 let eff = call_effect(&ins, target);
                 match return_to {
@@ -467,6 +468,7 @@ pub fn analyze_baseline_with(program: &Program, options: &AnalysisOptions) -> Ba
             phase2,
             phase1_visits,
             phase2_visits,
+            cfg_build_workers: workers,
             memory_bytes,
         },
     }
@@ -551,10 +553,7 @@ mod tests {
     #[test]
     fn indirect_and_unknown_calls_match_psg() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .jsr_known(Reg::PV, &["a", "b"])
-            .jsr_unknown(Reg::PV)
-            .halt();
+        b.routine("main").jsr_known(Reg::PV, &["a", "b"]).jsr_unknown(Reg::PV).halt();
         b.routine("a").def(Reg::V0).ret();
         b.routine("b").use_reg(Reg::A0).def(Reg::V0).def(Reg::T3).ret();
         equivalent(&b.build().unwrap());

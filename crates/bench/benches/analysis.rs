@@ -47,17 +47,13 @@ fn bench_table4(c: &mut Criterion) {
     for name in ["sqlservr", "winword"] {
         let p = profile(name).expect("known benchmark");
         let program = generate(&p, SCALE, SEED);
-        g.bench_with_input(
-            BenchmarkId::new(name, "with-branch-nodes"),
-            &program,
-            |b, prog| b.iter(|| black_box(analyze(prog))),
-        );
+        g.bench_with_input(BenchmarkId::new(name, "with-branch-nodes"), &program, |b, prog| {
+            b.iter(|| black_box(analyze(prog)))
+        });
         let ablated = AnalysisOptions { branch_nodes: false, ..AnalysisOptions::default() };
-        g.bench_with_input(
-            BenchmarkId::new(name, "without-branch-nodes"),
-            &program,
-            |b, prog| b.iter(|| black_box(analyze_with(prog, &ablated))),
-        );
+        g.bench_with_input(BenchmarkId::new(name, "without-branch-nodes"), &program, |b, prog| {
+            b.iter(|| black_box(analyze_with(prog, &ablated)))
+        });
     }
     g.finish();
 }
@@ -107,10 +103,8 @@ fn bench_stages(c: &mut Criterion) {
         })
     });
     g.bench_function("init-def-ubd", |b| {
-        let mut cfgs: Vec<RoutineCfg> = program
-            .iter()
-            .map(|(id, _)| RoutineCfg::build_structure(&program, id))
-            .collect();
+        let mut cfgs: Vec<RoutineCfg> =
+            program.iter().map(|(id, _)| RoutineCfg::build_structure(&program, id)).collect();
         b.iter(|| {
             for c in &mut cfgs {
                 c.init_def_ubd(&program);
@@ -120,6 +114,24 @@ fn bench_stages(c: &mut Criterion) {
     });
     g.bench_function("full-pipeline", |b| b.iter(|| black_box(analyze(&program))));
     let _ = ProgramCfg::build(&program);
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for name in ["sqlservr", "winword"] {
+        let p = profile(name).expect("known benchmark");
+        let program = generate(&p, SCALE, SEED);
+        for threads in [1usize, 4] {
+            let opts = AnalysisOptions { threads, ..AnalysisOptions::default() };
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("threads-{threads}")),
+                &program,
+                |b, prog| b.iter(|| black_box(analyze_with(prog, &opts))),
+            );
+        }
+    }
     g.finish();
 }
 
@@ -141,6 +153,7 @@ criterion_group!(
     bench_table5,
     bench_fig14,
     bench_stages,
+    bench_parallel,
     bench_opt
 );
 criterion_main!(benches);

@@ -1,13 +1,18 @@
 //! Regenerates every table and figure of the paper's evaluation (§4).
 //!
 //! ```text
-//! report [--scale S] [--seed N] [--baseline] [SECTION...]
-//! SECTION: table1 table2 table3 table4 table5 fig13 fig14 fig15 opts all
+//! report [--scale S] [--seed N] [--baseline] [--threads N] [SECTION...]
+//! SECTION: table1 table2 table3 table4 table5 fig13 fig14 fig15 opts
+//!          parallel all
 //! ```
 //!
 //! `--scale` shrinks every benchmark proportionally (default 0.1); pass
 //! `--scale 1` for paper-sized programs. `--baseline` additionally runs
 //! the full-CFG analysis and prints its time/memory comparison.
+//! `--threads` selects the analysis front-end worker count (0 = all
+//! available hardware threads). The `parallel` section (not part of
+//! `all`) compares threads=1 against threads=N on the two largest
+//! benchmarks and writes the measurements to `BENCH_parallel.json`.
 
 use std::collections::BTreeSet;
 
@@ -19,6 +24,7 @@ fn main() {
     let mut scale = 0.1f64;
     let mut seed = DEFAULT_SEED;
     let mut with_baseline = false;
+    let mut threads = 0usize;
     let mut sections: BTreeSet<String> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1);
@@ -37,16 +43,22 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--baseline" => with_baseline = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a non-negative integer"));
+            }
             "--help" | "-h" => {
                 println!(
-                    "report [--scale S] [--seed N] [--baseline] \
-                     [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|all]"
+                    "report [--scale S] [--seed N] [--baseline] [--threads N] \
+                     [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|all]"
                 );
                 return;
             }
             s if [
                 "table1", "table2", "table3", "table4", "table5", "fig13", "fig14", "fig15",
-                "opts", "ablate", "all",
+                "opts", "ablate", "parallel", "all",
             ]
             .contains(&s) =>
             {
@@ -56,14 +68,15 @@ fn main() {
         }
     }
     if sections.is_empty() || sections.contains("all") {
-        for s in ["table1", "table2", "table3", "table4", "table5", "fig13", "fig14", "fig15", "opts"] {
+        for s in
+            ["table1", "table2", "table3", "table4", "table5", "fig13", "fig14", "fig15", "opts"]
+        {
             sections.insert(s.to_string());
         }
     }
 
-    let want_runs = sections
-        .iter()
-        .any(|s| !matches!(s.as_str(), "table1" | "ablate"));
+    let want_runs =
+        sections.iter().any(|s| !matches!(s.as_str(), "table1" | "ablate" | "parallel"));
 
     println!("# Spike interprocedural dataflow — evaluation report");
     println!("# scale = {scale}, seed = {seed:#x}\n");
@@ -77,7 +90,7 @@ fn main() {
             .iter()
             .map(|p| {
                 eprintln!("measuring {} ...", p.name);
-                BenchRun::measure(p, scale, seed, with_baseline)
+                BenchRun::measure(p, scale, seed, with_baseline, threads)
             })
             .collect()
     } else {
@@ -110,6 +123,9 @@ fn main() {
     }
     if sections.contains("ablate") {
         ablate(scale, seed);
+    }
+    if sections.contains("parallel") {
+        parallel_report(scale, seed, threads);
     }
 }
 
@@ -225,7 +241,13 @@ fn table5(runs: &[BenchRun]) {
     println!("## Table 5: PSG nodes and edges vs CFG basic blocks and arcs\n");
     println!(
         "{:<10} {:>10} {:>10} {:>12} {:>10} {:>12} {:>11}",
-        "benchmark", "psg nodes", "psg edges", "basic blocks", "cfg arcs", "nodes/block", "edges/arc"
+        "benchmark",
+        "psg nodes",
+        "psg edges",
+        "basic blocks",
+        "cfg arcs",
+        "nodes/block",
+        "edges/arc"
     );
     for r in runs {
         let stats = r.analysis.psg.stats();
@@ -350,6 +372,92 @@ fn ablate(scale: f64, seed: u64) {
         "\n  smaller call-killed/call-used sets mean more registers provably\n  \
          survive calls — the enabler for Figure 1(c)/(d).\n"
     );
+}
+
+/// Compares the per-routine analysis front-end at `threads = 1` against
+/// `threads = N` on the two largest benchmarks, cross-checks that both
+/// settings produce bit-identical results, and records the measurements
+/// in `BENCH_parallel.json`.
+fn parallel_report(scale: f64, seed: u64, threads: usize) {
+    use spike_core::{analyze_with, Analysis, AnalysisOptions, AnalysisStats};
+
+    let requested = spike_core::parallel::resolve_threads(threads);
+    println!("## Parallel front-end: threads=1 vs threads={requested}\n");
+    println!(
+        "{:<10} {:>9} {:>14} {:>14} {:>9} {:>12}",
+        "benchmark", "routines", "front 1t (ms)", "front Nt (ms)", "speedup", "workers used"
+    );
+
+    let front_secs = |s: &AnalysisStats| (s.cfg_build + s.init + s.psg_build).as_secs_f64();
+    let mut rows = Vec::new();
+    for name in ["sqlservr", "winword"] {
+        let p = spike_synth::profile(name).expect("known benchmark");
+        eprintln!("measuring {name} ...");
+        let program = spike_synth::generate(&p, scale, seed);
+
+        // Best of three per setting, to damp scheduler noise.
+        let measure = |t: usize| -> Analysis {
+            let options = AnalysisOptions { threads: t, ..AnalysisOptions::default() };
+            let mut best: Option<Analysis> = None;
+            for _ in 0..3 {
+                let a = analyze_with(&program, &options);
+                if best.as_ref().is_none_or(|b| front_secs(&a.stats) < front_secs(&b.stats)) {
+                    best = Some(a);
+                }
+            }
+            best.expect("three measurement iterations ran")
+        };
+        let serial = measure(1);
+        let parallel = measure(requested);
+
+        // The determinism contract, checked on real workloads: identical
+        // summaries and identical deterministic memory accounting.
+        for (rid, r) in program.iter() {
+            assert_eq!(
+                serial.summary.routine(rid),
+                parallel.summary.routine(rid),
+                "threads=1 vs threads={requested} summary mismatch for {}",
+                r.name()
+            );
+        }
+        assert_eq!(serial.stats.memory_bytes, parallel.stats.memory_bytes);
+        assert_eq!(serial.psg.stats(), parallel.psg.stats());
+
+        let f1 = front_secs(&serial.stats);
+        let fn_ = front_secs(&parallel.stats);
+        println!(
+            "{:<10} {:>9} {:>14.2} {:>14.2} {:>8.2}x {:>12}",
+            name,
+            program.routines().len(),
+            f1 * 1e3,
+            fn_ * 1e3,
+            f1 / fn_,
+            parallel.stats.psg_build_workers,
+        );
+        rows.push(format!(
+            "    {{\"benchmark\": \"{name}\", \"routines\": {}, \"scale\": {scale}, \
+             \"front_end_secs_threads1\": {f1:.6}, \"front_end_secs_threadsN\": {fn_:.6}, \
+             \"total_secs_threads1\": {:.6}, \"total_secs_threadsN\": {:.6}, \
+             \"speedup_front_end\": {:.3}, \"workers_used\": {}, \
+             \"results_identical\": true}}",
+            program.routines().len(),
+            serial.stats.total().as_secs_f64(),
+            parallel.stats.total().as_secs_f64(),
+            f1 / fn_,
+            parallel.stats.psg_build_workers,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"requested_threads\": {requested},\n  \
+         \"available_parallelism\": {},\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        spike_core::parallel::resolve_threads(0),
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("\n  wrote BENCH_parallel.json\n"),
+        Err(e) => eprintln!("cannot write BENCH_parallel.json: {e}"),
+    }
 }
 
 fn opts_report(runs: &[BenchRun], seed: u64) {

@@ -37,15 +37,22 @@ pub struct BenchRun {
 }
 
 impl BenchRun {
-    /// Generates and analyzes `profile` at `scale`.
-    pub fn measure(profile: &Profile, scale: f64, seed: u64, with_baseline: bool) -> BenchRun {
+    /// Generates and analyzes `profile` at `scale`. `threads` selects the
+    /// front-end worker count (`0` = all available hardware threads).
+    pub fn measure(
+        profile: &Profile,
+        scale: f64,
+        seed: u64,
+        with_baseline: bool,
+        threads: usize,
+    ) -> BenchRun {
         let t = Instant::now();
         let program = generate(profile, scale, seed);
         let generate_secs = t.elapsed().as_secs_f64();
 
-        let options = AnalysisOptions::default();
+        let options = AnalysisOptions { threads, ..AnalysisOptions::default() };
         let analysis = analyze_with(&program, &options);
-        let ablated = AnalysisOptions { branch_nodes: false, ..AnalysisOptions::default() };
+        let ablated = AnalysisOptions { branch_nodes: false, ..options.clone() };
         let no_branch_nodes = analyze_with(&program, &ablated);
         let baseline = with_baseline.then(|| analyze_baseline_with(&program, &options));
 
@@ -129,7 +136,7 @@ mod tests {
     #[test]
     fn measure_produces_consistent_counts() {
         let p = profile("compress").unwrap();
-        let run = BenchRun::measure(&p, 0.2, DEFAULT_SEED, true);
+        let run = BenchRun::measure(&p, 0.2, DEFAULT_SEED, true, 0);
         assert!(run.routines() >= 2);
         assert!(run.blocks() > run.routines());
         assert!(run.instructions() > run.blocks());

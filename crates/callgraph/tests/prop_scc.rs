@@ -2,6 +2,9 @@
 //! with a transitive-closure oracle, and the bottom-up order must be a
 //! topological order of the condensation.
 
+// The Floyd–Warshall oracle reads clearest with explicit index loops.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use spike_callgraph::CallGraph;
 use spike_cfg::ProgramCfg;

@@ -66,7 +66,9 @@ pub enum CallTarget {
 impl HeapSize for CallTarget {
     fn heap_bytes(&self) -> usize {
         match self {
-            CallTarget::IndirectKnown(v) => v.capacity() * std::mem::size_of::<(RoutineId, usize)>(),
+            CallTarget::IndirectKnown(v) => {
+                v.capacity() * std::mem::size_of::<(RoutineId, usize)>()
+            }
             _ => 0,
         }
     }

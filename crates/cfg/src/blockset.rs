@@ -18,10 +18,7 @@ pub struct BlockSet {
 impl BlockSet {
     /// Creates an empty set over a universe of `len` blocks.
     pub fn new(len: usize) -> BlockSet {
-        BlockSet {
-            words: vec![0; len.div_ceil(64)],
-            len,
-        }
+        BlockSet { words: vec![0; len.div_ceil(64)], len }
     }
 
     /// The universe size this set was created with.
@@ -76,22 +73,14 @@ impl BlockSet {
     pub fn intersection(&self, other: &BlockSet) -> BlockSet {
         assert_eq!(self.len, other.len, "universe mismatch");
         BlockSet {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
             len: self.len,
         }
     }
 
     /// Whether `self` and `other` share any block.
     pub fn intersects(&self, other: &BlockSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterates over members in ascending index order.

@@ -86,9 +86,10 @@ impl RoutineCfg {
                 | Instruction::Jsr { .. }
                 | Instruction::Ret { .. }
                 | Instruction::Halt
-                    if after < n => {
-                        leaders.insert(after);
-                    }
+                    if after < n =>
+                {
+                    leaders.insert(after);
+                }
                 _ => {}
             }
         }
@@ -178,10 +179,7 @@ impl RoutineCfg {
                                 .collect(),
                         ),
                     };
-                    TermKind::Call {
-                        target,
-                        return_to: (end < n).then(next_block),
-                    }
+                    TermKind::Call { target, return_to: (end < n).then(next_block) }
                 }
                 Instruction::Ret { .. } => {
                     exits.push(BlockId::from_index(bi));
@@ -216,21 +214,9 @@ impl RoutineCfg {
             }
         }
 
-        let entries = r
-            .entry_offsets()
-            .iter()
-            .map(|&o| block_of(o))
-            .collect();
+        let entries = r.entry_offsets().iter().map(|&o| block_of(o)).collect();
 
-        RoutineCfg {
-            routine: id,
-            base,
-            blocks,
-            entries,
-            exits,
-            unknown_jumps,
-            halts,
-        }
+        RoutineCfg { routine: id, base, blocks, entries, exits, unknown_jumps, halts }
     }
 
     /// Computes every block's `DEF` (registers defined) and `UBD`
@@ -311,10 +297,7 @@ impl RoutineCfg {
 
     /// The block containing word address `addr`, if any.
     pub fn block_containing(&self, addr: u32) -> Option<BlockId> {
-        let idx = match self
-            .blocks
-            .binary_search_by_key(&addr, |b| b.start)
-        {
+        let idx = match self.blocks.binary_search_by_key(&addr, |b| b.start) {
             Ok(i) => i,
             Err(0) => return None,
             Err(i) => i - 1,
@@ -356,10 +339,7 @@ impl RoutineCfg {
 
     /// Number of multiway (jump-table) branches.
     pub fn multiway_count(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| matches!(b.term, TermKind::MultiwayJump))
-            .count()
+        self.blocks.iter().filter(|b| matches!(b.term, TermKind::MultiwayJump)).count()
     }
 
     /// Number of intraprocedural arcs (sum of successor-list lengths).
@@ -452,12 +432,12 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.routine("f")
             .cond(BranchCond::Eq, Reg::A0, "else") // B0
-            .def(Reg::T0)                          // B1 (then)
+            .def(Reg::T0) // B1 (then)
             .br("join")
             .label("else")
-            .def(Reg::T1)                          // B2
+            .def(Reg::T1) // B2
             .label("join")
-            .ret();                                // B3
+            .ret(); // B3
         let (_, cfg) = cfg_of(&b, "f");
         assert_eq!(cfg.blocks().len(), 4);
         let b0 = &cfg.blocks()[0];
@@ -513,10 +493,7 @@ mod tests {
     fn unknown_jump_has_no_successors() {
         // Hand-assemble: jmp without a table.
         let mut b = ProgramBuilder::new();
-        b.routine("f")
-            .insn(Instruction::Jmp { base: Reg::T0 })
-            .def(Reg::T1)
-            .ret();
+        b.routine("f").insn(Instruction::Jmp { base: Reg::T0 }).def(Reg::T1).ret();
         let (_, cfg) = cfg_of(&b, "f");
         let b0 = &cfg.blocks()[0];
         assert!(matches!(b0.term(), TermKind::UnknownJump));
@@ -527,12 +504,7 @@ mod tests {
     #[test]
     fn alternate_entries_become_entry_blocks() {
         let mut b = ProgramBuilder::new();
-        b.routine("f")
-            .def(Reg::T0)
-            .label("alt")
-            .alt_entry("alt")
-            .def(Reg::T1)
-            .ret();
+        b.routine("f").def(Reg::T0).label("alt").alt_entry("alt").def(Reg::T1).ret();
         let (_, cfg) = cfg_of(&b, "f");
         assert_eq!(cfg.entries().len(), 2);
         assert_eq!(cfg.entries()[0], BlockId::from_index(0));
@@ -546,10 +518,7 @@ mod tests {
     fn ubd_tracks_order_within_block() {
         // use after def in the same block: not UBD.
         let mut b = ProgramBuilder::new();
-        b.routine("f")
-            .def(Reg::T0)
-            .op(AluOp::Add, Reg::T0, Reg::A0, Reg::T1)
-            .ret();
+        b.routine("f").def(Reg::T0).op(AluOp::Add, Reg::T0, Reg::A0, Reg::T1).ret();
         let (_, cfg) = cfg_of(&b, "f");
         let blk = &cfg.blocks()[0];
         assert!(!blk.ubd().contains(Reg::T0));

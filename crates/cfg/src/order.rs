@@ -73,12 +73,7 @@ mod tests {
         let cfg = diamond_cfg();
         let order = postorder(&cfg, cfg.entries());
         assert_eq!(order.len(), 4);
-        let pos = |b: usize| {
-            order
-                .iter()
-                .position(|x| x.index() == b)
-                .expect("block in order")
-        };
+        let pos = |b: usize| order.iter().position(|x| x.index() == b).expect("block in order");
         // Join (B3) precedes both arms, which precede the entry.
         assert!(pos(3) < pos(1));
         assert!(pos(3) < pos(2));
@@ -98,10 +93,10 @@ mod tests {
     fn unreachable_blocks_are_skipped() {
         let mut b = ProgramBuilder::new();
         b.routine("f")
-            .br("end")      // B0
-            .def(Reg::T0)   // B1: unreachable
+            .br("end") // B0
+            .def(Reg::T0) // B1: unreachable
             .label("end")
-            .ret();         // B2
+            .ret(); // B2
         let p = b.build().unwrap();
         let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
         let order = postorder(&cfg, cfg.entries());
@@ -112,10 +107,7 @@ mod tests {
     #[test]
     fn cyclic_graphs_terminate() {
         let mut b = ProgramBuilder::new();
-        b.routine("f")
-            .label("top")
-            .cond(BranchCond::Ne, Reg::A0, "top")
-            .br("top"); // endless loop: no exit
+        b.routine("f").label("top").cond(BranchCond::Ne, Reg::A0, "top").br("top"); // endless loop: no exit
         let p = b.build().unwrap();
         let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
         let order = postorder(&cfg, cfg.entries());

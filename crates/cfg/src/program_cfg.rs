@@ -45,10 +45,7 @@ pub struct ProgramCfg {
 impl ProgramCfg {
     /// Builds the CFG of every routine.
     pub fn build(program: &Program) -> ProgramCfg {
-        let cfgs = program
-            .iter()
-            .map(|(id, _)| RoutineCfg::build(program, id))
-            .collect();
+        let cfgs = program.iter().map(|(id, _)| RoutineCfg::build(program, id)).collect();
         ProgramCfg { cfgs }
     }
 
@@ -103,12 +100,12 @@ impl ProgramCfg {
                             }
                             CallTarget::IndirectKnown(list) => {
                                 for (rid, _) in list {
-                                    c.return_arcs +=
-                                        self.cfgs[rid.index()].exits().len().max(1);
+                                    c.return_arcs += self.cfgs[rid.index()].exits().len().max(1);
                                 }
                             }
-                            CallTarget::IndirectUnknown
-                            | CallTarget::IndirectHinted { .. } => c.return_arcs += 1,
+                            CallTarget::IndirectUnknown | CallTarget::IndirectHinted { .. } => {
+                                c.return_arcs += 1
+                            }
                         }
                     }
                     // A call block flows into the callee; the fall-through
@@ -166,10 +163,7 @@ mod tests {
     #[test]
     fn indirect_calls_count_per_target() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .jsr_known(Reg::PV, &["f", "g"])
-            .jsr_unknown(Reg::PV)
-            .halt();
+        b.routine("main").jsr_known(Reg::PV, &["f", "g"]).jsr_unknown(Reg::PV).halt();
         b.routine("f").ret();
         b.routine("g").ret();
         let p = b.build().unwrap();

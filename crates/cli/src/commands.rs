@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fs;
 
 use spike_cfg::ProgramCfg;
-use spike_core::analyze;
+use spike_core::{analyze, analyze_with, AnalysisOptions};
 use spike_program::Program;
 use spike_sim::Outcome;
 
@@ -18,10 +18,11 @@ commands:
   gen-exec [--routines K] [--seed N] -o <img>       generate a runnable image
   asm <file.s> -o <img>                             assemble a text module
   disasm <img>                                      disassemble to parseable assembly
-  analyze <img> [--summaries] [--routine NAME]      interprocedural dataflow analysis
-  optimize <img> -o <img>                           apply the Figure-1 optimizations
+  analyze <img> [--summaries] [--routine NAME] [--threads N]
+                                                    interprocedural dataflow analysis
+  optimize <img> -o <img> [--threads N]             apply the Figure-1 optimizations
   run <img> [--fuel N]                              execute under the simulator
-  compare <img>                                     PSG vs whole-CFG comparison
+  compare <img> [--threads N]                       PSG vs whole-CFG comparison
   dot <img> [--routine NAME]                        Program Summary Graph as GraphViz
   profiles                                          list generator benchmarks
 ";
@@ -66,6 +67,7 @@ struct Opts<'a> {
     out: Option<&'a str>,
     summaries: bool,
     routine: Option<&'a str>,
+    threads: usize,
 }
 
 fn parse(args: &[String]) -> Result<Opts<'_>> {
@@ -78,13 +80,12 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         out: None,
         summaries: false,
         routine: None,
+        threads: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut want = |name: &str| -> Result<&str> {
-            it.next()
-                .map(String::as_str)
-                .ok_or_else(|| format!("{name} needs a value").into())
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value").into())
         };
         match a.as_str() {
             "--scale" => o.scale = want("--scale")?.parse()?,
@@ -94,6 +95,7 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "-o" | "--out" => o.out = Some(want("-o")?),
             "--summaries" => o.summaries = true,
             "--routine" => o.routine = Some(want("--routine")?),
+            "--threads" => o.threads = want("--threads")?.parse()?,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`").into())
             }
@@ -180,7 +182,8 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
         return Err("analyze needs an image path".into());
     };
     let program = load(path)?;
-    let analysis = analyze(&program);
+    let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
+    let analysis = analyze_with(&program, &options);
     let stats = &analysis.stats;
     let psg = analysis.psg.stats();
     let counts = analysis.cfg.counts();
@@ -206,13 +209,15 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
         100.0 * (1.0 - psg.edges as f64 / counts.total_arcs() as f64)
     );
     println!(
-        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}), memory {:.2} MB",
+        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}), \
+         {} front-end worker(s), memory {:.2} MB",
         stats.total(),
         stats.cfg_build,
         stats.init,
         stats.psg_build,
         stats.phase1,
         stats.phase2,
+        stats.psg_build_workers,
         stats.memory_bytes as f64 / 1e6
     );
 
@@ -251,7 +256,11 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
         return Err("optimize needs an image path".into());
     };
     let program = load(path)?;
-    let (optimized, report) = spike_opt::optimize(&program)?;
+    let opt_options = spike_opt::OptOptions {
+        analysis: AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() },
+        ..spike_opt::OptOptions::default()
+    };
+    let (optimized, report) = spike_opt::optimize_with(&program, &opt_options)?;
     let out = o.out.ok_or("optimize needs -o <img>")?;
     save(&optimized, out)?;
     println!(
@@ -295,9 +304,7 @@ fn dot(args: &[String]) -> Result<()> {
     let analysis = analyze(&program);
     let routine = match o.routine {
         Some(name) => Some(
-            program
-                .routine_by_name(name)
-                .ok_or_else(|| format!("no routine named `{name}`"))?,
+            program.routine_by_name(name).ok_or_else(|| format!("no routine named `{name}`"))?,
         ),
         None => None,
     };
@@ -311,8 +318,9 @@ fn compare(args: &[String]) -> Result<()> {
         return Err("compare needs an image path".into());
     };
     let program = load(path)?;
-    let psg = analyze(&program);
-    let full = spike_baseline::analyze_baseline(&program);
+    let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
+    let psg = analyze_with(&program, &options);
+    let full = spike_baseline::analyze_baseline_with(&program, &options);
     for (rid, r) in program.iter() {
         if psg.summary.routine(rid) != &full.summaries[rid.index()] {
             return Err(format!("summary mismatch for {} — this is a bug", r.name()).into());

@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn spike(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_spike-cli"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_spike-cli")).args(args).output().expect("binary runs")
 }
 
 fn tmp(name: &str) -> (tempdir::TempDirGuard, String) {

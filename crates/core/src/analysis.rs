@@ -5,10 +5,11 @@ use std::time::{Duration, Instant};
 
 use spike_cfg::{ProgramCfg, RoutineCfg};
 use spike_isa::{CallingStandard, HeapSize, Reg, RegSet};
-use spike_program::Program;
+use spike_program::{Program, RoutineId};
 
 use crate::build::build_psg;
 use crate::dataflow::{run_phase1, run_phase2};
+use crate::parallel::{par_for_each_mut, par_map, resolve_threads};
 use crate::psg::{NodeId, Psg};
 use crate::summary::ProgramSummary;
 
@@ -28,6 +29,12 @@ pub struct AnalysisOptions {
     /// (exported routines and the program entry), whose callers are
     /// outside the program.
     pub exported_live_at_exit: RegSet,
+    /// Worker threads for the per-routine front-end stages (CFG build,
+    /// `DEF`/`UBD` initialization, PSG build). `0` uses one worker per
+    /// available hardware thread; `1` runs serially. Results — summaries,
+    /// PSG node/edge order, and [`AnalysisStats::memory_bytes`] — are
+    /// bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -43,6 +50,7 @@ impl Default for AnalysisOptions {
             callee_saved_filter: true,
             calling_standard,
             exported_live_at_exit,
+            threads: 0,
         }
     }
 }
@@ -65,6 +73,12 @@ pub struct AnalysisStats {
     pub phase1_visits: usize,
     /// Node evaluations performed by phase 2.
     pub phase2_visits: usize,
+    /// Worker threads the CFG build stage ran with.
+    pub cfg_build_workers: usize,
+    /// Worker threads the initialization stage ran with.
+    pub init_workers: usize,
+    /// Worker threads the PSG build stage ran with.
+    pub psg_build_workers: usize,
     /// Bytes of analysis structures (CFGs + PSG + summaries), counted
     /// deterministically via [`HeapSize`].
     pub memory_bytes: usize,
@@ -116,22 +130,22 @@ pub fn analyze(program: &Program) -> Analysis {
 
 /// Analyzes `program` with explicit [`AnalysisOptions`].
 pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
+    let n_routines = program.routines().len();
+    let workers = resolve_threads(options.threads).clamp(1, n_routines.max(1));
+
     let t = Instant::now();
-    let mut cfgs: Vec<RoutineCfg> = program
-        .iter()
-        .map(|(id, _)| RoutineCfg::build_structure(program, id))
-        .collect();
+    let mut cfgs: Vec<RoutineCfg> = par_map(n_routines, workers, |i| {
+        RoutineCfg::build_structure(program, RoutineId::from_index(i))
+    });
     let cfg_build = t.elapsed();
 
     let t = Instant::now();
-    for c in &mut cfgs {
-        c.init_def_ubd(program);
-    }
+    par_for_each_mut(&mut cfgs, workers, |c| c.init_def_ubd(program));
     let init = t.elapsed();
     let cfg = ProgramCfg::from_cfgs(cfgs);
 
     let t = Instant::now();
-    let mut psg = build_psg(program, &cfg, options);
+    let mut psg = build_psg(program, &cfg, options, workers);
     let psg_build = t.elapsed();
 
     let t = Instant::now();
@@ -159,6 +173,9 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
             phase2,
             phase1_visits,
             phase2_visits,
+            cfg_build_workers: workers,
+            init_workers: workers,
+            psg_build_workers: workers,
             memory_bytes,
         },
     }
@@ -169,11 +186,7 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
 /// reverse creation order (sinks before the entry). Most call-return
 /// edges then carry their final callee summary the first time their call
 /// node is evaluated.
-fn phase1_seed_order(
-    program: &Program,
-    cfg: &ProgramCfg,
-    psg: &Psg,
-) -> Vec<NodeId> {
+fn phase1_seed_order(program: &Program, cfg: &ProgramCfg, psg: &Psg) -> Vec<NodeId> {
     let callgraph = spike_callgraph::CallGraph::build(program, cfg);
     let sccs = callgraph.sccs();
     let mut order = Vec::with_capacity(psg.nodes().len());

@@ -2,18 +2,31 @@
 
 use spike_cfg::{BlockId, BlockSet, CallTarget, ProgramCfg, RoutineCfg, TermKind};
 use spike_isa::RegSet;
-use spike_program::Program;
+use spike_program::{Program, RoutineId};
 
 use crate::analysis::AnalysisOptions;
 use crate::callee_saved::saved_restored_registers;
 use crate::flow::{solve_edge, FlowScratch};
+use crate::parallel::{par_map, par_map_with};
 use crate::psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, RoutineNodes};
 
 /// Builds the PSG for `program`: one set of entry/exit/call/return (and
 /// optionally branch) nodes per routine, flow-summary edges labeled by the
 /// Figure-6 subgraph dataflow, and call-return edges wired to their callee
 /// entry nodes for the phase-1 broadcast.
-pub(crate) fn build_psg(program: &Program, pcfg: &ProgramCfg, options: &AnalysisOptions) -> Psg {
+///
+/// The expensive per-routine work — the §3.4 callee-saved scan in pass 1
+/// and the Figure-6 edge labeling in pass 2 — fans out over `workers`
+/// scoped threads; results merge back in routine-id order, so node ids,
+/// edge ids, and every vector's growth sequence (hence the deterministic
+/// [`HeapSize`](spike_isa::HeapSize) accounting) are identical at any
+/// worker count.
+pub(crate) fn build_psg(
+    program: &Program,
+    pcfg: &ProgramCfg,
+    options: &AnalysisOptions,
+    workers: usize,
+) -> Psg {
     let mut psg = Psg {
         nodes: Vec::new(),
         edges: Vec::new(),
@@ -32,7 +45,18 @@ pub(crate) fn build_psg(program: &Program, pcfg: &ProgramCfg, options: &Analysis
     };
 
     // Pass 1: create every node, so cross-routine references (call-return
-    // sources, return-to-exit broadcasts) can be resolved in pass 2.
+    // sources, return-to-exit broadcasts) can be resolved in pass 2. The
+    // node pushes are cheap and id-sequential, so they stay serial; the
+    // dominant cost — the §3.4 saved/restored scan over every routine
+    // body — runs per routine in parallel first.
+    let saved_restored: Vec<RegSet> = par_map(pcfg.cfgs().len(), workers, |i| {
+        if options.callee_saved_filter {
+            saved_restored_registers(program, &pcfg.cfgs()[i], &options.calling_standard)
+        } else {
+            RegSet::EMPTY
+        }
+    });
+
     for cfg in pcfg.cfgs() {
         let rid = cfg.routine();
         let mut rn = RoutineNodes::default();
@@ -73,19 +97,22 @@ pub(crate) fn build_psg(program: &Program, pcfg: &ProgramCfg, options: &Analysis
             rn.unknown_jumps.push(n);
         }
 
-        rn.saved_restored = if options.callee_saved_filter {
-            saved_restored_registers(program, cfg, &options.calling_standard)
-        } else {
-            RegSet::EMPTY
-        };
+        rn.saved_restored = saved_restored[rid.index()];
         psg.routines.push(rn);
     }
 
-    // Pass 2: per routine, chop the CFG at summary points and create
-    // flow-summary edges; then wire call-return edges.
-    let mut scratch = FlowScratch::new();
-    for cfg in pcfg.cfgs() {
-        build_routine_edges(&mut psg, cfg, options, &mut scratch);
+    // Pass 2: per routine, chop the CFG at summary points and label
+    // flow-summary and call-return edges. Planning each routine's edges
+    // reads only the immutable pass-1 node tables, so it fans out across
+    // workers (each with its own flow-solver scratch); the plans are then
+    // applied serially in routine-id order, replaying the exact push
+    // sequence the serial builder would perform.
+    let plans: Vec<RoutineEdgePlan> =
+        par_map_with(pcfg.cfgs().len(), workers, FlowScratch::new, |scratch, i| {
+            plan_routine_edges(&psg, &pcfg.cfgs()[i], options, scratch)
+        });
+    for (cfg, plan) in pcfg.cfgs().iter().zip(plans) {
+        apply_routine_plan(&mut psg, cfg.routine(), plan);
     }
 
     // Finalize adjacency and value arrays.
@@ -130,48 +157,58 @@ fn terminal_node(
     let rid = cfg.routine();
     let rn = &psg.routines[rid.index()];
     match cfg.block(block).term() {
-        TermKind::Call { .. } => rn
-            .calls
-            .iter()
-            .find(|(b, _, _)| *b == block)
-            .map(|&(_, call, _)| call),
-        TermKind::Ret => cfg
-            .exits()
-            .iter()
-            .position(|&b| b == block)
-            .map(|i| rn.exits[i]),
-        TermKind::Halt => cfg
-            .halts()
-            .iter()
-            .position(|&b| b == block)
-            .map(|i| rn.halts[i]),
-        TermKind::UnknownJump => cfg
-            .unknown_jumps()
-            .iter()
-            .position(|&b| b == block)
-            .map(|i| rn.unknown_jumps[i]),
-        TermKind::MultiwayJump if options.branch_nodes => rn
-            .branches
-            .iter()
-            .find(|(b, _)| *b == block)
-            .map(|&(_, n)| n),
+        TermKind::Call { .. } => {
+            rn.calls.iter().find(|(b, _, _)| *b == block).map(|&(_, call, _)| call)
+        }
+        TermKind::Ret => cfg.exits().iter().position(|&b| b == block).map(|i| rn.exits[i]),
+        TermKind::Halt => cfg.halts().iter().position(|&b| b == block).map(|i| rn.halts[i]),
+        TermKind::UnknownJump => {
+            cfg.unknown_jumps().iter().position(|&b| b == block).map(|i| rn.unknown_jumps[i])
+        }
+        TermKind::MultiwayJump if options.branch_nodes => {
+            rn.branches.iter().find(|(b, _)| *b == block).map(|&(_, n)| n)
+        }
         _ => None,
     }
 }
 
-fn build_routine_edges(
-    psg: &mut Psg,
+/// One edge a routine's plan will create, in creation order.
+///
+/// `edge.to` is a placeholder (the edge's own source) when `to_diverge`
+/// is set: the routine's diverge sink does not exist until the plan is
+/// applied, because diverge node ids depend on which *earlier* routines
+/// needed one.
+struct PlannedEdge {
+    edge: Edge,
+    to_diverge: bool,
+    /// Call-return wiring: the callee entry nodes broadcasting to this
+    /// edge and the callee exit nodes its return node listens to.
+    cr: Option<(Vec<NodeId>, Vec<NodeId>)>,
+}
+
+/// Everything pass 2 computes for one routine, ready to replay into the
+/// PSG in routine-id order.
+struct RoutineEdgePlan {
+    edges: Vec<PlannedEdge>,
+    needs_diverge: bool,
+}
+
+/// Plans one routine's flow-summary and call-return edges against the
+/// immutable pass-1 node tables. Pure with respect to `psg`, so any
+/// number of routines can be planned concurrently.
+fn plan_routine_edges(
+    psg: &Psg,
     cfg: &RoutineCfg,
     options: &AnalysisOptions,
     scratch: &mut FlowScratch,
-) {
+) -> RoutineEdgePlan {
     let rid = cfg.routine();
     let nblocks = cfg.blocks().len();
+    let mut plan = RoutineEdgePlan { edges: Vec::new(), needs_diverge: false };
 
     // Block -> terminal summary node at its end, if any.
-    let terminals: Vec<Option<NodeId>> = (0..nblocks)
-        .map(|i| terminal_node(psg, cfg, options, BlockId::from_index(i)))
-        .collect();
+    let terminals: Vec<Option<NodeId>> =
+        (0..nblocks).map(|i| terminal_node(psg, cfg, options, BlockId::from_index(i))).collect();
 
     // Backward reachability to each terminal block: the blocks from which
     // the terminal can be reached without crossing another summary point.
@@ -204,7 +241,7 @@ fn build_routine_edges(
     }
 
     // Source points and the blocks their paths start at.
-    let rn = psg.routines[rid.index()].clone();
+    let rn = &psg.routines[rid.index()];
     let mut sources: Vec<(NodeId, Vec<BlockId>)> = Vec::new();
     for (i, &node) in rn.entries.iter().enumerate() {
         sources.push((node, vec![cfg.entries()[i]]));
@@ -246,9 +283,8 @@ fn build_routine_edges(
                 visited.intersection(bwd[t.index()].as_ref().expect("terminal has bwd set"));
             let label = solve_edge(cfg, &subgraph, t, &starts, scratch);
             let to = terminals[t.index()].expect("reached block has a terminal");
-            push_edge(
-                psg,
-                Edge {
+            plan.edges.push(PlannedEdge {
+                edge: Edge {
                     from: source,
                     to,
                     kind: EdgeKind::FlowSummary,
@@ -256,7 +292,9 @@ fn build_routine_edges(
                     may_def: label.may_def,
                     must_def: label.must_def,
                 },
-            );
+                to_diverge: false,
+                cr: None,
+            });
         }
 
         // Regions reachable from this source that can reach no summary
@@ -266,32 +304,25 @@ fn build_routine_edges(
         let stranded: Vec<BlockId> =
             visited.iter().filter(|b| !reaches_term.contains(*b)).collect();
         if !stranded.is_empty() {
-            let diverge = match psg.routines[rid.index()].diverge {
-                Some(d) => d,
-                None => {
-                    let d = push_node(psg, NodeKind::Diverge { routine: rid });
-                    psg.pinned[d.index()] = true;
-                    psg.routines[rid.index()].diverge = Some(d);
-                    d
-                }
-            };
+            plan.needs_diverge = true;
             let mut may_use = RegSet::EMPTY;
             let mut may_def = RegSet::EMPTY;
             for b in stranded {
                 may_use |= cfg.block(b).ubd();
                 may_def |= cfg.block(b).def();
             }
-            push_edge(
-                psg,
-                Edge {
+            plan.edges.push(PlannedEdge {
+                edge: Edge {
                     from: source,
-                    to: diverge,
+                    to: source, // placeholder; resolved when the plan is applied
                     kind: EdgeKind::FlowSummary,
                     may_use,
                     may_def,
                     must_def: RegSet::EMPTY,
                 },
-            );
+                to_diverge: true,
+                cr: None,
+            });
         }
     }
 
@@ -343,9 +374,8 @@ fn build_routine_edges(
             }
         };
 
-        let eid = push_edge(
-            psg,
-            Edge {
+        plan.edges.push(PlannedEdge {
+            edge: Edge {
                 from: call_node,
                 to: ret_node,
                 kind: EdgeKind::CallReturn,
@@ -353,12 +383,40 @@ fn build_routine_edges(
                 may_def: label.1,
                 must_def: label.2,
             },
-        );
-        for &entry in &entry_sources {
-            psg.entry_cr_edges[entry.index()].push(eid);
+            to_diverge: false,
+            cr: Some((entry_sources, exit_targets)),
+        });
+    }
+
+    plan
+}
+
+/// Replays one routine's plan into the PSG. Called in routine-id order;
+/// together with the deterministic plan contents this makes every push —
+/// node, edge, adjacency, call-return wiring — happen in exactly the
+/// order a fully serial pass 2 would produce.
+fn apply_routine_plan(psg: &mut Psg, rid: RoutineId, plan: RoutineEdgePlan) {
+    let diverge = plan.needs_diverge.then(|| {
+        let d = push_node(psg, NodeKind::Diverge { routine: rid });
+        psg.pinned[d.index()] = true;
+        psg.routines[rid.index()].diverge = Some(d);
+        d
+    });
+
+    for planned in plan.edges {
+        let mut edge = planned.edge;
+        if planned.to_diverge {
+            edge.to = diverge.expect("plan with a diverge edge flags needs_diverge");
         }
-        psg.cr_sources[eid.index()] = entry_sources;
-        psg.return_exit_targets[ret_node.index()] = exit_targets;
+        let to = edge.to;
+        let eid = push_edge(psg, edge);
+        if let Some((entry_sources, exit_targets)) = planned.cr {
+            for &entry in &entry_sources {
+                psg.entry_cr_edges[entry.index()].push(eid);
+            }
+            psg.cr_sources[eid.index()] = entry_sources;
+            psg.return_exit_targets[to.index()] = exit_targets;
+        }
     }
 }
 
@@ -372,7 +430,7 @@ mod tests {
     fn build(b: &ProgramBuilder, options: &AnalysisOptions) -> (Program, ProgramCfg, Psg) {
         let p = b.build().unwrap();
         let pcfg = ProgramCfg::build(&p);
-        let psg = build_psg(&p, &pcfg, options);
+        let psg = build_psg(&p, &pcfg, options, 1);
         (p, pcfg, psg)
     }
 
@@ -412,21 +470,13 @@ mod tests {
         assert_eq!(rn.calls().len(), 1);
 
         // Edges within main: entry→exit, entry→call, return→exit + E_CR.
-        let main_edges: Vec<&Edge> = psg
-            .edges()
-            .iter()
-            .filter(|e| psg.node(e.from()).routine() == main)
-            .collect();
+        let main_edges: Vec<&Edge> =
+            psg.edges().iter().filter(|e| psg.node(e.from()).routine() == main).collect();
         assert_eq!(main_edges.len(), 4);
         let entry = rn.entries()[0];
         let exit = rn.exits()[0];
         let (_, call, ret) = rn.calls()[0];
-        let find = |from, to| {
-            main_edges
-                .iter()
-                .find(|e| e.from() == from && e.to() == to)
-                .copied()
-        };
+        let find = |from, to| main_edges.iter().find(|e| e.from() == from && e.to() == to).copied();
         let ea = find(entry, exit).expect("E_A entry→exit");
         let eb = find(entry, call).expect("E_B entry→call");
         let ec = find(ret, exit).expect("E_C return→exit");
@@ -474,10 +524,7 @@ mod tests {
         let main = p.routine_by_name("main").unwrap();
         psg.edges()
             .iter()
-            .filter(|e| {
-                e.kind() == EdgeKind::FlowSummary
-                    && psg.node(e.from()).routine() == main
-            })
+            .filter(|e| e.kind() == EdgeKind::FlowSummary && psg.node(e.from()).routine() == main)
             .count()
     }
 

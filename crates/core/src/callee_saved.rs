@@ -204,9 +204,6 @@ mod tests {
         let p = b.build().unwrap();
         let cfg = RoutineCfg::build(&p, p.routine_by_name("f").unwrap());
         // The alternate entrance skips the save.
-        assert_eq!(
-            saved_restored_registers(&p, &cfg, &CallingStandard::alpha_nt()),
-            RegSet::EMPTY
-        );
+        assert_eq!(saved_restored_registers(&p, &cfg, &CallingStandard::alpha_nt()), RegSet::EMPTY);
     }
 }

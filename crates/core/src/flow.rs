@@ -249,10 +249,7 @@ mod tests {
     fn loop_body_defs_on_every_path_are_must() {
         // do { def t0 } while (a0); ret — t0 defined on every path.
         let cfg = cfg_for(|r| {
-            r.label("head")
-                .def(Reg::T0)
-                .cond(BranchCond::Ne, Reg::A0, "head")
-                .ret();
+            r.label("head").def(Reg::T0).cond(BranchCond::Ne, Reg::A0, "head").ret();
         });
         let l = solve_whole(&cfg);
         assert!(l.must_def.contains(Reg::T0), "loop body runs at least once");
@@ -281,11 +278,7 @@ mod tests {
             r.def(Reg::T0).use_reg(Reg::A1).ret();
         });
         let cfg2 = cfg_for(|r| {
-            r.cond(BranchCond::Eq, Reg::A0, "e")
-                .def(Reg::T1)
-                .label("e")
-                .def(Reg::T2)
-                .ret();
+            r.cond(BranchCond::Eq, Reg::A0, "e").def(Reg::T1).label("e").def(Reg::T2).ret();
         });
         let mut scratch = FlowScratch::new();
         let mut sub1 = BlockSet::new(cfg1.blocks().len());

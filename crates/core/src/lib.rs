@@ -50,6 +50,7 @@ mod callee_saved;
 mod dataflow;
 mod dot;
 mod flow;
+pub mod parallel;
 mod psg;
 mod summary;
 

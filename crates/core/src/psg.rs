@@ -385,11 +385,8 @@ impl Psg {
 
     /// Aggregate size statistics (Tables 3–5).
     pub fn stats(&self) -> PsgStats {
-        let mut s = PsgStats {
-            nodes: self.nodes.len(),
-            edges: self.edges.len(),
-            ..PsgStats::default()
-        };
+        let mut s =
+            PsgStats { nodes: self.nodes.len(), edges: self.edges.len(), ..PsgStats::default() };
         for e in &self.edges {
             match e.kind {
                 EdgeKind::FlowSummary => s.flow_edges += 1,

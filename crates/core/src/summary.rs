@@ -150,11 +150,9 @@ impl ProgramSummary {
                 s
             }
             CallTarget::IndirectUnknown => self.unknown_call_summary(),
-            CallTarget::IndirectHinted { used, defined, killed } => CallSiteSummary {
-                used: *used,
-                defined: *defined,
-                killed: *killed,
-            },
+            CallTarget::IndirectHinted { used, defined, killed } => {
+                CallSiteSummary { used: *used, defined: *defined, killed: *killed }
+            }
         })
     }
 

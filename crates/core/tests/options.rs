@@ -62,11 +62,13 @@ fn exported_live_at_exit_policy_is_configurable() {
         "default policy: unseen callers may read the return value"
     );
 
-    let lax = AnalysisOptions { exported_live_at_exit: RegSet::EMPTY, ..AnalysisOptions::default() };
+    let lax =
+        AnalysisOptions { exported_live_at_exit: RegSet::EMPTY, ..AnalysisOptions::default() };
     let analysis = analyze_with(&p, &lax);
     assert_eq!(analysis.summary.routine(api).live_at_exit[0], RegSet::EMPTY);
 
-    let strict = AnalysisOptions { exported_live_at_exit: RegSet::ALL, ..AnalysisOptions::default() };
+    let strict =
+        AnalysisOptions { exported_live_at_exit: RegSet::ALL, ..AnalysisOptions::default() };
     let analysis = analyze_with(&p, &strict);
     assert_eq!(analysis.summary.routine(api).live_at_exit[0], RegSet::ALL);
 }
@@ -93,10 +95,7 @@ fn entry_routine_is_externally_callable() {
 #[test]
 fn calling_standard_drives_unknown_call_assumptions() {
     let mut b = ProgramBuilder::new();
-    b.routine("main")
-        .lda(Reg::PV, Reg::ZERO, 1)
-        .jsr_unknown(Reg::PV)
-        .halt();
+    b.routine("main").lda(Reg::PV, Reg::ZERO, 1).jsr_unknown(Reg::PV).halt();
     let p = b.build().unwrap();
     let analysis = analyze(&p);
     let std = CallingStandard::alpha_nt();
@@ -114,10 +113,7 @@ fn calling_standard_drives_unknown_call_assumptions() {
 #[test]
 fn multi_target_call_sites_meet_over_targets() {
     let mut b = ProgramBuilder::new();
-    b.routine("main")
-        .lda(Reg::PV, Reg::ZERO, 1)
-        .jsr_known(Reg::PV, &["a", "b"])
-        .halt();
+    b.routine("main").lda(Reg::PV, Reg::ZERO, 1).jsr_known(Reg::PV, &["a", "b"]).halt();
     b.routine("a").use_reg(Reg::A0).def(Reg::V0).def(Reg::T0).ret();
     b.routine("b").use_reg(Reg::A1).def(Reg::V0).ret();
     let p = b.build().unwrap();

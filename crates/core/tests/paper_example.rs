@@ -26,12 +26,7 @@ fn paper_regs() -> RegSet {
 /// * P3: defines R1, calls P2.
 fn figure2_program() -> (Program, RoutineId, RoutineId, RoutineId) {
     let mut b = ProgramBuilder::new();
-    b.routine("p1")
-        .def(R0)
-        .def(R1)
-        .call("p2")
-        .use_reg(R0)
-        .ret();
+    b.routine("p1").def(R0).def(R1).call("p2").use_reg(R0).ret();
     b.routine("p2")
         .cond(BranchCond::Eq, R1, "else") // use R1
         .def(R2)
@@ -122,11 +117,8 @@ fn liveness_respects_valid_paths_only() {
     let cfg3 = analysis.cfg.routine_cfg(p3);
     let call_block = cfg3.call_blocks().next().expect("p3 calls p2");
     let rn3 = analysis.psg.routine_nodes(p3);
-    let &(_, _, ret_node) = rn3
-        .calls()
-        .iter()
-        .find(|(b, _, _)| *b == call_block)
-        .expect("call node exists");
+    let &(_, _, ret_node) =
+        rn3.calls().iter().find(|(b, _, _)| *b == call_block).expect("call node exists");
     assert!(
         !analysis.psg.live(ret_node).contains(R0),
         "R0 leaked to P3's return point: live = {}",

@@ -78,13 +78,7 @@ impl CallingStandard {
 
         let special = RegSet::of(&[Reg::RA, Reg::GP, Reg::SP, Reg::ZERO, Reg::FZERO]);
 
-        CallingStandard {
-            argument,
-            return_value,
-            callee_saved,
-            temporary,
-            special,
-        }
+        CallingStandard { argument, return_value, callee_saved, temporary, special }
     }
 
     /// Registers used to pass arguments (`a0..a5`, `f16..f21`).

@@ -514,11 +514,7 @@ impl Instruction {
                 MemWidth::T => mem(OP_STT, freg(rs), base, disp),
             },
             Instruction::FpOperate { op, fa, fb, fc } => {
-                (OP_FPOP << 26)
-                    | (freg(fa) << 21)
-                    | (freg(fb) << 16)
-                    | (op.func() << 5)
-                    | freg(fc)
+                (OP_FPOP << 26) | (freg(fa) << 21) | (freg(fb) << 16) | (op.func() << 5) | freg(fc)
             }
             Instruction::Br { disp } => (OP_BR << 26) | disp26(disp),
             Instruction::Bsr { disp } => (OP_BSR << 26) | disp26(disp),
@@ -573,19 +569,9 @@ impl Instruction {
                 let ra = field_reg(word, 21, false);
                 let rc = field_reg(word, 0, false);
                 if word & (1 << 12) != 0 {
-                    Instruction::OperateImm {
-                        op,
-                        ra,
-                        imm: ((word >> 13) & 0xFF) as u8,
-                        rc,
-                    }
+                    Instruction::OperateImm { op, ra, imm: ((word >> 13) & 0xFF) as u8, rc }
                 } else {
-                    Instruction::Operate {
-                        op,
-                        ra,
-                        rb: field_reg(word, 16, false),
-                        rc,
-                    }
+                    Instruction::Operate { op, ra, rb: field_reg(word, 16, false), rc }
                 }
             }
             OP_FPOP => {
@@ -627,20 +613,14 @@ impl Instruction {
                 base: field_reg(word, 16, false),
                 disp: word as u16 as i16,
             },
-            OP_BR => Instruction::Br {
-                disp: sext26(word & 0x03FF_FFFF),
+            OP_BR => Instruction::Br { disp: sext26(word & 0x03FF_FFFF) },
+            OP_BSR => Instruction::Bsr { disp: sext26(word & 0x03FF_FFFF) },
+            op if (OP_CONDBR_BASE..OP_CONDBR_BASE + 8).contains(&op) => Instruction::CondBranch {
+                cond: BranchCond::from_index(op - OP_CONDBR_BASE)
+                    .expect("condition index in range"),
+                ra: field_reg(word, 21, false),
+                disp: sext21(word & 0x1F_FFFF),
             },
-            OP_BSR => Instruction::Bsr {
-                disp: sext26(word & 0x03FF_FFFF),
-            },
-            op if (OP_CONDBR_BASE..OP_CONDBR_BASE + 8).contains(&op) => {
-                Instruction::CondBranch {
-                    cond: BranchCond::from_index(op - OP_CONDBR_BASE)
-                        .expect("condition index in range"),
-                    ra: field_reg(word, 21, false),
-                    disp: sext21(word & 0x1F_FFFF),
-                }
-            }
             _ => return Err(DecodeError::UnknownOpcode(word)),
         };
         Ok(insn)
@@ -698,26 +678,11 @@ mod tests {
     fn sample_instructions() -> Vec<Instruction> {
         let mut v = Vec::new();
         for op in AluOp::ALL {
-            v.push(Instruction::Operate {
-                op,
-                ra: Reg::A0,
-                rb: Reg::A1,
-                rc: Reg::T0,
-            });
-            v.push(Instruction::OperateImm {
-                op,
-                ra: Reg::V0,
-                imm: 0xAB,
-                rc: Reg::S0,
-            });
+            v.push(Instruction::Operate { op, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 });
+            v.push(Instruction::OperateImm { op, ra: Reg::V0, imm: 0xAB, rc: Reg::S0 });
         }
         for op in FpOp::ALL {
-            v.push(Instruction::FpOperate {
-                op,
-                fa: Reg::fp(16),
-                fb: Reg::fp(17),
-                fc: Reg::fp(0),
-            });
+            v.push(Instruction::FpOperate { op, fa: Reg::fp(16), fb: Reg::fp(17), fc: Reg::fp(0) });
         }
         v.push(Instruction::Lda { rd: Reg::SP, base: Reg::SP, disp: -64 });
         v.push(Instruction::Ldah { rd: Reg::GP, base: Reg::ZERO, disp: 0x1234u16 as i16 });
@@ -763,15 +728,9 @@ mod tests {
     fn decode_rejects_unknown_function() {
         // Operate with function 0x7F is unassigned.
         let word = (OP_OPERATE << 26) | (0x7F << 5);
-        assert!(matches!(
-            Instruction::decode(word),
-            Err(DecodeError::UnknownFunction(_))
-        ));
+        assert!(matches!(Instruction::decode(word), Err(DecodeError::UnknownFunction(_))));
         // PAL with function 99 is unassigned.
-        assert!(matches!(
-            Instruction::decode(99),
-            Err(DecodeError::UnknownFunction(_))
-        ));
+        assert!(matches!(Instruction::decode(99), Err(DecodeError::UnknownFunction(_))));
     }
 
     #[test]
@@ -787,12 +746,8 @@ mod tests {
 
     #[test]
     fn cmov_uses_its_destination() {
-        let cmov = Instruction::Operate {
-            op: AluOp::CmovNe,
-            ra: Reg::T0,
-            rb: Reg::T1,
-            rc: Reg::V0,
-        };
+        let cmov =
+            Instruction::Operate { op: AluOp::CmovNe, ra: Reg::T0, rb: Reg::T1, rc: Reg::V0 };
         assert_eq!(cmov.uses(), RegSet::of(&[Reg::T0, Reg::T1, Reg::V0]));
         assert_eq!(cmov.defs(), RegSet::of(&[Reg::V0]));
     }
@@ -851,19 +806,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of 21-bit range")]
     fn encode_rejects_oversized_cond_displacement() {
-        let _ = Instruction::CondBranch {
-            cond: BranchCond::Eq,
-            ra: Reg::T0,
-            disp: DISP21_MAX + 1,
-        }
-        .encode();
+        let _ = Instruction::CondBranch { cond: BranchCond::Eq, ra: Reg::T0, disp: DISP21_MAX + 1 }
+            .encode();
     }
 
     #[test]
     #[should_panic(expected = "expected floating-point register")]
     fn encode_rejects_bank_mismatch() {
-        let _ = Instruction::Load { width: MemWidth::T, rd: Reg::T0, base: Reg::SP, disp: 0 }
-            .encode();
+        let _ =
+            Instruction::Load { width: MemWidth::T, rd: Reg::T0, base: Reg::SP, disp: 0 }.encode();
     }
 
     #[test]

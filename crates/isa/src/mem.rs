@@ -43,8 +43,24 @@ macro_rules! impl_heap_size_zero {
 }
 
 impl_heap_size_zero!(
-    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, (),
-    crate::Reg, crate::RegSet, crate::Instruction
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    (),
+    crate::Reg,
+    crate::RegSet,
+    crate::Instruction
 );
 
 impl<T: HeapSize> HeapSize for Vec<T> {
@@ -96,9 +112,7 @@ impl<K: HeapSize, V: HeapSize> HeapSize for std::collections::BTreeMap<K, V> {
 
 impl<T: HeapSize> HeapSize for std::collections::BTreeSet<T> {
     fn heap_bytes(&self) -> usize {
-        self.iter()
-            .map(|v| std::mem::size_of::<T>() + v.heap_bytes())
-            .sum::<usize>()
+        self.iter().map(|v| std::mem::size_of::<T>() + v.heap_bytes()).sum::<usize>()
             + self.len() * 2 * std::mem::size_of::<usize>()
     }
 }

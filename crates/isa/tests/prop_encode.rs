@@ -68,14 +68,24 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             .prop_map(|(op, ra, rb, rc)| Instruction::Operate { op, ra, rb, rc }),
         (arb_alu_op(), arb_ireg(), any::<u8>(), arb_ireg())
             .prop_map(|(op, ra, imm, rc)| Instruction::OperateImm { op, ra, imm, rc }),
-        (arb_ireg(), arb_ireg(), any::<i16>())
-            .prop_map(|(rd, base, disp)| Instruction::Lda { rd, base, disp }),
-        (arb_ireg(), arb_ireg(), any::<i16>())
-            .prop_map(|(rd, base, disp)| Instruction::Ldah { rd, base, disp }),
+        (arb_ireg(), arb_ireg(), any::<i16>()).prop_map(|(rd, base, disp)| Instruction::Lda {
+            rd,
+            base,
+            disp
+        }),
+        (arb_ireg(), arb_ireg(), any::<i16>()).prop_map(|(rd, base, disp)| Instruction::Ldah {
+            rd,
+            base,
+            disp
+        }),
         (arb_ireg(), arb_ireg(), any::<i16>(), prop_oneof![Just(MemWidth::L), Just(MemWidth::Q)])
             .prop_map(|(rd, base, disp, width)| Instruction::Load { width, rd, base, disp }),
-        (arb_freg(), arb_ireg(), any::<i16>())
-            .prop_map(|(rd, base, disp)| Instruction::Load { width: MemWidth::T, rd, base, disp }),
+        (arb_freg(), arb_ireg(), any::<i16>()).prop_map(|(rd, base, disp)| Instruction::Load {
+            width: MemWidth::T,
+            rd,
+            base,
+            disp
+        }),
         (arb_ireg(), arb_ireg(), any::<i16>(), prop_oneof![Just(MemWidth::L), Just(MemWidth::Q)])
             .prop_map(|(rs, base, disp, width)| Instruction::Store { width, rs, base, disp }),
         (arb_fp_op(), arb_freg(), arb_freg(), arb_freg())

@@ -146,11 +146,7 @@ mod tests {
     #[test]
     fn stores_and_putint_are_never_deleted() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .def(Reg::T0)
-            .store(Reg::T0, Reg::SP, 0)
-            .put_int()
-            .halt();
+        b.routine("main").def(Reg::T0).store(Reg::T0, Reg::SP, 0).put_int().halt();
         let p = b.build().unwrap();
         assert_eq!(dead_count(&p), 0);
     }

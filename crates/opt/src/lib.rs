@@ -127,10 +127,8 @@ pub fn optimize_with(
     program: &Program,
     options: &OptOptions,
 ) -> Result<(Program, OptReport), RewriteError> {
-    let mut report = OptReport {
-        instructions_before: program.total_instructions(),
-        ..OptReport::default()
-    };
+    let mut report =
+        OptReport { instructions_before: program.total_instructions(), ..OptReport::default() };
     let mut current = program.clone();
 
     if options.spills {
@@ -251,11 +249,7 @@ mod tests {
     #[test]
     fn figure1d_reallocation_end_to_end() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .lda(Reg::A0, Reg::ZERO, 3)
-            .call("f")
-            .put_int()
-            .halt();
+        b.routine("main").lda(Reg::A0, Reg::ZERO, 3).call("f").put_int().halt();
         b.routine("f")
             .lda(Reg::SP, Reg::SP, -16)
             .store(Reg::RA, Reg::SP, 8)
@@ -315,11 +309,7 @@ mod tests {
         for seed in 0..25 {
             let p = spike_synth::generate_executable(seed, 5);
             let (q, report) = optimize(&p).unwrap();
-            assert_eq!(
-                behaviour(&p),
-                behaviour(&q),
-                "seed {seed} changed behaviour ({report:?})"
-            );
+            assert_eq!(behaviour(&p), behaviour(&q), "seed {seed} changed behaviour ({report:?})");
         }
     }
 

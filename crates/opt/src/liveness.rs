@@ -51,9 +51,7 @@ fn block_end_live(
             analysis.summary.routine(rid).live_at_exit[i]
         }
         TermKind::Halt => RegSet::EMPTY,
-        TermKind::UnknownJump => {
-            program.jump_hint(block.term_addr()).unwrap_or(RegSet::ALL)
-        }
+        TermKind::UnknownJump => program.jump_hint(block.term_addr()).unwrap_or(RegSet::ALL),
         TermKind::Call { return_to, .. } => match return_to {
             Some(rt) => live_in[rt.index()],
             None => RegSet::EMPTY,
@@ -143,11 +141,7 @@ mod tests {
     #[test]
     fn argument_live_before_call_result_live_after() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .def(Reg::A0)
-            .call("id")
-            .copy(Reg::V0, Reg::T0)
-            .halt();
+        b.routine("main").def(Reg::A0).call("id").copy(Reg::V0, Reg::T0).halt();
         b.routine("id").copy(Reg::A0, Reg::V0).ret();
         let p = b.build().unwrap();
         let a = analyze(&p);
@@ -166,10 +160,7 @@ mod tests {
     #[test]
     fn ignore_mask_removes_uses() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .def(Reg::T0)
-            .use_reg(Reg::T0)
-            .halt();
+        b.routine("main").def(Reg::T0).use_reg(Reg::T0).halt();
         let p = b.build().unwrap();
         let a = analyze(&p);
         let main = p.routine_by_name("main").unwrap();

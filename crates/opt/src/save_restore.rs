@@ -37,9 +37,7 @@ fn rename_insn(insn: &Instruction, from: Reg, to: Reg) -> Instruction {
         Instruction::OperateImm { op, ra, imm, rc } => {
             Instruction::OperateImm { op, ra: m(ra), imm, rc: m(rc) }
         }
-        Instruction::Lda { rd, base, disp } => {
-            Instruction::Lda { rd: m(rd), base: m(base), disp }
-        }
+        Instruction::Lda { rd, base, disp } => Instruction::Lda { rd: m(rd), base: m(base), disp },
         Instruction::Ldah { rd, base, disp } => {
             Instruction::Ldah { rd: m(rd), base: m(base), disp }
         }
@@ -202,10 +200,7 @@ pub(crate) fn find_reallocs(program: &Program, analysis: &Analysis) -> Vec<Reall
         for insn in routine.insns() {
             referenced |= insn.uses() | insn.defs();
         }
-        let live_out_all = summary
-            .live_at_exit
-            .iter()
-            .fold(RegSet::EMPTY, |a, &s| a | s);
+        let live_out_all = summary.live_at_exit.iter().fold(RegSet::EMPTY, |a, &s| a | s);
 
         for s in summary.saved_restored.iter() {
             let Some(sites) = save_restore_sites(program, analysis, rid, s) else {

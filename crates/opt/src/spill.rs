@@ -20,8 +20,6 @@
 //!   than in prologue/epilogue (checked by requiring the store and load to
 //!   share the block pair).
 
-
-
 use spike_cfg::TermKind;
 use spike_core::Analysis;
 use spike_isa::{Instruction, Reg, RegSet};
@@ -64,10 +62,8 @@ pub(crate) fn find_spills(program: &Program, analysis: &Analysis) -> Vec<SpillPa
 
             // Candidate stores in the call block, scanning backward from
             // the call; track what gets defined after each store.
-            let mut defined_after = routine
-                .insn_at(block.term_addr())
-                .expect("call instruction")
-                .defs();
+            let mut defined_after =
+                routine.insn_at(block.term_addr()).expect("call instruction").defs();
             for addr in (block.start()..block.term_addr()).rev() {
                 let insn = routine.insn_at(addr).expect("address in routine");
                 if let Instruction::Store { rs, base: Reg::SP, disp, .. } = *insn {

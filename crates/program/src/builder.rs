@@ -211,16 +211,14 @@ impl RoutineBuilder {
     /// Appends a multiway branch: an indirect `jmp` through `base` whose
     /// extracted jump table lists the given labels (§3.5, §3.6).
     pub fn switch(&mut self, base: Reg, labels: &[&str]) -> &mut Self {
-        self.items
-            .push(Item::Switch(base, labels.iter().map(|s| s.to_string()).collect()));
+        self.items.push(Item::Switch(base, labels.iter().map(|s| s.to_string()).collect()));
         self
     }
 
     /// Appends an indirect call (`jsr` through `base`) whose possible
     /// targets are known to be the named routines.
     pub fn jsr_known(&mut self, base: Reg, targets: &[&str]) -> &mut Self {
-        self.items
-            .push(Item::JsrKnown(base, targets.iter().map(|s| s.to_string()).collect()));
+        self.items.push(Item::JsrKnown(base, targets.iter().map(|s| s.to_string()).collect()));
         self
     }
 
@@ -370,14 +368,12 @@ impl ProgramBuilder {
                 Some((r, l)) => (r, Some(l)),
                 None => (target, None),
             };
-            let idx = self
-                .routines
-                .iter()
-                .position(|r| r.name == rname)
-                .ok_or_else(|| BuildError::UndefinedRoutine {
+            let idx = self.routines.iter().position(|r| r.name == rname).ok_or_else(|| {
+                BuildError::UndefinedRoutine {
                     routine: from.name.clone(),
                     target: target.to_string(),
-                })?;
+                }
+            })?;
             let base = addrs[idx];
             match label {
                 None => Ok(base),
@@ -402,28 +398,28 @@ impl ProgramBuilder {
         for (ri, rb) in self.routines.iter().enumerate() {
             let base = addrs[ri];
             let local_label = |label: &str| -> Result<u32, BuildError> {
-                rb.labels
-                    .get(label)
-                    .map(|&off| base + off as u32)
-                    .ok_or_else(|| BuildError::UndefinedLabel {
+                rb.labels.get(label).map(|&off| base + off as u32).ok_or_else(|| {
+                    BuildError::UndefinedLabel {
                         routine: rb.name.clone(),
                         label: label.to_string(),
-                    })
+                    }
+                })
             };
             // Conditional branches carry 21-bit displacements; `br`/`bsr`
             // have no register operand and carry 26 bits.
-            let disp_to = |from_off: usize, target_addr: u32, bits: u32| -> Result<i32, BuildError> {
-                let pc_next = base + from_off as u32 + 1;
-                let d = target_addr as i64 - pc_next as i64;
-                let lim = 1i64 << (bits - 1);
-                if !(-lim..lim).contains(&d) {
-                    return Err(BuildError::DisplacementOverflow {
-                        routine: rb.name.clone(),
-                        offset: from_off,
-                    });
-                }
-                Ok(d as i32)
-            };
+            let disp_to =
+                |from_off: usize, target_addr: u32, bits: u32| -> Result<i32, BuildError> {
+                    let pc_next = base + from_off as u32 + 1;
+                    let d = target_addr as i64 - pc_next as i64;
+                    let lim = 1i64 << (bits - 1);
+                    if !(-lim..lim).contains(&d) {
+                        return Err(BuildError::DisplacementOverflow {
+                            routine: rb.name.clone(),
+                            offset: from_off,
+                        });
+                    }
+                    Ok(d as i32)
+                };
 
             let mut insns = Vec::with_capacity(rb.items.len());
             for (off, item) in rb.items.iter().enumerate() {
@@ -447,8 +443,7 @@ impl ProgramBuilder {
                     Item::JsrKnown(basereg, names) => {
                         let targets: Result<Vec<u32>, BuildError> =
                             names.iter().map(|t| resolve_target(rb, t)).collect();
-                        indirect_calls
-                            .insert(base + off as u32, IndirectTargets::Known(targets?));
+                        indirect_calls.insert(base + off as u32, IndirectTargets::Known(targets?));
                         Instruction::Jsr { base: *basereg }
                     }
                     Item::JsrUnknown(basereg) => {
@@ -519,13 +514,7 @@ impl ProgramBuilder {
             entry_offsets.sort_unstable();
             entry_offsets.dedup();
 
-            routines.push(Routine::new(
-                rb.name.clone(),
-                base,
-                insns,
-                entry_offsets,
-                rb.exported,
-            ));
+            routines.push(Routine::new(rb.name.clone(), base, insns, entry_offsets, rb.exported));
         }
 
         let entry = match &self.entry {
@@ -540,14 +529,7 @@ impl ProgramBuilder {
             }
         };
 
-        Ok(Program::new(
-            routines,
-            jump_tables,
-            indirect_calls,
-            jump_hints,
-            relocations,
-            entry,
-        )?)
+        Ok(Program::new(routines, jump_tables, indirect_calls, jump_hints, relocations, entry)?)
     }
 }
 
@@ -594,39 +576,25 @@ mod tests {
     fn alt_entries_are_callable() {
         let mut b = ProgramBuilder::new();
         b.routine("main").call("f:mid").halt();
-        b.routine("f")
-            .def(Reg::T0)
-            .label("mid")
-            .alt_entry("mid")
-            .def(Reg::V0)
-            .ret();
+        b.routine("f").def(Reg::T0).label("mid").alt_entry("mid").def(Reg::V0).ret();
         let p = b.build().unwrap();
         let f = p.routine_by_name("f").unwrap();
         assert_eq!(p.routine(f).entry_offsets(), &[0, 1]);
         let main = p.routine_by_name("main").unwrap();
-        assert_eq!(
-            p.direct_call_target(p.routine(main).addr()),
-            Some((f, 1))
-        );
+        assert_eq!(p.direct_call_target(p.routine(main).addr()), Some((f, 1)));
     }
 
     #[test]
     fn indirect_calls_record_target_info() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .jsr_known(Reg::PV, &["f", "g"])
-            .jsr_unknown(Reg::PV)
-            .halt();
+        b.routine("main").jsr_known(Reg::PV, &["f", "g"]).jsr_unknown(Reg::PV).halt();
         b.routine("f").ret();
         b.routine("g").ret();
         let p = b.build().unwrap();
         let base = p.routines()[0].addr();
         let f_addr = p.routine(p.routine_by_name("f").unwrap()).addr();
         let g_addr = p.routine(p.routine_by_name("g").unwrap()).addr();
-        assert_eq!(
-            p.indirect_call_targets(base),
-            &IndirectTargets::Known(vec![f_addr, g_addr])
-        );
+        assert_eq!(p.indirect_call_targets(base), &IndirectTargets::Known(vec![f_addr, g_addr]));
         assert_eq!(p.indirect_call_targets(base + 1), &IndirectTargets::Unknown);
     }
 
@@ -634,48 +602,33 @@ mod tests {
     fn undefined_label_is_reported() {
         let mut b = ProgramBuilder::new();
         b.routine("main").br("nowhere").halt();
-        assert!(matches!(
-            b.build().unwrap_err(),
-            BuildError::UndefinedLabel { .. }
-        ));
+        assert!(matches!(b.build().unwrap_err(), BuildError::UndefinedLabel { .. }));
     }
 
     #[test]
     fn undefined_routine_is_reported() {
         let mut b = ProgramBuilder::new();
         b.routine("main").call("ghost").halt();
-        assert!(matches!(
-            b.build().unwrap_err(),
-            BuildError::UndefinedRoutine { .. }
-        ));
+        assert!(matches!(b.build().unwrap_err(), BuildError::UndefinedRoutine { .. }));
     }
 
     #[test]
     fn duplicate_label_is_reported() {
         let mut b = ProgramBuilder::new();
         b.routine("main").label("x").def(Reg::T0).label("x").halt();
-        assert!(matches!(
-            b.build().unwrap_err(),
-            BuildError::DuplicateLabel { .. }
-        ));
+        assert!(matches!(b.build().unwrap_err(), BuildError::DuplicateLabel { .. }));
     }
 
     #[test]
     fn fall_through_end_is_reported() {
         let mut b = ProgramBuilder::new();
         b.routine("main").def(Reg::T0);
-        assert!(matches!(
-            b.build().unwrap_err(),
-            BuildError::FallsThroughEnd { .. }
-        ));
+        assert!(matches!(b.build().unwrap_err(), BuildError::FallsThroughEnd { .. }));
         // A trailing call also falls through.
         let mut b = ProgramBuilder::new();
         b.routine("main").call("f");
         b.routine("f").ret();
-        assert!(matches!(
-            b.build().unwrap_err(),
-            BuildError::FallsThroughEnd { .. }
-        ));
+        assert!(matches!(b.build().unwrap_err(), BuildError::FallsThroughEnd { .. }));
     }
 
     #[test]

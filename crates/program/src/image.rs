@@ -225,10 +225,8 @@ impl Program {
             let mut insns = Vec::with_capacity(n_insns);
             for i in 0..n_insns {
                 let word = r.u32()?;
-                let insn = Instruction::decode(word).map_err(|source| ImageError::Decode {
-                    addr: addr + i as u32,
-                    source,
-                })?;
+                let insn = Instruction::decode(word)
+                    .map_err(|source| ImageError::Decode { addr: addr + i as u32, source })?;
                 insns.push(insn);
             }
             if insns.is_empty() || entry_offsets.first() != Some(&0) {
@@ -292,14 +290,7 @@ impl Program {
             relocations.insert(addr, target);
         }
 
-        Ok(Program::new(
-            routines,
-            jump_tables,
-            indirect_calls,
-            jump_hints,
-            relocations,
-            entry,
-        )?)
+        Ok(Program::new(routines, jump_tables, indirect_calls, jump_hints, relocations, entry)?)
     }
 }
 
@@ -343,10 +334,7 @@ mod tests {
         let p = rich_program();
         let mut image = p.to_image();
         image[0] ^= 0xFF;
-        assert!(matches!(
-            Program::from_image(&image),
-            Err(ImageError::BadMagic(_))
-        ));
+        assert!(matches!(Program::from_image(&image), Err(ImageError::BadMagic(_))));
     }
 
     #[test]
@@ -354,10 +342,7 @@ mod tests {
         let p = rich_program();
         let mut image = p.to_image();
         image[4] = 99;
-        assert!(matches!(
-            Program::from_image(&image),
-            Err(ImageError::BadVersion(99))
-        ));
+        assert!(matches!(Program::from_image(&image), Err(ImageError::BadVersion(99))));
     }
 
     #[test]
@@ -380,10 +365,7 @@ mod tests {
         let needle = spike_isa::Instruction::Lda { rd: Reg::A0, base: Reg::ZERO, disp: 1 }
             .encode()
             .to_le_bytes();
-        let pos = image
-            .windows(4)
-            .position(|w| w == needle)
-            .expect("code word present");
+        let pos = image.windows(4).position(|w| w == needle).expect("code word present");
         // Opcode 0x3 is unassigned.
         image[pos..pos + 4].copy_from_slice(&(0x3u32 << 26).to_le_bytes());
         match Program::from_image(&image) {

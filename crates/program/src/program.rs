@@ -60,6 +60,8 @@ pub enum ProgramError {
     /// A jump table or indirect-target record points at an address holding
     /// no instruction of the right kind.
     MisplacedAuxInfo { addr: u32 },
+    /// A routine's last instruction can fall through past the routine end.
+    FallsThroughEnd { routine: String },
     /// The entry routine id is out of range.
     BadEntry,
 }
@@ -91,6 +93,9 @@ impl fmt::Display for ProgramError {
                 f,
                 "auxiliary control-flow info at {addr:#x} does not match an instruction"
             ),
+            ProgramError::FallsThroughEnd { routine } => {
+                write!(f, "routine {routine} can fall through past its last instruction")
+            }
             ProgramError::BadEntry => write!(f, "program entry routine does not exist"),
         }
     }
@@ -109,7 +114,10 @@ impl std::error::Error for ProgramError {}
 ///   (branches stay within their routine; calls land on routine entrances);
 /// * every jump table is attached to a `jmp` instruction and its targets
 ///   lie inside that routine; every known indirect-target list is attached
-///   to a `jsr` and lists routine entrances.
+///   to a `jsr` and lists routine entrances;
+/// * no routine falls through past its end: every routine's last
+///   instruction transfers control unconditionally (`br`, `jmp`, `ret`,
+///   or `halt`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Program {
     routines: Vec<Routine>,
@@ -177,6 +185,23 @@ impl Program {
 
     fn validate(&self) -> Result<(), ProgramError> {
         for r in &self.routines {
+            // Execution must never run off the end of a routine: the last
+            // instruction has to transfer control unconditionally. A
+            // trailing conditional branch, call, or plain instruction
+            // would fall through past the end, and the CFG builder
+            // (`RoutineCfg::build_structure`) relies on this invariant
+            // when it resolves fall-through and call-return successors.
+            match r.insns().last() {
+                Some(
+                    Instruction::Br { .. }
+                    | Instruction::Jmp { .. }
+                    | Instruction::Ret { .. }
+                    | Instruction::Halt,
+                ) => {}
+                _ => {
+                    return Err(ProgramError::FallsThroughEnd { routine: r.name().to_string() });
+                }
+            }
             for (i, insn) in r.insns().iter().enumerate() {
                 let addr = r.addr() + i as u32;
                 match *insn {
@@ -272,10 +297,7 @@ impl Program {
 
     /// Iterates over `(id, routine)` pairs in layout order.
     pub fn iter(&self) -> impl Iterator<Item = (RoutineId, &Routine)> {
-        self.routines
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RoutineId::from_index(i), r))
+        self.routines.iter().enumerate().map(|(i, r)| (RoutineId::from_index(i), r))
     }
 
     /// The program's entry routine (where execution starts).
@@ -286,10 +308,7 @@ impl Program {
 
     /// Looks up a routine by symbol name (linear scan).
     pub fn routine_by_name(&self, name: &str) -> Option<RoutineId> {
-        self.routines
-            .iter()
-            .position(|r| r.name() == name)
-            .map(RoutineId::from_index)
+        self.routines.iter().position(|r| r.name() == name).map(RoutineId::from_index)
     }
 
     /// The routine whose address range contains `addr`.
@@ -456,8 +475,15 @@ mod tests {
             vec![0],
             false,
         );
-        let err = Program::new(vec![r], BTreeMap::new(), BTreeMap::new(), BTreeMap::new(), BTreeMap::new(), RoutineId::from_index(0))
-            .unwrap_err();
+        let err = Program::new(
+            vec![r],
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            RoutineId::from_index(0),
+        )
+        .unwrap_err();
         assert!(matches!(err, ProgramError::BranchEscapesRoutine { .. }));
     }
 
@@ -495,5 +521,74 @@ mod tests {
     fn unknown_indirect_default() {
         let p = two_routine_program();
         assert_eq!(p.indirect_call_targets(0xDEAD), &IndirectTargets::Unknown);
+    }
+
+    /// Regression: `Program::new` used to accept routines whose last
+    /// instruction falls through past the routine end. `ProgramBuilder`
+    /// always rejected the shape, but direct `Program::new` callers (the
+    /// rewriter, the image loader) could slip it through, and the CFG
+    /// builder then either panicked ("offset N is not a block leader")
+    /// or produced a call block with `return_to: None`, breaking the
+    /// `cfg_structure_is_consistent` property.
+    #[test]
+    fn rejects_trailing_fall_through() {
+        use spike_isa::AluOp;
+        let one = |insns| {
+            Program::new(
+                vec![Routine::new("f", 0x400, insns, vec![0], false)],
+                BTreeMap::new(),
+                BTreeMap::new(),
+                BTreeMap::new(),
+                BTreeMap::new(),
+                RoutineId::from_index(0),
+            )
+        };
+
+        // A plain instruction at the end falls through.
+        let err = one(vec![Instruction::Operate {
+            op: AluOp::Add,
+            ra: Reg::A0,
+            rb: Reg::A1,
+            rc: Reg::V0,
+        }])
+        .unwrap_err();
+        assert_eq!(err, ProgramError::FallsThroughEnd { routine: "f".into() });
+
+        // So does the not-taken side of a trailing conditional branch,
+        // even when the taken side stays inside the routine.
+        let err = one(vec![
+            Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::V0 },
+            Instruction::CondBranch { cond: BranchCond::Ne, ra: Reg::V0, disp: -2 },
+        ])
+        .unwrap_err();
+        assert_eq!(err, ProgramError::FallsThroughEnd { routine: "f".into() });
+
+        // Unconditional control transfers at the end are fine.
+        assert!(one(vec![Instruction::Ret { base: Reg::RA }]).is_ok());
+        assert!(one(vec![Instruction::Halt]).is_ok());
+        assert!(one(vec![
+            Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::V0 },
+            Instruction::Br { disp: -2 },
+        ])
+        .is_ok());
+    }
+
+    /// Companion to [`rejects_trailing_fall_through`]: a call expects
+    /// execution to resume at the next address, so it cannot be a
+    /// routine's last instruction either.
+    #[test]
+    fn rejects_trailing_call() {
+        let main = Routine::new("main", 0x400, vec![Instruction::Bsr { disp: 0 }], vec![0], true);
+        let f = Routine::new("f", 0x401, vec![Instruction::Ret { base: Reg::RA }], vec![0], false);
+        let err = Program::new(
+            vec![main, f],
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            RoutineId::from_index(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, ProgramError::FallsThroughEnd { routine: "main".into() });
     }
 }

@@ -218,20 +218,18 @@ impl<'a> Rewriter<'a> {
                     .copied()
                     .unwrap_or_else(|| *r.insn_at(old).expect("address in routine"));
                 let relinked = match insn {
-                    Instruction::Br { disp } => Instruction::Br {
-                        disp: relink(old, disp, new_addr, &map),
-                    },
-                    Instruction::Bsr { disp } => Instruction::Bsr {
-                        disp: relink(old, disp, new_addr, &map),
-                    },
+                    Instruction::Br { disp } => {
+                        Instruction::Br { disp: relink(old, disp, new_addr, &map) }
+                    }
+                    Instruction::Bsr { disp } => {
+                        Instruction::Bsr { disp: relink(old, disp, new_addr, &map) }
+                    }
                     Instruction::CondBranch { cond, ra, disp } => Instruction::CondBranch {
                         cond,
                         ra,
                         disp: relink(old, disp, new_addr, &map),
                     },
-                    Instruction::Lda { rd, base, .. }
-                        if p.relocations().contains_key(&old) =>
-                    {
+                    Instruction::Lda { rd, base, .. } if p.relocations().contains_key(&old) => {
                         let target = map(p.relocations()[&old]);
                         relocations.insert(new_addr, target);
                         Instruction::Lda {
@@ -245,10 +243,7 @@ impl<'a> Rewriter<'a> {
                 };
                 insns.push(relinked);
             }
-            let entry_offsets: Vec<u32> = r
-                .entry_addrs()
-                .map(|a| map(a) - map(r.addr()))
-                .collect();
+            let entry_offsets: Vec<u32> = r.entry_addrs().map(|a| map(a) - map(r.addr())).collect();
             routines.push(Routine::new(
                 r.name(),
                 map(r.addr()),
@@ -279,20 +274,9 @@ impl<'a> Rewriter<'a> {
                 (map(addr), t)
             })
             .collect();
-        let jump_hints = p
-            .jump_hints()
-            .iter()
-            .map(|(&addr, &live)| (map(addr), live))
-            .collect();
+        let jump_hints = p.jump_hints().iter().map(|(&addr, &live)| (map(addr), live)).collect();
 
-        Ok(Program::new(
-            routines,
-            jump_tables,
-            indirect_calls,
-            jump_hints,
-            relocations,
-            p.entry(),
-        )?)
+        Ok(Program::new(routines, jump_tables, indirect_calls, jump_hints, relocations, p.entry())?)
     }
 }
 
@@ -417,10 +401,7 @@ mod tests {
     #[test]
     fn relocated_constants_are_not_deletable() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .lda_label(Reg::T0, "t")
-            .label("t")
-            .halt();
+        b.routine("main").lda_label(Reg::T0, "t").label("t").halt();
         let p = b.build().unwrap();
         let base = p.routines()[0].addr();
         let err = Rewriter::new(&p).delete(base).finish().unwrap_err();
@@ -439,13 +420,14 @@ mod tests {
     #[test]
     fn replace_renames_registers() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .op(AluOp::Add, Reg::A0, Reg::A1, Reg::S0)
-            .halt();
+        b.routine("main").op(AluOp::Add, Reg::A0, Reg::A1, Reg::S0).halt();
         let p = b.build().unwrap();
         let base = p.routines()[0].addr();
         let mut rw = Rewriter::new(&p);
-        rw.replace(base, Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 });
+        rw.replace(
+            base,
+            Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 },
+        );
         let q = rw.finish().unwrap();
         assert_eq!(
             q.insn_at(base),

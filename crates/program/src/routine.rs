@@ -80,13 +80,7 @@ impl Routine {
             entry_offsets.iter().all(|&o| (o as usize) < insns.len()),
             "entry offset out of range"
         );
-        Routine {
-            name: name.into(),
-            addr,
-            insns,
-            entry_offsets,
-            exported,
-        }
+        Routine { name: name.into(), addr, insns, entry_offsets, exported }
     }
 
     /// The routine's symbol name.
@@ -222,25 +216,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "first entrance must be offset 0")]
     fn rejects_missing_primary_entry() {
-        let _ = Routine::new(
-            "f",
-            0,
-            vec![Instruction::Ret { base: Reg::RA }],
-            vec![],
-            false,
-        );
+        let _ = Routine::new("f", 0, vec![Instruction::Ret { base: Reg::RA }], vec![], false);
     }
 
     #[test]
     #[should_panic(expected = "entry offset out of range")]
     fn rejects_entry_past_end() {
-        let _ = Routine::new(
-            "f",
-            0,
-            vec![Instruction::Ret { base: Reg::RA }],
-            vec![0, 5],
-            false,
-        );
+        let _ = Routine::new("f", 0, vec![Instruction::Ret { base: Reg::RA }], vec![0, 5], false);
     }
 
     #[test]

@@ -190,8 +190,20 @@ impl Machine {
                         FpOp::Add => a + b,
                         FpOp::Sub => a - b,
                         FpOp::Mul => a * b,
-                        FpOp::CmpEq => if a == b { 2.0 } else { 0.0 },
-                        FpOp::CmpLt => if a < b { 2.0 } else { 0.0 },
+                        FpOp::CmpEq => {
+                            if a == b {
+                                2.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        FpOp::CmpLt => {
+                            if a < b {
+                                2.0
+                            } else {
+                                0.0
+                            }
+                        }
                     };
                     self.set_reg(fc, v.to_bits() as i64);
                 }
@@ -252,8 +264,20 @@ fn alu(op: AluOp, a: i64, b: i64, old_c: i64) -> i64 {
         AluOp::CmpLt => (a < b) as i64,
         AluOp::CmpLe => (a <= b) as i64,
         AluOp::CmpUlt => ((a as u64) < (b as u64)) as i64,
-        AluOp::CmovEq => if a == 0 { b } else { old_c },
-        AluOp::CmovNe => if a != 0 { b } else { old_c },
+        AluOp::CmovEq => {
+            if a == 0 {
+                b
+            } else {
+                old_c
+            }
+        }
+        AluOp::CmovNe => {
+            if a != 0 {
+                b
+            } else {
+                old_c
+            }
+        }
     }
 }
 
@@ -389,25 +413,15 @@ mod tests {
     #[test]
     fn call_and_return() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .lda(Reg::A0, Reg::ZERO, 20)
-            .call("inc")
-            .put_int()
-            .halt();
-        b.routine("inc")
-            .op_imm(AluOp::Add, Reg::A0, 1, Reg::V0)
-            .ret();
+        b.routine("main").lda(Reg::A0, Reg::ZERO, 20).call("inc").put_int().halt();
+        b.routine("inc").op_imm(AluOp::Add, Reg::A0, 1, Reg::V0).ret();
         assert_eq!(output_of(&b), vec![21]);
     }
 
     #[test]
     fn nested_calls_save_ra_on_stack() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .lda(Reg::A0, Reg::ZERO, 5)
-            .call("outer")
-            .put_int()
-            .halt();
+        b.routine("main").lda(Reg::A0, Reg::ZERO, 5).call("outer").put_int().halt();
         b.routine("outer")
             .lda(Reg::SP, Reg::SP, -8)
             .store(Reg::RA, Reg::SP, 0)
@@ -416,9 +430,7 @@ mod tests {
             .lda(Reg::SP, Reg::SP, 8)
             .op_imm(AluOp::Add, Reg::V0, 1, Reg::V0)
             .ret();
-        b.routine("inner")
-            .op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0)
-            .ret();
+        b.routine("inner").op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0).ret();
         assert_eq!(output_of(&b), vec![11]);
     }
 
@@ -488,13 +500,10 @@ mod tests {
             .jsr_known(Reg::PV, &["callee"])
             .put_int()
             .halt();
-        b.routine("callee")
-            .op_imm(AluOp::Add, Reg::A0, 3, Reg::V0)
-            .ret();
+        b.routine("callee").op_imm(AluOp::Add, Reg::A0, 3, Reg::V0).ret();
         // Resolve callee's address and patch the lda displacement.
         let p = b.build().unwrap();
-        let callee_addr =
-            p.routine(p.routine_by_name("callee").unwrap()).addr() as i16;
+        let callee_addr = p.routine(p.routine_by_name("callee").unwrap()).addr() as i16;
         let mut b = ProgramBuilder::new();
         b.routine("main")
             .lda(Reg::A0, Reg::ZERO, 30)
@@ -502,9 +511,7 @@ mod tests {
             .jsr_known(Reg::PV, &["callee"])
             .put_int()
             .halt();
-        b.routine("callee")
-            .op_imm(AluOp::Add, Reg::A0, 3, Reg::V0)
-            .ret();
+        b.routine("callee").op_imm(AluOp::Add, Reg::A0, 3, Reg::V0).ret();
         assert_eq!(output_of(&b), vec![33]);
     }
 
@@ -541,22 +548,14 @@ mod tests {
     #[test]
     fn zero_register_writes_are_discarded() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .lda(Reg::ZERO, Reg::ZERO, 7)
-            .copy(Reg::ZERO, Reg::V0)
-            .put_int()
-            .halt();
+        b.routine("main").lda(Reg::ZERO, Reg::ZERO, 7).copy(Reg::ZERO, Reg::V0).put_int().halt();
         assert_eq!(output_of(&b), vec![0]);
     }
 
     #[test]
     fn profiled_run_matches_plain_run() {
         let mut b = ProgramBuilder::new();
-        b.routine("main")
-            .lda(Reg::A0, Reg::ZERO, 3)
-            .call("work")
-            .put_int()
-            .halt();
+        b.routine("main").lda(Reg::A0, Reg::ZERO, 3).call("work").put_int().halt();
         b.routine("work")
             .lda(Reg::SP, Reg::SP, -16)
             .store(Reg::RA, Reg::SP, 0)

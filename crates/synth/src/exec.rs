@@ -54,9 +54,7 @@ fn gen_stmts(
         let stmt = match rng.gen_range(0..10) {
             0..=3 => Stmt::Arith,
             4 => Stmt::PutInt,
-            5 | 6 if can_call => {
-                Stmt::Call(rng.gen_range(routine + 1..n_routines))
-            }
+            5 | 6 if can_call => Stmt::Call(rng.gen_range(routine + 1..n_routines)),
             7 if can_nest => Stmt::If(gen_stmts(rng, routine, n_routines, budget, depth + 1)),
             8 if can_nest => Stmt::Loop(
                 rng.gen_range(1..=3),
@@ -178,11 +176,8 @@ impl Ctx<'_, '_> {
                     // the callee happens not to kill the register, the
                     // optimizer can delete both halves.
                     let spill = if !self.spill_slots.is_empty() && self.rng.gen_bool(0.4) {
-                        let live: Vec<Reg> = TEMPS
-                            .iter()
-                            .copied()
-                            .filter(|t| self.valid.contains(*t))
-                            .collect();
+                        let live: Vec<Reg> =
+                            TEMPS.iter().copied().filter(|t| self.valid.contains(*t)).collect();
                         if live.is_empty() {
                             None
                         } else {
@@ -326,8 +321,7 @@ pub fn generate_executable(seed: u64, n_routines: usize) -> Program {
         } else {
             0
         };
-        let spill_slots: Vec<i16> =
-            (0..spill_area / 8).map(|i| spill_base + 8 * i).collect();
+        let spill_slots: Vec<i16> = (0..spill_area / 8).map(|i| spill_base + 8 * i).collect();
 
         let r = b.routine(&name);
         if frame > 0 {
@@ -392,10 +386,7 @@ mod tests {
             let p = generate_executable(seed, 5);
             let a = run(&p, 2_000_000);
             let b = run(&p, 2_000_000);
-            assert!(
-                matches!(a, Outcome::Halted { .. }),
-                "seed {seed} did not halt: {a:?}"
-            );
+            assert!(matches!(a, Outcome::Halted { .. }), "seed {seed} did not halt: {a:?}");
             assert_eq!(a, b, "seed {seed} nondeterministic");
         }
     }

@@ -42,7 +42,8 @@ pub fn generate(profile: &Profile, scale: f64, seed: u64) -> Program {
     let n = ((profile.routines as f64 * scale).round() as usize).max(2);
     let mut b = ProgramBuilder::new();
     for i in 0..n {
-        let mut rng = StdRng::seed_from_u64(splitmix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng =
+            StdRng::seed_from_u64(splitmix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         emit_routine(&mut b, profile, n, i, &mut rng);
     }
     b.build().expect("generated program must be valid")
@@ -91,20 +92,11 @@ enum Event {
     Exit,
 }
 
-const TEMPS: [Reg; 8] = [
-    Reg::T0,
-    Reg::T1,
-    Reg::T2,
-    Reg::T3,
-    Reg::int(5),
-    Reg::int(6),
-    Reg::int(22),
-    Reg::int(23),
-];
+const TEMPS: [Reg; 8] =
+    [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::int(5), Reg::int(6), Reg::int(22), Reg::int(23)];
 const ARGS: [Reg; 4] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
 const SAVED: [Reg; 4] = [Reg::S0, Reg::S1, Reg::S2, Reg::int(12)];
-const CONDS: [BranchCond; 4] =
-    [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge];
+const CONDS: [BranchCond; 4] = [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge];
 
 struct Emitter<'a, 'b> {
     r: &'a mut RoutineBuilder,
@@ -219,7 +211,13 @@ impl Emitter<'_, '_> {
     }
 }
 
-fn emit_routine(b: &mut ProgramBuilder, p: &Profile, n_routines: usize, idx: usize, rng: &mut StdRng) {
+fn emit_routine(
+    b: &mut ProgramBuilder,
+    p: &Profile,
+    n_routines: usize,
+    idx: usize,
+    rng: &mut StdRng,
+) {
     let name = format!("r{idx}");
     let exported = idx != 0 && rng.gen_bool(p.exported_frac);
 
@@ -255,11 +253,8 @@ fn emit_routine(b: &mut ProgramBuilder, p: &Profile, n_routines: usize, idx: usi
     let n_alt = poisson(rng, (p.entrances_per_routine - 1.0).max(0.0));
 
     // Heavy-tailed size factor: most routines small, a few large.
-    let factor = if rng.gen_bool(0.8) {
-        0.5 + rng.gen::<f64>() * 0.5
-    } else {
-        1.0 + rng.gen::<f64>() * 3.0
-    };
+    let factor =
+        if rng.gen_bool(0.8) { 0.5 + rng.gen::<f64>() * 0.5 } else { 1.0 + rng.gen::<f64>() * 3.0 };
     let instr_target = (p.instructions_per_routine() * factor) as usize;
 
     let mut events: Vec<Event> = Vec::new();
@@ -389,8 +384,7 @@ fn emit_routine(b: &mut ProgramBuilder, p: &Profile, n_routines: usize, idx: usi
             Event::Branch => {
                 let cond = CONDS[e.rng.gen_range(0..CONDS.len())];
                 let reg = e.read_reg();
-                let backward =
-                    e.rng.gen_bool(p.backward_branch_frac) && !e.back_labels.is_empty();
+                let backward = e.rng.gen_bool(p.backward_branch_frac) && !e.back_labels.is_empty();
                 if backward {
                     let l = e.back_labels[e.rng.gen_range(0..e.back_labels.len())].clone();
                     e.r.cond(cond, reg, &l);
@@ -586,10 +580,7 @@ mod tests {
         assert!(!prog.jump_tables().is_empty());
         // sqlservr's profile has 1.02 entrances/routine: at 655 routines
         // some alternate entrances must appear.
-        assert!(prog
-            .routines()
-            .iter()
-            .any(|r| r.entry_offsets().len() > 1));
+        assert!(prog.routines().iter().any(|r| r.entry_offsets().len() > 1));
     }
 
     #[test]

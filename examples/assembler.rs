@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let main = program.routine_by_name("main").expect("routine exists");
     let cfg = analysis.cfg.routine_cfg(main);
     let call_block = cfg.call_blocks().next().expect("one call");
-    let cs = analysis
-        .summary
-        .call_site(&analysis.cfg, main, call_block)
-        .expect("call summary");
+    let cs = analysis.summary.call_site(&analysis.cfg, main, call_block).expect("call summary");
     println!("hinted call: used={} defined={} killed={}", cs.used, cs.defined, cs.killed);
     assert!(!cs.killed.contains(Reg::T1));
     assert!(!cs.used.contains(Reg::A1));

@@ -12,11 +12,7 @@ use spike::synth::{generate, profile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
-    let scale: f64 = std::env::args()
-        .nth(2)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(0.1);
+    let scale: f64 = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(0.1);
 
     let p = profile(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let program = generate(&p, scale, 7);
@@ -45,12 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<22} {:>12} {:>12}", "", "PSG", "full CFG");
     println!("{:<22} {:>12} {:>12}", "graph nodes", s.nodes, c.basic_blocks);
     println!("{:<22} {:>12} {:>12}", "graph edges", s.edges, c.total_arcs());
-    println!(
-        "{:<22} {:>12.3?} {:>12.3?}",
-        "analysis time",
-        psg.stats.total(),
-        full.stats.total()
-    );
+    println!("{:<22} {:>12.3?} {:>12.3?}", "analysis time", psg.stats.total(), full.stats.total());
     println!(
         "{:<22} {:>10.2}MB {:>10.2}MB",
         "analysis memory",

@@ -13,14 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Assemble a tiny linked executable: main computes 21*2 through a
     // helper routine and prints it.
     let mut b = ProgramBuilder::new();
-    b.routine("main")
-        .lda(Reg::A0, Reg::ZERO, 21)
-        .call("double")
-        .put_int()
-        .halt();
-    b.routine("double")
-        .op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0)
-        .ret();
+    b.routine("main").lda(Reg::A0, Reg::ZERO, 21).call("double").put_int().halt();
+    b.routine("double").op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0).ret();
     let program = b.build()?;
 
     println!("program:\n{program}");

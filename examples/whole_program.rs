@@ -12,11 +12,7 @@ use spike::program::Program;
 use spike::synth::{generate, profile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(0.05);
+    let scale: f64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(0.05);
 
     let p = profile("excel").expect("known benchmark");
     println!("generating {} at scale {scale} ...", p.name);
@@ -59,8 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {name:<15} {:>6.1}%  ({d:?})", 100.0 * d.as_secs_f64() / total);
     }
 
-    println!("\nPSG: {} nodes, {} edges ({} flow, {} call-return, {} branch nodes)",
-        psg.nodes, psg.edges, psg.flow_edges, psg.call_return_edges, psg.branch_nodes);
+    println!(
+        "\nPSG: {} nodes, {} edges ({} flow, {} call-return, {} branch nodes)",
+        psg.nodes, psg.edges, psg.flow_edges, psg.call_return_edges, psg.branch_nodes
+    );
 
     let counts = analysis.cfg.counts();
     println!(

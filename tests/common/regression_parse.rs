@@ -1,0 +1,313 @@
+// Shared Debug-text parser for the recorded proptest counterexample.
+// Included via include!() by tests/regression_seed.rs and examples/.
+
+struct Cursor<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor { s, i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.s[self.i..].starts_with([' ', '\n', '\t']) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(tok) {
+            self.i += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) {
+        assert!(
+            self.eat(tok),
+            "expected `{tok}` at …`{}`…",
+            &self.s[self.i..(self.i + 60).min(self.s.len())]
+        );
+    }
+
+    fn ident(&mut self) -> &'a str {
+        self.skip_ws();
+        let rest = &self.s[self.i..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        assert!(end > 0, "expected identifier at …`{}`…", &rest[..60.min(rest.len())]);
+        self.i += end;
+        &rest[..end]
+    }
+
+    fn int(&mut self) -> i64 {
+        self.skip_ws();
+        let rest = &self.s[self.i..];
+        let neg = rest.starts_with('-');
+        let digits = &rest[neg as usize..];
+        let end = digits.find(|c: char| !c.is_ascii_digit()).unwrap_or(digits.len());
+        assert!(end > 0, "expected integer at …`{}`…", &rest[..60.min(rest.len())]);
+        self.i += neg as usize + end;
+        let v: i64 = digits[..end].parse().expect("integer literal");
+        if neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn quoted(&mut self) -> String {
+        self.expect("\"");
+        let rest = &self.s[self.i..];
+        let end = rest.find('"').expect("closing quote");
+        self.i += end + 1;
+        rest[..end].to_string()
+    }
+
+    fn reg(&mut self) -> Reg {
+        self.expect("Reg(");
+        let name = self.ident().to_string();
+        self.expect(")");
+        Reg::all()
+            .find(|r| format!("{r}") == name)
+            .unwrap_or_else(|| panic!("unknown register name {name}"))
+    }
+
+    fn field_reg(&mut self, name: &str) -> Reg {
+        self.expect(name);
+        self.expect(":");
+        let r = self.reg();
+        self.eat(",");
+        r
+    }
+
+    fn field_int(&mut self, name: &str) -> i64 {
+        self.expect(name);
+        self.expect(":");
+        let v = self.int();
+        self.eat(",");
+        v
+    }
+
+    fn field_ident(&mut self, name: &str) -> &'a str {
+        self.expect(name);
+        self.expect(":");
+        let v = self.ident();
+        self.eat(",");
+        v
+    }
+
+    fn int_list(&mut self) -> Vec<i64> {
+        self.expect("[");
+        let mut v = Vec::new();
+        while !self.eat("]") {
+            v.push(self.int());
+            self.eat(",");
+        }
+        v
+    }
+}
+
+fn alu_op(name: &str) -> AluOp {
+    match name {
+        "Add" => AluOp::Add,
+        "Sub" => AluOp::Sub,
+        "Mul" => AluOp::Mul,
+        "And" => AluOp::And,
+        "Or" => AluOp::Or,
+        "Xor" => AluOp::Xor,
+        "Sll" => AluOp::Sll,
+        "Srl" => AluOp::Srl,
+        "Sra" => AluOp::Sra,
+        "CmpEq" => AluOp::CmpEq,
+        "CmpLt" => AluOp::CmpLt,
+        "CmpLe" => AluOp::CmpLe,
+        "CmpUlt" => AluOp::CmpUlt,
+        "CmovEq" => AluOp::CmovEq,
+        "CmovNe" => AluOp::CmovNe,
+        other => panic!("unknown AluOp {other}"),
+    }
+}
+
+fn branch_cond(name: &str) -> BranchCond {
+    match name {
+        "Eq" => BranchCond::Eq,
+        "Ne" => BranchCond::Ne,
+        "Lt" => BranchCond::Lt,
+        "Le" => BranchCond::Le,
+        "Ge" => BranchCond::Ge,
+        "Gt" => BranchCond::Gt,
+        "Lbc" => BranchCond::Lbc,
+        "Lbs" => BranchCond::Lbs,
+        other => panic!("unknown BranchCond {other}"),
+    }
+}
+
+fn mem_width(name: &str) -> MemWidth {
+    match name {
+        "L" => MemWidth::L,
+        "Q" => MemWidth::Q,
+        "T" => MemWidth::T,
+        other => panic!("unknown MemWidth {other}"),
+    }
+}
+
+fn parse_insn(c: &mut Cursor) -> Instruction {
+    let variant = c.ident().to_string();
+    match variant.as_str() {
+        "Halt" => return Instruction::Halt,
+        "PutInt" => return Instruction::PutInt,
+        _ => {}
+    }
+    c.expect("{");
+    let insn = match variant.as_str() {
+        "Lda" => Instruction::Lda {
+            rd: c.field_reg("rd"),
+            base: c.field_reg("base"),
+            disp: c.field_int("disp") as i16,
+        },
+        "Ldah" => Instruction::Ldah {
+            rd: c.field_reg("rd"),
+            base: c.field_reg("base"),
+            disp: c.field_int("disp") as i16,
+        },
+        "Load" => Instruction::Load {
+            width: mem_width(c.field_ident("width")),
+            rd: c.field_reg("rd"),
+            base: c.field_reg("base"),
+            disp: c.field_int("disp") as i16,
+        },
+        "Store" => Instruction::Store {
+            width: mem_width(c.field_ident("width")),
+            rs: c.field_reg("rs"),
+            base: c.field_reg("base"),
+            disp: c.field_int("disp") as i16,
+        },
+        "Operate" => Instruction::Operate {
+            op: alu_op(c.field_ident("op")),
+            ra: c.field_reg("ra"),
+            rb: c.field_reg("rb"),
+            rc: c.field_reg("rc"),
+        },
+        "OperateImm" => Instruction::OperateImm {
+            op: alu_op(c.field_ident("op")),
+            ra: c.field_reg("ra"),
+            imm: c.field_int("imm") as u8,
+            rc: c.field_reg("rc"),
+        },
+        "Br" => Instruction::Br { disp: c.field_int("disp") as i32 },
+        "Bsr" => Instruction::Bsr { disp: c.field_int("disp") as i32 },
+        "CondBranch" => Instruction::CondBranch {
+            cond: branch_cond(c.field_ident("cond")),
+            ra: c.field_reg("ra"),
+            disp: c.field_int("disp") as i32,
+        },
+        "Jmp" => Instruction::Jmp { base: c.field_reg("base") },
+        "Jsr" => Instruction::Jsr { base: c.field_reg("base") },
+        "Ret" => Instruction::Ret { base: c.field_reg("base") },
+        other => panic!("unknown instruction variant {other}"),
+    };
+    c.expect("}");
+    insn
+}
+
+fn parse_routine(c: &mut Cursor) -> Routine {
+    c.expect("Routine {");
+    c.expect("name:");
+    let name = c.quoted();
+    c.expect(",");
+    let addr = c.field_int("addr") as u32;
+    c.expect("insns:");
+    c.expect("[");
+    let mut insns = Vec::new();
+    while !c.eat("]") {
+        insns.push(parse_insn(c));
+        c.eat(",");
+    }
+    c.eat(",");
+    c.expect("entry_offsets:");
+    let entry_offsets: Vec<u32> = c.int_list().into_iter().map(|v| v as u32).collect();
+    c.eat(",");
+    let exported = c.field_ident("exported") == "true";
+    c.expect("}");
+    Routine::new(name, addr, insns, entry_offsets, exported)
+}
+
+fn parse_program(text: &str) -> Program {
+    let mut c = Cursor::new(text);
+    c.expect("Program {");
+    c.expect("routines:");
+    c.expect("[");
+    let mut routines = Vec::new();
+    while !c.eat("]") {
+        routines.push(parse_routine(&mut c));
+        c.eat(",");
+    }
+    c.eat(",");
+
+    c.expect("jump_tables:");
+    c.expect("{");
+    let mut jump_tables = BTreeMap::new();
+    while !c.eat("}") {
+        let addr = c.int() as u32;
+        c.expect(":");
+        let targets = c.int_list().into_iter().map(|v| v as u32).collect();
+        jump_tables.insert(addr, targets);
+        c.eat(",");
+    }
+    c.eat(",");
+
+    c.expect("indirect_calls:");
+    c.expect("{");
+    let mut indirect_calls = BTreeMap::new();
+    while !c.eat("}") {
+        let addr = c.int() as u32;
+        c.expect(":");
+        let targets = match c.ident() {
+            "Unknown" => IndirectTargets::Unknown,
+            "Known" => {
+                c.expect("(");
+                let list = c.int_list().into_iter().map(|v| v as u32).collect();
+                c.expect(")");
+                IndirectTargets::Known(list)
+            }
+            other => panic!("unsupported IndirectTargets variant {other}"),
+        };
+        indirect_calls.insert(addr, targets);
+        c.eat(",");
+    }
+    c.eat(",");
+
+    // The recorded counterexample has no jump hints or relocations; the
+    // remaining fields (`entry`, `entry_index`) are rebuilt by
+    // `Program::new`, so only `entry` needs parsing.
+    c.expect("jump_hints:");
+    c.expect("{");
+    c.expect("}");
+    c.eat(",");
+    c.expect("relocations:");
+    c.expect("{");
+    c.expect("}");
+    c.eat(",");
+    c.expect("entry:");
+    c.expect("RoutineId(");
+    let entry = RoutineId::from_index(c.int() as usize);
+    c.expect(")");
+
+    Program::new(
+        routines,
+        jump_tables,
+        indirect_calls,
+        BTreeMap::new(),
+        BTreeMap::new(),
+        entry,
+    )
+    .expect("recorded counterexample must still validate")
+}
+

@@ -24,8 +24,7 @@ fn assert_psg_matches_baseline(program: &Program) {
 /// Without a hint, everything is live at an unknown jump target; with
 /// one, only the hinted registers are.
 #[test]
-fn jump_hints_sharpen_liveness()
-{
+fn jump_hints_sharpen_liveness() {
     let build = |hint: Option<RegSet>| {
         let mut b = ProgramBuilder::new();
         let r = b.routine("f");
@@ -45,10 +44,7 @@ fn jump_hints_sharpen_liveness()
     assert!(s.call_killed[0].contains(Reg::T1));
     // Everything except the locally defined t0/t1 is live at entry: the
     // unknown target may read it all.
-    assert_eq!(
-        s.live_at_entry[0],
-        RegSet::ALL - RegSet::of(&[Reg::T0, Reg::T1])
-    );
+    assert_eq!(s.live_at_entry[0], RegSet::ALL - RegSet::of(&[Reg::T0, Reg::T1]));
 
     // Hinted: only t0 (the jump base) and the hinted registers are live.
     let hint = RegSet::of(&[Reg::A0]);
@@ -109,12 +105,7 @@ fn hints_round_trip_through_image_and_rewriter() {
     b.routine("main")
         .def(Reg::T2) // deletable filler so the rewriter moves things
         .lda(Reg::PV, Reg::ZERO, 1)
-        .jsr_hinted(
-            Reg::PV,
-            RegSet::of(&[Reg::A0]),
-            RegSet::of(&[Reg::V0]),
-            RegSet::of(&[Reg::V0]),
-        )
+        .jsr_hinted(Reg::PV, RegSet::of(&[Reg::A0]), RegSet::of(&[Reg::V0]), RegSet::of(&[Reg::V0]))
         .jmp_hinted(Reg::T0, RegSet::of(&[Reg::V0]))
         .halt();
     let p = b.build().unwrap();
@@ -139,10 +130,7 @@ fn hints_round_trip_through_image_and_rewriter() {
 fn misplaced_jump_hints_are_rejected() {
     // A hint on a jmp that *has* a table is contradictory.
     let mut b = ProgramBuilder::new();
-    b.routine("main")
-        .switch(Reg::T0, &["c"])
-        .label("c")
-        .halt();
+    b.routine("main").switch(Reg::T0, &["c"]).label("c").halt();
     let p = b.build().unwrap();
     let jmp_addr = p.routines()[0].addr();
     let err = Program::new(
@@ -154,8 +142,5 @@ fn misplaced_jump_hints_are_rejected() {
         p.entry(),
     )
     .unwrap_err();
-    assert!(matches!(
-        err,
-        spike::program::ProgramError::MisplacedAuxInfo { .. }
-    ));
+    assert!(matches!(err, spike::program::ProgramError::MisplacedAuxInfo { .. }));
 }

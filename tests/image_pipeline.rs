@@ -71,10 +71,7 @@ fn analysis_stats_are_populated() {
     assert!(s.phase1_visits > 0);
     assert!(s.phase2_visits > 0);
     // Stage timers measure disjoint work; the sum is the total.
-    assert_eq!(
-        s.total(),
-        s.cfg_build + s.init + s.psg_build + s.phase1 + s.phase2
-    );
+    assert_eq!(s.total(), s.cfg_build + s.init + s.psg_build + s.phase1 + s.phase2);
     // Memory accounting is deterministic.
     let again = analyze(&program);
     assert_eq!(s.memory_bytes, again.stats.memory_bytes);

@@ -1,0 +1,87 @@
+//! Determinism of the parallel analysis front-end: any worker count must
+//! produce bit-identical results.
+//!
+//! The front-end fans per-routine work (CFG structure, `DEF`/`UBD`
+//! initialization, callee-saved scans, Figure-6 edge labeling) across
+//! scoped threads and merges in routine-id order. These properties pin
+//! the contract down hard: not just equal summaries, but identical PSG
+//! node/edge sequences and an identical deterministic `memory_bytes` —
+//! the latter is capacity-sensitive, so it fails if the merge deviates
+//! from the serial push sequence by even one `Vec` growth step.
+
+use proptest::prelude::*;
+
+use spike::core::{analyze_with, AnalysisOptions};
+use spike::program::Program;
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (any::<u64>(), prop_oneof![Just("li"), Just("perl"), Just("vortex"), Just("sqlservr")])
+        .prop_map(|(seed, name)| {
+            let p = spike::synth::profile(name).expect("known benchmark");
+            spike::synth::generate(&p, 20.0 / p.routines as f64, seed)
+        })
+}
+
+fn with_threads(threads: usize) -> AnalysisOptions {
+    AnalysisOptions { threads, ..AnalysisOptions::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `threads = 1` and `threads = 8` agree on every observable output:
+    /// per-routine summaries, the exact PSG node and edge sequences (ids
+    /// included, since both are dense index orders), the stage statistics'
+    /// visit counts, and the deterministic memory accounting.
+    #[test]
+    fn eight_workers_match_serial_exactly(program in arb_program()) {
+        let serial = analyze_with(&program, &with_threads(1));
+        let parallel = analyze_with(&program, &with_threads(8));
+
+        for (rid, r) in program.iter() {
+            prop_assert_eq!(
+                serial.summary.routine(rid),
+                parallel.summary.routine(rid),
+                "summary mismatch for {}",
+                r.name()
+            );
+        }
+        prop_assert_eq!(serial.psg.nodes(), parallel.psg.nodes());
+        prop_assert_eq!(serial.psg.edges(), parallel.psg.edges());
+        prop_assert_eq!(serial.psg.stats(), parallel.psg.stats());
+        prop_assert_eq!(serial.stats.phase1_visits, parallel.stats.phase1_visits);
+        prop_assert_eq!(serial.stats.phase2_visits, parallel.stats.phase2_visits);
+        prop_assert_eq!(serial.stats.memory_bytes, parallel.stats.memory_bytes);
+    }
+
+    /// The default (`threads = 0`, all available hardware threads) and an
+    /// oversubscribed setting agree with serial too — worker count never
+    /// leaks into results, only into the recorded stats.
+    #[test]
+    fn worker_count_only_affects_stats(seed in any::<u64>()) {
+        let p = spike::synth::profile("go").expect("known benchmark");
+        let program = spike::synth::generate(&p, 15.0 / p.routines as f64, seed);
+        let serial = analyze_with(&program, &with_threads(1));
+        for threads in [0usize, 3, 17] {
+            let other = analyze_with(&program, &with_threads(threads));
+            for (rid, _) in program.iter() {
+                prop_assert_eq!(serial.summary.routine(rid), other.summary.routine(rid));
+            }
+            prop_assert_eq!(serial.psg.edges(), other.psg.edges());
+            prop_assert_eq!(serial.stats.memory_bytes, other.stats.memory_bytes);
+        }
+    }
+
+    /// The baseline mirrors the same plumbing: its parallel CFG fan-out
+    /// must not change summaries or its memory accounting either.
+    #[test]
+    fn baseline_parallel_cfg_build_is_deterministic(seed in any::<u64>()) {
+        let p = spike::synth::profile("li").expect("known benchmark");
+        let program = spike::synth::generate(&p, 20.0 / p.routines as f64, seed);
+        let serial = spike::baseline::analyze_baseline_with(&program, &with_threads(1));
+        let parallel = spike::baseline::analyze_baseline_with(&program, &with_threads(8));
+        prop_assert_eq!(&serial.summaries, &parallel.summaries);
+        prop_assert_eq!(serial.counts, parallel.counts);
+        prop_assert_eq!(serial.stats.memory_bytes, parallel.stats.memory_bytes);
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few external interfaces it needs. This crate keeps the
+//! call-site API (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `bench_function`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! and implements a simple wall-clock harness: each benchmark is measured
+//! over `sample_size` samples after a calibration pass that picks an
+//! iteration count targeting roughly 100 ms per sample, and the per-
+//! iteration minimum / mean / maximum are printed in a criterion-like
+//! format. There are no plots, significance tests, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// A harness honoring a benchmark-name substring filter from argv
+    /// (the interface `cargo bench -- <filter>` expects).
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && !a.ends_with(".rs"));
+        Criterion { filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        run_benchmark(self, &id, 20, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `name` within this group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(self.criterion, &full, self.sample_size, |b| f(&mut *b));
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark reporting in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    full_id: &str,
+    samples: usize,
+    mut f: F,
+) {
+    if !criterion.matches(full_id) {
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch takes ≥ 25 ms,
+    // then size batches to roughly 100 ms each.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(25) || iters >= 1 << 20 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    let iters = ((0.1 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut per_iter_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter_times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter_times.sort_by(f64::total_cmp);
+    let min = per_iter_times[0];
+    let max = per_iter_times[per_iter_times.len() - 1];
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    println!(
+        "{full_id:<40} time: [{} {} {}]  ({samples} samples x {iters} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_without_panicking() {
+        let mut c = Criterion { filter: Some("never-matches".into()) };
+        // Filtered out: the closure must not run.
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("skipped", |_| panic!("filtered benchmarks must not run"));
+        g.finish();
+    }
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("analyze", "li").0, "analyze/li");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_time(2.0).contains(" s"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of `element` values with a length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}

@@ -1,0 +1,34 @@
+//! Sequence helpers (`rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// Slice extensions for random reordering and selection.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
