@@ -6,7 +6,10 @@
 //! * `table5/<bench>/{psg,full-cfg}` — PSG vs whole-program-CFG analysis;
 //! * `fig14/gcc/scale-*` — analysis time as program size grows;
 //! * `stages/<stage>` — the Figure 13 stage split on one mid-size input;
-//! * `opt/passes` — the Figure 1 optimizer on a mid-size input.
+//! * `opt/passes` — the Figure 1 optimizer on a mid-size input;
+//! * `incremental/<bench>/{scratch,incremental}` — the optimizer's pass
+//!   manager with from-scratch analysis per pass vs one cached
+//!   [`spike_core::AnalysisCache`] re-analyzing only dirty routines.
 //!
 //! Profiles are scaled down (default 5%) so the whole suite runs in
 //! minutes; relative shapes are what the paper's claims are about.
@@ -146,6 +149,22 @@ fn bench_opt(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental");
+    g.sample_size(10);
+    for name in ["li", "gcc"] {
+        let p = profile(name).expect("known benchmark");
+        let program = generate(&p, 0.1, SEED);
+        for (label, incremental) in [("scratch", false), ("incremental", true)] {
+            let opts = spike_opt::OptOptions { incremental, ..spike_opt::OptOptions::default() };
+            g.bench_with_input(BenchmarkId::new(name, label), &program, |b, prog| {
+                b.iter(|| black_box(spike_opt::optimize_with(prog, &opts).expect("optimizes")))
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2,
@@ -154,6 +173,7 @@ criterion_group!(
     bench_fig14,
     bench_stages,
     bench_parallel,
-    bench_opt
+    bench_opt,
+    bench_incremental
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! report [--scale S] [--seed N] [--baseline] [--threads N] [SECTION...]
 //! SECTION: table1 table2 table3 table4 table5 fig13 fig14 fig15 opts
-//!          parallel all
+//!          parallel incremental all
 //! ```
 //!
 //! `--scale` shrinks every benchmark proportionally (default 0.1); pass
@@ -13,6 +13,9 @@
 //! available hardware threads). The `parallel` section (not part of
 //! `all`) compares threads=1 against threads=N on the two largest
 //! benchmarks and writes the measurements to `BENCH_parallel.json`.
+//! The `incremental` section (not part of `all`) runs the optimizer with
+//! incremental re-analysis off and on, cross-checks bit-identical output
+//! programs, and writes the measurements to `BENCH_incremental.json`.
 
 use std::collections::BTreeSet;
 
@@ -52,13 +55,25 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "report [--scale S] [--seed N] [--baseline] [--threads N] \
-                     [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|all]"
+                     [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|\
+                     incremental|all]"
                 );
                 return;
             }
             s if [
-                "table1", "table2", "table3", "table4", "table5", "fig13", "fig14", "fig15",
-                "opts", "ablate", "parallel", "all",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "fig13",
+                "fig14",
+                "fig15",
+                "opts",
+                "ablate",
+                "parallel",
+                "incremental",
+                "all",
             ]
             .contains(&s) =>
             {
@@ -75,8 +90,9 @@ fn main() {
         }
     }
 
-    let want_runs =
-        sections.iter().any(|s| !matches!(s.as_str(), "table1" | "ablate" | "parallel"));
+    let want_runs = sections
+        .iter()
+        .any(|s| !matches!(s.as_str(), "table1" | "ablate" | "parallel" | "incremental"));
 
     println!("# Spike interprocedural dataflow — evaluation report");
     println!("# scale = {scale}, seed = {seed:#x}\n");
@@ -126,6 +142,9 @@ fn main() {
     }
     if sections.contains("parallel") {
         parallel_report(scale, seed, threads);
+    }
+    if sections.contains("incremental") {
+        incremental_report(scale, seed, threads);
     }
 }
 
@@ -432,7 +451,7 @@ fn parallel_report(scale: f64, seed: u64, threads: usize) {
             f1 * 1e3,
             fn_ * 1e3,
             f1 / fn_,
-            parallel.stats.psg_build_workers,
+            parallel.stats.front_end_workers,
         );
         rows.push(format!(
             "    {{\"benchmark\": \"{name}\", \"routines\": {}, \"scale\": {scale}, \
@@ -444,7 +463,7 @@ fn parallel_report(scale: f64, seed: u64, threads: usize) {
             serial.stats.total().as_secs_f64(),
             parallel.stats.total().as_secs_f64(),
             f1 / fn_,
-            parallel.stats.psg_build_workers,
+            parallel.stats.front_end_workers,
         ));
     }
 
@@ -457,6 +476,93 @@ fn parallel_report(scale: f64, seed: u64, threads: usize) {
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => println!("\n  wrote BENCH_parallel.json\n"),
         Err(e) => eprintln!("cannot write BENCH_parallel.json: {e}"),
+    }
+}
+
+/// Runs the full optimizer pipeline with incremental re-analysis disabled
+/// and enabled, cross-checks that both modes emit bit-identical programs
+/// and identical optimization counts, and records the measurements in
+/// `BENCH_incremental.json`.
+fn incremental_report(scale: f64, seed: u64, threads: usize) {
+    use spike_core::AnalysisOptions;
+    use spike_opt::{optimize_with, OptOptions, OptReport};
+    use spike_program::Program;
+
+    println!("## Incremental re-analysis: from-scratch vs cached pass manager\n");
+    println!(
+        "{:<10} {:>9} {:>14} {:>14} {:>9} {:>12} {:>8}",
+        "benchmark", "routines", "scratch (ms)", "incr (ms)", "speedup", "reanalyzed", "reused"
+    );
+
+    let mut rows = Vec::new();
+    for name in ["compress", "li", "gcc", "texim"] {
+        let p = spike_synth::profile(name).expect("known benchmark");
+        eprintln!("measuring {name} ...");
+        let program = spike_synth::generate(&p, scale, seed);
+
+        // Best of three per setting, to damp scheduler noise.
+        let measure = |incremental: bool| -> (Program, OptReport, f64) {
+            let options = OptOptions {
+                analysis: AnalysisOptions { threads, ..AnalysisOptions::default() },
+                incremental,
+                ..OptOptions::default()
+            };
+            let mut best: Option<(Program, OptReport, f64)> = None;
+            for _ in 0..3 {
+                let t = std::time::Instant::now();
+                let (q, rep) = optimize_with(&program, &options).expect("optimization succeeds");
+                let secs = t.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
+                    best = Some((q, rep, secs));
+                }
+            }
+            best.expect("three measurement iterations ran")
+        };
+        let (scratch_prog, scratch_rep, scratch_secs) = measure(false);
+        let (incr_prog, incr_rep, incr_secs) = measure(true);
+
+        // The equivalence contract, checked on real workloads: the cached
+        // pass manager must emit the same program and the same counts as
+        // three from-scratch analysis runs.
+        assert_eq!(scratch_prog, incr_prog, "incremental output differs for {name}");
+        assert_eq!(scratch_rep.instructions_after, incr_rep.instructions_after);
+        assert_eq!(scratch_rep.dead_deleted, incr_rep.dead_deleted);
+        assert_eq!(scratch_rep.spill_pairs_removed, incr_rep.spill_pairs_removed);
+        assert_eq!(scratch_rep.registers_reallocated, incr_rep.registers_reallocated);
+        assert_eq!(scratch_rep.routines_reused, 0, "scratch mode must not reuse");
+
+        println!(
+            "{:<10} {:>9} {:>14.2} {:>14.2} {:>8.2}x {:>12} {:>8}",
+            name,
+            program.routines().len(),
+            scratch_secs * 1e3,
+            incr_secs * 1e3,
+            scratch_secs / incr_secs,
+            incr_rep.routines_reanalyzed,
+            incr_rep.routines_reused,
+        );
+        rows.push(format!(
+            "    {{\"benchmark\": \"{name}\", \"routines\": {}, \"scale\": {scale}, \
+             \"opt_secs_scratch\": {scratch_secs:.6}, \"opt_secs_incremental\": {incr_secs:.6}, \
+             \"speedup\": {:.3}, \"rounds\": {}, \
+             \"routines_reanalyzed\": {}, \"routines_reused\": {}, \
+             \"instructions_removed\": {}, \"results_identical\": true}}",
+            program.routines().len(),
+            scratch_secs / incr_secs,
+            incr_rep.rounds,
+            incr_rep.routines_reanalyzed,
+            incr_rep.routines_reused,
+            incr_rep.instructions_before - incr_rep.instructions_after,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_incremental.json", &json) {
+        Ok(()) => println!("\n  wrote BENCH_incremental.json\n"),
+        Err(e) => eprintln!("cannot write BENCH_incremental.json: {e}"),
     }
 }
 

@@ -242,6 +242,26 @@ impl RoutineCfg {
         }
     }
 
+    /// Moves the CFG to a routine base address of `new_base`, shifting
+    /// every block's start address by the same amount.
+    ///
+    /// Post-link rewriting slides routines up or down without touching
+    /// their instructions; a CFG whose routine only moved (no deletions or
+    /// replacements inside it) stays structurally identical — block
+    /// boundaries, arcs, terminators, and `DEF`/`UBD` sets are all
+    /// expressed routine-relatively — so rebasing is all that is needed to
+    /// reuse it against the rewritten program.
+    pub fn rebase(&mut self, new_base: u32) {
+        let delta = new_base.wrapping_sub(self.base);
+        if delta == 0 {
+            return;
+        }
+        self.base = new_base;
+        for b in &mut self.blocks {
+            b.start = b.start.wrapping_add(delta);
+        }
+    }
+
     /// The routine this CFG describes.
     #[inline]
     pub fn routine(&self) -> RoutineId {
@@ -539,6 +559,39 @@ mod tests {
         assert_eq!(cfg.block_containing(base + 2), Some(BlockId::from_index(1)));
         assert_eq!(cfg.block_containing(base + 4), None);
         assert_eq!(cfg.block_containing(base.wrapping_sub(1)), None);
+    }
+
+    #[test]
+    fn rebase_shifts_block_addresses_only() {
+        let mut b = ProgramBuilder::new();
+        b.routine("f")
+            .cond(BranchCond::Eq, Reg::A0, "else")
+            .def(Reg::T0)
+            .br("join")
+            .label("else")
+            .def(Reg::T1)
+            .label("join")
+            .ret();
+        let (_, cfg) = cfg_of(&b, "f");
+        let mut moved = cfg.clone();
+        let new_base = cfg.base() + 17;
+        moved.rebase(new_base);
+        assert_eq!(moved.base(), new_base);
+        for (a, b) in cfg.blocks().iter().zip(moved.blocks()) {
+            assert_eq!(b.start(), a.start() + 17);
+            assert_eq!(b.len(), a.len());
+            assert_eq!(b.succs(), a.succs());
+            assert_eq!(b.preds(), a.preds());
+            assert_eq!(b.def(), a.def());
+            assert_eq!(b.ubd(), a.ubd());
+            assert_eq!(b.term(), a.term());
+        }
+        // Address lookups follow the shift.
+        assert_eq!(moved.block_containing(cfg.base()), None);
+        assert_eq!(moved.block_containing(new_base), Some(BlockId::from_index(0)));
+        // Rebasing back restores the original exactly.
+        moved.rebase(cfg.base());
+        assert_eq!(moved, cfg);
     }
 
     #[test]

@@ -63,6 +63,13 @@ impl ProgramCfg {
         ProgramCfg { cfgs }
     }
 
+    /// Consumes the program CFG, returning the per-routine CFGs in
+    /// routine-id order. Incremental re-analysis uses this to splice
+    /// rebuilt CFGs for dirty routines in between reused clean ones.
+    pub fn into_cfgs(self) -> Vec<RoutineCfg> {
+        self.cfgs
+    }
+
     /// The CFG of `id`.
     ///
     /// # Panics

@@ -20,7 +20,8 @@ commands:
   disasm <img>                                      disassemble to parseable assembly
   analyze <img> [--summaries] [--routine NAME] [--threads N]
                                                     interprocedural dataflow analysis
-  optimize <img> -o <img> [--threads N]             apply the Figure-1 optimizations
+  optimize <img> -o <img> [--threads N] [--iterate]
+           [--incremental|--no-incremental]         apply the Figure-1 optimizations
   run <img> [--fuel N]                              execute under the simulator
   compare <img> [--threads N]                       PSG vs whole-CFG comparison
   dot <img> [--routine NAME]                        Program Summary Graph as GraphViz
@@ -68,6 +69,8 @@ struct Opts<'a> {
     summaries: bool,
     routine: Option<&'a str>,
     threads: usize,
+    iterate: bool,
+    incremental: bool,
 }
 
 fn parse(args: &[String]) -> Result<Opts<'_>> {
@@ -81,6 +84,8 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         summaries: false,
         routine: None,
         threads: 0,
+        iterate: false,
+        incremental: true,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -96,6 +101,9 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "--summaries" => o.summaries = true,
             "--routine" => o.routine = Some(want("--routine")?),
             "--threads" => o.threads = want("--threads")?.parse()?,
+            "--iterate" => o.iterate = true,
+            "--incremental" => o.incremental = true,
+            "--no-incremental" => o.incremental = false,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`").into())
             }
@@ -217,7 +225,7 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
         stats.psg_build,
         stats.phase1,
         stats.phase2,
-        stats.psg_build_workers,
+        stats.front_end_workers,
         stats.memory_bytes as f64 / 1e6
     );
 
@@ -258,6 +266,8 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
     let program = load(path)?;
     let opt_options = spike_opt::OptOptions {
         analysis: AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() },
+        iterate: o.iterate,
+        incremental: o.incremental,
         ..spike_opt::OptOptions::default()
     };
     let (optimized, report) = spike_opt::optimize_with(&program, &opt_options)?;
@@ -272,6 +282,13 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
         report.dead_deleted,
         report.spill_pairs_removed,
         report.registers_reallocated
+    );
+    println!(
+        "{} round(s); analysis re-ran {} routine(s), reused {} from cache{}",
+        report.rounds,
+        report.routines_reanalyzed,
+        report.routines_reused,
+        if o.incremental { "" } else { " (incremental re-analysis disabled)" }
     );
     Ok(())
 }

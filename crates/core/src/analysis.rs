@@ -73,12 +73,16 @@ pub struct AnalysisStats {
     pub phase1_visits: usize,
     /// Node evaluations performed by phase 2.
     pub phase2_visits: usize,
-    /// Worker threads the CFG build stage ran with.
-    pub cfg_build_workers: usize,
-    /// Worker threads the initialization stage ran with.
-    pub init_workers: usize,
-    /// Worker threads the PSG build stage ran with.
-    pub psg_build_workers: usize,
+    /// Worker threads the per-routine front-end stages (CFG build,
+    /// `DEF`/`UBD` initialization, PSG build) ran with.
+    pub front_end_workers: usize,
+    /// Routines whose front-end structures (CFG, `DEF`/`UBD`, PSG plan)
+    /// were rebuilt by this run. A from-scratch analysis rebuilds every
+    /// routine; an incremental re-analysis rebuilds only the dirty ones.
+    pub routines_reanalyzed: usize,
+    /// Routines whose cached front-end structures were reused unchanged
+    /// (always `0` for a from-scratch analysis).
+    pub routines_reused: usize,
     /// Bytes of analysis structures (CFGs + PSG + summaries), counted
     /// deterministically via [`HeapSize`].
     pub memory_bytes: usize,
@@ -173,9 +177,9 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
             phase2,
             phase1_visits,
             phase2_visits,
-            cfg_build_workers: workers,
-            init_workers: workers,
-            psg_build_workers: workers,
+            front_end_workers: workers,
+            routines_reanalyzed: n_routines,
+            routines_reused: 0,
             memory_bytes,
         },
     }
@@ -186,7 +190,7 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
 /// reverse creation order (sinks before the entry). Most call-return
 /// edges then carry their final callee summary the first time their call
 /// node is evaluated.
-fn phase1_seed_order(program: &Program, cfg: &ProgramCfg, psg: &Psg) -> Vec<NodeId> {
+pub(crate) fn phase1_seed_order(program: &Program, cfg: &ProgramCfg, psg: &Psg) -> Vec<NodeId> {
     let callgraph = spike_callgraph::CallGraph::build(program, cfg);
     let sccs = callgraph.sccs();
     let mut order = Vec::with_capacity(psg.nodes().len());
@@ -220,7 +224,7 @@ fn phase1_seed_order(program: &Program, cfg: &ProgramCfg, psg: &Psg) -> Vec<Node
 
 /// Liveness seeds for the exits of routines callable from outside the
 /// program: exported routines and the program entry routine.
-fn exported_exit_seeds(
+pub(crate) fn exported_exit_seeds(
     program: &Program,
     psg: &Psg,
     options: &AnalysisOptions,

@@ -60,43 +60,12 @@ pub(crate) fn build_psg(
     for cfg in pcfg.cfgs() {
         let rid = cfg.routine();
         let mut rn = RoutineNodes::default();
-
-        for (i, _) in cfg.entries().iter().enumerate() {
-            rn.entries.push(push_node(&mut psg, NodeKind::Entry { routine: rid, index: i }));
+        for planned in plan_routine_nodes(program, cfg, options) {
+            let n = push_node(&mut psg, planned.kind);
+            psg.pinned[n.index()] = planned.pinned;
+            psg.uj_live[n.index()] = planned.uj_live;
+            register_node(&mut rn, planned.kind, n);
         }
-        for (i, _) in cfg.exits().iter().enumerate() {
-            rn.exits.push(push_node(&mut psg, NodeKind::Exit { routine: rid, index: i }));
-        }
-        for block in cfg.call_blocks() {
-            let call = push_node(&mut psg, NodeKind::Call { routine: rid, block });
-            let ret = push_node(&mut psg, NodeKind::Return { routine: rid, block });
-            rn.calls.push((block, call, ret));
-        }
-        if options.branch_nodes {
-            for (bi, b) in cfg.blocks().iter().enumerate() {
-                if matches!(b.term(), TermKind::MultiwayJump) {
-                    let block = BlockId::from_index(bi);
-                    let node = push_node(&mut psg, NodeKind::Branch { routine: rid, block });
-                    rn.branches.push((block, node));
-                }
-            }
-        }
-        for &block in cfg.halts() {
-            let n = push_node(&mut psg, NodeKind::Halt { routine: rid, block });
-            psg.pinned[n.index()] = true;
-            rn.halts.push(n);
-        }
-        for &block in cfg.unknown_jumps() {
-            let n = push_node(&mut psg, NodeKind::UnknownJump { routine: rid, block });
-            psg.pinned[n.index()] = true;
-            // §3.5 extension: a compiler-provided hint replaces the
-            // all-registers-live assumption at the unknown target.
-            if let Some(hint) = program.jump_hint(cfg.block(block).term_addr()) {
-                psg.uj_live[n.index()] = hint;
-            }
-            rn.unknown_jumps.push(n);
-        }
-
         rn.saved_restored = saved_restored[rid.index()];
         psg.routines.push(rn);
     }
@@ -126,6 +95,88 @@ pub(crate) fn build_psg(
     psg.must_def = vec![RegSet::EMPTY; n];
     psg.live = vec![RegSet::EMPTY; n];
     psg
+}
+
+/// One pass-1 node a routine will contribute, in creation order.
+///
+/// Node *planning* is pure — it reads only the routine's CFG and the
+/// program's hint tables — so incremental re-analysis can re-plan a dirty
+/// routine's nodes and compare them against the cached directory without
+/// touching the PSG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct PlannedNode {
+    pub(crate) kind: NodeKind,
+    pub(crate) pinned: bool,
+    pub(crate) uj_live: RegSet,
+}
+
+/// Plans one routine's pass-1 nodes: entries, exits, call/return pairs,
+/// optional branch nodes, and the halt / unknown-jump sinks, in the exact
+/// order `build_psg` creates them. (Diverge sinks are not planned here;
+/// they are created while applying the routine's *edge* plan.)
+pub(crate) fn plan_routine_nodes(
+    program: &Program,
+    cfg: &RoutineCfg,
+    options: &AnalysisOptions,
+) -> Vec<PlannedNode> {
+    let rid = cfg.routine();
+    let flow = |kind| PlannedNode { kind, pinned: false, uj_live: RegSet::ALL };
+    let mut plan = Vec::new();
+
+    for (i, _) in cfg.entries().iter().enumerate() {
+        plan.push(flow(NodeKind::Entry { routine: rid, index: i }));
+    }
+    for (i, _) in cfg.exits().iter().enumerate() {
+        plan.push(flow(NodeKind::Exit { routine: rid, index: i }));
+    }
+    for block in cfg.call_blocks() {
+        plan.push(flow(NodeKind::Call { routine: rid, block }));
+        plan.push(flow(NodeKind::Return { routine: rid, block }));
+    }
+    if options.branch_nodes {
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            if matches!(b.term(), TermKind::MultiwayJump) {
+                let block = BlockId::from_index(bi);
+                plan.push(flow(NodeKind::Branch { routine: rid, block }));
+            }
+        }
+    }
+    for &block in cfg.halts() {
+        plan.push(PlannedNode {
+            kind: NodeKind::Halt { routine: rid, block },
+            pinned: true,
+            uj_live: RegSet::ALL,
+        });
+    }
+    for &block in cfg.unknown_jumps() {
+        // §3.5 extension: a compiler-provided hint replaces the
+        // all-registers-live assumption at the unknown target.
+        let uj_live = program.jump_hint(cfg.block(block).term_addr()).unwrap_or(RegSet::ALL);
+        plan.push(PlannedNode {
+            kind: NodeKind::UnknownJump { routine: rid, block },
+            pinned: true,
+            uj_live,
+        });
+    }
+    plan
+}
+
+/// Files a freshly created pass-1 node under the right directory list.
+/// Calls and returns are planned as adjacent pairs, so a `Return` closes
+/// the `(block, call, ret)` triple its `Call` opened.
+pub(crate) fn register_node(rn: &mut RoutineNodes, kind: NodeKind, id: NodeId) {
+    match kind {
+        NodeKind::Entry { .. } => rn.entries.push(id),
+        NodeKind::Exit { .. } => rn.exits.push(id),
+        NodeKind::Call { block, .. } => rn.calls.push((block, id, id)),
+        NodeKind::Return { .. } => {
+            rn.calls.last_mut().expect("return follows its call").2 = id;
+        }
+        NodeKind::Branch { block, .. } => rn.branches.push((block, id)),
+        NodeKind::Halt { .. } => rn.halts.push(id),
+        NodeKind::UnknownJump { .. } => rn.unknown_jumps.push(id),
+        NodeKind::Diverge { .. } => unreachable!("diverge nodes are not planned in pass 1"),
+    }
 }
 
 fn push_node(psg: &mut Psg, kind: NodeKind) -> NodeId {
@@ -178,25 +229,25 @@ fn terminal_node(
 /// is set: the routine's diverge sink does not exist until the plan is
 /// applied, because diverge node ids depend on which *earlier* routines
 /// needed one.
-struct PlannedEdge {
-    edge: Edge,
-    to_diverge: bool,
+pub(crate) struct PlannedEdge {
+    pub(crate) edge: Edge,
+    pub(crate) to_diverge: bool,
     /// Call-return wiring: the callee entry nodes broadcasting to this
     /// edge and the callee exit nodes its return node listens to.
-    cr: Option<(Vec<NodeId>, Vec<NodeId>)>,
+    pub(crate) cr: Option<(Vec<NodeId>, Vec<NodeId>)>,
 }
 
 /// Everything pass 2 computes for one routine, ready to replay into the
 /// PSG in routine-id order.
-struct RoutineEdgePlan {
-    edges: Vec<PlannedEdge>,
-    needs_diverge: bool,
+pub(crate) struct RoutineEdgePlan {
+    pub(crate) edges: Vec<PlannedEdge>,
+    pub(crate) needs_diverge: bool,
 }
 
 /// Plans one routine's flow-summary and call-return edges against the
 /// immutable pass-1 node tables. Pure with respect to `psg`, so any
 /// number of routines can be planned concurrently.
-fn plan_routine_edges(
+pub(crate) fn plan_routine_edges(
     psg: &Psg,
     cfg: &RoutineCfg,
     options: &AnalysisOptions,

@@ -61,8 +61,30 @@ impl Worklist {
 /// callers), which lets most call-return edges receive their final labels
 /// on the first visit.
 pub(crate) fn run_phase1(psg: &mut Psg, seed_order: &[NodeId]) -> usize {
+    run_phase1_seeded(psg, seed_order, None)
+}
+
+/// Phase 1 with an optional *reset mask* for incremental re-analysis.
+///
+/// With `reset: None` this is a from-scratch run: every node is
+/// (re)initialized and `seed_order` must cover every node. With a mask,
+/// only nodes with `reset[i]` are reinitialized — together with the
+/// call-return edges fed by reset entry nodes — while every other node
+/// keeps its previously converged value, and `seed_order` contains only
+/// the reset nodes. The caller (`crate::incremental`) guarantees the mask
+/// is closed so that iteration never needs to re-evaluate a clean node;
+/// see DESIGN.md "Incremental re-analysis" for the exactness argument.
+pub(crate) fn run_phase1_seeded(
+    psg: &mut Psg,
+    seed_order: &[NodeId],
+    reset: Option<&[bool]>,
+) -> usize {
     let n = psg.nodes.len();
-    debug_assert_eq!(seed_order.len(), n, "seed order must cover every node");
+    debug_assert!(
+        reset.map_or(seed_order.len() == n, |m| m.len() == n),
+        "seed order (or reset mask) must cover every node"
+    );
+    let is_reset = |i: usize| reset.is_none_or(|m| m[i]);
 
     // Initialization. MAY sets start at ⊥ and grow; MUST-DEF is a
     // greatest-fixpoint problem and starts at ⊤ for interior nodes,
@@ -76,6 +98,9 @@ pub(crate) fn run_phase1(psg: &mut Psg, seed_order: &[NodeId]) -> usize {
     //   MUST-DEF is vacuously ⊤ — paths that cannot return must not
     //   weaken a caller-visible intersection — and the MAY sets are ∅.
     for i in 0..n {
+        if !is_reset(i) {
+            continue;
+        }
         match psg.nodes[i] {
             NodeKind::UnknownJump { .. } => {
                 // The default is all registers live/clobbered; a §3.5 hint
@@ -85,13 +110,34 @@ pub(crate) fn run_phase1(psg: &mut Psg, seed_order: &[NodeId]) -> usize {
                 psg.must_def[i] = RegSet::EMPTY;
             }
             NodeKind::Halt { .. } | NodeKind::Diverge { .. } => {
+                psg.may_use[i] = RegSet::EMPTY;
+                psg.may_def[i] = RegSet::EMPTY;
                 psg.must_def[i] = RegSet::ALL;
             }
             NodeKind::Exit { .. } => {
+                psg.may_use[i] = RegSet::EMPTY;
+                psg.may_def[i] = RegSet::EMPTY;
                 psg.must_def[i] = RegSet::EMPTY;
             }
             _ => {
+                psg.may_use[i] = RegSet::EMPTY;
+                psg.may_def[i] = RegSet::EMPTY;
                 psg.must_def[i] = RegSet::ALL;
+            }
+        }
+        // A reset entry's call-return edges go back to their build-time
+        // labels: the phase-1 broadcast that filled them is being redone.
+        // (The reset mask is caller-closed, so every source entry of each
+        // such edge is also reset — a partial reset could not reproduce
+        // the from-scratch labels.)
+        if reset.is_some() && matches!(psg.nodes[i], NodeKind::Entry { .. }) {
+            for k in 0..psg.entry_cr_edges[i].len() {
+                let e = psg.entry_cr_edges[i][k];
+                let edge = &mut psg.edges[e.index()];
+                debug_assert_eq!(edge.kind(), EdgeKind::CallReturn);
+                edge.may_use = RegSet::EMPTY;
+                edge.may_def = RegSet::EMPTY;
+                edge.must_def = RegSet::ALL;
             }
         }
     }
@@ -242,21 +288,68 @@ fn recompute_cr_uses(psg: &mut Psg, e: crate::psg::EdgeId) -> bool {
 /// program entry, whose unseen callers are assumed to follow the calling
 /// standard). Returns the number of node evaluations.
 pub(crate) fn run_phase2(psg: &mut Psg, exit_seeds: &[(NodeId, RegSet)]) -> usize {
+    run_phase2_seeded(psg, exit_seeds, None)
+}
+
+/// Phase 2 with an optional *reset mask* for incremental re-analysis.
+///
+/// With `reset: None` this is a from-scratch run. With a mask, only nodes
+/// with `reset[i]` are reinitialized and seeded; clean nodes keep their
+/// converged liveness. The mask is callee-closed (a reset return node's
+/// broadcast only ever reaches reset exits), and the return→exit
+/// broadcasts from *clean* callers are replayed once at initialization so
+/// reset callees' exits recover the caller liveness they would have
+/// accumulated from scratch — exit values are pure unions, so replaying
+/// converged values is exact. See DESIGN.md "Incremental re-analysis".
+pub(crate) fn run_phase2_seeded(
+    psg: &mut Psg,
+    exit_seeds: &[(NodeId, RegSet)],
+    reset: Option<&[bool]>,
+) -> usize {
     let n = psg.nodes.len();
+    debug_assert!(reset.is_none_or(|m| m.len() == n), "reset mask must cover every node");
+    let is_reset = |i: usize| reset.is_none_or(|m| m[i]);
 
     for i in 0..n {
+        if !is_reset(i) {
+            continue;
+        }
         psg.live[i] = match psg.nodes[i] {
             NodeKind::UnknownJump { .. } => psg.uj_live[i],
             _ => RegSet::EMPTY,
         };
     }
+    // Seeds on clean exits are no-ops: their converged liveness already
+    // contains the seed.
     for &(node, set) in exit_seeds {
         psg.live[node.index()] |= set;
+    }
+    if reset.is_some() {
+        // Replay every return→exit broadcast into the reset subspace.
+        // Clean callers contribute their converged (final) liveness, which
+        // the rerun would otherwise never see because clean nodes are not
+        // re-evaluated; reset callers contribute their freshly
+        // reinitialized ∅, which is harmless under union and is superseded
+        // as the worklist converges.
+        for i in 0..n {
+            if psg.return_exit_targets[i].is_empty() {
+                continue;
+            }
+            let live = psg.live[i];
+            for k in 0..psg.return_exit_targets[i].len() {
+                let t = psg.return_exit_targets[i][k];
+                if is_reset(t.index()) {
+                    psg.live[t.index()] |= live;
+                }
+            }
+        }
     }
 
     let mut wl = Worklist::new(n);
     for i in (0..n).rev() {
-        wl.push(NodeId::from_index(i));
+        if is_reset(i) {
+            wl.push(NodeId::from_index(i));
+        }
     }
 
     let mut visits = 0usize;

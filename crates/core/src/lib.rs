@@ -50,11 +50,13 @@ mod callee_saved;
 mod dataflow;
 mod dot;
 mod flow;
+mod incremental;
 pub mod parallel;
 mod psg;
 mod summary;
 
 pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats};
 pub use callee_saved::saved_restored_registers;
+pub use incremental::{reanalyze, AnalysisCache};
 pub use psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, PsgStats, RoutineNodes};
 pub use summary::{CallSiteSummary, ProgramSummary, RoutineSummary};

@@ -48,12 +48,22 @@ mod liveness;
 mod save_restore;
 mod spill;
 
-use spike_core::{analyze_with, AnalysisOptions};
-use spike_program::{Program, RewriteError, Rewriter};
+use std::borrow::Cow;
+
+use spike_core::{Analysis, AnalysisCache, AnalysisOptions};
+use spike_isa::Instruction;
+use spike_program::{Program, RewriteError, Rewriter, RoutineId};
 
 pub use liveness::{routine_liveness, step_back, RoutineLiveness};
 
-/// Which passes [`optimize_with`] runs.
+/// Bound on [`OptOptions::iterate`] rounds: each round re-runs every
+/// enabled pass, and the loop stops early the first round no pass edits
+/// anything. Deletions strictly shrink the program, so the loop cannot
+/// oscillate — the bound only caps pathological cascades.
+const MAX_ROUNDS: usize = 8;
+
+/// Which passes [`optimize_with`] runs, and how the pass manager
+/// schedules them.
 #[derive(Clone, Debug)]
 pub struct OptOptions {
     /// Dead-code elimination (Figure 1(a)/(b)).
@@ -62,6 +72,18 @@ pub struct OptOptions {
     pub spills: bool,
     /// Callee-saved register reallocation (Figure 1(d)).
     pub realloc: bool,
+    /// Loop spills → reallocation → dead code until a whole round finds
+    /// nothing to edit (bounded by an internal round cap). The paper's
+    /// passes expose each other's opportunities — a removed spill frees a
+    /// register reallocation can claim, reallocation strands stores dead
+    /// code can delete — so iterating converges to a smaller program.
+    pub iterate: bool,
+    /// Re-analyze only the routines each pass edited (plus whatever their
+    /// changes can influence), reusing the cached front-end structures
+    /// and converged dataflow of everything else. The result is
+    /// bit-identical to from-scratch analysis between passes; disabling
+    /// this exists for benchmarking and belt-and-suspenders comparison.
+    pub incremental: bool,
     /// Analysis options used to compute the summaries.
     pub analysis: AnalysisOptions,
 }
@@ -72,6 +94,8 @@ impl Default for OptOptions {
             dead_code: true,
             spills: true,
             realloc: true,
+            iterate: false,
+            incremental: true,
             analysis: AnalysisOptions::default(),
         }
     }
@@ -93,6 +117,14 @@ pub struct OptReport {
     pub instructions_before: usize,
     /// Instruction count after optimization.
     pub instructions_after: usize,
+    /// Pass-loop rounds executed (1 unless [`OptOptions::iterate`]).
+    pub rounds: usize,
+    /// Routines whose front-end analysis structures were rebuilt, summed
+    /// over every analysis run the pass manager performed.
+    pub routines_reanalyzed: usize,
+    /// Routines reused from the analysis cache, summed over every
+    /// analysis run (always `0` with `incremental` disabled).
+    pub routines_reused: usize,
 }
 
 impl OptReport {
@@ -112,13 +144,77 @@ pub fn optimize(program: &Program) -> Result<(Program, OptReport), RewriteError>
     optimize_with(program, &OptOptions::default())
 }
 
+/// The passes the manager can schedule, in their fixed run order:
+/// removing a spill first makes its register visibly live across the
+/// call, so reallocation cannot claim it; dead-code elimination last
+/// cleans up whatever the earlier passes expose.
+#[derive(Clone, Copy, Debug)]
+enum Pass {
+    Spills,
+    Realloc,
+    Dead,
+}
+
+/// The edits one pass wants applied, plus the report counters it already
+/// claimed. Collected against a borrowed analysis, applied afterwards.
+struct PassEdits {
+    deletes: Vec<u32>,
+    replaces: Vec<(u32, Instruction)>,
+}
+
+impl PassEdits {
+    fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.replaces.is_empty()
+    }
+}
+
+fn collect_edits(
+    pass: Pass,
+    program: &Program,
+    analysis: &Analysis,
+    report: &mut OptReport,
+) -> PassEdits {
+    let mut edits = PassEdits { deletes: Vec::new(), replaces: Vec::new() };
+    match pass {
+        Pass::Spills => {
+            let pairs = spill::find_spills(program, analysis);
+            report.spill_pairs_removed += pairs.len();
+            for p in &pairs {
+                edits.deletes.push(p.store_addr);
+                edits.deletes.push(p.load_addr);
+            }
+        }
+        Pass::Realloc => {
+            for r in &save_restore::find_reallocs(program, analysis) {
+                report.registers_reallocated += 1;
+                report.save_restores_deleted += r.delete.len();
+                edits.deletes.extend_from_slice(&r.delete);
+                edits.replaces.extend_from_slice(&r.rename);
+            }
+        }
+        Pass::Dead => {
+            let dead = dead::find_dead(program, analysis);
+            report.dead_deleted += dead.len();
+            edits.deletes.extend(dead.iter().copied());
+        }
+    }
+    edits
+}
+
 /// Optimizes `program` with explicit pass selection.
 ///
-/// Each enabled pass analyzes, edits, and relinks once, in the order
-/// spills → reallocation → dead code: removing a spill first makes its
-/// register visibly live across the call, so reallocation cannot claim it;
-/// dead-code elimination last cleans up whatever the earlier passes
-/// expose.
+/// A small pass manager threads one [`AnalysisCache`] through the enabled
+/// passes (spills → reallocation → dead code; see [`Pass`] for why that
+/// order). Each pass reports the routines it edited, and by default only
+/// those — plus whatever their changes can influence — are re-analyzed
+/// before the next pass ([`OptOptions::incremental`]); a pass that finds
+/// nothing leaves the cached analysis untouched for its successor. With
+/// [`OptOptions::iterate`] the whole sequence loops until a round finds
+/// nothing to edit.
+///
+/// The input program is not cloned until an edit actually lands: a run
+/// where every pass is disabled or finds nothing only pays for the final
+/// copy out.
 ///
 /// # Errors
 ///
@@ -129,55 +225,69 @@ pub fn optimize_with(
 ) -> Result<(Program, OptReport), RewriteError> {
     let mut report =
         OptReport { instructions_before: program.total_instructions(), ..OptReport::default() };
-    let mut current = program.clone();
+    report.instructions_after = report.instructions_before;
 
+    let mut passes = Vec::new();
     if options.spills {
-        let analysis = analyze_with(&current, &options.analysis);
-        let pairs = spill::find_spills(&current, &analysis);
-        if !pairs.is_empty() {
-            let mut rw = Rewriter::new(&current);
-            for p in &pairs {
-                rw.delete(p.store_addr).delete(p.load_addr);
-            }
-            report.spill_pairs_removed = pairs.len();
-            current = rw.finish()?;
-        }
+        passes.push(Pass::Spills);
     }
-
     if options.realloc {
-        let analysis = analyze_with(&current, &options.analysis);
-        let reallocs = save_restore::find_reallocs(&current, &analysis);
-        if !reallocs.is_empty() {
-            let mut rw = Rewriter::new(&current);
-            for r in &reallocs {
-                report.registers_reallocated += 1;
-                report.save_restores_deleted += r.delete.len();
-                for &addr in &r.delete {
-                    rw.delete(addr);
-                }
-                for &(addr, insn) in &r.rename {
-                    rw.replace(addr, insn);
-                }
-            }
-            current = rw.finish()?;
-        }
+        passes.push(Pass::Realloc);
+    }
+    if options.dead_code {
+        passes.push(Pass::Dead);
+    }
+    if passes.is_empty() {
+        return Ok((program.clone(), report));
     }
 
-    if options.dead_code {
-        let analysis = analyze_with(&current, &options.analysis);
-        let dead = dead::find_dead(&current, &analysis);
-        if !dead.is_empty() {
+    let mut current: Cow<'_, Program> = Cow::Borrowed(program);
+    let mut cache = AnalysisCache::new(options.analysis.clone());
+    // Routines edited since the cache last saw the program; empty means
+    // the cached analysis is still exact and is reused wholesale.
+    let mut pending: Vec<RoutineId> = Vec::new();
+    let mut edited = false;
+
+    let max_rounds = if options.iterate { MAX_ROUNDS } else { 1 };
+    for _ in 0..max_rounds {
+        report.rounds += 1;
+        let mut round_edited = false;
+        for &pass in &passes {
+            let edits = {
+                let analysis = if !options.incremental || cache.analysis().is_none() {
+                    cache.analyze(&current)
+                } else {
+                    cache.reanalyze(&current, &std::mem::take(&mut pending))
+                };
+                report.routines_reanalyzed += analysis.stats.routines_reanalyzed;
+                report.routines_reused += analysis.stats.routines_reused;
+                collect_edits(pass, &current, analysis, &mut report)
+            };
+            if edits.is_empty() {
+                continue;
+            }
             let mut rw = Rewriter::new(&current);
-            for &addr in &dead {
+            for &addr in &edits.deletes {
                 rw.delete(addr);
             }
-            report.dead_deleted = dead.len();
-            current = rw.finish()?;
+            for &(addr, insn) in &edits.replaces {
+                rw.replace(addr, insn);
+            }
+            let (next, changed) = rw.finish()?;
+            current = Cow::Owned(next);
+            pending = changed;
+            edited = true;
+            round_edited = true;
+        }
+        if !round_edited {
+            break;
         }
     }
 
-    report.instructions_after = current.total_instructions();
-    Ok((current, report))
+    if edited {
+        report.instructions_after = current.total_instructions();
+    }
+    Ok((current.into_owned(), report))
 }
 
 #[cfg(test)]
@@ -302,6 +412,44 @@ mod tests {
         let (q, report) = optimize_with(&p, &options).unwrap();
         assert_eq!(report.dead_deleted, 0);
         assert_eq!(q, p);
+    }
+
+    #[test]
+    fn iterate_mode_keeps_behaviour_and_reaches_a_fixpoint() {
+        let options = OptOptions { iterate: true, ..OptOptions::default() };
+        for seed in 0..10 {
+            let p = spike_synth::generate_executable(seed, 5);
+            let (single, single_report) = optimize(&p).unwrap();
+            let (iterated, report) = optimize_with(&p, &options).unwrap();
+            assert!(report.rounds >= 1 && report.rounds <= MAX_ROUNDS);
+            assert!(
+                report.removed() >= single_report.removed(),
+                "seed {seed}: iterating must not lose deletions"
+            );
+            assert_eq!(behaviour(&p), behaviour(&iterated), "seed {seed} changed behaviour");
+            let _ = single;
+            if report.rounds < MAX_ROUNDS {
+                // The loop stopped because a whole round found nothing, so
+                // the result is a fixpoint of the pass sequence.
+                let (again, re_report) = optimize_with(&iterated, &options).unwrap();
+                assert_eq!(again, iterated, "seed {seed}: fixpoint must be stable");
+                assert_eq!(re_report.removed(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_reuses_clean_routines() {
+        // Five routines and three passes: unless every pass edits every
+        // routine, the cache must report some reuse.
+        let p = spike_synth::generate_executable(7, 5);
+        let (_, report) = optimize(&p).unwrap();
+        assert!(report.routines_reused > 0, "{report:?}");
+        assert!(report.rounds == 1);
+
+        let off = OptOptions { incremental: false, ..OptOptions::default() };
+        let (_, report_off) = optimize_with(&p, &off).unwrap();
+        assert_eq!(report_off.routines_reused, 0);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //!
 //! let mut rw = Rewriter::new(&program);
 //! rw.delete(program.routines()[0].addr());
-//! let optimized = rw.finish()?;
+//! let (optimized, changed) = rw.finish()?;
 //! assert_eq!(optimized.total_instructions(), program.total_instructions() - 1);
+//! assert_eq!(changed.len(), 1); // only `main` was touched
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -35,7 +36,7 @@ use std::fmt;
 use spike_isa::{Instruction, Reg};
 
 use crate::program::{Program, ProgramError};
-use crate::routine::Routine;
+use crate::routine::{Routine, RoutineId};
 use crate::BASE_ADDR;
 
 /// Error produced by [`Rewriter::finish`].
@@ -128,13 +129,23 @@ impl<'a> Rewriter<'a> {
 
     /// Compacts and relinks the program.
     ///
+    /// Returns the rewritten program together with the set of routines
+    /// whose instruction words actually changed, in routine-id order:
+    /// routines with deletions or replacements, plus any routine an
+    /// instruction of which was relinked (a branch or call displacement
+    /// recomputed across a shifted gap, or a relocated `lda` immediate
+    /// pointing at moved code). Routines whose instructions are
+    /// bit-identical — even if their base address shifted — are not
+    /// reported; address shifts alone change no analysis-relevant
+    /// content.
+    ///
     /// # Errors
     ///
     /// Returns a [`RewriteError`] if a deletion is invalid (missing
     /// instruction, terminator, relocated constant), a routine would
     /// become empty, a relocation overflows, or the relinked program
     /// fails validation.
-    pub fn finish(&self) -> Result<Program, RewriteError> {
+    pub fn finish(&self) -> Result<(Program, Vec<RoutineId>), RewriteError> {
         let p = self.program;
 
         // Validate deletions.
@@ -205,7 +216,8 @@ impl<'a> Rewriter<'a> {
         // Pass 2: rebuild routines with recomputed displacements.
         let mut routines = Vec::with_capacity(p.routines().len());
         let mut relocations = BTreeMap::new();
-        for r in p.routines() {
+        let mut changed = Vec::new();
+        for (ri, r) in p.routines().iter().enumerate() {
             let mut insns = Vec::with_capacity(r.len());
             for old in r.addr()..r.end_addr() {
                 if self.deleted.contains(&old) {
@@ -243,6 +255,9 @@ impl<'a> Rewriter<'a> {
                 };
                 insns.push(relinked);
             }
+            if insns.len() != r.len() || insns.iter().ne(r.insns().iter()) {
+                changed.push(RoutineId::from_index(ri));
+            }
             let entry_offsets: Vec<u32> = r.entry_addrs().map(|a| map(a) - map(r.addr())).collect();
             routines.push(Routine::new(
                 r.name(),
@@ -276,7 +291,15 @@ impl<'a> Rewriter<'a> {
             .collect();
         let jump_hints = p.jump_hints().iter().map(|(&addr, &live)| (map(addr), live)).collect();
 
-        Ok(Program::new(routines, jump_tables, indirect_calls, jump_hints, relocations, p.entry())?)
+        let program = Program::new(
+            routines,
+            jump_tables,
+            indirect_calls,
+            jump_hints,
+            relocations,
+            p.entry(),
+        )?;
+        Ok((program, changed))
     }
 }
 
@@ -314,8 +337,9 @@ mod tests {
         let mut rw = Rewriter::new(&p);
         rw.delete(base).delete(base + 2);
         assert_eq!(rw.pending(), 2);
-        let q = rw.finish().unwrap();
+        let (q, changed) = rw.finish().unwrap();
 
+        assert_eq!(changed, vec![RoutineId::from_index(0)]);
         assert_eq!(q.total_instructions(), 3);
         // The loop branch still targets the subq.
         let r = &q.routines()[0];
@@ -337,7 +361,7 @@ mod tests {
             .halt();
         let p = b.build().unwrap();
         let base = p.routines()[0].addr();
-        let q = Rewriter::new(&p).delete(base + 2).finish().unwrap();
+        let (q, _) = Rewriter::new(&p).delete(base + 2).finish().unwrap();
         // Branch now lands on `def t2`.
         let r = &q.routines()[0];
         assert_eq!(
@@ -353,10 +377,12 @@ mod tests {
         b.routine("f").def(Reg::V0).ret();
         let p = b.build().unwrap();
         let base = p.routines()[0].addr();
-        let q = Rewriter::new(&p).delete(base).delete(base + 1).finish().unwrap();
+        let (q, changed) = Rewriter::new(&p).delete(base).delete(base + 1).finish().unwrap();
         let main = q.routine_by_name("main").unwrap();
         let f = q.routine_by_name("f").unwrap();
         assert_eq!(q.direct_call_target(q.routine(main).addr()), Some((f, 0)));
+        // Only main's instructions changed; f merely shifted down.
+        assert_eq!(changed, vec![main]);
     }
 
     #[test]
@@ -374,7 +400,7 @@ mod tests {
             .halt();
         let p = b.build().unwrap();
         let base = p.routines()[0].addr();
-        let q = Rewriter::new(&p).delete(base).finish().unwrap();
+        let (q, _) = Rewriter::new(&p).delete(base).finish().unwrap();
 
         // Everything shifted down one word; the table and reloc follow.
         let jt: Vec<_> = q.jump_tables().iter().collect();
@@ -428,11 +454,12 @@ mod tests {
             base,
             Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 },
         );
-        let q = rw.finish().unwrap();
+        let (q, changed) = rw.finish().unwrap();
         assert_eq!(
             q.insn_at(base),
             Some(&Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::T0 })
         );
+        assert_eq!(changed, vec![RoutineId::from_index(0)]);
     }
 
     #[test]
@@ -461,6 +488,8 @@ mod tests {
         b.routine("main").def(Reg::T0).call("f").halt();
         b.routine("f").def(Reg::V0).ret();
         let p = b.build().unwrap();
-        assert_eq!(Rewriter::new(&p).finish().unwrap(), p);
+        let (q, changed) = Rewriter::new(&p).finish().unwrap();
+        assert_eq!(q, p);
+        assert!(changed.is_empty());
     }
 }

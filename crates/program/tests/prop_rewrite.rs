@@ -34,17 +34,31 @@ proptest! {
 
         let mut rw = Rewriter::new(&program);
         let mut deleted = 0usize;
+        let mut edited = std::collections::BTreeSet::new();
         for (i, &addr) in candidates.iter().enumerate() {
             if mask & (1 << (i % 64)) != 0 {
                 rw.delete(addr);
                 deleted += 1;
+                edited.insert(program.routine_containing(addr).expect("addr in program"));
             }
         }
-        let q = rw.finish().expect("relink succeeds");
+        let (q, changed) = rw.finish().expect("relink succeeds");
         prop_assert_eq!(
             q.total_instructions(),
             program.total_instructions() - deleted
         );
+        // Every routine with a deletion is reported changed (relinking may
+        // legitimately change further routines), in routine-id order.
+        for id in &edited {
+            prop_assert!(changed.contains(id), "routine {id:?} had deletions");
+        }
+        prop_assert!(changed.windows(2).all(|w| w[0] < w[1]), "changed set is sorted");
+        // A routine outside the changed set kept its instruction words.
+        for (id, r) in program.iter() {
+            if !changed.contains(&id) {
+                prop_assert_eq!(r.insns(), q.routine(id).insns());
+            }
+        }
         for ((_, a), (_, b)) in program.iter().zip(q.iter()) {
             prop_assert_eq!(a.name(), b.name());
             prop_assert_eq!(a.exported(), b.exported());
@@ -54,10 +68,12 @@ proptest! {
         prop_assert_eq!(Program::from_image(&q.to_image()).expect("loads"), q);
     }
 
-    /// Deleting nothing is the identity.
+    /// Deleting nothing is the identity and reports no changed routines.
     #[test]
     fn empty_deletion_is_identity(seed in any::<u64>()) {
         let program = spike_synth::generate_executable(seed, 3);
-        prop_assert_eq!(Rewriter::new(&program).finish().expect("relinks"), program);
+        let (q, changed) = Rewriter::new(&program).finish().expect("relinks");
+        prop_assert_eq!(q, program);
+        prop_assert!(changed.is_empty());
     }
 }

@@ -114,7 +114,7 @@ fn hints_round_trip_through_image_and_rewriter() {
     assert_eq!(loaded, p);
 
     let base = p.routines()[0].addr();
-    let q = spike::program::Rewriter::new(&p).delete(base).finish().unwrap();
+    let (q, _) = spike::program::Rewriter::new(&p).delete(base).finish().unwrap();
     // Hint keys moved down one word with the code.
     assert_eq!(q.jump_hints().len(), 1);
     assert_eq!(q.jump_hint(base + 2), Some(RegSet::of(&[Reg::V0])));

@@ -1,0 +1,156 @@
+//! Equivalence of incremental re-analysis with from-scratch analysis.
+//!
+//! The optimizer's pass manager threads one [`spike::core::AnalysisCache`]
+//! through its passes, re-running the analysis front-end only for routines
+//! the previous pass edited. These properties pin the contract down hard:
+//! the cached pipeline must emit bit-identical programs, summaries, PSGs
+//! and deterministic `memory_bytes` — the latter is capacity-sensitive, so
+//! it fails if the in-place PSG patching deviates from the from-scratch
+//! push sequence by even one `Vec` growth step.
+
+use proptest::prelude::*;
+
+use spike::core::{analyze_with, AnalysisCache, AnalysisOptions};
+use spike::opt::{optimize_with, OptOptions};
+use spike::program::{Program, Rewriter};
+use spike::sim::Outcome;
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (any::<u64>(), prop_oneof![Just("compress"), Just("li"), Just("perl"), Just("vortex")])
+        .prop_map(|(seed, name)| {
+            let p = spike::synth::profile(name).expect("known benchmark");
+            spike::synth::generate(&p, 20.0 / p.routines as f64, seed)
+        })
+}
+
+fn with_incremental(incremental: bool) -> OptOptions {
+    OptOptions { incremental, ..OptOptions::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The cached pass manager and the from-scratch pass manager agree on
+    /// every observable output for the synthetic benchmark profiles: the
+    /// optimized program bit-for-bit and every optimization count.
+    #[test]
+    fn incremental_optimize_matches_scratch_on_profiles(program in arb_program()) {
+        let (scratch, srep) = optimize_with(&program, &with_incremental(false))
+            .expect("optimization succeeds");
+        let (incremental, irep) = optimize_with(&program, &with_incremental(true))
+            .expect("optimization succeeds");
+
+        prop_assert_eq!(&scratch, &incremental);
+        prop_assert_eq!(srep.instructions_after, irep.instructions_after);
+        prop_assert_eq!(srep.dead_deleted, irep.dead_deleted);
+        prop_assert_eq!(srep.spill_pairs_removed, irep.spill_pairs_removed);
+        prop_assert_eq!(srep.registers_reallocated, irep.registers_reallocated);
+        prop_assert_eq!(srep.save_restores_deleted, irep.save_restores_deleted);
+        prop_assert_eq!(srep.rounds, irep.rounds);
+        // Scratch mode never reuses; incremental mode accounts for every
+        // routine in every analysis run, one way or the other.
+        prop_assert_eq!(srep.routines_reused, 0);
+        prop_assert_eq!(
+            (irep.routines_reanalyzed + irep.routines_reused)
+                % program.routines().len().max(1),
+            0
+        );
+    }
+
+    /// On runnable executables the two modes also agree, and both preserve
+    /// the simulated behaviour of the original program.
+    #[test]
+    fn incremental_optimize_matches_scratch_on_executables(seed in any::<u64>()) {
+        let program = spike::synth::generate_executable(seed, 10);
+        let (scratch, _) = optimize_with(&program, &with_incremental(false))
+            .expect("optimization succeeds");
+        let (incremental, irep) = optimize_with(&program, &with_incremental(true))
+            .expect("optimization succeeds");
+        prop_assert_eq!(&scratch, &incremental);
+
+        let Outcome::Halted { output: before, .. } = spike::sim::run(&program, 10_000_000) else {
+            panic!("generated executables must halt");
+        };
+        let Outcome::Halted { output: after, .. } = spike::sim::run(&incremental, 10_000_000)
+        else {
+            panic!("optimized executables must halt");
+        };
+        prop_assert_eq!(before, after);
+        prop_assert!(irep.rounds >= 1);
+    }
+
+    /// `iterate` mode (bounded fixpoint) removes at least as much as a
+    /// single round and still preserves simulated behaviour, in both
+    /// re-analysis modes.
+    #[test]
+    fn iterate_mode_preserves_behaviour(seed in any::<u64>()) {
+        let program = spike::synth::generate_executable(seed, 8);
+        let (_, single) = optimize_with(&program, &with_incremental(true))
+            .expect("optimization succeeds");
+        for incremental in [false, true] {
+            let options = OptOptions { iterate: true, ..with_incremental(incremental) };
+            let (optimized, report) = optimize_with(&program, &options)
+                .expect("optimization succeeds");
+            prop_assert!(report.removed() >= single.removed());
+
+            let Outcome::Halted { output: before, .. } = spike::sim::run(&program, 10_000_000)
+            else {
+                panic!("generated executables must halt");
+            };
+            let Outcome::Halted { output: after, .. } = spike::sim::run(&optimized, 10_000_000)
+            else {
+                panic!("optimized executables must halt");
+            };
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    /// Direct contract of [`AnalysisCache::reanalyze`]: after an edit, the
+    /// seeded re-run over the dirty routines reaches exactly the solution
+    /// a from-scratch analysis of the edited program computes — the same
+    /// summaries, the same PSG node/edge sequences and labels, and the
+    /// same deterministic memory accounting.
+    #[test]
+    fn cache_reanalyze_matches_scratch(seed in any::<u64>()) {
+        let program = spike::synth::generate_executable(seed, 6);
+        let options = AnalysisOptions::default();
+        let mut cache = AnalysisCache::new(options.clone());
+        cache.analyze(&program);
+
+        // Delete the last deletable instruction in the program (not a
+        // terminator, not a relocated constant) and let the rewriter
+        // report which routines changed.
+        let victim = program
+            .iter()
+            .flat_map(|(_, r)| {
+                (0..r.len() as u32).map(move |i| (r.addr() + i, &r.insns()[i as usize]))
+            })
+            .filter(|(addr, insn)| {
+                !insn.is_terminator() && !program.relocations().contains_key(addr)
+            })
+            .last()
+            .map(|(addr, _)| addr);
+        prop_assert!(victim.is_some(), "generated executables have deletable instructions");
+        let (edited, changed) = Rewriter::new(&program)
+            .delete(victim.unwrap())
+            .finish()
+            .expect("delete relinks");
+
+        let incremental = cache.reanalyze(&edited, &changed);
+        let scratch = analyze_with(&edited, &options);
+        for (rid, r) in edited.iter() {
+            prop_assert_eq!(
+                incremental.summary.routine(rid),
+                scratch.summary.routine(rid),
+                "summary mismatch for {}",
+                r.name()
+            );
+        }
+        prop_assert_eq!(&incremental.psg, &scratch.psg);
+        prop_assert_eq!(incremental.stats.memory_bytes, scratch.stats.memory_bytes);
+        prop_assert_eq!(
+            incremental.stats.routines_reanalyzed + incremental.stats.routines_reused,
+            edited.routines().len()
+        );
+    }
+}
