@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fs;
+use std::process::ExitCode;
 
 use spike_cfg::ProgramCfg;
 use spike_core::{analyze, analyze_with, AnalysisOptions};
@@ -23,24 +24,30 @@ commands:
   optimize <img> -o <img> [--threads N] [--iterate]
            [--incremental|--no-incremental]         apply the Figure-1 optimizations
   run <img> [--fuel N]                              execute under the simulator
+  lint <img> [--format human|json]                  interprocedural static checks
   compare <img> [--threads N]                       PSG vs whole-CFG comparison
   dot <img> [--routine NAME]                        Program Summary Graph as GraphViz
   profiles                                          list generator benchmarks
 ";
 
-/// Parses and executes one invocation.
-pub fn dispatch(args: &[String]) -> Result<()> {
+/// Parses and executes one invocation. The returned code is the process
+/// exit status: commands other than `lint` always exit 0 on success, and
+/// `lint` exits 1 when it has error-severity findings (usage and I/O
+/// problems exit 2 via the `Err` path).
+pub fn dispatch(args: &[String]) -> Result<ExitCode> {
+    let ok = |()| ExitCode::SUCCESS;
     let mut it = args.iter().map(String::as_str);
     match it.next() {
-        Some("gen") => gen(&args[1..]),
-        Some("gen-exec") => gen_exec(&args[1..]),
-        Some("asm") => asm(&args[1..]),
-        Some("disasm") => disasm(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("optimize") => cmd_optimize(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("compare") => compare(&args[1..]),
-        Some("dot") => dot(&args[1..]),
+        Some("gen") => gen(&args[1..]).map(ok),
+        Some("gen-exec") => gen_exec(&args[1..]).map(ok),
+        Some("asm") => asm(&args[1..]).map(ok),
+        Some("disasm") => disasm(&args[1..]).map(ok),
+        Some("analyze") => cmd_analyze(&args[1..]).map(ok),
+        Some("optimize") => cmd_optimize(&args[1..]).map(ok),
+        Some("run") => cmd_run(&args[1..]).map(ok),
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("compare") => compare(&args[1..]).map(ok),
+        Some("dot") => dot(&args[1..]).map(ok),
         Some("profiles") => {
             for p in spike_synth::profiles() {
                 println!(
@@ -48,11 +55,11 @@ pub fn dispatch(args: &[String]) -> Result<()> {
                     p.name, p.routines, p.instructions, p.description
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     }
@@ -71,6 +78,7 @@ struct Opts<'a> {
     threads: usize,
     iterate: bool,
     incremental: bool,
+    format: &'a str,
 }
 
 fn parse(args: &[String]) -> Result<Opts<'_>> {
@@ -86,6 +94,7 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         threads: 0,
         iterate: false,
         incremental: true,
+        format: "human",
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -104,6 +113,7 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "--iterate" => o.iterate = true,
             "--incremental" => o.incremental = true,
             "--no-incremental" => o.incremental = false,
+            "--format" => o.format = want("--format")?,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`").into())
             }
@@ -309,7 +319,35 @@ fn cmd_run(args: &[String]) -> Result<()> {
         }
         Outcome::OutOfFuel { .. } => Err(format!("did not halt within {} steps", o.fuel).into()),
         Outcome::Fault(f) => Err(format!("fault: {f}").into()),
+        other => Err(format!("unexpected simulator outcome: {other:?}").into()),
     }
+}
+
+fn cmd_lint(args: &[String]) -> Result<ExitCode> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("lint needs an image path".into());
+    };
+    if o.format != "human" && o.format != "json" {
+        return Err(format!("--format must be `human` or `json`, got `{}`", o.format).into());
+    }
+    // A file that cannot be read is a usage problem (exit 2); a file that
+    // reads but fails validation is a *finding* (`malformed-image`,
+    // exit 1), so an automated caller sees it in the report.
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = match Program::from_image(&bytes) {
+        Ok(program) => spike_lint::lint(&program),
+        Err(e) => spike_lint::malformed_image(e.to_string()),
+    };
+    if o.format == "json" {
+        println!("{}", report.to_json(Some(path)));
+    } else {
+        for d in report.diagnostics() {
+            println!("{d}");
+        }
+        println!("{path}: {} error(s), {} warning(s)", report.errors(), report.warnings());
+    }
+    Ok(if report.errors() > 0 { ExitCode::from(1) } else { ExitCode::SUCCESS })
 }
 
 fn dot(args: &[String]) -> Result<()> {

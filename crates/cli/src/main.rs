@@ -7,8 +7,12 @@
 //! spike analyze <img> [--summaries] [--routine NAME]
 //! spike optimize <img> -o out.img
 //! spike run <img> [--fuel N]
+//! spike lint <img> [--format human|json]
 //! spike compare <img>
 //! ```
+//!
+//! Exit codes: 0 on success (for `lint`: no error-severity findings),
+//! 1 when `lint` reports errors, 2 on usage or I/O problems.
 
 use std::process::ExitCode;
 
@@ -17,7 +21,7 @@ mod commands;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(2)

@@ -54,7 +54,7 @@ fn stderr(o: &Output) -> String {
 fn help_lists_commands() {
     let o = spike(&["--help"]);
     assert!(o.status.success());
-    for cmd in ["gen", "disasm", "analyze", "optimize", "run", "compare"] {
+    for cmd in ["gen", "disasm", "analyze", "optimize", "run", "lint", "compare"] {
         assert!(stdout(&o).contains(cmd), "missing {cmd}");
     }
 }

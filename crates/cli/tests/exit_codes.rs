@@ -1,0 +1,128 @@
+//! Exit-code audit for the `spike` binary. The contract (documented in
+//! `main.rs` and README): 0 = success, and for `lint` specifically no
+//! error-severity findings; 1 = `lint` found errors; 2 = usage or I/O
+//! problems, for every subcommand.
+
+use std::process::{Command, Output};
+
+fn spike(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spike-cli")).args(args).output().expect("binary runs")
+}
+
+fn code(o: &Output) -> i32 {
+    o.status.code().expect("no signal")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+struct TempDirGuard {
+    path: std::path::PathBuf,
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn tempdir(tag: &str) -> TempDirGuard {
+    let path = std::env::temp_dir().join(format!("spike-exit-codes-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&path).expect("temp dir");
+    TempDirGuard { path }
+}
+
+/// Assembles `text` into an image file and returns its path.
+fn assemble(dir: &TempDirGuard, name: &str, text: &str) -> String {
+    let src = dir.path.join(format!("{name}.s"));
+    let img = dir.path.join(format!("{name}.img"));
+    std::fs::write(&src, text).unwrap();
+    let o = spike(&["asm", src.to_str().unwrap(), "-o", img.to_str().unwrap()]);
+    assert_eq!(code(&o), 0, "{}", stderr(&o));
+    img.to_string_lossy().into_owned()
+}
+
+#[test]
+fn lint_clean_program_exits_zero() {
+    let dir = tempdir("clean");
+    let img = dir.path.join("prog.img");
+    let o = spike(&["gen-exec", "--seed", "11", "--routines", "5", "-o", img.to_str().unwrap()]);
+    assert_eq!(code(&o), 0, "{}", stderr(&o));
+
+    let o = spike(&["lint", img.to_str().unwrap()]);
+    assert_eq!(code(&o), 0, "{}{}", stdout(&o), stderr(&o));
+    assert!(stdout(&o).contains("0 error(s)"));
+
+    let o = spike(&["lint", img.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(code(&o), 0);
+    let json = stdout(&o);
+    assert!(json.starts_with("{\"tool\":\"spike-lint\""));
+    assert!(json.contains("\"summary\":{\"errors\":0,"));
+}
+
+#[test]
+fn lint_warnings_do_not_fail_the_exit_code() {
+    let dir = tempdir("warn");
+    // The write to t0 is never read: a dead-store warning, not an error.
+    let img = assemble(&dir, "warn", ".routine main\n    lda t0, 1(zero)\n    halt\n");
+    let o = spike(&["lint", &img]);
+    assert_eq!(code(&o), 0, "{}", stdout(&o));
+    assert!(stdout(&o).contains("warning[dead-store]"));
+}
+
+#[test]
+fn lint_error_findings_exit_one() {
+    let dir = tempdir("uninit");
+    // t0 is read before any write: an uninit-read error.
+    let img = assemble(&dir, "bad", ".routine main\n    addq t0, t0, v0\n    putint\n    halt\n");
+
+    let o = spike(&["lint", &img]);
+    assert_eq!(code(&o), 1, "{}", stdout(&o));
+    assert!(stdout(&o).contains("error[uninit-read]"));
+
+    let o = spike(&["lint", &img, "--format", "json"]);
+    assert_eq!(code(&o), 1);
+    assert!(stdout(&o).contains("\"check\":\"uninit-read\""));
+}
+
+#[test]
+fn lint_reports_malformed_images_as_findings() {
+    let dir = tempdir("malformed");
+    let path = dir.path.join("junk.img");
+    std::fs::write(&path, b"not an image").unwrap();
+    let o = spike(&["lint", path.to_str().unwrap()]);
+    assert_eq!(code(&o), 1, "{}", stderr(&o));
+    assert!(stdout(&o).contains("error[malformed-image]"));
+
+    let o = spike(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(code(&o), 1);
+    assert!(stdout(&o).contains("\"check\":\"malformed-image\""));
+}
+
+#[test]
+fn usage_and_io_problems_exit_two() {
+    // Missing file is exit 2 for every file-taking subcommand.
+    for cmd in ["lint", "run", "analyze", "optimize", "compare", "disasm", "dot"] {
+        let o = spike(&[cmd, "/nonexistent/image.img"]);
+        assert_eq!(code(&o), 2, "{cmd} on a missing file");
+        assert!(stderr(&o).contains("cannot read"), "{cmd}: {}", stderr(&o));
+    }
+    // Missing operand.
+    let o = spike(&["lint"]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("needs an image path"));
+    // Bad flag value.
+    let dir = tempdir("badflag");
+    let img = assemble(&dir, "ok", ".routine main\n    halt\n");
+    let o = spike(&["lint", &img, "--format", "yaml"]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("--format"));
+    // Unknown command / unknown option.
+    assert_eq!(code(&spike(&["frobnicate"])), 2);
+    assert_eq!(code(&spike(&["lint", &img, "--bogus"])), 2);
+}

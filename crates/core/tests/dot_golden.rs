@@ -1,0 +1,66 @@
+//! Golden-file test for the GraphViz rendering of the Program Summary
+//! Graph, over the paper's Figure 2 example (P1/P2/P3). The dot output is
+//! consumed by external tooling and by the README's visualization
+//! instructions, so its exact shape is pinned: if a change to PSG
+//! construction or to `to_dot` alters it, the diff shows up here for
+//! review instead of silently changing downstream renders.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p spike-core --test dot_golden`
+
+use spike_core::analyze;
+use spike_isa::{BranchCond, Reg};
+use spike_program::{Program, ProgramBuilder};
+
+const R0: Reg = Reg::V0;
+const R1: Reg = Reg::T0;
+const R2: Reg = Reg::T1;
+const R3: Reg = Reg::T2;
+
+/// Figure 2 of the paper, identical to `paper_example.rs`.
+fn figure2_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.routine("p1").def(R0).def(R1).call("p2").use_reg(R0).ret();
+    b.routine("p2")
+        .cond(BranchCond::Eq, R1, "else")
+        .def(R2)
+        .def(R3)
+        .br("join")
+        .label("else")
+        .def(R2)
+        .label("join")
+        .ret();
+    b.routine("p3").def(R1).call("p2").ret();
+    b.set_entry("p1");
+    b.build().unwrap()
+}
+
+fn check(rendered: &str, golden_name: &str) {
+    let path = format!("{}/tests/golden/{golden_name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (set UPDATE_GOLDEN=1 to create)"));
+    assert_eq!(
+        rendered, golden,
+        "PSG dot output drifted from {golden_name}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn whole_program_psg_dot_matches_golden() {
+    let program = figure2_program();
+    let analysis = analyze(&program);
+    check(&analysis.psg.to_dot(&program, None), "figure2_psg.dot");
+}
+
+#[test]
+fn single_routine_psg_dot_matches_golden() {
+    let program = figure2_program();
+    let analysis = analyze(&program);
+    let p2 = program.routine_by_name("p2").unwrap();
+    check(&analysis.psg.to_dot(&program, Some(p2)), "figure2_p2.dot");
+}

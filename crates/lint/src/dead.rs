@@ -1,0 +1,76 @@
+//! Dead-store and dead-argument warnings: Figure 1(a)/(b) of the paper as
+//! diagnostics instead of deletions.
+//!
+//! Reuses the optimizer's interprocedural liveness (live-at-exit at rets,
+//! call-used at call summaries) but reports rather than rewrites, and does
+//! not cascade: each finding is a write that is dead in the program as it
+//! stands, so the list is stable and reviewable.
+
+use spike_cfg::BlockId;
+use spike_core::Analysis;
+use spike_isa::Instruction;
+use spike_opt::{routine_liveness, step_back};
+use spike_program::Program;
+
+use crate::diag::{Check, Diagnostic, LintReport};
+
+/// Instructions with no effect beyond their register result (mirrors the
+/// dead-code pass's notion; memory stores and control flow are excluded).
+fn is_pure(insn: &Instruction) -> bool {
+    matches!(
+        insn,
+        Instruction::Operate { .. }
+            | Instruction::OperateImm { .. }
+            | Instruction::Lda { .. }
+            | Instruction::Ldah { .. }
+            | Instruction::Load { .. }
+            | Instruction::FpOperate { .. }
+    )
+}
+
+pub(crate) fn check(program: &Program, analysis: &Analysis, report: &mut LintReport) {
+    let arg_regs = analysis.summary.calling_standard().argument();
+    for (rid, routine) in program.iter() {
+        let cfg = analysis.cfg.routine_cfg(rid);
+        let live = routine_liveness(program, analysis, rid, &|_| false);
+        for (bi, block) in cfg.blocks().iter().enumerate() {
+            let b = BlockId::from_index(bi);
+            let mut l = live.live_end(b);
+            for addr in (block.start()..block.end()).rev() {
+                let insn = routine.insn_at(addr).expect("address in routine");
+                let cs = (addr == block.term_addr() && insn.is_call())
+                    .then(|| analysis.summary.call_site(&analysis.cfg, rid, b))
+                    .flatten();
+                let defs = insn.defs();
+                if cs.is_none()
+                    && is_pure(insn)
+                    && !defs.is_empty()
+                    && defs.is_disjoint(l)
+                    && !program.relocations().contains_key(&addr)
+                {
+                    let reg = defs.iter().next().expect("non-empty def set");
+                    let mut d = if block.is_call_block() && !(defs & arg_regs).is_empty() {
+                        Diagnostic::new(
+                            Check::DeadArgument,
+                            routine.name(),
+                            format!(
+                                "argument register {reg} is set, but the call ending \
+                                 this block does not read it"
+                            ),
+                        )
+                    } else {
+                        Diagnostic::new(
+                            Check::DeadStore,
+                            routine.name(),
+                            format!("the value written to {reg} is never read on any valid path"),
+                        )
+                    };
+                    d.addr = Some(addr);
+                    d.reg = Some(reg);
+                    report.push(d);
+                }
+                l = step_back(l, insn, cs.as_ref());
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Diagnostic types: checks, severities, findings and the report.
+
+use std::fmt;
+
+use spike_isa::Reg;
+
+/// How serious a finding is. Error-severity findings make `spike lint`
+/// exit nonzero; warnings are informational.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// A defect: the program can read garbage or violate the calling
+    /// standard on some path.
+    Error,
+    /// A code-quality observation with no soundness impact.
+    Warning,
+}
+
+impl Severity {
+    /// The lowercase name used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The catalogue of checks `spike-lint` runs. See DESIGN.md for the facts
+/// each check consumes and its severity rationale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Check {
+    /// A register may be read before any definition reaches the read.
+    UninitRead,
+    /// A callee-saved register is overwritten on a path to an exit without
+    /// a matching save/restore (§3.4).
+    CalleeSavedClobber,
+    /// A register write no valid path reads (Figure 1(a) as a diagnostic).
+    DeadStore,
+    /// An argument register set for a call that does not use it
+    /// (Figure 1(b) as a diagnostic).
+    DeadArgument,
+    /// A routine no known call path from the entry or an exported routine
+    /// reaches.
+    UnreachableRoutine,
+    /// A basic block no intra-routine path from an entrance reaches.
+    UnreachableBlock,
+    /// A multiway jump whose recovered jump table has no targets.
+    EmptyJumpTable,
+    /// A jump table listing the same target more than once.
+    DuplicateJumpTargets,
+    /// The image failed to load or validate.
+    MalformedImage,
+}
+
+impl Check {
+    /// The kebab-case check id used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::UninitRead => "uninit-read",
+            Check::CalleeSavedClobber => "callee-saved-clobber",
+            Check::DeadStore => "dead-store",
+            Check::DeadArgument => "dead-argument",
+            Check::UnreachableRoutine => "unreachable-routine",
+            Check::UnreachableBlock => "unreachable-block",
+            Check::EmptyJumpTable => "empty-jump-table",
+            Check::DuplicateJumpTargets => "duplicate-jump-targets",
+            Check::MalformedImage => "malformed-image",
+        }
+    }
+
+    /// The default severity of findings from this check.
+    pub fn severity(self) -> Severity {
+        match self {
+            Check::UninitRead
+            | Check::CalleeSavedClobber
+            | Check::EmptyJumpTable
+            | Check::MalformedImage => Severity::Error,
+            Check::DeadStore
+            | Check::DeadArgument
+            | Check::UnreachableRoutine
+            | Check::UnreachableBlock
+            | Check::DuplicateJumpTargets => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Which check produced the finding.
+    pub check: Check,
+    /// Its severity (usually [`Check::severity`], but a check may demote
+    /// itself when the CFG is too uncertain to be confident).
+    pub severity: Severity,
+    /// The routine the finding is in, or an empty string for whole-image
+    /// findings.
+    pub routine: String,
+    /// The word address of the offending instruction, if one exists.
+    pub addr: Option<u32>,
+    /// The register involved, if one is.
+    pub reg: Option<Reg>,
+    /// Human-readable description.
+    pub message: String,
+    /// A path witnessing the finding: block-start addresses from a routine
+    /// entrance to the offending instruction. Empty when no path is
+    /// meaningful (e.g. unreachable code).
+    pub witness: Vec<u32>,
+    /// An optional clarifying note (e.g. the missing-return-value case of
+    /// `uninit-read` names the call expected to produce the value).
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `check` with its default severity.
+    pub fn new(check: Check, routine: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            check,
+            severity: check.severity(),
+            routine: routine.into(),
+            addr: None,
+            reg: None,
+            message: message.into(),
+            witness: Vec::new(),
+            note: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.check)?;
+        if !self.routine.is_empty() {
+            write!(f, " {}", self.routine)?;
+        }
+        if let Some(addr) = self.addr {
+            write!(f, "+{addr:#x}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if !self.witness.is_empty() {
+            let path: Vec<String> = self.witness.iter().map(|a| format!("{a:#x}")).collect();
+            write!(f, " (path: {})", path.join(" -> "))?;
+        }
+        if let Some(note) = &self.note {
+            write!(f, "; note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings over one program, errors first.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub(crate) fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Sorts findings errors-first, then by routine and address, so output
+    /// is deterministic and the serious findings lead.
+    pub(crate) fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let rank = |d: &Diagnostic| (d.severity == Severity::Warning) as u8;
+            rank(a)
+                .cmp(&rank(b))
+                .then_with(|| a.routine.cmp(&b.routine))
+                .then_with(|| a.addr.cmp(&b.addr))
+                .then_with(|| a.check.name().cmp(b.check.name()))
+        });
+    }
+
+    /// All findings, errors first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// `true` when there are no error-severity findings (warnings are
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{} error(s), {} warning(s)", self.errors(), self.warnings())
+    }
+}

@@ -1,0 +1,81 @@
+//! Block-level reachability helpers shared by the checks.
+//!
+//! The CFG deliberately omits call → return-point successor edges (paths
+//! from a call to its return point exist only through the callee, which is
+//! what the PSG models). For reachability questions a checker asks —
+//! "can execution get here?", "can this point still reach an exit?" —
+//! calls that return must be traversable, so both directions add the
+//! call-return edges back in.
+
+use spike_cfg::{BlockId, RoutineCfg, TermKind};
+
+/// The call-return edges of `cfg`: one `(call block, return block)` pair
+/// per call that returns into the routine.
+pub(crate) fn call_return_edges(cfg: &RoutineCfg) -> Vec<(BlockId, BlockId)> {
+    cfg.call_blocks()
+        .filter_map(|b| match cfg.block(b).term() {
+            TermKind::Call { return_to: Some(rt), .. } => Some((b, *rt)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Blocks reachable from any routine entrance, traversing normal
+/// successors and call-return edges.
+pub(crate) fn reachable_from_entrances(cfg: &RoutineCfg) -> Vec<bool> {
+    let n = cfg.blocks().len();
+    let mut call_ret = vec![None; n];
+    for (c, rt) in call_return_edges(cfg) {
+        call_ret[c.index()] = Some(rt);
+    }
+    let mut seen = vec![false; n];
+    let mut stack: Vec<BlockId> = Vec::new();
+    for &b in cfg.entries() {
+        if !seen[b.index()] {
+            seen[b.index()] = true;
+            stack.push(b);
+        }
+    }
+    while let Some(b) = stack.pop() {
+        let visit = |s: BlockId, seen: &mut Vec<bool>, stack: &mut Vec<BlockId>| {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        };
+        for &s in cfg.block(b).succs() {
+            visit(s, &mut seen, &mut stack);
+        }
+        if let Some(rt) = call_ret[b.index()] {
+            visit(rt, &mut seen, &mut stack);
+        }
+    }
+    seen
+}
+
+/// Blocks from which some exit (`ret`) is reachable, traversing edges
+/// backward (including call-return edges; a call is assumed to return).
+pub(crate) fn reaches_an_exit(cfg: &RoutineCfg) -> Vec<bool> {
+    let n = cfg.blocks().len();
+    let mut rev_call_ret: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (c, rt) in call_return_edges(cfg) {
+        rev_call_ret[rt.index()].push(c);
+    }
+    let mut seen = vec![false; n];
+    let mut stack: Vec<BlockId> = Vec::new();
+    for &b in cfg.exits() {
+        if !seen[b.index()] {
+            seen[b.index()] = true;
+            stack.push(b);
+        }
+    }
+    while let Some(b) = stack.pop() {
+        for &p in cfg.block(b).preds().iter().chain(&rev_call_ret[b.index()]) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}

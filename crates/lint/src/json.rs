@@ -1,0 +1,95 @@
+//! Hand-rolled JSON emission for [`LintReport`] (the build is offline, so
+//! no serialization dependency is available — the format is small enough
+//! to write directly and is pinned by a golden test).
+
+use std::fmt::Write as _;
+
+use crate::diag::{Diagnostic, LintReport};
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn finding(d: &Diagnostic, out: &mut String) {
+    out.push_str("{\"check\":");
+    escape(d.check.name(), out);
+    out.push_str(",\"severity\":");
+    escape(d.severity.name(), out);
+    out.push_str(",\"routine\":");
+    escape(&d.routine, out);
+    out.push_str(",\"addr\":");
+    match d.addr {
+        Some(a) => {
+            let _ = write!(out, "{a}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"reg\":");
+    match d.reg {
+        Some(r) => escape(&r.to_string(), out),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"message\":");
+    escape(&d.message, out);
+    out.push_str(",\"witness\":[");
+    for (i, a) in d.witness.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{a}");
+    }
+    out.push_str("],\"note\":");
+    match &d.note {
+        Some(n) => escape(n, out),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+impl LintReport {
+    /// Renders the report as a single JSON object. `image` is the path the
+    /// program was loaded from, when one exists.
+    ///
+    /// Schema (stable; drift is caught by a golden test and the CI dogfood
+    /// job): `{tool, version, image, summary: {errors, warnings},
+    /// findings: [{check, severity, routine, addr, reg, message, witness,
+    /// note}]}`.
+    pub fn to_json(&self, image: Option<&str>) -> String {
+        let mut out = String::new();
+        out.push_str("{\"tool\":\"spike-lint\",\"version\":");
+        escape(env!("CARGO_PKG_VERSION"), &mut out);
+        out.push_str(",\"image\":");
+        match image {
+            Some(p) => escape(p, &mut out),
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"summary\":{{\"errors\":{},\"warnings\":{}}},\"findings\":[",
+            self.errors(),
+            self.warnings()
+        );
+        for (i, d) in self.diagnostics().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            finding(d, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}

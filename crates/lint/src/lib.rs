@@ -1,0 +1,395 @@
+//! # spike-lint
+//!
+//! Interprocedural static checks over analyzed binaries — the first
+//! consumer of the paper's dataflow facts that is not an optimizer pass.
+//! The same meet-over-all-valid-paths summaries that justify deleting a
+//! dead store (Figure 1) also justify *diagnosing*: a use no definition
+//! reaches, a callee-saved register that leaks a write past an exit, a
+//! store no valid path reads.
+//!
+//! Check catalogue (severities in parentheses; see DESIGN.md for the fact
+//! dependencies):
+//!
+//! * `uninit-read` (error) — a register may be read before any definition
+//!   reaches it, including the missing-return-value special case;
+//! * `callee-saved-clobber` (error) — a routine overwrites a
+//!   callee-saved register on a returning path without the §3.4
+//!   save/restore pattern;
+//! * `dead-store` / `dead-argument` (warning) — writes no valid path
+//!   reads;
+//! * `unreachable-routine` / `unreachable-block` (warning);
+//! * `empty-jump-table` (error) / `duplicate-jump-targets` (warning);
+//! * `malformed-image` (error) — the image failed to load or validate.
+//!
+//! The error-severity checks are grounded by a simulator oracle:
+//! `spike_sim::run_shadow` tracks register definedness with the identical
+//! use/def model, and proptests assert lint-clean programs never trap.
+//!
+//! # Example
+//!
+//! ```
+//! use spike_isa::Reg;
+//! use spike_program::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.routine("main").use_reg(Reg::T0).halt(); // t0 read, never written
+//! let program = b.build()?;
+//!
+//! let report = spike_lint::lint(&program);
+//! assert_eq!(report.errors(), 1);
+//! let d = &report.diagnostics()[0];
+//! assert_eq!(d.check, spike_lint::Check::UninitRead);
+//! assert_eq!(d.reg, Some(Reg::T0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use spike_core::Analysis;
+use spike_program::Program;
+
+mod clobber;
+mod dead;
+mod diag;
+mod graph;
+mod json;
+mod reach;
+mod tables;
+mod uninit;
+
+pub use diag::{Check, Diagnostic, LintReport, Severity};
+
+/// Which checks to run. The default runs everything.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LintOptions {
+    /// Uninitialized-register-read check (error severity).
+    pub uninit: bool,
+    /// Callee-saved-clobber check (error severity).
+    pub clobber: bool,
+    /// Dead-store / dead-argument warnings.
+    pub dead: bool,
+    /// Unreachable-routine / unreachable-block warnings.
+    pub reach: bool,
+    /// Jump-table checks.
+    pub tables: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions { uninit: true, clobber: true, dead: true, reach: true, tables: true }
+    }
+}
+
+/// Runs every check over `program`, analyzing it first.
+pub fn lint(program: &Program) -> LintReport {
+    lint_with(program, &spike_core::analyze(program), &LintOptions::default())
+}
+
+/// Runs the selected checks over `program` using an existing analysis
+/// (which must have been computed over this exact program).
+pub fn lint_with(program: &Program, analysis: &Analysis, options: &LintOptions) -> LintReport {
+    let mut report = LintReport::default();
+    if options.uninit {
+        uninit::check(program, analysis, &mut report);
+    }
+    if options.clobber {
+        clobber::check(program, analysis, &mut report);
+    }
+    if options.dead {
+        dead::check(program, analysis, &mut report);
+    }
+    if options.reach {
+        reach::check_routines(program, analysis, &mut report);
+        reach::check_blocks(program, analysis, &mut report);
+    }
+    if options.tables {
+        tables::check(program, &mut report);
+    }
+    report.finish();
+    report
+}
+
+/// A report holding a single `malformed-image` error — used by callers
+/// whose image fails to load or validate before any check can run.
+pub fn malformed_image(message: impl Into<String>) -> LintReport {
+    let mut report = LintReport::default();
+    report.push(Diagnostic::new(Check::MalformedImage, String::new(), message));
+    report.finish();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    fn findings(report: &LintReport, check: Check) -> Vec<&Diagnostic> {
+        report.diagnostics().iter().filter(|d| d.check == check).collect()
+    }
+
+    #[test]
+    fn uninitialized_read_is_flagged_with_a_witness() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T1).use_reg(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let u = findings(&r, Check::UninitRead);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].reg, Some(Reg::T0));
+        assert_eq!(u[0].severity, Severity::Error);
+        let main_addr = p.routine(p.entry()).addr();
+        assert_eq!(u[0].addr, Some(main_addr + 1));
+        assert!(!u[0].witness.is_empty());
+    }
+
+    #[test]
+    fn defined_reads_are_clean() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).use_reg(Reg::T0).halt();
+        let p = b.build().unwrap();
+        assert!(findings(&lint(&p), Check::UninitRead).is_empty());
+    }
+
+    #[test]
+    fn callee_must_defs_cover_reads_after_the_call() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").use_reg(Reg::V0).halt();
+        b.routine("f").def(Reg::V0).ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        assert!(findings(&r, Check::UninitRead).is_empty());
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn partial_definition_across_a_join_is_flagged() {
+        // v0 is defined on the fall-through path only; the branch path
+        // reaches the use with v0 undefined.
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .cond(spike_isa::BranchCond::Eq, Reg::T0, "skip")
+            .def(Reg::V0)
+            .label("skip")
+            .use_reg(Reg::V0)
+            .halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let u = findings(&r, Check::UninitRead);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].reg, Some(Reg::V0));
+    }
+
+    #[test]
+    fn missing_return_value_names_the_callee() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").use_reg(Reg::V0).halt();
+        b.routine("f").ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let u = findings(&r, Check::UninitRead);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].reg, Some(Reg::V0));
+        let note = u[0].note.as_deref().expect("missing-return-value note");
+        assert!(note.contains("call to f"), "note was: {note}");
+    }
+
+    #[test]
+    fn callee_saved_clobber_is_flagged_at_its_origin() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt();
+        b.routine("f").def(Reg::S0).ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let c = findings(&r, Check::CalleeSavedClobber);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].routine, "f");
+        assert_eq!(c[0].reg, Some(Reg::S0));
+        assert_eq!(c[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn saved_and_restored_registers_are_exempt() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt();
+        b.routine("f")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::S0, Reg::SP, 0)
+            .def(Reg::S0)
+            .load(Reg::S0, Reg::SP, 0)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        let p = b.build().unwrap();
+        assert!(findings(&lint(&p), Check::CalleeSavedClobber).is_empty());
+    }
+
+    #[test]
+    fn an_alternate_entrance_that_skips_the_save_voids_the_exemption() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt();
+        b.routine("f")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::S0, Reg::SP, 0)
+            .def(Reg::S0)
+            .label("alt")
+            .alt_entry("alt")
+            .load(Reg::S0, Reg::SP, 0)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let c = findings(&r, Check::CalleeSavedClobber);
+        assert!(!c.is_empty(), "entering at `alt` restores garbage into the caller's s0");
+        assert!(c.iter().all(|d| d.reg == Some(Reg::S0)));
+    }
+
+    #[test]
+    fn the_entry_routine_is_exempt_from_the_clobber_check() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::S0).halt();
+        let p = b.build().unwrap();
+        assert!(findings(&lint(&p), Check::CalleeSavedClobber).is_empty());
+    }
+
+    #[test]
+    fn dead_writes_warn_without_failing_the_lint() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let d = findings(&r, Check::DeadStore);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].reg, Some(Reg::T0));
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn an_unread_argument_register_warns_as_dead_argument() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).call("f").halt();
+        b.routine("f").ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let d = findings(&r, Check::DeadArgument);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].reg, Some(Reg::A0));
+    }
+
+    #[test]
+    fn uncalled_routines_and_skipped_blocks_warn() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").br("end").def(Reg::T0).label("end").halt();
+        b.routine("orphan").ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let routines = findings(&r, Check::UnreachableRoutine);
+        assert_eq!(routines.len(), 1);
+        assert_eq!(routines[0].routine, "orphan");
+        let blocks = findings(&r, Check::UnreachableBlock);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].routine, "main");
+    }
+
+    #[test]
+    fn exported_routines_count_as_reachable_roots() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").halt();
+        b.routine("api").export().ret();
+        let p = b.build().unwrap();
+        assert!(findings(&lint(&p), Check::UnreachableRoutine).is_empty());
+    }
+
+    #[test]
+    fn jump_table_checks() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).switch(Reg::T0, &[]);
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        assert_eq!(findings(&r, Check::EmptyJumpTable).len(), 1);
+        assert!(!r.is_clean());
+
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).switch(Reg::T0, &["l", "l"]).label("l").halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        assert_eq!(findings(&r, Check::DuplicateJumpTargets).len(), 1);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn store_data_is_exempt_but_the_base_is_not() {
+        // Storing an undefined register is the prologue save idiom; using
+        // an undefined *base* is not.
+        let mut b = ProgramBuilder::new();
+        b.routine("main").store(Reg::S0, Reg::SP, 0).store(Reg::T0, Reg::T1, 0).halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let u = findings(&r, Check::UninitRead);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].reg, Some(Reg::T1));
+    }
+
+    #[test]
+    fn generated_executables_lint_clean() {
+        for seed in 0..8 {
+            let p = spike_synth::generate_executable(seed, 4);
+            let r = lint(&p);
+            assert!(
+                r.is_clean(),
+                "seed {seed}: {:?}",
+                r.diagnostics()
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_defects_are_flagged() {
+        use spike_synth::DefectKind;
+        for seed in 0..8 {
+            let (p, d) =
+                spike_synth::generate_executable_with_defect(seed, 4, DefectKind::UninitRead);
+            let r = lint(&p);
+            assert!(
+                findings(&r, Check::UninitRead)
+                    .iter()
+                    .any(|f| f.routine == d.routine && f.reg == Some(d.reg)),
+                "seed {seed}: injected uninit read of {} in {} not flagged",
+                d.reg,
+                d.routine
+            );
+
+            let (p, d) = spike_synth::generate_executable_with_defect(
+                seed,
+                4,
+                DefectKind::CalleeSavedClobber,
+            );
+            let r = lint(&p);
+            assert!(
+                findings(&r, Check::CalleeSavedClobber)
+                    .iter()
+                    .any(|f| f.routine == d.routine && f.reg == Some(d.reg)),
+                "seed {seed}: injected clobber of {} in {} not flagged",
+                d.reg,
+                d.routine
+            );
+        }
+    }
+
+    #[test]
+    fn json_output_has_the_stable_shape() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").use_reg(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let json = lint(&p).to_json(Some("img.bin"));
+        assert!(json.starts_with("{\"tool\":\"spike-lint\",\"version\":"));
+        assert!(json.contains("\"image\":\"img.bin\""));
+        assert!(json.contains("\"summary\":{\"errors\":1,\"warnings\":"));
+        assert!(json.contains("\"check\":\"uninit-read\""));
+        let malformed = malformed_image("bad magic");
+        assert!(malformed.to_json(None).contains("\"check\":\"malformed-image\""));
+        assert_eq!(malformed.errors(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Jump-table sanity checks. Image validation already rejects targets
+//! outside the jumping routine; what remains representable — and worth
+//! flagging — is a table with no targets at all (the multiway jump has no
+//! successors, so everything after it silently disappears from the CFG)
+//! and a table listing the same target repeatedly.
+
+use std::collections::BTreeMap;
+
+use spike_program::Program;
+
+use crate::diag::{Check, Diagnostic, LintReport};
+
+pub(crate) fn check(program: &Program, report: &mut LintReport) {
+    for (&addr, targets) in program.jump_tables() {
+        let name = program
+            .routine_containing(addr)
+            .map(|rid| program.routine(rid).name().to_string())
+            .unwrap_or_default();
+        if targets.is_empty() {
+            let mut d = Diagnostic::new(
+                Check::EmptyJumpTable,
+                name,
+                format!(
+                    "the jump table for the multiway jump at {addr:#x} is empty: \
+                     the jump has no successors and code after it is lost"
+                ),
+            );
+            d.addr = Some(addr);
+            report.push(d);
+            continue;
+        }
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for &t in targets {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        for (t, k) in counts {
+            if k > 1 {
+                let mut d = Diagnostic::new(
+                    Check::DuplicateJumpTargets,
+                    name.clone(),
+                    format!("the jump table at {addr:#x} lists target {t:#x} {k} times"),
+                );
+                d.addr = Some(addr);
+                report.push(d);
+            }
+        }
+    }
+}

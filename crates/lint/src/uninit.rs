@@ -1,0 +1,329 @@
+//! The interprocedural must-defined analysis and the uninitialized-read
+//! check.
+//!
+//! A read is flagged when, on some path the analysis cannot rule out, the
+//! register was never written: the check computes the forward *must*-dual
+//! of the paper's may-use sets — registers defined along **every** known
+//! path — and flags uses outside it. Definedness is monotone (a write
+//! never un-defines a register), so calls only add their must-defined
+//! (`call-defined`) sets and the meet over paths is a plain intersection.
+//!
+//! Soundness contract (proptested at the workspace root): the set computed
+//! here under-approximates the registers `spike_sim::run_shadow` considers
+//! defined on any executed path, and the per-instruction use sets match
+//! [`checked_uses`] exactly — so a lint-clean program can never trap
+//! `Fault::UninitRead` in shadow mode.
+
+use std::collections::VecDeque;
+
+use spike_cfg::{BlockId, CallTarget, RoutineCfg, TermKind};
+use spike_core::Analysis;
+use spike_isa::{CallingStandard, Instruction, Reg, RegSet};
+use spike_program::{Program, RoutineId};
+
+use crate::diag::{Check, Diagnostic, LintReport};
+
+/// Registers defined before the program's first instruction: the machine
+/// initializes the stack pointer and the return address, and the zero
+/// registers always read as zero.
+fn program_entry_defined() -> RegSet {
+    RegSet::of(&[Reg::RA, Reg::SP, Reg::ZERO, Reg::FZERO])
+}
+
+/// Registers an external caller is assumed to have defined when entering
+/// an exported routine: arguments, the callee-saved set it expects
+/// preserved, and the linkage registers.
+fn exported_entry_defined(std: &CallingStandard) -> RegSet {
+    std.argument()
+        | std.callee_saved()
+        | RegSet::of(&[Reg::RA, Reg::SP, Reg::GP, Reg::ZERO, Reg::FZERO])
+}
+
+/// The registers an instruction must have defined to execute without
+/// reading garbage. Store *data* is exempt: storing a register the routine
+/// never wrote is the prologue save idiom (§3.4), not a consumption of its
+/// value — `spike_sim::run_shadow` uses the identical rule.
+pub(crate) fn checked_uses(insn: &Instruction) -> RegSet {
+    match *insn {
+        Instruction::Store { base, .. } => RegSet::singleton(base),
+        _ => insn.uses(),
+    }
+}
+
+/// The converged interprocedural must-defined solution.
+pub(crate) struct MustDefined {
+    /// Per routine, per entrance: registers defined on every known path
+    /// into the entrance. `RegSet::ALL` (⊤) for entrances with no known
+    /// callers — no path, vacuously everything.
+    entry: Vec<Vec<RegSet>>,
+    /// Per routine, per block: registers defined on every path to the
+    /// block's first instruction.
+    block_in: Vec<Vec<RegSet>>,
+}
+
+/// `call-defined` for each call block of `rid` (empty for non-call
+/// blocks), i.e. the registers the callee must write before returning.
+fn call_defined_per_block(analysis: &Analysis, rid: RoutineId) -> Vec<RegSet> {
+    let nb = analysis.cfg.routine_cfg(rid).blocks().len();
+    (0..nb)
+        .map(|i| {
+            analysis
+                .summary
+                .call_site(&analysis.cfg, rid, BlockId::from_index(i))
+                .map_or(RegSet::EMPTY, |cs| cs.defined)
+        })
+        .collect()
+}
+
+/// One intra-routine forward pass to a local fixpoint, given the current
+/// entrance values. Resets and refills `block_in[rid]`.
+fn intra(analysis: &Analysis, rid: RoutineId, entry: &[Vec<RegSet>], block_in: &mut [RegSet]) {
+    let cfg = analysis.cfg.routine_cfg(rid);
+    let nb = cfg.blocks().len();
+
+    // The CFG has no call → return-point successor edges; definedness
+    // flows through the callee, entering as `block out ∪ call-defined`.
+    let mut call_ret: Vec<Vec<BlockId>> = vec![Vec::new(); nb];
+    for b in cfg.call_blocks() {
+        if let TermKind::Call { return_to: Some(rt), .. } = cfg.block(b).term() {
+            call_ret[rt.index()].push(b);
+        }
+    }
+    let cs_defined = call_defined_per_block(analysis, rid);
+
+    let mut constraint = vec![RegSet::ALL; nb];
+    for (e, &b) in cfg.entries().iter().enumerate() {
+        constraint[b.index()] &= entry[rid.index()][e];
+    }
+
+    block_in.fill(RegSet::ALL);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..nb {
+            let block = cfg.block(BlockId::from_index(i));
+            let mut acc = constraint[i];
+            for &p in block.preds() {
+                acc &= block_in[p.index()] | cfg.block(p).def();
+            }
+            for &c in &call_ret[i] {
+                acc &= block_in[c.index()] | cfg.block(c).def() | cs_defined[c.index()];
+            }
+            if acc != block_in[i] {
+                block_in[i] = acc;
+                changed = true;
+            }
+        }
+    }
+}
+
+/// Computes the whole-program must-defined solution: alternating
+/// intra-routine passes with a re-meet of every callee entrance over its
+/// resolved call sites, to a global fixpoint. Entrance sets start at their
+/// boundary assumptions and only shrink, so termination is immediate from
+/// monotonicity.
+pub(crate) fn compute(program: &Program, analysis: &Analysis) -> MustDefined {
+    let std = analysis.summary.calling_standard();
+    let boundary: Vec<Vec<RegSet>> = program
+        .iter()
+        .map(|(rid, r)| {
+            (0..r.entry_offsets().len())
+                .map(|e| {
+                    let mut v = RegSet::ALL;
+                    if r.exported() {
+                        v &= exported_entry_defined(std);
+                    }
+                    if rid == program.entry() && e == 0 {
+                        v &= program_entry_defined();
+                    }
+                    v
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut entry = boundary.clone();
+    let mut block_in: Vec<Vec<RegSet>> =
+        analysis.cfg.cfgs().iter().map(|c| vec![RegSet::ALL; c.blocks().len()]).collect();
+
+    // Callers-first order: entrance facts propagate down call chains in
+    // few global passes.
+    let callgraph = spike_callgraph::CallGraph::build(program, &analysis.cfg);
+    let mut order: Vec<RoutineId> = callgraph.sccs().bottom_up().concat();
+    order.reverse();
+
+    loop {
+        for &rid in &order {
+            intra(analysis, rid, &entry, &mut block_in[rid.index()]);
+        }
+
+        // Re-meet every entrance over its call edges. The value flowing
+        // into the callee is the caller's definedness *at the moment the
+        // callee starts*: block-in plus the caller block's own defs
+        // (including `ra` from the call itself), without the callee's
+        // effect. Unknown-target calls contribute no edge — their targets
+        // keep their boundary assumption.
+        let mut next = boundary.clone();
+        for (rid, _) in program.iter() {
+            let cfg = analysis.cfg.routine_cfg(rid);
+            for b in cfg.call_blocks() {
+                let block = cfg.block(b);
+                let TermKind::Call { target, .. } = block.term() else { continue };
+                let at_entry = block_in[rid.index()][b.index()] | block.def();
+                match target {
+                    CallTarget::Direct(callee, e) => next[callee.index()][*e] &= at_entry,
+                    CallTarget::IndirectKnown(list) => {
+                        for &(callee, e) in list {
+                            next[callee.index()][e] &= at_entry;
+                        }
+                    }
+                    CallTarget::IndirectUnknown | CallTarget::IndirectHinted { .. } => {}
+                }
+            }
+        }
+        if next == entry {
+            break;
+        }
+        entry = next;
+    }
+    MustDefined { entry, block_in }
+}
+
+/// A shortest intra-routine path (as block-start addresses) from an
+/// entrance to `target` along which `reg` is never defined. Falls back to
+/// the lone target address if no such path is recoverable.
+fn witness_path(
+    analysis: &Analysis,
+    cfg: &RoutineCfg,
+    rid: RoutineId,
+    md: &MustDefined,
+    reg: Reg,
+    target: BlockId,
+) -> Vec<u32> {
+    let nb = cfg.blocks().len();
+    let cs_defined = call_defined_per_block(analysis, rid);
+    let mut parent: Vec<Option<BlockId>> = vec![None; nb];
+    let mut visited = vec![false; nb];
+    let mut q = VecDeque::new();
+    for (e, &b) in cfg.entries().iter().enumerate() {
+        if !md.entry[rid.index()][e].contains(reg) && !visited[b.index()] {
+            visited[b.index()] = true;
+            q.push_back(b);
+        }
+    }
+    let mut found = false;
+    while let Some(b) = q.pop_front() {
+        if b == target {
+            found = true;
+            break;
+        }
+        let block = cfg.block(b);
+        // A path through this block defines `reg`: it stops witnessing.
+        if block.def().contains(reg) {
+            continue;
+        }
+        let extend = |s: BlockId,
+                      visited: &mut Vec<bool>,
+                      parent: &mut Vec<Option<BlockId>>,
+                      q: &mut VecDeque<BlockId>| {
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                parent[s.index()] = Some(b);
+                q.push_back(s);
+            }
+        };
+        match block.term() {
+            TermKind::Call { return_to, .. } => {
+                if !cs_defined[b.index()].contains(reg) {
+                    if let Some(rt) = return_to {
+                        extend(*rt, &mut visited, &mut parent, &mut q);
+                    }
+                }
+            }
+            _ => {
+                for &s in block.succs() {
+                    extend(s, &mut visited, &mut parent, &mut q);
+                }
+            }
+        }
+    }
+    if !found {
+        return vec![cfg.block(target).start()];
+    }
+    let mut path = Vec::new();
+    let mut cur = Some(target);
+    while let Some(b) = cur {
+        path.push(cfg.block(b).start());
+        cur = parent[b.index()];
+    }
+    path.reverse();
+    path
+}
+
+/// The callee name of the last call block on the witness path, if any —
+/// used to phrase the missing-return-value note.
+fn last_call_on_path(program: &Program, cfg: &RoutineCfg, witness: &[u32]) -> Option<String> {
+    for &addr in witness.iter().rev() {
+        let b = cfg.block_containing(addr)?;
+        if let TermKind::Call { target, .. } = cfg.block(b).term() {
+            return Some(match target {
+                CallTarget::Direct(callee, _) => program.routine(*callee).name().to_string(),
+                CallTarget::IndirectKnown(list) => {
+                    let (callee, _) = list.first()?;
+                    program.routine(*callee).name().to_string()
+                }
+                CallTarget::IndirectUnknown | CallTarget::IndirectHinted { .. } => {
+                    "an indirect callee".to_string()
+                }
+            });
+        }
+    }
+    None
+}
+
+/// Flags every use not covered by the must-defined solution, one finding
+/// per `(routine, register)`.
+pub(crate) fn check(program: &Program, analysis: &Analysis, report: &mut LintReport) {
+    let md = compute(program, analysis);
+    let ret_regs = analysis.summary.calling_standard().return_value();
+    for (rid, routine) in program.iter() {
+        let cfg = analysis.cfg.routine_cfg(rid);
+        let mut flagged = RegSet::EMPTY;
+        for (bi, block) in cfg.blocks().iter().enumerate() {
+            let mut defined = md.block_in[rid.index()][bi];
+            for addr in block.start()..block.end() {
+                let insn = routine.insn_at(addr).expect("address in routine");
+                let missing = checked_uses(insn) - defined;
+                for reg in missing.iter() {
+                    // Treat as defined from here on, so one root cause is
+                    // not reported at every downstream use.
+                    defined.insert(reg);
+                    if flagged.contains(reg) {
+                        continue;
+                    }
+                    flagged.insert(reg);
+                    let witness =
+                        witness_path(analysis, cfg, rid, &md, reg, BlockId::from_index(bi));
+                    let mut d = Diagnostic::new(
+                        Check::UninitRead,
+                        routine.name(),
+                        format!("register {reg} may be read before it is initialized"),
+                    );
+                    d.addr = Some(addr);
+                    d.reg = Some(reg);
+                    if ret_regs.contains(reg) {
+                        if let Some(callee) = last_call_on_path(program, cfg, &witness) {
+                            d.note = Some(format!(
+                                "return value expected from the call to {callee}, \
+                                 which does not always define {reg}"
+                            ));
+                        }
+                    }
+                    d.witness = witness;
+                    report.push(d);
+                }
+                defined |= insn.defs();
+            }
+        }
+    }
+}

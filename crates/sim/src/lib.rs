@@ -36,7 +36,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use spike_isa::{AluOp, FpOp, Instruction, MemWidth, Reg, NUM_REGS};
+use spike_isa::{AluOp, FpOp, Instruction, MemWidth, Reg, RegSet, NUM_REGS};
 use spike_program::Program;
 
 /// Return address loaded into `ra` at startup; returning to it ends the
@@ -48,6 +48,7 @@ pub const STACK_TOP: i64 = 1 << 20;
 
 /// Why execution stopped.
 #[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum Outcome {
     /// The program executed `halt` or returned from its entry routine.
     Halted {
@@ -68,15 +69,29 @@ pub enum Outcome {
 
 /// A simulated machine fault.
 #[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum Fault {
     /// Control transferred to an address holding no instruction.
     BadPc(u32),
+    /// An instruction consumed a register no prior instruction had
+    /// defined. Only raised by [`run_shadow`]; the plain interpreter
+    /// executes the same program without complaint (undefined registers
+    /// read as whatever the machine happens to hold).
+    UninitRead {
+        /// Address of the consuming instruction.
+        pc: u32,
+        /// The undefined register it read.
+        reg: Reg,
+    },
 }
 
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::BadPc(pc) => write!(f, "control reached non-code address {pc:#x}"),
+            Fault::UninitRead { pc, reg } => {
+                write!(f, "read of uninitialized register {reg} at {pc:#x}")
+            }
         }
     }
 }
@@ -284,6 +299,60 @@ fn alu(op: AluOp, a: i64, b: i64, old_c: i64) -> i64 {
 /// Runs `program` from a fresh [`Machine`] with the given step budget.
 pub fn run(program: &Program, fuel: u64) -> Outcome {
     Machine::new(program).run(program, fuel)
+}
+
+/// The registers an instruction *consumes* as values in shadow-definedness
+/// mode. This is [`Instruction::uses`] minus the data operand of a store:
+/// spilling a register whose value was never computed is the universal
+/// prologue idiom (callee-saved saves), and the definedness tracker treats
+/// memory as always-defined anyway (unwritten addresses architecturally
+/// read as zero), so only the *address* of a store must be defined.
+fn shadow_uses(insn: &Instruction) -> RegSet {
+    match *insn {
+        Instruction::Store { base, .. } => RegSet::singleton(base),
+        _ => insn.uses(),
+    }
+}
+
+/// Runs `program` with per-register definedness tracking (the opt-in
+/// shadow mode used as the soundness oracle for `spike-lint`).
+///
+/// The loader defines only `ra` and `sp`; every instruction thereafter
+/// must consume only registers some earlier instruction defined, or the
+/// run stops with [`Fault::UninitRead`]. Zero registers always read as a
+/// defined 0. Loads always define their destination: memory in this
+/// machine model is architecturally zero-initialized, so every load
+/// produces a well-defined value. (The flip side is that a store/load
+/// round trip launders definedness — exactly the boundary of what the
+/// static checker can prove from registers alone.)
+///
+/// On a program that never trips the tracker, the outcome is identical to
+/// [`run`] with the same fuel.
+pub fn run_shadow(program: &Program, fuel: u64) -> Outcome {
+    let mut m = Machine::new(program);
+    let mut defined = RegSet::of(&[Reg::RA, Reg::SP, Reg::ZERO, Reg::FZERO]);
+    loop {
+        if m.steps() >= fuel {
+            return Outcome::OutOfFuel { output: m.output().to_vec() };
+        }
+        let pc = m.pc();
+        if pc == EXIT_ADDR {
+            return Outcome::Halted { output: m.output().to_vec(), steps: m.steps() };
+        }
+        let Some(&insn) = program.insn_at(pc) else {
+            return Outcome::Fault(Fault::BadPc(pc));
+        };
+        let need = shadow_uses(&insn);
+        if !need.is_subset(defined) {
+            let reg = (need - defined).iter().next().expect("non-empty difference");
+            return Outcome::Fault(Fault::UninitRead { pc, reg });
+        }
+        defined |= insn.defs();
+        match m.run(program, 1) {
+            Outcome::OutOfFuel { .. } => {} // single step executed; continue
+            done => return done,
+        }
+    }
 }
 
 /// Dynamic execution statistics, gathered by [`run_profiled`].
@@ -597,6 +666,56 @@ mod tests {
         let (outcome, profile) = run_profiled(&p, 50);
         assert!(matches!(outcome, Outcome::OutOfFuel { .. }));
         assert_eq!(profile.total_steps, 50);
+    }
+
+    #[test]
+    fn shadow_run_matches_plain_run_on_clean_programs() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").lda(Reg::A0, Reg::ZERO, 20).call("inc").put_int().halt();
+        b.routine("inc").op_imm(AluOp::Add, Reg::A0, 1, Reg::V0).ret();
+        let p = b.build().unwrap();
+        assert_eq!(run_shadow(&p, 1_000), run(&p, 1_000));
+    }
+
+    #[test]
+    fn shadow_run_traps_uninitialized_read() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .op_imm(AluOp::Add, Reg::T0, 1, Reg::V0) // t0 was never written
+            .put_int()
+            .halt();
+        let p = b.build().unwrap();
+        let pc = p.routine(p.entry()).addr();
+        assert_eq!(run_shadow(&p, 100), Outcome::Fault(Fault::UninitRead { pc, reg: Reg::T0 }));
+        // The plain interpreter is oblivious.
+        assert!(matches!(run(&p, 100), Outcome::Halted { .. }));
+    }
+
+    #[test]
+    fn shadow_run_permits_save_restore_of_undefined_register() {
+        // Spilling a callee-saved register the caller never defined is the
+        // standard prologue idiom and must not trap; only a *value* use of
+        // the undefined register does.
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .store(Reg::S0, Reg::SP, -8) // s0 undefined: store data is exempt
+            .load(Reg::S0, Reg::SP, -8) // load defines s0
+            .copy(Reg::S0, Reg::V0) // now a legal value use
+            .put_int()
+            .halt();
+        let p = b.build().unwrap();
+        assert!(matches!(run_shadow(&p, 100), Outcome::Halted { .. }));
+    }
+
+    #[test]
+    fn shadow_run_traps_undefined_branch_condition() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").cond(BranchCond::Eq, Reg::T2, "out").label("out").halt();
+        let p = b.build().unwrap();
+        match run_shadow(&p, 100) {
+            Outcome::Fault(Fault::UninitRead { reg, .. }) => assert_eq!(reg, Reg::T2),
+            other => panic!("expected uninit trap, got {other:?}"),
+        }
     }
 
     #[test]

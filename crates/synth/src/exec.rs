@@ -25,6 +25,37 @@ use spike_program::{Program, ProgramBuilder, RoutineBuilder};
 const TEMPS: [Reg; 6] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::int(5), Reg::int(6)];
 const COUNTERS: [Reg; 3] = [Reg::S0, Reg::S1, Reg::S2];
 
+/// A temporary no generated instruction ever writes — reading it is a
+/// guaranteed uninitialized-register defect.
+const NEVER_WRITTEN_TEMP: Reg = Reg::int(7); // t6
+/// A callee-saved register outside [`COUNTERS`] — writing it without a
+/// save/restore is a guaranteed calling-standard violation.
+const UNSAVED_CALLEE_SAVED: Reg = Reg::int(12); // s3
+
+/// The kind of defect [`generate_executable_with_defect`] plants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum DefectKind {
+    /// Drop an initialization: the entry routine reads a register no
+    /// instruction in the program ever writes.
+    UninitRead,
+    /// Overwrite a callee-saved register on a path to a routine's exit
+    /// without saving and restoring it.
+    CalleeSavedClobber,
+}
+
+/// Where and what [`generate_executable_with_defect`] injected, so tests
+/// can check the checker flags exactly this defect.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InjectedDefect {
+    /// The planted defect kind.
+    pub kind: DefectKind,
+    /// Name of the routine holding the defective instruction.
+    pub routine: String,
+    /// The register the defect reads (uninit) or clobbers (callee-saved).
+    pub reg: Reg,
+}
+
 #[derive(Clone, Debug)]
 enum Stmt {
     Arith,
@@ -165,11 +196,13 @@ impl Ctx<'_, '_> {
                 Stmt::Call(callee) => {
                     // Arguments, then the call; afterwards only the result,
                     // the stack pointer and callee-saved values survive.
-                    let n_args = self.rng.gen_range(0..=2);
-                    for a in [Reg::A0, Reg::A1].iter().take(n_args) {
+                    // Both argument registers are always written: callees
+                    // assume `a0`/`a1` hold values at entry, so every call
+                    // site must justify that assumption.
+                    for a in [Reg::A0, Reg::A1] {
                         let s = self.source();
-                        self.r.copy(s, *a);
-                        self.valid.insert(*a);
+                        self.r.copy(s, a);
+                        self.valid.insert(a);
                     }
                     // Compiler-style spill (Figure 1(c)): keep a live
                     // temporary across the call through a frame slot. If
@@ -295,7 +328,50 @@ impl Ctx<'_, '_> {
 ///
 /// Panics if `n_routines` is zero.
 pub fn generate_executable(seed: u64, n_routines: usize) -> Program {
+    generate_inner(seed, n_routines, None).0
+}
+
+/// Like [`generate_executable`], but plants one seeded defect of the given
+/// kind and reports where.
+///
+/// * [`DefectKind::UninitRead`] adds, on the entry routine's always-taken
+///   final path, a read of a register nothing ever writes — the shadow
+///   simulator traps on it and the checker must flag it.
+/// * [`DefectKind::CalleeSavedClobber`] writes an unsaved callee-saved
+///   register in one non-entry routine. Execution is unaffected (nothing
+///   reads that register), which is exactly why only a static check can
+///   catch it.
+///
+/// # Panics
+///
+/// Panics if `n_routines` is zero, or below two for
+/// [`DefectKind::CalleeSavedClobber`] (the defect needs a returning
+/// routine).
+pub fn generate_executable_with_defect(
+    seed: u64,
+    n_routines: usize,
+    kind: DefectKind,
+) -> (Program, InjectedDefect) {
+    let (program, defect) = generate_inner(seed, n_routines, Some(kind));
+    (program, defect.expect("defect was injected"))
+}
+
+fn generate_inner(
+    seed: u64,
+    n_routines: usize,
+    kind: Option<DefectKind>,
+) -> (Program, Option<InjectedDefect>) {
     assert!(n_routines > 0, "need at least the entry routine");
+    // The clobber goes in a returning (non-entry) routine chosen from the
+    // seed, so different seeds exercise different call-graph positions.
+    let clobber_target = match kind {
+        Some(DefectKind::CalleeSavedClobber) => {
+            assert!(n_routines >= 2, "a callee-saved clobber needs a non-entry routine");
+            1 + (seed as usize) % (n_routines - 1)
+        }
+        _ => usize::MAX,
+    };
+    let mut defect = None;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
 
@@ -333,6 +409,16 @@ pub fn generate_executable(seed: u64, n_routines: usize) -> Program {
                 r.store(c, Reg::SP, 8 + 8 * ci as i16);
             }
         }
+        if i == clobber_target {
+            // The planted defect: overwrite a callee-saved register the
+            // prologue did not save. Every entry-to-exit path runs this.
+            r.lda(UNSAVED_CALLEE_SAVED, Reg::ZERO, 7);
+            defect = Some(InjectedDefect {
+                kind: DefectKind::CalleeSavedClobber,
+                routine: name.clone(),
+                reg: UNSAVED_CALLEE_SAVED,
+            });
+        }
 
         let mut valid = RegSet::of(&[Reg::SP]);
         if i != 0 {
@@ -356,6 +442,16 @@ pub fn generate_executable(seed: u64, n_routines: usize) -> Program {
             ctx.r.copy(s, Reg::V0);
         }
         if i == 0 {
+            if matches!(kind, Some(DefectKind::UninitRead)) {
+                // The planted defect: consume a register no instruction in
+                // the program writes, on the once-executed final path.
+                ctx.r.op(AluOp::Add, NEVER_WRITTEN_TEMP, Reg::ZERO, Reg::T0);
+                defect = Some(InjectedDefect {
+                    kind: DefectKind::UninitRead,
+                    routine: name.clone(),
+                    reg: NEVER_WRITTEN_TEMP,
+                });
+            }
             ctx.r.put_int();
             ctx.r.halt();
         } else {
@@ -372,7 +468,7 @@ pub fn generate_executable(seed: u64, n_routines: usize) -> Program {
         }
     }
 
-    b.build().expect("generated executable must be valid")
+    (b.build().expect("generated executable must be valid"), defect)
 }
 
 #[cfg(test)]
@@ -411,5 +507,46 @@ mod tests {
     fn single_routine_program_works() {
         let p = generate_executable(9, 1);
         assert!(matches!(run(&p, 1_000_000), Outcome::Halted { .. }));
+    }
+
+    #[test]
+    fn clean_executables_pass_the_shadow_simulator() {
+        for seed in 0..30 {
+            let p = generate_executable(seed, 5);
+            let shadow = spike_sim::run_shadow(&p, 2_000_000);
+            assert!(matches!(shadow, Outcome::Halted { .. }), "seed {seed}: {shadow:?}");
+            assert_eq!(shadow, run(&p, 2_000_000), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_uninit_read_traps_in_shadow_mode() {
+        for seed in 0..10 {
+            let (p, d) = generate_executable_with_defect(seed, 4, DefectKind::UninitRead);
+            assert_eq!(d.routine, "main");
+            match spike_sim::run_shadow(&p, 2_000_000) {
+                Outcome::Fault(spike_sim::Fault::UninitRead { reg, .. }) => {
+                    assert_eq!(reg, d.reg, "seed {seed}")
+                }
+                other => panic!("seed {seed}: expected uninit trap, got {other:?}"),
+            }
+            // The plain interpreter runs the defective program happily.
+            assert!(matches!(run(&p, 2_000_000), Outcome::Halted { .. }));
+        }
+    }
+
+    #[test]
+    fn injected_clobber_is_behaviorally_silent() {
+        for seed in 0..10 {
+            let (p, d) = generate_executable_with_defect(seed, 4, DefectKind::CalleeSavedClobber);
+            assert_ne!(d.routine, "main");
+            let clean = generate_executable(seed, 4);
+            let (a, b) = (run(&p, 2_000_000), run(&clean, 2_000_000));
+            let (Outcome::Halted { output: oa, .. }, Outcome::Halted { output: ob, .. }) = (a, b)
+            else {
+                panic!("seed {seed}: defective or clean program did not halt");
+            };
+            assert_eq!(oa, ob, "seed {seed}: the clobber must not change observable output");
+        }
     }
 }

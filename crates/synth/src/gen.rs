@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use spike_isa::{AluOp, BranchCond, Reg};
+use spike_isa::{AluOp, BranchCond, Reg, RegSet};
 use spike_program::{Program, ProgramBuilder, RoutineBuilder};
 
 use crate::profiles::Profile;
@@ -115,6 +115,14 @@ struct Emitter<'a, 'b> {
     saves_ra: bool,
     frame: i16,
     emitted: usize,
+    /// Registers defined on every path to the current emission point.
+    /// Reads are materialized against this set so generated programs are
+    /// free of uninitialized register reads (`spike lint` dogfoods every
+    /// profile, so the generator must be defect-free by construction).
+    valid: RegSet,
+    /// The floor `valid` resets to at labels (join points): `sp` always,
+    /// plus `a0`/`a1` for routines whose every call site sets both.
+    base: RegSet,
 }
 
 impl Emitter<'_, '_> {
@@ -127,10 +135,11 @@ impl Emitter<'_, '_> {
         TEMPS[self.rng.gen_range(0..TEMPS.len())]
     }
 
-    /// A register to read: temporaries, arguments, the return value, and
-    /// saved callee-saved registers all appear, giving the dataflow sets
-    /// realistic variety.
-    fn read_reg(&mut self) -> Reg {
+    /// Picks a register to mention: temporaries, arguments, the return
+    /// value, and saved callee-saved registers all appear, giving the
+    /// dataflow sets realistic variety. The pick carries no definedness
+    /// guarantee — see [`read_reg`](Emitter::read_reg).
+    fn pick_reg(&mut self) -> Reg {
         match self.rng.gen_range(0..10) {
             0..=4 => self.temp(),
             5..=6 => ARGS[self.rng.gen_range(0..ARGS.len())],
@@ -138,6 +147,24 @@ impl Emitter<'_, '_> {
             8 if !self.saved.is_empty() => self.saved[self.rng.gen_range(0..self.saved.len())],
             _ => self.temp(),
         }
+    }
+
+    /// Ensures `reg` is defined on every path to this point, materializing
+    /// it with an `lda` if it is not already.
+    fn defined(&mut self, reg: Reg) -> Reg {
+        if !self.valid.contains(reg) {
+            let v = self.rng.gen_range(-128..=127i16);
+            self.r.lda(reg, Reg::ZERO, v);
+            self.emitted += 1;
+            self.valid.insert(reg);
+        }
+        reg
+    }
+
+    /// A register that is safe to read here.
+    fn read_reg(&mut self) -> Reg {
+        let reg = self.pick_reg();
+        self.defined(reg)
     }
 
     fn pad(&mut self, n: usize) {
@@ -148,13 +175,18 @@ impl Emitter<'_, '_> {
                     let d = self.temp();
                     let v = self.rng.gen_range(-128..=127i16);
                     self.r.lda(d, Reg::ZERO, v);
+                    self.valid.insert(d);
                 }
                 1 => {
-                    let (s, d) = (self.read_reg(), self.temp());
+                    let (s, d) = (self.pick_reg(), self.temp());
                     self.r.load(d, Reg::SP, 8 * (s.index() as i16 % 8));
+                    self.valid.insert(d);
                 }
                 2 => {
-                    let s = self.read_reg();
+                    // Store data is exempt from definedness (the prologue
+                    // save idiom stores the caller's registers unread), so
+                    // an unmaterialized pick is fine here.
+                    let s = self.pick_reg();
                     self.r.store(s, Reg::SP, 8 * (s.index() as i16 % 8));
                 }
                 _ => {
@@ -163,6 +195,7 @@ impl Emitter<'_, '_> {
                     let (a, b2) = (self.read_reg(), self.read_reg());
                     let d = self.temp();
                     self.r.op(op, a, b2, d);
+                    self.valid.insert(d);
                 }
             }
         }
@@ -190,6 +223,11 @@ impl Emitter<'_, '_> {
             let l = self.fresh("bk");
             self.r.label(&l);
             self.back_labels.push(l);
+            placed_any = true;
+        }
+        if placed_any {
+            // A label is a join point: only `base` survives the meet.
+            self.valid = self.base;
         }
     }
 
@@ -282,7 +320,11 @@ fn emit_routine(
     }
     events.shuffle(rng);
 
-    let saved: Vec<Reg> = if rng.gen_bool(p.callee_saved_frac) {
+    // Routines that will grow alternate entrances save nothing: an entrance
+    // that skips the prologue would make the epilogue restore garbage into
+    // the caller's callee-saved registers — a real clobber `spike lint`
+    // would (correctly) flag.
+    let saved: Vec<Reg> = if n_alt == 0 && rng.gen_bool(p.callee_saved_frac) {
         SAVED[..rng.gen_range(1..=SAVED.len())].to_vec()
     } else {
         Vec::new()
@@ -298,6 +340,15 @@ fn emit_routine(
     if exported {
         r.export();
     }
+    // The entry routine is entered with only `sp` defined; every other
+    // routine is only ever entered through call sites that set `a0`/`a1`
+    // (and exported routines are assumed entered per the calling standard,
+    // which also covers the argument registers).
+    let base = if idx == 0 {
+        RegSet::singleton(Reg::SP)
+    } else {
+        RegSet::of(&[Reg::SP, Reg::A0, Reg::A1])
+    };
     let mut e = Emitter {
         r,
         rng,
@@ -308,6 +359,8 @@ fn emit_routine(
         saves_ra,
         frame,
         emitted: 0,
+        valid: base,
+        base,
     };
 
     // Prologue: allocate the frame, save ra and callee-saved registers.
@@ -328,11 +381,11 @@ fn emit_routine(
     let overhead: usize = events
         .iter()
         .map(|ev| match ev {
-            Event::Call => 3,
-            Event::Branch => 1,
+            Event::Call => 5,
+            Event::Branch => 2,
             Event::Multiway => 2 + 2 * p.multiway_fanout,
-            Event::Dispatch(k) => 2 + 2 * k,
-            Event::BinaryDispatch(k) => 3 * k,
+            Event::Dispatch(k) => 2 + 4 * k,
+            Event::BinaryDispatch(k) => 5 * k,
             Event::Exit => 3 + saved.len(),
         })
         .sum::<usize>()
@@ -347,9 +400,12 @@ fn emit_routine(
         e.pad(pad_n);
         match ev {
             Event::Call => {
-                // Set up some arguments, then call.
-                for a in ARGS.iter().take(e.rng.gen_range(0..=2)) {
+                // Set up the arguments, then call. Every call site defines
+                // at least `a0`/`a1`, which is what lets callees assume
+                // them defined at entry (their `base`).
+                for a in ARGS.iter().take(2 + e.rng.gen_range(0..=2)) {
                     e.r.lda(*a, Reg::ZERO, 1);
+                    e.valid.insert(*a);
                     e.emitted += 1;
                 }
                 let roll: f64 = e.rng.gen();
@@ -375,11 +431,6 @@ fn emit_routine(
                     e.emitted += 1;
                 }
                 e.boundary();
-                if alt_remaining > 0 && e.rng.gen_bool(0.5) {
-                    let l = e.fresh("alt");
-                    e.r.label(&l).alt_entry(&l);
-                    alt_remaining -= 1;
-                }
             }
             Event::Branch => {
                 let cond = CONDS[e.rng.gen_range(0..CONDS.len())];
@@ -401,6 +452,7 @@ fn emit_routine(
                 // Plain switch: cases rejoin below.
                 let k = e.rng.gen_range(2..=p.multiway_fanout.max(2));
                 let idx_reg = e.temp();
+                e.defined(idx_reg);
                 let join = e.fresh("mj");
                 let cases: Vec<String> = (0..k).map(|_| e.fresh("mc")).collect();
                 let crefs: Vec<&str> = cases.iter().map(String::as_str).collect();
@@ -408,8 +460,10 @@ fn emit_routine(
                 e.emitted += 1;
                 for (ci, c) in cases.iter().enumerate() {
                     e.r.label(c);
+                    e.valid = e.base;
                     let d = e.temp();
                     e.r.lda(d, Reg::ZERO, ci as i16);
+                    e.valid.insert(d);
                     e.emitted += 1;
                     if ci + 1 < k {
                         e.r.br(&join);
@@ -417,6 +471,7 @@ fn emit_routine(
                     }
                 }
                 e.r.label(&join);
+                e.valid = e.base;
                 e.boundary();
             }
             Event::Dispatch(k) => {
@@ -424,21 +479,33 @@ fn emit_routine(
                 // with a call behind every case; the extra case exits.
                 let top = e.fresh("dt");
                 let out = e.fresh("do");
+                // The selector is defined ahead of the loop head; calls in
+                // the loop body never un-define it, so the read at the
+                // switch stays covered on the back edges too.
                 let idx_reg = e.temp();
+                e.defined(idx_reg);
                 let mut cases: Vec<String> = (0..*k).map(|_| e.fresh("dc")).collect();
                 cases.push(out.clone());
                 e.r.label(&top);
+                e.valid = e.base;
                 let crefs: Vec<&str> = cases.iter().map(String::as_str).collect();
                 e.r.switch(idx_reg, &crefs);
                 e.emitted += 1;
                 for c in &cases[..*k] {
                     e.r.label(c);
+                    e.valid = e.base;
+                    for a in ARGS.iter().take(2) {
+                        e.r.lda(*a, Reg::ZERO, 1);
+                        e.valid.insert(*a);
+                        e.emitted += 1;
+                    }
                     let callee = e.rng.gen_range(0..n_routines);
                     e.r.call(&format!("r{callee}"));
                     e.r.br(&top);
                     e.emitted += 2;
                 }
                 e.r.label(&out);
+                e.valid = e.base;
                 e.boundary();
             }
             Event::BinaryDispatch(k) => {
@@ -450,8 +517,10 @@ fn emit_routine(
                 let top = e.fresh("bt");
                 let out = e.fresh("bo");
                 let cases: Vec<String> = (0..*k).map(|_| e.fresh("bc")).collect();
-                e.r.label(&top);
                 let sel = e.temp();
+                e.defined(sel); // ahead of the loop head, like Dispatch
+                e.r.label(&top);
+                e.valid = e.base;
                 for c in &cases[1..] {
                     e.r.cond(BranchCond::Ne, sel, c);
                     e.emitted += 1;
@@ -461,6 +530,12 @@ fn emit_routine(
                 for (ci, c) in cases.iter().enumerate() {
                     if ci > 0 {
                         e.r.label(c);
+                        e.valid = e.base;
+                    }
+                    for a in ARGS.iter().take(2) {
+                        e.r.lda(*a, Reg::ZERO, 1);
+                        e.valid.insert(*a);
+                        e.emitted += 1;
                     }
                     let callee = e.rng.gen_range(0..n_routines);
                     e.r.call(&format!("r{callee}"));
@@ -473,6 +548,7 @@ fn emit_routine(
                     e.emitted += 1;
                 }
                 e.r.label(&out);
+                e.valid = e.base;
                 e.boundary();
             }
             Event::Exit => {
@@ -487,8 +563,18 @@ fn emit_routine(
                 }
                 e.epilogue();
                 e.r.label(&skip);
+                e.valid = e.base;
                 e.boundary();
             }
+        }
+        // Alternate entrances land at event boundaries (a block leader
+        // already exists); restricted to frameless routines so entering
+        // mid-routine cannot skip a prologue.
+        if alt_remaining > 0 && e.saved.is_empty() {
+            let l = e.fresh("alt");
+            e.r.label(&l).alt_entry(&l);
+            e.valid = e.base;
+            alt_remaining -= 1;
         }
     }
 
@@ -499,6 +585,7 @@ fn emit_routine(
     let leftovers: Vec<String> = e.pending.drain(..).map(|(l, _)| l).collect();
     for l in &leftovers {
         e.r.label(l);
+        e.valid = e.base;
     }
     if idx == 0 {
         // The entry routine ends the program.

@@ -15,6 +15,9 @@
 //! * [`generate_executable`] — smaller programs with a DAG call graph,
 //!   bounded loops and strict register discipline, which terminate under
 //!   `spike-sim` and serve as oracles for optimization soundness tests.
+//! * [`generate_executable_with_defect`] — the same programs with one
+//!   seeded defect (an uninitialized read or a callee-saved clobber),
+//!   used as ground truth when testing `spike-lint`.
 //!
 //! # Example
 //!
@@ -29,6 +32,6 @@ mod exec;
 mod gen;
 mod profiles;
 
-pub use exec::generate_executable;
+pub use exec::{generate_executable, generate_executable_with_defect, DefectKind, InjectedDefect};
 pub use gen::generate;
 pub use profiles::{profile, profiles, Profile, Suite};

@@ -17,6 +17,7 @@
 //! | [`core`] | `spike-core` | the Program Summary Graph and the two-phase interprocedural dataflow |
 //! | [`baseline`] | `spike-baseline` | the same analysis over the full CFG (comparison oracle) |
 //! | [`opt`] | `spike-opt` | the Figure 1 summary-driven optimizations |
+//! | [`lint`] | `spike-lint` | interprocedural static checks with a simulator-backed oracle |
 //! | [`sim`] | `spike-sim` | an interpreter used as a soundness oracle |
 //! | [`synth`] | `spike-synth` | paper-calibrated synthetic benchmark generators |
 //!
@@ -53,6 +54,7 @@ pub use spike_callgraph as callgraph;
 pub use spike_cfg as cfg;
 pub use spike_core as core;
 pub use spike_isa as isa;
+pub use spike_lint as lint;
 pub use spike_opt as opt;
 pub use spike_program as program;
 pub use spike_sim as sim;
