@@ -9,7 +9,9 @@
 //! * `opt/passes` — the Figure 1 optimizer on a mid-size input;
 //! * `incremental/<bench>/{scratch,incremental}` — the optimizer's pass
 //!   manager with from-scratch analysis per pass vs one cached
-//!   [`spike_core::AnalysisCache`] re-analyzing only dirty routines.
+//!   [`spike_core::AnalysisCache`] re-analyzing only dirty routines;
+//! * `phases/<bench>/{fifo,scc-wave}` — the chaotic FIFO fixpoint engine
+//!   vs the default SCC-wave priority schedule for phases 1–2.
 //!
 //! Profiles are scaled down (default 5%) so the whole suite runs in
 //! minutes; relative shapes are what the paper's claims are about.
@@ -149,6 +151,24 @@ fn bench_opt(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phases");
+    g.sample_size(10);
+    for name in ["gcc", "sqlservr"] {
+        let p = profile(name).expect("known benchmark");
+        let program = generate(&p, SCALE, SEED);
+        for (label, scheduler) in
+            [("fifo", spike_core::Scheduler::Fifo), ("scc-wave", spike_core::Scheduler::SccWave)]
+        {
+            let opts = AnalysisOptions { scheduler, ..AnalysisOptions::default() };
+            g.bench_with_input(BenchmarkId::new(name, label), &program, |b, prog| {
+                b.iter(|| black_box(analyze_with(prog, &opts)))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_incremental(c: &mut Criterion) {
     let mut g = c.benchmark_group("incremental");
     g.sample_size(10);
@@ -174,6 +194,7 @@ criterion_group!(
     bench_stages,
     bench_parallel,
     bench_opt,
+    bench_phases,
     bench_incremental
 );
 criterion_main!(benches);

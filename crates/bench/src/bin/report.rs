@@ -16,6 +16,10 @@
 //! The `incremental` section (not part of `all`) runs the optimizer with
 //! incremental re-analysis off and on, cross-checks bit-identical output
 //! programs, and writes the measurements to `BENCH_incremental.json`.
+//! The `phases` section (not part of `all`) compares the default
+//! SCC-wave scheduled fixpoint engine against the chaotic FIFO reference
+//! on the two largest benchmarks, cross-checks bit-identical results at
+//! 1 and N workers, and writes the measurements to `BENCH_phases.json`.
 
 use std::collections::BTreeSet;
 
@@ -56,7 +60,7 @@ fn main() {
                 println!(
                     "report [--scale S] [--seed N] [--baseline] [--threads N] \
                      [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|\
-                     incremental|all]"
+                     incremental|phases|all]"
                 );
                 return;
             }
@@ -73,6 +77,7 @@ fn main() {
                 "ablate",
                 "parallel",
                 "incremental",
+                "phases",
                 "all",
             ]
             .contains(&s) =>
@@ -90,9 +95,9 @@ fn main() {
         }
     }
 
-    let want_runs = sections
-        .iter()
-        .any(|s| !matches!(s.as_str(), "table1" | "ablate" | "parallel" | "incremental"));
+    let want_runs = sections.iter().any(|s| {
+        !matches!(s.as_str(), "table1" | "ablate" | "parallel" | "incremental" | "phases")
+    });
 
     println!("# Spike interprocedural dataflow — evaluation report");
     println!("# scale = {scale}, seed = {seed:#x}\n");
@@ -145,6 +150,9 @@ fn main() {
     }
     if sections.contains("incremental") {
         incremental_report(scale, seed, threads);
+    }
+    if sections.contains("phases") {
+        phases_report(scale, seed, threads);
     }
 }
 
@@ -563,6 +571,116 @@ fn incremental_report(scale: f64, seed: u64, threads: usize) {
     match std::fs::write("BENCH_incremental.json", &json) {
         Ok(()) => println!("\n  wrote BENCH_incremental.json\n"),
         Err(e) => eprintln!("cannot write BENCH_incremental.json: {e}"),
+    }
+}
+
+/// Compares the default SCC-wave scheduled fixpoint engine against the
+/// chaotic FIFO reference it replaced, cross-checks that both engines —
+/// and the scheduled engine at 1 and N wave workers — produce
+/// bit-identical results, and records the visit reduction in
+/// `BENCH_phases.json`.
+fn phases_report(scale: f64, seed: u64, threads: usize) {
+    use spike_core::{analyze_with, AnalysisOptions, Scheduler};
+
+    let requested = spike_core::parallel::resolve_threads(threads);
+    println!("## Fixpoint scheduling: chaotic FIFO vs SCC-wave priority engine\n");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>8}",
+        "benchmark",
+        "routines",
+        "fifo p1",
+        "fifo p2",
+        "sched p1",
+        "sched p2",
+        "reduction",
+        "waves",
+        "workers"
+    );
+
+    let mut rows = Vec::new();
+    for name in ["gcc", "sqlservr"] {
+        let p = spike_synth::profile(name).expect("known benchmark");
+        eprintln!("measuring {name} ...");
+        let program = spike_synth::generate(&p, scale, seed);
+
+        let run = |scheduler: Scheduler, t: usize| {
+            analyze_with(
+                &program,
+                &AnalysisOptions { scheduler, threads: t, ..AnalysisOptions::default() },
+            )
+        };
+        let fifo = run(Scheduler::Fifo, 1);
+        let serial = run(Scheduler::SccWave, 1);
+        let wide = run(Scheduler::SccWave, requested);
+
+        // The determinism contract, checked on real workloads: the
+        // scheduler is pure strategy, so summaries, the PSG solution and
+        // the deterministic memory accounting must be bit-identical
+        // whichever engine ran and however many workers solved the waves.
+        for (rid, r) in program.iter() {
+            assert_eq!(
+                fifo.summary.routine(rid),
+                serial.summary.routine(rid),
+                "fifo vs scheduled summary mismatch for {}",
+                r.name()
+            );
+            assert_eq!(
+                serial.summary.routine(rid),
+                wide.summary.routine(rid),
+                "threads=1 vs threads={requested} summary mismatch for {}",
+                r.name()
+            );
+        }
+        assert_eq!(fifo.psg, serial.psg);
+        assert_eq!(serial.psg, wide.psg);
+        assert_eq!(fifo.stats.memory_bytes, serial.stats.memory_bytes);
+        assert_eq!(serial.stats.memory_bytes, wide.stats.memory_bytes);
+        // Wave workers partition the schedule rather than race for it,
+        // so the effort is also deterministic across worker counts.
+        assert_eq!(serial.stats.phase1_visits, wide.stats.phase1_visits);
+        assert_eq!(serial.stats.phase2_visits, wide.stats.phase2_visits);
+        assert_eq!(serial.stats.waves, wide.stats.waves);
+
+        let fifo_total = fifo.stats.phase1_visits + fifo.stats.phase2_visits;
+        let sched_total = serial.stats.phase1_visits + serial.stats.phase2_visits;
+        let reduction = fifo_total as f64 / sched_total.max(1) as f64;
+        println!(
+            "{:<10} {:>9} {:>12} {:>12} {:>12} {:>12} {:>9.2}x {:>7} {:>8}",
+            name,
+            program.routines().len(),
+            fifo.stats.phase1_visits,
+            fifo.stats.phase2_visits,
+            serial.stats.phase1_visits,
+            serial.stats.phase2_visits,
+            reduction,
+            wide.stats.waves,
+            wide.stats.phase_workers,
+        );
+        rows.push(format!(
+            "    {{\"benchmark\": \"{name}\", \"routines\": {}, \"scale\": {scale}, \
+             \"fifo_phase1_visits\": {}, \"fifo_phase2_visits\": {}, \
+             \"sched_phase1_visits\": {}, \"sched_phase2_visits\": {}, \
+             \"visit_reduction\": {reduction:.3}, \"waves\": {}, \"phase_workers\": {}, \
+             \"results_identical\": true}}",
+            program.routines().len(),
+            fifo.stats.phase1_visits,
+            fifo.stats.phase2_visits,
+            serial.stats.phase1_visits,
+            serial.stats.phase2_visits,
+            wide.stats.waves,
+            wide.stats.phase_workers,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"requested_threads\": {requested},\n  \
+         \"available_parallelism\": {},\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        spike_core::parallel::resolve_threads(0),
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_phases.json", &json) {
+        Ok(()) => println!("\n  wrote BENCH_phases.json\n"),
+        Err(e) => eprintln!("cannot write BENCH_phases.json: {e}"),
     }
 }
 

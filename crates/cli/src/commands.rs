@@ -238,6 +238,10 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
         stats.front_end_workers,
         stats.memory_bytes as f64 / 1e6
     );
+    println!(
+        "schedule: {} + {} node visits (phase 1 + 2), {} wave(s), {} wave worker(s)",
+        stats.phase1_visits, stats.phase2_visits, stats.waves, stats.phase_workers
+    );
 
     let wanted = |name: &str| o.routine.map_or(o.summaries, |r| r == name);
     for (rid, r) in program.iter() {

@@ -11,7 +11,26 @@ use crate::build::build_psg;
 use crate::dataflow::{run_phase1, run_phase2};
 use crate::parallel::{par_for_each_mut, par_map, resolve_threads};
 use crate::psg::{NodeId, Psg};
+use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
 use crate::summary::ProgramSummary;
+
+/// How the two dataflow phases schedule their node evaluations. Both
+/// schedulers converge to the *same* least fixpoint — summaries, PSG
+/// and `memory_bytes` are bit-identical — they differ only in effort
+/// (`phase1_visits`/`phase2_visits`) and wall-clock time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scheduler {
+    /// The two-level engine (default): condense the call graph into
+    /// SCCs, solve phase 1 bottom-up and phase 2 top-down in waves,
+    /// each component under a dependency-ordered priority worklist,
+    /// independent components of a wave in parallel. Converged
+    /// components are never revisited.
+    #[default]
+    SccWave,
+    /// Flat chaotic FIFO iteration over the whole PSG — the reference
+    /// implementation the scheduled engine is measured against.
+    Fifo,
+}
 
 /// Tuning knobs for the analysis, mirroring the paper's design choices.
 #[derive(Clone, Debug)]
@@ -35,6 +54,9 @@ pub struct AnalysisOptions {
     /// PSG node/edge order, and [`AnalysisStats::memory_bytes`] — are
     /// bit-identical at every setting.
     pub threads: usize,
+    /// How the dataflow phases schedule node evaluations; see
+    /// [`Scheduler`]. Results are bit-identical either way.
+    pub scheduler: Scheduler,
 }
 
 impl Default for AnalysisOptions {
@@ -51,6 +73,7 @@ impl Default for AnalysisOptions {
             calling_standard,
             exported_live_at_exit,
             threads: 0,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -76,6 +99,12 @@ pub struct AnalysisStats {
     /// Worker threads the per-routine front-end stages (CFG build,
     /// `DEF`/`UBD` initialization, PSG build) ran with.
     pub front_end_workers: usize,
+    /// Worker threads the scheduled dataflow phases ran with (clamped to
+    /// the widest condensation wave; `1` under [`Scheduler::Fifo`]).
+    pub phase_workers: usize,
+    /// Condensation waves of the SCC-wave schedule — the sequential
+    /// depth of the two-level solver (`0` under [`Scheduler::Fifo`]).
+    pub waves: usize,
     /// Routines whose front-end structures (CFG, `DEF`/`UBD`, PSG plan)
     /// were rebuilt by this run. A from-scratch analysis rebuilds every
     /// routine; an incremental re-analysis rebuilds only the dirty ones.
@@ -153,14 +182,33 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
     let psg_build = t.elapsed();
 
     let t = Instant::now();
-    let seed_order = phase1_seed_order(program, &cfg, &psg);
-    let phase1_visits = run_phase1(&mut psg, &seed_order);
-    let phase1 = t.elapsed();
-
-    let t = Instant::now();
-    let exit_seeds = exported_exit_seeds(program, &psg, options);
-    let phase2_visits = run_phase2(&mut psg, &exit_seeds);
-    let phase2 = t.elapsed();
+    let (phase1_visits, phase2_visits, waves, phase_workers, phase1, phase2) =
+        match options.scheduler {
+            Scheduler::SccWave => {
+                // Schedule construction (call graph, condensation,
+                // partition, ranks) is charged to phase 1, mirroring the
+                // FIFO path's seed-order construction.
+                let schedule = SccSchedule::build(program, &cfg, &psg);
+                let phase_workers =
+                    resolve_threads(options.threads).clamp(1, schedule.max_wave_width().max(1));
+                let phase1_visits = run_phase1_scheduled(&mut psg, &schedule, None, phase_workers);
+                let phase1 = t.elapsed();
+                let t = Instant::now();
+                let exit_seeds = exported_exit_seeds(program, &psg, options);
+                let phase2_visits =
+                    run_phase2_scheduled(&mut psg, &schedule, &exit_seeds, None, phase_workers);
+                (phase1_visits, phase2_visits, schedule.waves(), phase_workers, phase1, t.elapsed())
+            }
+            Scheduler::Fifo => {
+                let seed_order = phase1_seed_order(program, &cfg, &psg);
+                let phase1_visits = run_phase1(&mut psg, &seed_order);
+                let phase1 = t.elapsed();
+                let t = Instant::now();
+                let exit_seeds = exported_exit_seeds(program, &psg, options);
+                let phase2_visits = run_phase2(&mut psg, &exit_seeds);
+                (phase1_visits, phase2_visits, 0, 1, phase1, t.elapsed())
+            }
+        };
 
     let summary = ProgramSummary::from_psg(&psg, options.calling_standard);
     let memory_bytes = cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes();
@@ -178,6 +226,8 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
             phase1_visits,
             phase2_visits,
             front_end_workers: workers,
+            phase_workers,
+            waves,
             routines_reanalyzed: n_routines,
             routines_reused: 0,
             memory_bytes,

@@ -16,33 +16,43 @@
 //! iteration from the empty sets converges to the meet-over-all-valid-
 //! paths solution.
 
-use std::collections::VecDeque;
-
 use spike_isa::RegSet;
 
 use crate::psg::{EdgeKind, NodeId, NodeKind, Psg};
+use crate::worklist::FifoWorklist;
 
-/// Simple FIFO worklist with membership dedup.
-struct Worklist {
-    queue: VecDeque<NodeId>,
-    queued: Vec<bool>,
+/// The phase-1 initialization value of a node: `(MAY-USE, MAY-DEF,
+/// MUST-DEF)`. `MAY` sets start at ⊥ and grow; `MUST-DEF` is a
+/// greatest-fixpoint problem and starts at ⊤ for interior nodes,
+/// iterating downward. Sinks fix the boundary:
+///
+/// * exits: nothing more happens within the callee — `MUST-DEF` = ∅
+///   (the caller takes over);
+/// * unknown jumps (§3.5): may use and clobber anything, guarantee
+///   nothing — `MAY` = ⊤, `MUST-DEF` = ∅;
+/// * halts and diverging regions: no continuation ever returns, so
+///   `MUST-DEF` is vacuously ⊤ — paths that cannot return must not
+///   weaken a caller-visible intersection — and the `MAY` sets are ∅.
+pub(crate) fn phase1_init_value(kind: NodeKind, uj_live: RegSet) -> (RegSet, RegSet, RegSet) {
+    match kind {
+        // The default is all registers live/clobbered; a §3.5 hint
+        // narrows the live set.
+        NodeKind::UnknownJump { .. } => (uj_live, RegSet::ALL, RegSet::EMPTY),
+        NodeKind::Halt { .. } | NodeKind::Diverge { .. } => {
+            (RegSet::EMPTY, RegSet::EMPTY, RegSet::ALL)
+        }
+        NodeKind::Exit { .. } => (RegSet::EMPTY, RegSet::EMPTY, RegSet::EMPTY),
+        _ => (RegSet::EMPTY, RegSet::EMPTY, RegSet::ALL),
+    }
 }
 
-impl Worklist {
-    fn new(n: usize) -> Worklist {
-        Worklist { queue: VecDeque::with_capacity(n), queued: vec![false; n] }
-    }
-
-    fn push(&mut self, n: NodeId) {
-        if !std::mem::replace(&mut self.queued[n.index()], true) {
-            self.queue.push_back(n);
-        }
-    }
-
-    fn pop(&mut self) -> Option<NodeId> {
-        let n = self.queue.pop_front()?;
-        self.queued[n.index()] = false;
-        Some(n)
+/// The phase-2 initialization value of a node: liveness starts at ⊥
+/// everywhere except the pinned unknown-jump sinks, which hold their
+/// (possibly §3.5-hinted) live set throughout.
+pub(crate) fn phase2_init_value(kind: NodeKind, uj_live: RegSet) -> RegSet {
+    match kind {
+        NodeKind::UnknownJump { .. } => uj_live,
+        _ => RegSet::EMPTY,
     }
 }
 
@@ -86,45 +96,15 @@ pub(crate) fn run_phase1_seeded(
     );
     let is_reset = |i: usize| reset.is_none_or(|m| m[i]);
 
-    // Initialization. MAY sets start at ⊥ and grow; MUST-DEF is a
-    // greatest-fixpoint problem and starts at ⊤ for interior nodes,
-    // iterating downward. Sinks fix the boundary:
-    //
-    // * exits: nothing more happens within the callee — MUST-DEF = ∅
-    //   (the caller takes over);
-    // * unknown jumps (§3.5): may use and clobber anything, guarantee
-    //   nothing — MAY = ⊤, MUST-DEF = ∅;
-    // * halts and diverging regions: no continuation ever returns, so
-    //   MUST-DEF is vacuously ⊤ — paths that cannot return must not
-    //   weaken a caller-visible intersection — and the MAY sets are ∅.
+    // Initialization; see `phase1_init_value` for the boundary rationale.
     for i in 0..n {
         if !is_reset(i) {
             continue;
         }
-        match psg.nodes[i] {
-            NodeKind::UnknownJump { .. } => {
-                // The default is all registers live/clobbered; a §3.5 hint
-                // narrows the live set.
-                psg.may_use[i] = psg.uj_live[i];
-                psg.may_def[i] = RegSet::ALL;
-                psg.must_def[i] = RegSet::EMPTY;
-            }
-            NodeKind::Halt { .. } | NodeKind::Diverge { .. } => {
-                psg.may_use[i] = RegSet::EMPTY;
-                psg.may_def[i] = RegSet::EMPTY;
-                psg.must_def[i] = RegSet::ALL;
-            }
-            NodeKind::Exit { .. } => {
-                psg.may_use[i] = RegSet::EMPTY;
-                psg.may_def[i] = RegSet::EMPTY;
-                psg.must_def[i] = RegSet::EMPTY;
-            }
-            _ => {
-                psg.may_use[i] = RegSet::EMPTY;
-                psg.may_def[i] = RegSet::EMPTY;
-                psg.must_def[i] = RegSet::ALL;
-            }
-        }
+        let (may_use, may_def, must_def) = phase1_init_value(psg.nodes[i], psg.uj_live[i]);
+        psg.may_use[i] = may_use;
+        psg.may_def[i] = may_def;
+        psg.must_def[i] = must_def;
         // A reset entry's call-return edges go back to their build-time
         // labels: the phase-1 broadcast that filled them is being redone.
         // (The reset mask is caller-closed, so every source entry of each
@@ -143,13 +123,12 @@ pub(crate) fn run_phase1_seeded(
     }
 
     // ---- Stratum A: MAY-DEF and MUST-DEF. ----
-    let mut wl = Worklist::new(n);
+    let mut wl = FifoWorklist::new(n);
     for &node in seed_order {
-        wl.push(node);
+        wl.push(node.index());
     }
     let mut visits = 0usize;
-    while let Some(x) = wl.pop() {
-        let xi = x.index();
+    while let Some(xi) = wl.pop() {
         if psg.pinned[xi] || psg.out_edges[xi].is_empty() {
             continue;
         }
@@ -181,28 +160,30 @@ pub(crate) fn run_phase1_seeded(
         psg.must_def[xi] = must_def;
 
         for &e in &psg.in_edges[xi] {
-            wl.push(psg.edges[e.index()].from());
+            wl.push(psg.edges[e.index()].from().index());
         }
         // §3.2 broadcast: an entry node's values flow onto every
         // call-return edge representing a call that targets it, filtered
         // by the routine's saved-and-restored callee-saved registers
         // (§3.4). Multi-target (indirect) calls meet over their targets.
+        // (Indexed loop: `recompute_cr_defs` needs `&mut psg`, and the
+        // edge list itself is never mutated — no clone per broadcast.)
         if matches!(psg.nodes[xi], NodeKind::Entry { .. }) {
-            for &e in &psg.entry_cr_edges[xi].clone() {
+            for k in 0..psg.entry_cr_edges[xi].len() {
+                let e = psg.entry_cr_edges[xi][k];
                 if recompute_cr_defs(psg, e) {
-                    wl.push(psg.edges[e.index()].from());
+                    wl.push(psg.edges[e.index()].from().index());
                 }
             }
         }
     }
 
     // ---- Stratum B: MAY-USE, with MUST-DEF kill sets frozen. ----
-    let mut wl = Worklist::new(n);
+    let mut wl = FifoWorklist::new(n);
     for &node in seed_order {
-        wl.push(node);
+        wl.push(node.index());
     }
-    while let Some(x) = wl.pop() {
-        let xi = x.index();
+    while let Some(xi) = wl.pop() {
         if psg.pinned[xi] || psg.out_edges[xi].is_empty() {
             continue;
         }
@@ -224,12 +205,13 @@ pub(crate) fn run_phase1_seeded(
         psg.may_use[xi] = may_use;
 
         for &e in &psg.in_edges[xi] {
-            wl.push(psg.edges[e.index()].from());
+            wl.push(psg.edges[e.index()].from().index());
         }
         if matches!(psg.nodes[xi], NodeKind::Entry { .. }) {
-            for &e in &psg.entry_cr_edges[xi].clone() {
+            for k in 0..psg.entry_cr_edges[xi].len() {
+                let e = psg.entry_cr_edges[xi][k];
                 if recompute_cr_uses(psg, e) {
-                    wl.push(psg.edges[e.index()].from());
+                    wl.push(psg.edges[e.index()].from().index());
                 }
             }
         }
@@ -314,10 +296,7 @@ pub(crate) fn run_phase2_seeded(
         if !is_reset(i) {
             continue;
         }
-        psg.live[i] = match psg.nodes[i] {
-            NodeKind::UnknownJump { .. } => psg.uj_live[i],
-            _ => RegSet::EMPTY,
-        };
+        psg.live[i] = phase2_init_value(psg.nodes[i], psg.uj_live[i]);
     }
     // Seeds on clean exits are no-ops: their converged liveness already
     // contains the seed.
@@ -345,16 +324,15 @@ pub(crate) fn run_phase2_seeded(
         }
     }
 
-    let mut wl = Worklist::new(n);
+    let mut wl = FifoWorklist::new(n);
     for i in (0..n).rev() {
         if is_reset(i) {
-            wl.push(NodeId::from_index(i));
+            wl.push(i);
         }
     }
 
     let mut visits = 0usize;
-    while let Some(x) = wl.pop() {
-        let xi = x.index();
+    while let Some(xi) = wl.pop() {
         if psg.pinned[xi] || psg.out_edges[xi].is_empty() {
             // Sinks (exits, halts, unknown jumps) are updated only by
             // seeds and broadcasts; nothing to evaluate.
@@ -374,20 +352,20 @@ pub(crate) fn run_phase2_seeded(
         psg.live[xi] = live;
 
         for &e in &psg.in_edges[xi] {
-            wl.push(psg.edges[e.index()].from());
+            wl.push(psg.edges[e.index()].from().index());
         }
 
         // §3.3 broadcast: liveness at a return node flows to the exit
-        // nodes of every routine that could return to it.
-        if !psg.return_exit_targets[xi].is_empty() {
-            for t in psg.return_exit_targets[xi].clone() {
-                let ti = t.index();
-                let merged = psg.live[ti] | live;
-                if merged != psg.live[ti] {
-                    psg.live[ti] = merged;
-                    for &e in &psg.in_edges[ti] {
-                        wl.push(psg.edges[e.index()].from());
-                    }
+        // nodes of every routine that could return to it. (Indexed loop:
+        // the target list is never mutated, only `live` and the worklist
+        // are — no clone per broadcast.)
+        for k in 0..psg.return_exit_targets[xi].len() {
+            let ti = psg.return_exit_targets[xi][k].index();
+            let merged = psg.live[ti] | live;
+            if merged != psg.live[ti] {
+                psg.live[ti] = merged;
+                for &e in &psg.in_edges[ti] {
+                    wl.push(psg.edges[e.index()].from().index());
                 }
             }
         }

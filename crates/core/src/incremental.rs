@@ -35,6 +35,7 @@ use spike_program::{Program, RoutineId};
 
 use crate::analysis::{
     analyze_with, exported_exit_seeds, phase1_seed_order, Analysis, AnalysisOptions, AnalysisStats,
+    Scheduler,
 };
 use crate::build::{plan_routine_edges, plan_routine_nodes, RoutineEdgePlan};
 use crate::callee_saved::saved_restored_registers;
@@ -42,6 +43,7 @@ use crate::dataflow::{run_phase1_seeded, run_phase2_seeded};
 use crate::flow::FlowScratch;
 use crate::parallel::{par_for_each_mut, par_map, par_map_with, resolve_threads};
 use crate::psg::{EdgeKind, NodeId, Psg};
+use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
 use crate::summary::ProgramSummary;
 
 /// A reusable analysis: the converged [`Analysis`] of the last program
@@ -241,17 +243,44 @@ fn try_reanalyze(
     let psg_build = t.elapsed();
 
     // --- Seeded fixpoint over the reset subspace. ---
+    // Under the SCC-wave scheduler a seeded run schedules exactly the
+    // components containing reset nodes (the reset closures are
+    // SCC-saturated); every clean component keeps its wave slot empty.
     let t = Instant::now();
     let (reset1, reset2) = reset_masks(&psg, &dirty_mask);
-    let seed: Vec<NodeId> =
-        phase1_seed_order(program, &cfg, &psg).into_iter().filter(|n| reset1[n.index()]).collect();
-    let phase1_visits = run_phase1_seeded(&mut psg, &seed, Some(&reset1));
-    let phase1 = t.elapsed();
-
-    let t = Instant::now();
-    let exit_seeds = exported_exit_seeds(program, &psg, options);
-    let phase2_visits = run_phase2_seeded(&mut psg, &exit_seeds, Some(&reset2));
-    let phase2 = t.elapsed();
+    let (phase1_visits, phase2_visits, waves, phase_workers, phase1, phase2) =
+        match options.scheduler {
+            Scheduler::SccWave => {
+                let schedule = SccSchedule::build(program, &cfg, &psg);
+                let phase_workers =
+                    resolve_threads(options.threads).clamp(1, schedule.max_wave_width().max(1));
+                let phase1_visits =
+                    run_phase1_scheduled(&mut psg, &schedule, Some(&reset1), phase_workers);
+                let phase1 = t.elapsed();
+                let t = Instant::now();
+                let exit_seeds = exported_exit_seeds(program, &psg, options);
+                let phase2_visits = run_phase2_scheduled(
+                    &mut psg,
+                    &schedule,
+                    &exit_seeds,
+                    Some(&reset2),
+                    phase_workers,
+                );
+                (phase1_visits, phase2_visits, schedule.waves(), phase_workers, phase1, t.elapsed())
+            }
+            Scheduler::Fifo => {
+                let seed: Vec<NodeId> = phase1_seed_order(program, &cfg, &psg)
+                    .into_iter()
+                    .filter(|n| reset1[n.index()])
+                    .collect();
+                let phase1_visits = run_phase1_seeded(&mut psg, &seed, Some(&reset1));
+                let phase1 = t.elapsed();
+                let t = Instant::now();
+                let exit_seeds = exported_exit_seeds(program, &psg, options);
+                let phase2_visits = run_phase2_seeded(&mut psg, &exit_seeds, Some(&reset2));
+                (phase1_visits, phase2_visits, 0, 1, phase1, t.elapsed())
+            }
+        };
 
     let summary = ProgramSummary::from_psg(&psg, options.calling_standard);
     let memory_bytes = cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes();
@@ -269,6 +298,8 @@ fn try_reanalyze(
             phase1_visits,
             phase2_visits,
             front_end_workers: workers,
+            phase_workers,
+            waves,
             routines_reanalyzed: dirty.len(),
             routines_reused: n_routines - dirty.len(),
             memory_bytes,

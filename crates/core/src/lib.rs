@@ -53,9 +53,11 @@ mod flow;
 mod incremental;
 pub mod parallel;
 mod psg;
+mod schedule;
 mod summary;
+pub mod worklist;
 
-pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats};
+pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats, Scheduler};
 pub use callee_saved::saved_restored_registers;
 pub use incremental::{reanalyze, AnalysisCache};
 pub use psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, PsgStats, RoutineNodes};

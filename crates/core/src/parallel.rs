@@ -12,6 +12,7 @@
 //! No external thread-pool dependency is used; workers live only for the
 //! duration of one stage.
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a user-facing thread-count option: `0` means one worker per
@@ -111,6 +112,59 @@ where
             });
         }
     });
+}
+
+/// A raw shared view of a mutable slice for the wave-parallel fixpoint
+/// solver (`crate::schedule`).
+///
+/// Workers solving one wave write disjoint index sets — each call-graph
+/// component touches only its own nodes' values and its own routines'
+/// edge labels — so handing every worker the whole slice is sound as
+/// long as that partition is respected. The type erases the exclusive
+/// borrow into a raw pointer; the *caller* re-establishes the aliasing
+/// discipline through the component partition.
+///
+/// Every accessor is `unsafe`: the caller must guarantee that no two
+/// threads access the same index concurrently with at least one of them
+/// writing. Bounds are always checked.
+pub(crate) struct SharedMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `SharedMut` is just a length-tagged pointer; sending or
+// sharing it across threads is safe because every dereference is an
+// unsafe operation whose aliasing contract the caller upholds.
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Wraps an exclusively borrowed slice.
+    pub(crate) fn new(slice: &'a mut [T]) -> SharedMut<'a, T> {
+        SharedMut { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// No thread may be concurrently writing index `i`.
+    pub(crate) unsafe fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "SharedMut index {i} out of bounds ({})", self.len);
+        &*self.ptr.add(i)
+    }
+
+    /// Mutably borrows element `i`.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to index `i`: no other
+    /// thread — and no other outstanding borrow on this thread — may
+    /// touch it while the returned reference lives.
+    #[allow(clippy::mut_from_ref)] // the partition discipline is the caller's contract
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "SharedMut index {i} out of bounds ({})", self.len);
+        &mut *self.ptr.add(i)
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 use std::collections::VecDeque;
 
 use spike_cfg::{BlockId, CallTarget, RoutineCfg, TermKind};
+use spike_core::worklist::PriorityWorklist;
 use spike_core::Analysis;
 use spike_isa::{CallingStandard, Instruction, Reg, RegSet};
 use spike_program::{Program, RoutineId};
@@ -77,17 +78,30 @@ fn call_defined_per_block(analysis: &Analysis, rid: RoutineId) -> Vec<RegSet> {
 
 /// One intra-routine forward pass to a local fixpoint, given the current
 /// entrance values. Resets and refills `block_in[rid]`.
+///
+/// Driven by a [`PriorityWorklist`] in reverse postorder over the
+/// definedness arcs (fall-through/branch successors plus the
+/// call→return-point arc the CFG itself omits): most blocks see their
+/// final predecessor facts on the first evaluation, and a change only
+/// re-queues the blocks that actually read it. The fixpoint of the
+/// monotone meet system is unique, so the result is identical to the
+/// round-robin sweep this replaces.
 fn intra(analysis: &Analysis, rid: RoutineId, entry: &[Vec<RegSet>], block_in: &mut [RegSet]) {
     let cfg = analysis.cfg.routine_cfg(rid);
     let nb = cfg.blocks().len();
 
     // The CFG has no call → return-point successor edges; definedness
     // flows through the callee, entering as `block out ∪ call-defined`.
+    // `fwd` is the full reader relation, `call_ret` its call-arc inverse.
     let mut call_ret: Vec<Vec<BlockId>> = vec![Vec::new(); nb];
-    for b in cfg.call_blocks() {
-        if let TermKind::Call { return_to: Some(rt), .. } = cfg.block(b).term() {
-            call_ret[rt.index()].push(b);
+    let mut fwd: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    for (i, readers) in fwd.iter_mut().enumerate() {
+        let block = cfg.block(BlockId::from_index(i));
+        if let TermKind::Call { return_to: Some(rt), .. } = block.term() {
+            call_ret[rt.index()].push(BlockId::from_index(i));
+            readers.push(rt.index() as u32);
         }
+        readers.extend(block.succs().iter().map(|s| s.index() as u32));
     }
     let cs_defined = call_defined_per_block(analysis, rid);
 
@@ -96,22 +110,63 @@ fn intra(analysis: &Analysis, rid: RoutineId, entry: &[Vec<RegSet>], block_in: &
         constraint[b.index()] &= entry[rid.index()][e];
     }
 
+    // Reverse postorder from the entrances; blocks unreachable along
+    // definedness arcs still get evaluated, ranked after the rest.
+    let mut rank = vec![u32::MAX; nb];
+    let mut next = 0u32;
+    let mut state = vec![0u8; nb];
+    let mut postorder: Vec<u32> = Vec::with_capacity(nb);
+    let mut dfs: Vec<(u32, u32)> = Vec::new();
+    for &b in cfg.entries() {
+        if state[b.index()] != 0 {
+            continue;
+        }
+        state[b.index()] = 1;
+        dfs.push((b.index() as u32, 0));
+        while let Some(frame) = dfs.last_mut() {
+            let (x, k) = (frame.0 as usize, frame.1 as usize);
+            if k < fwd[x].len() {
+                frame.1 += 1;
+                let y = fwd[x][k] as usize;
+                if state[y] == 0 {
+                    state[y] = 1;
+                    dfs.push((y as u32, 0));
+                }
+            } else {
+                dfs.pop();
+                postorder.push(x as u32);
+            }
+        }
+    }
+    for &x in postorder.iter().rev() {
+        rank[x as usize] = next;
+        next += 1;
+    }
+    for r in rank.iter_mut() {
+        if *r == u32::MAX {
+            *r = next;
+            next += 1;
+        }
+    }
+
     block_in.fill(RegSet::ALL);
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..nb {
-            let block = cfg.block(BlockId::from_index(i));
-            let mut acc = constraint[i];
-            for &p in block.preds() {
-                acc &= block_in[p.index()] | cfg.block(p).def();
-            }
-            for &c in &call_ret[i] {
-                acc &= block_in[c.index()] | cfg.block(c).def() | cs_defined[c.index()];
-            }
-            if acc != block_in[i] {
-                block_in[i] = acc;
-                changed = true;
+    let mut wl = PriorityWorklist::new(nb);
+    for (i, &r) in rank.iter().enumerate() {
+        wl.push(i, r);
+    }
+    while let Some(i) = wl.pop() {
+        let block = cfg.block(BlockId::from_index(i));
+        let mut acc = constraint[i];
+        for &p in block.preds() {
+            acc &= block_in[p.index()] | cfg.block(p).def();
+        }
+        for &c in &call_ret[i] {
+            acc &= block_in[c.index()] | cfg.block(c).def() | cs_defined[c.index()];
+        }
+        if acc != block_in[i] {
+            block_in[i] = acc;
+            for &s in &fwd[i] {
+                wl.push(s as usize, rank[s as usize]);
             }
         }
     }

@@ -1,0 +1,133 @@
+//! Equivalence and effort properties of the SCC-wave scheduled fixpoint
+//! engine ([`spike::core::Scheduler::SccWave`]) against the chaotic FIFO
+//! reference it replaces as the default.
+//!
+//! The scheduler is pure strategy: the least fixpoint of the monotone
+//! phase-1/phase-2 systems is unique, so every observable — summaries,
+//! the PSG values and labels, the deterministic `memory_bytes` — must be
+//! bit-identical whichever engine ran and however many workers the wave
+//! solver used. What the scheduler *is* allowed to change is effort, and
+//! only downward: these properties also pin the visit counts as never
+//! exceeding the FIFO engine's.
+
+use proptest::prelude::*;
+
+use spike::core::{analyze_with, AnalysisCache, AnalysisOptions, Scheduler};
+use spike::program::{Program, Rewriter};
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just("compress"),
+            Just("li"),
+            Just("perl"),
+            Just("vortex"),
+            Just("sqlservr"),
+            Just("gcc")
+        ],
+        1usize..=60,
+    )
+        .prop_map(|(seed, name, routines)| {
+            let p = spike::synth::profile(name).expect("known benchmark");
+            spike::synth::generate(&p, routines as f64 / p.routines as f64, seed)
+        })
+}
+
+fn with(scheduler: Scheduler, threads: usize) -> AnalysisOptions {
+    AnalysisOptions { scheduler, threads, ..AnalysisOptions::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Both engines, and the scheduled engine at every worker count,
+    /// agree on every observable output — and the scheduled engine's
+    /// effort is identical at every worker count, since the wave solvers
+    /// partition the work rather than race for it.
+    #[test]
+    fn scheduled_matches_fifo_bit_for_bit(program in arb_program()) {
+        let fifo = analyze_with(&program, &with(Scheduler::Fifo, 1));
+        let serial = analyze_with(&program, &with(Scheduler::SccWave, 1));
+        let wide = analyze_with(&program, &with(Scheduler::SccWave, 8));
+
+        for (rid, r) in program.iter() {
+            prop_assert_eq!(
+                fifo.summary.routine(rid),
+                serial.summary.routine(rid),
+                "summary mismatch for {}",
+                r.name()
+            );
+        }
+        prop_assert_eq!(&fifo.psg, &serial.psg);
+        prop_assert_eq!(&fifo.psg, &wide.psg);
+        prop_assert_eq!(fifo.stats.memory_bytes, serial.stats.memory_bytes);
+        prop_assert_eq!(fifo.stats.memory_bytes, wide.stats.memory_bytes);
+
+        prop_assert_eq!(serial.stats.phase1_visits, wide.stats.phase1_visits);
+        prop_assert_eq!(serial.stats.phase2_visits, wide.stats.phase2_visits);
+        prop_assert_eq!(serial.stats.waves, wide.stats.waves);
+        prop_assert!(wide.stats.phase_workers >= 1);
+    }
+
+    /// The scheduled engine never evaluates more nodes than the FIFO
+    /// reference: waves stop converged components from being revisited,
+    /// priority order and warm seeding keep most values settled on first
+    /// touch, and the absorption filters drop every push that provably
+    /// cannot move a value.
+    #[test]
+    fn scheduled_never_visits_more(program in arb_program()) {
+        let fifo = analyze_with(&program, &with(Scheduler::Fifo, 1));
+        let sched = analyze_with(&program, &with(Scheduler::SccWave, 1));
+        prop_assert!(
+            sched.stats.phase1_visits + sched.stats.phase2_visits
+                <= fifo.stats.phase1_visits + fifo.stats.phase2_visits,
+            "scheduled {} + {} vs fifo {} + {}",
+            sched.stats.phase1_visits,
+            sched.stats.phase2_visits,
+            fifo.stats.phase1_visits,
+            fifo.stats.phase2_visits
+        );
+    }
+
+    /// The scheduled engine composes with the incremental reset masks:
+    /// a cached re-analysis under the default scheduler reaches exactly
+    /// the solution a from-scratch FIFO analysis of the edited program
+    /// computes. (The reset closures are SCC-saturated, so the seeded
+    /// run solves exactly the components containing reset nodes.)
+    #[test]
+    fn incremental_scheduled_matches_scratch_fifo(seed in any::<u64>()) {
+        let program = spike::synth::generate_executable(seed, 6);
+        let mut cache = AnalysisCache::new(with(Scheduler::SccWave, 2));
+        cache.analyze(&program);
+
+        let victim = program
+            .iter()
+            .flat_map(|(_, r)| {
+                (0..r.len() as u32).map(move |i| (r.addr() + i, &r.insns()[i as usize]))
+            })
+            .filter(|(addr, insn)| {
+                !insn.is_terminator() && !program.relocations().contains_key(addr)
+            })
+            .last()
+            .map(|(addr, _)| addr);
+        prop_assert!(victim.is_some(), "generated executables have deletable instructions");
+        let (edited, changed) = Rewriter::new(&program)
+            .delete(victim.unwrap())
+            .finish()
+            .expect("delete relinks");
+
+        let incremental = cache.reanalyze(&edited, &changed);
+        let scratch = analyze_with(&edited, &with(Scheduler::Fifo, 1));
+        for (rid, r) in edited.iter() {
+            prop_assert_eq!(
+                incremental.summary.routine(rid),
+                scratch.summary.routine(rid),
+                "summary mismatch for {}",
+                r.name()
+            );
+        }
+        prop_assert_eq!(&incremental.psg, &scratch.psg);
+        prop_assert_eq!(incremental.stats.memory_bytes, scratch.stats.memory_bytes);
+    }
+}
