@@ -11,7 +11,11 @@
 //!   manager with from-scratch analysis per pass vs one cached
 //!   [`spike_core::AnalysisCache`] re-analyzing only dirty routines;
 //! * `phases/<bench>/{fifo,scc-wave}` — the chaotic FIFO fixpoint engine
-//!   vs the default SCC-wave priority schedule for phases 1–2.
+//!   vs the default SCC-wave priority schedule for phases 1–2;
+//! * `serve/{warm-analyze,warm-lint,stats}` — steady-state round-trips
+//!   against an in-process `spike-served` daemon: a warm cache hit pays
+//!   hashing, rendering and framing but no analysis, so this isolates
+//!   the service overhead the `report serve` throughput numbers sit on.
 //!
 //! Profiles are scaled down (default 5%) so the whole suite runs in
 //! minutes; relative shapes are what the paper's claims are about.
@@ -185,6 +189,43 @@ fn bench_incremental(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serve(c: &mut Criterion) {
+    use spike_serve::{client, Command, Endpoint, LintFormat, Request, ServeOptions, Server};
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    let p = profile("li").expect("known benchmark");
+    let image = generate(&p, SCALE, SEED).to_image();
+
+    let options = ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        analysis_threads: 1,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(&options).expect("daemon starts");
+    let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
+    let request = |cmd: Command| Request { cmd, image_name: "img".into(), deadline_ms: None };
+    let send = |cmd: Command, image: &[u8]| {
+        let (r, _) = client::request(&endpoint, &request(cmd), image).expect("round-trip");
+        assert_eq!(r.exit, 0, "{:?}", r.error);
+        r
+    };
+    let analyze = || Command::Analyze { summaries: false, routine: None };
+
+    // Prime the cache so every timed request is a warm hit.
+    send(analyze(), &image);
+
+    g.bench_function("warm-analyze", |b| b.iter(|| black_box(send(analyze(), &image))));
+    g.bench_function("warm-lint", |b| {
+        b.iter(|| black_box(send(Command::Lint { format: LintFormat::Json }, &image)))
+    });
+    g.bench_function("stats", |b| b.iter(|| black_box(send(Command::Stats, &[]))));
+    g.finish();
+
+    send(Command::Shutdown, &[]);
+    server.join();
+}
+
 criterion_group!(
     benches,
     bench_table2,
@@ -195,6 +236,7 @@ criterion_group!(
     bench_parallel,
     bench_opt,
     bench_phases,
-    bench_incremental
+    bench_incremental,
+    bench_serve
 );
 criterion_main!(benches);

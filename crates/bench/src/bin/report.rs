@@ -3,7 +3,7 @@
 //! ```text
 //! report [--scale S] [--seed N] [--baseline] [--threads N] [SECTION...]
 //! SECTION: table1 table2 table3 table4 table5 fig13 fig14 fig15 opts
-//!          parallel incremental all
+//!          parallel incremental serve all
 //! ```
 //!
 //! `--scale` shrinks every benchmark proportionally (default 0.1); pass
@@ -20,6 +20,11 @@
 //! SCC-wave scheduled fixpoint engine against the chaotic FIFO reference
 //! on the two largest benchmarks, cross-checks bit-identical results at
 //! 1 and N workers, and writes the measurements to `BENCH_phases.json`.
+//! The `serve` section (not part of `all`) starts an in-process
+//! `spike-served` daemon, measures cold vs warm vs incremental-warm
+//! request throughput at 1/4/8 concurrent clients, cross-checks that
+//! daemon responses are byte-identical to the local library path, and
+//! writes the measurements to `BENCH_serve.json`.
 
 use std::collections::BTreeSet;
 
@@ -60,7 +65,7 @@ fn main() {
                 println!(
                     "report [--scale S] [--seed N] [--baseline] [--threads N] \
                      [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|\
-                     incremental|phases|all]"
+                     incremental|phases|serve|all]"
                 );
                 return;
             }
@@ -78,6 +83,7 @@ fn main() {
                 "parallel",
                 "incremental",
                 "phases",
+                "serve",
                 "all",
             ]
             .contains(&s) =>
@@ -96,7 +102,7 @@ fn main() {
     }
 
     let want_runs = sections.iter().any(|s| {
-        !matches!(s.as_str(), "table1" | "ablate" | "parallel" | "incremental" | "phases")
+        !matches!(s.as_str(), "table1" | "ablate" | "parallel" | "incremental" | "phases" | "serve")
     });
 
     println!("# Spike interprocedural dataflow — evaluation report");
@@ -153,6 +159,9 @@ fn main() {
     }
     if sections.contains("phases") {
         phases_report(scale, seed, threads);
+    }
+    if sections.contains("serve") {
+        serve_report(scale, seed);
     }
 }
 
@@ -744,4 +753,164 @@ fn opts_report(runs: &[BenchRun], seed: u64) {
          Figure 1(c)/(d) remove exactly these instructions)\n",
         100.0 * (total_before - total_after) as f64 / total_before as f64
     );
+}
+
+/// Starts an in-process `spike-served`, drives it with 1/4/8 concurrent
+/// clients over three request mixes — *cold* (every image new), *warm*
+/// (one image re-submitted), *incremental-warm* (small edits of a cached
+/// image) — cross-checks that daemon responses are byte-identical to the
+/// local library path, and records requests/sec in `BENCH_serve.json`.
+fn serve_report(scale: f64, seed: u64) {
+    use spike_core::AnalysisOptions;
+    use spike_program::Rewriter;
+    use spike_serve::{client, render, Command, Endpoint, Request, ServeOptions, Server};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    println!("## Service throughput: cold vs warm vs incremental-warm requests\n");
+    println!(
+        "{:<10} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "benchmark", "clients", "cold r/s", "warm r/s", "incr r/s", "warm x", "incr x"
+    );
+
+    let analyze = || Command::Analyze { summaries: false, routine: None };
+    let request = |image_name: &str| Request {
+        cmd: analyze(),
+        image_name: image_name.to_string(),
+        deadline_ms: None,
+    };
+
+    // Drives `images` through the daemon from `clients` threads, checking
+    // every response succeeded; returns requests/sec.
+    let drive = |endpoint: &Endpoint, images: &[Arc<Vec<u8>>], clients: usize| -> f64 {
+        let next = AtomicUsize::new(0);
+        let t = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(image) = images.get(i) else { break };
+                    let (r, _) = client::request(endpoint, &request("img"), image)
+                        .expect("daemon round-trip");
+                    assert_eq!(r.exit, 0, "request {i} failed: {:?}", r.error);
+                });
+            }
+        });
+        images.len() as f64 / t.elapsed().as_secs_f64()
+    };
+
+    let mut rows = Vec::new();
+    for name in ["compress", "li", "gcc"] {
+        let p = spike_synth::profile(name).expect("known benchmark");
+        eprintln!("measuring {name} ...");
+        let base = spike_synth::generate(&p, scale, seed);
+        let base_image = Arc::new(base.to_image());
+
+        // The local-path report the daemon must reproduce byte-for-byte.
+        let expected = {
+            let analysis = spike_core::analyze_with(&base, &AnalysisOptions::default());
+            render::analyze_report("img", &base, &analysis, false, None)
+                .expect("base program renders")
+        };
+
+        // Single-instruction edits of `base`, chained so each variant
+        // diffs against a cached near-duplicate.
+        let variants: Vec<Arc<Vec<u8>>> = {
+            let mut out = Vec::new();
+            let mut current = base.clone();
+            let ids: Vec<_> = base.iter().map(|(id, _)| id).collect();
+            for rid in ids {
+                if out.len() == 16 {
+                    break;
+                }
+                let addr = current.routine(rid).addr();
+                if let Ok((q, _)) = Rewriter::new(&current).delete(addr).finish() {
+                    out.push(Arc::new(q.to_image()));
+                    current = q;
+                }
+            }
+            out
+        };
+
+        for clients in [1usize, 4, 8] {
+            // A fresh daemon per cell: clean cache, clean counters.
+            let options = ServeOptions {
+                tcp: Some("127.0.0.1:0".into()),
+                workers: clients.max(2),
+                analysis_threads: 1,
+                ..ServeOptions::default()
+            };
+            let server = Server::start(&options).expect("daemon starts");
+            let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
+
+            // Cold: every request is a distinct, never-seen image.
+            let cold_images: Vec<Arc<Vec<u8>>> = (0..clients.max(2) * 2)
+                .map(|i| {
+                    let s = seed ^ (0x5ED + (clients * 131 + i) as u64);
+                    Arc::new(spike_synth::generate(&p, scale, s).to_image())
+                })
+                .collect();
+            let cold_rps = drive(&endpoint, &cold_images, clients);
+
+            // Warm: prime once, then every request hits the cache.
+            let (r, _) = client::request(&endpoint, &request("img"), &base_image)
+                .expect("priming round-trip");
+            assert_eq!(r.exit, 0, "priming failed: {:?}", r.error);
+            let byte_identical = r.stdout == expected;
+            assert!(byte_identical, "daemon analyze report diverged from the local path");
+            let warm_images: Vec<Arc<Vec<u8>>> =
+                (0..clients.max(2) * 8).map(|_| Arc::clone(&base_image)).collect();
+            let warm_rps = drive(&endpoint, &warm_images, clients);
+
+            // Incremental-warm: small edits of the (now cached) base.
+            let incr_rps = drive(&endpoint, &variants, clients);
+            let (stats, _) = client::request(
+                &endpoint,
+                &Request { cmd: Command::Stats, image_name: String::new(), deadline_ms: None },
+                &[],
+            )
+            .expect("stats round-trip");
+            let stats = spike_core::json::Json::parse(&stats.stdout).expect("stats is JSON");
+            let incremental_hits = stats
+                .get("cache")
+                .and_then(|c| c.get("incremental_warm"))
+                .and_then(spike_core::json::Json::as_u64)
+                .unwrap_or(0);
+
+            let (_, _) = client::request(
+                &endpoint,
+                &Request { cmd: Command::Shutdown, image_name: String::new(), deadline_ms: None },
+                &[],
+            )
+            .expect("shutdown round-trip");
+            server.join();
+
+            println!(
+                "{:<10} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>8.1}x {:>8.1}x",
+                name,
+                clients,
+                cold_rps,
+                warm_rps,
+                incr_rps,
+                warm_rps / cold_rps,
+                incr_rps / cold_rps,
+            );
+            rows.push(format!(
+                "    {{\"benchmark\": \"{name}\", \"scale\": {scale}, \"clients\": {clients}, \
+                 \"cold_rps\": {cold_rps:.3}, \"warm_rps\": {warm_rps:.3}, \
+                 \"incremental_rps\": {incr_rps:.3}, \
+                 \"warm_speedup\": {:.3}, \"incremental_speedup\": {:.3}, \
+                 \"incremental_hits\": {incremental_hits}, \
+                 \"byte_identical\": {byte_identical}}}",
+                warm_rps / cold_rps,
+                incr_rps / cold_rps,
+            ));
+        }
+    }
+
+    let json = format!("{{\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ]\n}}\n", rows.join(",\n"),);
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("\n  wrote BENCH_serve.json\n"),
+        Err(e) => eprintln!("cannot write BENCH_serve.json: {e}"),
+    }
 }

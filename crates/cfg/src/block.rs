@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use spike_isa::{HeapSize, RegSet};
+use spike_isa::{CloneExact, HeapSize, RegSet};
 use spike_program::RoutineId;
 
 /// Identifies a basic block within one [`crate::RoutineCfg`].
@@ -74,6 +74,15 @@ impl HeapSize for CallTarget {
     }
 }
 
+impl CloneExact for CallTarget {
+    fn clone_exact(&self) -> CallTarget {
+        match self {
+            CallTarget::IndirectKnown(v) => CallTarget::IndirectKnown(v.clone_exact()),
+            other => other.clone(),
+        }
+    }
+}
+
 /// How a basic block ends.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TermKind {
@@ -116,6 +125,17 @@ impl HeapSize for TermKind {
         match self {
             TermKind::Call { target, .. } => target.heap_bytes(),
             _ => 0,
+        }
+    }
+}
+
+impl CloneExact for TermKind {
+    fn clone_exact(&self) -> TermKind {
+        match self {
+            TermKind::Call { target, return_to } => {
+                TermKind::Call { target: target.clone_exact(), return_to: *return_to }
+            }
+            other => other.clone(),
         }
     }
 }
@@ -216,3 +236,19 @@ impl HeapSize for BasicBlock {
         self.succs.heap_bytes() + self.preds.heap_bytes() + self.term.heap_bytes()
     }
 }
+
+impl CloneExact for BasicBlock {
+    fn clone_exact(&self) -> BasicBlock {
+        BasicBlock {
+            start: self.start,
+            len: self.len,
+            succs: self.succs.clone_exact(),
+            preds: self.preds.clone_exact(),
+            def: self.def,
+            ubd: self.ubd,
+            term: self.term.clone_exact(),
+        }
+    }
+}
+
+spike_isa::impl_clone_exact_for_copy!(BlockId);

@@ -1,6 +1,6 @@
 //! Dense bitsets over basic blocks, used by the PSG subgraph chopper.
 
-use spike_isa::HeapSize;
+use spike_isa::{CloneExact, HeapSize};
 
 use crate::block::BlockId;
 
@@ -102,6 +102,12 @@ impl BlockSet {
 impl HeapSize for BlockSet {
     fn heap_bytes(&self) -> usize {
         self.words.heap_bytes()
+    }
+}
+
+impl CloneExact for BlockSet {
+    fn clone_exact(&self) -> BlockSet {
+        BlockSet { words: self.words.clone_exact(), len: self.len }
     }
 }
 

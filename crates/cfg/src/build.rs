@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use spike_isa::{HeapSize, Instruction, RegSet};
+use spike_isa::{CloneExact, HeapSize, Instruction, RegSet};
 use spike_program::{IndirectTargets, Program, RoutineId};
 
 use crate::block::{BasicBlock, BlockId, CallTarget, TermKind};
@@ -375,6 +375,20 @@ impl HeapSize for RoutineCfg {
             + self.exits.heap_bytes()
             + self.unknown_jumps.heap_bytes()
             + self.halts.heap_bytes()
+    }
+}
+
+impl CloneExact for RoutineCfg {
+    fn clone_exact(&self) -> RoutineCfg {
+        RoutineCfg {
+            routine: self.routine,
+            base: self.base,
+            blocks: self.blocks.clone_exact(),
+            entries: self.entries.clone_exact(),
+            exits: self.exits.clone_exact(),
+            unknown_jumps: self.unknown_jumps.clone_exact(),
+            halts: self.halts.clone_exact(),
+        }
     }
 }
 

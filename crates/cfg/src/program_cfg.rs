@@ -136,6 +136,12 @@ impl HeapSize for ProgramCfg {
     }
 }
 
+impl spike_isa::CloneExact for ProgramCfg {
+    fn clone_exact(&self) -> ProgramCfg {
+        ProgramCfg { cfgs: spike_isa::CloneExact::clone_exact(&self.cfgs) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,11 +2,13 @@
 
 use std::error::Error;
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spike_cfg::ProgramCfg;
 use spike_core::{analyze, analyze_with, AnalysisOptions};
 use spike_program::Program;
+use spike_serve::render;
+use spike_serve::{Command, Endpoint, LintFormat, Request, ServeOptions, Server};
 use spike_sim::Outcome;
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
@@ -28,6 +30,12 @@ commands:
   compare <img> [--threads N]                       PSG vs whole-CFG comparison
   dot <img> [--routine NAME]                        Program Summary Graph as GraphViz
   profiles                                          list generator benchmarks
+  serve [--listen HOST:PORT] [--unix PATH] [--workers N] [--cache-bytes N]
+        [--queue N] [--max-frame-bytes N] [--deadline-ms N] [--threads N]
+                                                    run the analysis daemon
+  client <cmd> [args] --connect <HOST:PORT|unix:PATH> [--deadline-ms N]
+                                                    run analyze/lint/optimize/compare/
+                                                    stats/shutdown against a daemon
 ";
 
 /// Parses and executes one invocation. The returned code is the process
@@ -48,6 +56,8 @@ pub fn dispatch(args: &[String]) -> Result<ExitCode> {
         Some("lint") => cmd_lint(&args[1..]),
         Some("compare") => compare(&args[1..]).map(ok),
         Some("dot") => dot(&args[1..]).map(ok),
+        Some("serve") => serve(&args[1..]).map(ok),
+        Some("client") => client(&args[1..]),
         Some("profiles") => {
             for p in spike_synth::profiles() {
                 println!(
@@ -79,6 +89,14 @@ struct Opts<'a> {
     iterate: bool,
     incremental: bool,
     format: &'a str,
+    listen: Option<&'a str>,
+    unix: Option<&'a str>,
+    connect: Option<&'a str>,
+    workers: usize,
+    cache_bytes: Option<usize>,
+    queue: Option<usize>,
+    max_frame_bytes: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse(args: &[String]) -> Result<Opts<'_>> {
@@ -95,6 +113,14 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         iterate: false,
         incremental: true,
         format: "human",
+        listen: None,
+        unix: None,
+        connect: None,
+        workers: 0,
+        cache_bytes: None,
+        queue: None,
+        max_frame_bytes: None,
+        deadline_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -114,6 +140,14 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "--incremental" => o.incremental = true,
             "--no-incremental" => o.incremental = false,
             "--format" => o.format = want("--format")?,
+            "--listen" => o.listen = Some(want("--listen")?),
+            "--unix" => o.unix = Some(want("--unix")?),
+            "--connect" => o.connect = Some(want("--connect")?),
+            "--workers" => o.workers = want("--workers")?.parse()?,
+            "--cache-bytes" => o.cache_bytes = Some(want("--cache-bytes")?.parse()?),
+            "--queue" => o.queue = Some(want("--queue")?.parse()?),
+            "--max-frame-bytes" => o.max_frame_bytes = Some(want("--max-frame-bytes")?.parse()?),
+            "--deadline-ms" => o.deadline_ms = Some(want("--deadline-ms")?.parse()?),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`").into())
             }
@@ -202,73 +236,12 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
     let program = load(path)?;
     let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
     let analysis = analyze_with(&program, &options);
-    let stats = &analysis.stats;
-    let psg = analysis.psg.stats();
-    let counts = analysis.cfg.counts();
-    let cg = spike_callgraph::CallGraph::build(&program, &analysis.cfg);
-
-    println!(
-        "{}: {} routines, {} basic blocks, {} instructions",
-        path,
-        program.routines().len(),
-        analysis.cfg.total_blocks(),
-        program.total_instructions()
-    );
-    println!("call graph: {}", cg.stats());
-    println!(
-        "psg: {} nodes, {} edges ({} flow, {} call-return, {} branch nodes)",
-        psg.nodes, psg.edges, psg.flow_edges, psg.call_return_edges, psg.branch_nodes
-    );
-    println!(
-        "cfg: {} blocks, {} arcs -> psg is {:.0}% / {:.0}% smaller",
-        counts.basic_blocks,
-        counts.total_arcs(),
-        100.0 * (1.0 - psg.nodes as f64 / counts.basic_blocks as f64),
-        100.0 * (1.0 - psg.edges as f64 / counts.total_arcs() as f64)
-    );
-    println!(
-        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}), \
-         {} front-end worker(s), memory {:.2} MB",
-        stats.total(),
-        stats.cfg_build,
-        stats.init,
-        stats.psg_build,
-        stats.phase1,
-        stats.phase2,
-        stats.front_end_workers,
-        stats.memory_bytes as f64 / 1e6
-    );
-    println!(
-        "schedule: {} + {} node visits (phase 1 + 2), {} wave(s), {} wave worker(s)",
-        stats.phase1_visits, stats.phase2_visits, stats.waves, stats.phase_workers
-    );
-
-    let wanted = |name: &str| o.routine.map_or(o.summaries, |r| r == name);
-    for (rid, r) in program.iter() {
-        if !wanted(r.name()) {
-            continue;
-        }
-        let s = analysis.summary.routine(rid);
-        println!("\n{}:", r.name());
-        for (i, _) in s.call_used.iter().enumerate() {
-            println!(
-                "  entrance {i}: call-used={} call-defined={} call-killed={}",
-                s.call_used[i], s.call_defined[i], s.call_killed[i]
-            );
-            println!("  live-at-entry[{i}] = {}", s.live_at_entry[i]);
-        }
-        for (i, live) in s.live_at_exit.iter().enumerate() {
-            println!("  live-at-exit[{i}]  = {live}");
-        }
-        if !s.saved_restored.is_empty() {
-            println!("  saves/restores {}", s.saved_restored);
-        }
-    }
-    if let Some(name) = o.routine {
-        if program.routine_by_name(name).is_none() {
-            return Err(format!("no routine named `{name}`").into());
-        }
-    }
+    // Deterministic report on stdout, timing/scheduler diagnostics on
+    // stderr — the same renderers the daemon uses, so `spike client
+    // analyze` is byte-identical to this path.
+    let report = render::analyze_report(path, &program, &analysis, o.summaries, o.routine)?;
+    print!("{report}");
+    eprint!("{}", render::analyze_diag(&analysis.stats));
     Ok(())
 }
 
@@ -287,23 +260,7 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
     let (optimized, report) = spike_opt::optimize_with(&program, &opt_options)?;
     let out = o.out.ok_or("optimize needs -o <img>")?;
     save(&optimized, out)?;
-    println!(
-        "{} -> {}: {} -> {} instructions ({} dead, {} spill pairs, {} reallocations)",
-        path,
-        out,
-        report.instructions_before,
-        report.instructions_after,
-        report.dead_deleted,
-        report.spill_pairs_removed,
-        report.registers_reallocated
-    );
-    println!(
-        "{} round(s); analysis re-ran {} routine(s), reused {} from cache{}",
-        report.rounds,
-        report.routines_reanalyzed,
-        report.routines_reused,
-        if o.incremental { "" } else { " (incremental re-analysis disabled)" }
-    );
+    print!("{}", render::optimize_report(path, out, &report, o.incremental));
     Ok(())
 }
 
@@ -332,9 +289,7 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode> {
     let [path] = o.positional[..] else {
         return Err("lint needs an image path".into());
     };
-    if o.format != "human" && o.format != "json" {
-        return Err(format!("--format must be `human` or `json`, got `{}`", o.format).into());
-    }
+    let format = LintFormat::parse(o.format)?;
     // A file that cannot be read is a usage problem (exit 2); a file that
     // reads but fails validation is a *finding* (`malformed-image`,
     // exit 1), so an automated caller sees it in the report.
@@ -343,14 +298,7 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode> {
         Ok(program) => spike_lint::lint(&program),
         Err(e) => spike_lint::malformed_image(e.to_string()),
     };
-    if o.format == "json" {
-        println!("{}", report.to_json(Some(path)));
-    } else {
-        for d in report.diagnostics() {
-            println!("{d}");
-        }
-        println!("{path}: {} error(s), {} warning(s)", report.errors(), report.warnings());
-    }
+    print!("{}", render::lint_report(path, &report, format));
     Ok(if report.errors() > 0 { ExitCode::from(1) } else { ExitCode::SUCCESS })
 }
 
@@ -380,23 +328,112 @@ fn compare(args: &[String]) -> Result<()> {
     let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
     let psg = analyze_with(&program, &options);
     let full = spike_baseline::analyze_baseline_with(&program, &options);
-    for (rid, r) in program.iter() {
-        if psg.summary.routine(rid) != &full.summaries[rid.index()] {
-            return Err(format!("summary mismatch for {} — this is a bug", r.name()).into());
-        }
-    }
-    let s = psg.psg.stats();
-    let c = full.counts;
-    println!("summaries identical for all {} routines", program.routines().len());
-    println!(
-        "psg: {} nodes / {} edges in {:?}; full cfg: {} blocks / {} arcs in {:?}",
-        s.nodes,
-        s.edges,
-        psg.stats.total(),
-        c.basic_blocks,
-        c.total_arcs(),
-        full.stats.total()
-    );
-    let _ = ProgramCfg::build(&program);
+    let report = render::compare_report(&program, &psg, &full)?;
+    print!("{report}");
+    eprint!("{}", render::compare_diag(&psg, &full));
     Ok(())
+}
+
+fn serve(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let mut options = ServeOptions {
+        tcp: o.listen.map(str::to_string),
+        unix: o.unix.map(PathBuf::from),
+        workers: o.workers,
+        analysis_threads: o.threads,
+        ..ServeOptions::default()
+    };
+    if let Some(n) = o.cache_bytes {
+        options.cache_bytes = n;
+    }
+    if let Some(n) = o.queue {
+        options.queue_capacity = n;
+    }
+    if let Some(n) = o.max_frame_bytes {
+        options.max_frame_bytes = n;
+    }
+    if let Some(n) = o.deadline_ms {
+        options.default_deadline_ms = n;
+    }
+    #[cfg(unix)]
+    spike_serve::server::install_sigterm_handler();
+    let server = Server::start(&options)?;
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("spike: serving on tcp {addr}");
+    }
+    if let Some(path) = &options.unix {
+        eprintln!("spike: serving on unix {}", path.display());
+    }
+    // Returns once a `shutdown` command or SIGTERM drains the daemon;
+    // all accepted requests have been answered.
+    server.run_to_completion();
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<ExitCode> {
+    let Some(sub) = args.first().map(String::as_str) else {
+        return Err(
+            "client needs a subcommand (analyze, lint, optimize, compare, stats, shutdown)".into(),
+        );
+    };
+    let o = parse(&args[1..])?;
+    let endpoint =
+        Endpoint::parse(o.connect.ok_or("client needs --connect <HOST:PORT|unix:PATH>")?)?;
+
+    let image_path = |what: &str| -> Result<&str> {
+        match o.positional[..] {
+            [path] => Ok(path),
+            _ => Err(format!("{what} needs an image path").into()),
+        }
+    };
+    let (cmd, path) = match sub {
+        "analyze" => (
+            Command::Analyze { summaries: o.summaries, routine: o.routine.map(str::to_string) },
+            Some(image_path("analyze")?),
+        ),
+        "lint" => {
+            (Command::Lint { format: LintFormat::parse(o.format)? }, Some(image_path("lint")?))
+        }
+        "optimize" => {
+            let out = o.out.ok_or("optimize needs -o <img>")?;
+            (
+                Command::Optimize {
+                    out: out.to_string(),
+                    iterate: o.iterate,
+                    incremental: o.incremental,
+                },
+                Some(image_path("optimize")?),
+            )
+        }
+        "compare" => (Command::Compare, Some(image_path("compare")?)),
+        "stats" => (Command::Stats, None),
+        "shutdown" => (Command::Shutdown, None),
+        other => return Err(format!("unknown client subcommand `{other}`").into()),
+    };
+
+    // The image is read client-side: an unreadable file fails here with
+    // the same message and exit code (2) as the local commands.
+    let image = match path {
+        Some(p) => fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+        None => Vec::new(),
+    };
+    let request = Request {
+        cmd,
+        image_name: path.unwrap_or_default().to_string(),
+        deadline_ms: o.deadline_ms,
+    };
+    let (response, blob) = spike_serve::client::request(&endpoint, &request, &image)?;
+    if let Some((kind, message)) = &response.error {
+        eprint!("{}", response.diag);
+        return Err(format!("daemon refused request ({}): {message}", kind.name()).into());
+    }
+    if let Command::Optimize { .. } = request.cmd {
+        let out = o.out.expect("checked above");
+        fs::write(out, &blob).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    // Report bytes exactly as the local path would print them; daemon
+    // diagnostics (timings, cache disposition) go to stderr.
+    print!("{}", response.stdout);
+    eprint!("{}", response.diag);
+    Ok(ExitCode::from(response.exit))
 }

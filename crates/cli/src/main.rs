@@ -9,10 +9,14 @@
 //! spike run <img> [--fuel N]
 //! spike lint <img> [--format human|json]
 //! spike compare <img>
+//! spike serve --unix /tmp/spike.sock
+//! spike client lint <img> --connect unix:/tmp/spike.sock
 //! ```
 //!
 //! Exit codes: 0 on success (for `lint`: no error-severity findings),
-//! 1 when `lint` reports errors, 2 on usage or I/O problems.
+//! 1 when `lint` reports errors, 2 on usage or I/O problems. `client`
+//! relays the daemon's exit code (so `client lint` still exits 1 on
+//! findings) and exits 2 on connect or protocol failures.
 
 use std::process::ExitCode;
 

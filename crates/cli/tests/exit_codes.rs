@@ -104,6 +104,122 @@ fn lint_reports_malformed_images_as_findings() {
     assert!(stdout(&o).contains("\"check\":\"malformed-image\""));
 }
 
+/// Kills the daemon child on test failure; the happy path takes it out
+/// with [`ServeGuard::into_inner`] to assert a graceful exit instead.
+struct ServeGuard {
+    child: Option<std::process::Child>,
+}
+
+impl ServeGuard {
+    fn into_inner(mut self) -> std::process::Child {
+        self.child.take().expect("child not yet taken")
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Starts `spike serve` on a Unix socket and waits until it accepts
+/// requests.
+fn start_daemon(sock: &str) -> ServeGuard {
+    let child = Command::new(env!("CARGO_BIN_EXE_spike-cli"))
+        .args(["serve", "--unix", sock, "--workers", "2"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let guard = ServeGuard { child: Some(child) };
+    let connect = format!("unix:{sock}");
+    for _ in 0..200 {
+        if std::path::Path::new(sock).exists() {
+            let o = spike(&["client", "stats", "--connect", &connect]);
+            if code(&o) == 0 {
+                return guard;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    panic!("daemon did not come up on {sock}");
+}
+
+#[test]
+fn client_relays_daemon_exit_codes_and_output_bytes() {
+    let dir = tempdir("client");
+    let sock = dir.path.join("d.sock").to_string_lossy().into_owned();
+    let connect = format!("unix:{sock}");
+    let clean =
+        assemble(&dir, "clean", ".routine main\n    lda v0, 7(zero)\n    putint\n    halt\n");
+    let bad = assemble(&dir, "bad", ".routine main\n    addq t0, t0, v0\n    putint\n    halt\n");
+
+    let daemon = start_daemon(&sock);
+
+    // Exit 0 with stdout byte-identical to the local path.
+    for args in [
+        vec!["lint", clean.as_str()],
+        vec!["analyze", clean.as_str()],
+        vec!["lint", clean.as_str(), "--format", "json"],
+    ] {
+        let local = spike(&args);
+        let mut remote_args = vec!["client"];
+        remote_args.extend(&args);
+        remote_args.extend(["--connect", connect.as_str()]);
+        let remote = spike(&remote_args);
+        assert_eq!(code(&remote), 0, "{:?}: {}", args, stderr(&remote));
+        assert_eq!(remote.stdout, local.stdout, "client {:?} diverged from local", args);
+    }
+
+    // Lint errors are relayed as exit 1, same report bytes.
+    let local = spike(&["lint", &bad]);
+    let remote = spike(&["client", "lint", &bad, "--connect", &connect]);
+    assert_eq!(code(&remote), 1);
+    assert_eq!(remote.stdout, local.stdout);
+    assert!(stdout(&remote).contains("error[uninit-read]"));
+
+    // An unreadable image fails client-side with the local message.
+    let o = spike(&["client", "lint", "/nonexistent/image.img", "--connect", &connect]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("cannot read"));
+
+    // Graceful shutdown: the command exits 0 and so does the daemon.
+    let o = spike(&["client", "shutdown", "--connect", &connect]);
+    assert_eq!(code(&o), 0, "{}", stderr(&o));
+    let status = daemon.into_inner().wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "daemon must drain and exit 0");
+}
+
+#[test]
+fn client_connect_and_usage_failures_exit_two() {
+    let dir = tempdir("client-fail");
+    let img = assemble(&dir, "ok", ".routine main\n    halt\n");
+
+    // Nothing listening.
+    let o = spike(&["client", "lint", &img, "--connect", "unix:/nonexistent/d.sock"]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("cannot connect"), "{}", stderr(&o));
+
+    // Usage problems.
+    let o = spike(&["client", "lint", &img]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("--connect"));
+    let o = spike(&["client", "frobnicate", "--connect", "unix:/tmp/x.sock"]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("unknown client subcommand"));
+    let o = spike(&["client"]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("needs a subcommand"));
+
+    // `serve` with no listener configured is a usage problem too.
+    let o = spike(&["serve"]);
+    assert_eq!(code(&o), 2);
+    assert!(stderr(&o).contains("--listen"));
+}
+
 #[test]
 fn usage_and_io_problems_exit_two() {
     // Missing file is exit 2 for every file-taking subcommand.

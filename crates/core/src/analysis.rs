@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use spike_cfg::{ProgramCfg, RoutineCfg};
-use spike_isa::{CallingStandard, HeapSize, Reg, RegSet};
+use spike_isa::{CallingStandard, CloneExact, HeapSize, Reg, RegSet};
 use spike_program::{Program, RoutineId};
 
 use crate::build::build_psg;
@@ -127,7 +127,17 @@ impl AnalysisStats {
 /// The result of analyzing a program: the converged PSG, the extracted
 /// summaries, the per-routine CFGs (retained for the optimizer), and the
 /// stage statistics.
-#[derive(Debug)]
+///
+/// An `Analysis` is plain owned data — `Send + Sync` (checked below) and
+/// `Clone` — so a long-running service can hold converged analyses in a
+/// shared cache, hand them to worker threads, and fork one as the warm
+/// starting point of an incremental re-analysis. Forks that feed
+/// [`AnalysisCache::from_analysis`](crate::AnalysisCache::from_analysis)
+/// must use [`CloneExact`] rather than `Clone`: a plain clone compacts
+/// every Vec to its length, which silently changes
+/// [`AnalysisStats::memory_bytes`] (a capacity count) and would break the
+/// bit-identical-to-scratch contract of the incremental path.
+#[derive(Clone, Debug)]
 pub struct Analysis {
     /// The converged Program Summary Graph.
     pub psg: Psg,
@@ -138,6 +148,25 @@ pub struct Analysis {
     /// Stage timings, effort counters and memory footprint.
     pub stats: AnalysisStats,
 }
+
+impl CloneExact for Analysis {
+    fn clone_exact(&self) -> Analysis {
+        Analysis {
+            psg: self.psg.clone_exact(),
+            summary: self.summary.clone_exact(),
+            cfg: self.cfg.clone_exact(),
+            stats: self.stats,
+        }
+    }
+}
+
+// The cross-request cache in `spike-serve` shares analyses across worker
+// threads; keep the thread-safety of the result types a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Analysis>();
+    assert_send_sync::<crate::AnalysisCache>();
+};
 
 /// Analyzes `program` with default options.
 ///

@@ -70,7 +70,7 @@ use crate::summary::ProgramSummary;
 /// assert_eq!(analysis.stats.routines_reused, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AnalysisCache {
     options: AnalysisOptions,
     state: Option<Analysis>,
@@ -81,6 +81,35 @@ impl AnalysisCache {
     /// [`reanalyze`](Self::reanalyze) fills it with a from-scratch run.
     pub fn new(options: AnalysisOptions) -> AnalysisCache {
         AnalysisCache { options, state: None }
+    }
+
+    /// Creates a cache already warmed with a converged `analysis` of some
+    /// program. The next [`reanalyze`](Self::reanalyze) over an edited
+    /// copy of that program re-solves only the dirty routines, exactly as
+    /// if this cache had computed `analysis` itself — the entry point a
+    /// long-running service uses to fork a cached analysis into the warm
+    /// starting point for a diffed re-submission.
+    ///
+    /// When forking from a shared analysis, copy it with
+    /// [`CloneExact`](spike_isa::CloneExact): `reanalyze`'s bit-identical
+    /// `memory_bytes` guarantee counts Vec *capacities*, which a plain
+    /// `Clone` compacts.
+    pub fn from_analysis(options: AnalysisOptions, analysis: Analysis) -> AnalysisCache {
+        AnalysisCache { options, state: Some(analysis) }
+    }
+
+    /// Consumes the cache, returning the converged analysis if any run
+    /// has completed.
+    pub fn into_analysis(self) -> Option<Analysis> {
+        self.state
+    }
+
+    /// A deterministic estimate of the heap the cached analysis retains
+    /// (its CFGs, PSG and summaries, via [`HeapSize`] accounting), for
+    /// byte-budgeted eviction decisions in caches of caches. An empty
+    /// cache is free.
+    pub fn heap_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |a| a.stats.memory_bytes)
     }
 
     /// The options every analysis run through this cache uses.

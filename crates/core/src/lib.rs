@@ -51,6 +51,7 @@ mod dataflow;
 mod dot;
 mod flow;
 mod incremental;
+pub mod json;
 pub mod parallel;
 mod psg;
 mod schedule;

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use spike_cfg::BlockId;
-use spike_isa::{HeapSize, RegSet};
+use spike_isa::{CloneExact, HeapSize, RegSet};
 use spike_program::RoutineId;
 
 /// Identifies a PSG node.
@@ -250,6 +250,21 @@ impl HeapSize for RoutineNodes {
     }
 }
 
+impl CloneExact for RoutineNodes {
+    fn clone_exact(&self) -> RoutineNodes {
+        RoutineNodes {
+            entries: self.entries.clone_exact(),
+            exits: self.exits.clone_exact(),
+            calls: self.calls.clone_exact(),
+            branches: self.branches.clone_exact(),
+            halts: self.halts.clone_exact(),
+            unknown_jumps: self.unknown_jumps.clone_exact(),
+            diverge: self.diverge,
+            saved_restored: self.saved_restored,
+        }
+    }
+}
+
 /// Aggregate PSG size statistics (Tables 3–5 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct PsgStats {
@@ -443,5 +458,34 @@ impl HeapSize for Psg {
             + self.may_def.heap_bytes()
             + self.must_def.heap_bytes()
             + self.live.heap_bytes()
+    }
+}
+
+impl CloneExact for Psg {
+    fn clone_exact(&self) -> Psg {
+        Psg {
+            nodes: self.nodes.clone_exact(),
+            edges: self.edges.clone_exact(),
+            out_edges: self.out_edges.clone_exact(),
+            in_edges: self.in_edges.clone_exact(),
+            routines: self.routines.clone_exact(),
+            cr_sources: self.cr_sources.clone_exact(),
+            entry_cr_edges: self.entry_cr_edges.clone_exact(),
+            return_exit_targets: self.return_exit_targets.clone_exact(),
+            pinned: self.pinned.clone_exact(),
+            uj_live: self.uj_live.clone_exact(),
+            may_use: self.may_use.clone_exact(),
+            may_def: self.may_def.clone_exact(),
+            must_def: self.must_def.clone_exact(),
+            live: self.live.clone_exact(),
+        }
+    }
+}
+
+spike_isa::impl_clone_exact_for_copy!(NodeId, EdgeId, NodeKind, EdgeKind);
+
+impl CloneExact for Edge {
+    fn clone_exact(&self) -> Edge {
+        self.clone()
     }
 }

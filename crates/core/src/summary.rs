@@ -1,7 +1,7 @@
 //! Per-routine and per-call-site register summaries (§2 of the paper).
 
 use spike_cfg::{CallTarget, ProgramCfg, TermKind};
-use spike_isa::{CallingStandard, HeapSize, RegSet};
+use spike_isa::{CallingStandard, CloneExact, HeapSize, RegSet};
 use spike_program::{Program, RoutineId};
 
 use crate::psg::Psg;
@@ -35,6 +35,19 @@ impl HeapSize for RoutineSummary {
             + self.call_killed.heap_bytes()
             + self.live_at_entry.heap_bytes()
             + self.live_at_exit.heap_bytes()
+    }
+}
+
+impl CloneExact for RoutineSummary {
+    fn clone_exact(&self) -> RoutineSummary {
+        RoutineSummary {
+            call_used: self.call_used.clone_exact(),
+            call_defined: self.call_defined.clone_exact(),
+            call_killed: self.call_killed.clone_exact(),
+            live_at_entry: self.live_at_entry.clone_exact(),
+            live_at_exit: self.live_at_exit.clone_exact(),
+            saved_restored: self.saved_restored,
+        }
     }
 }
 
@@ -176,5 +189,14 @@ impl ProgramSummary {
 impl HeapSize for ProgramSummary {
     fn heap_bytes(&self) -> usize {
         self.routines.heap_bytes()
+    }
+}
+
+impl CloneExact for ProgramSummary {
+    fn clone_exact(&self) -> ProgramSummary {
+        ProgramSummary {
+            routines: self.routines.clone_exact(),
+            calling_standard: self.calling_standard,
+        }
     }
 }

@@ -50,6 +50,6 @@ mod regset;
 
 pub use callstd::CallingStandard;
 pub use insn::{AluOp, BranchCond, DecodeError, FpOp, Instruction, MemWidth};
-pub use mem::HeapSize;
+pub use mem::{CloneExact, HeapSize};
 pub use reg::{Reg, NUM_REGS};
 pub use regset::RegSet;

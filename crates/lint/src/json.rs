@@ -1,28 +1,14 @@
 //! Hand-rolled JSON emission for [`LintReport`] (the build is offline, so
 //! no serialization dependency is available — the format is small enough
-//! to write directly and is pinned by a golden test).
+//! to write directly and is pinned by a golden test). String escaping is
+//! the shared [`spike_core::json`] writer, so the whole workspace has one
+//! escaping bug surface.
 
 use std::fmt::Write as _;
 
-use crate::diag::{Diagnostic, LintReport};
+use spike_core::json::escape_into as escape;
 
-fn escape(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+use crate::diag::{Diagnostic, LintReport};
 
 fn finding(d: &Diagnostic, out: &mut String) {
     out.push_str("{\"check\":");

@@ -1,0 +1,222 @@
+//! Structural diffing of two program images to drive incremental
+//! re-analysis.
+//!
+//! When a client re-submits an image that differs only slightly from one
+//! the daemon has already analyzed, the cheap path is
+//! [`spike_core::AnalysisCache::reanalyze`] seeded with the cached
+//! analysis and the set of changed routines. That is only sound when the
+//! "clean" routines really are dataflow-identical between the two
+//! programs, so the diff errs relentlessly toward *dirty*: any doubt
+//! about a routine marks it changed, and any doubt about the program
+//! shape (routine count, names, entry routine) gives up entirely and
+//! reports the pair as incomparable.
+
+use std::collections::BTreeMap;
+
+use spike_isa::Instruction;
+use spike_program::{IndirectTargets, Program, Routine, RoutineId};
+
+/// Side-table contents attributed to one routine, with every address
+/// rewritten as an offset from the routine base so that a pure layout
+/// shift (routines moved, bodies unchanged) compares equal.
+#[derive(PartialEq, Default)]
+struct RoutineAux {
+    /// Jump tables: jump offset → target offsets (targets stay inside the
+    /// jump's routine, a `Program` validation invariant).
+    jump_tables: Vec<(u32, Vec<u32>)>,
+    /// Indirect-call targets: call offset → normalized targets. `Known`
+    /// entry addresses are rewritten as `(routine index, entry index)`
+    /// via the owning program's entry map.
+    indirect: Vec<(u32, NormalizedTargets)>,
+    /// Live-register hints on unknown-target jumps: jump offset → set.
+    jump_hints: Vec<(u32, spike_isa::RegSet)>,
+    /// Address-materialization records: instruction offset → encoded
+    /// word address. The encoded value equals the `lda` displacement (a
+    /// validation invariant), so for byte-identical routine bodies these
+    /// only differ if the record set itself changed.
+    relocations: Vec<(u32, u32)>,
+}
+
+/// [`IndirectTargets`] with `Known` entry addresses made layout-free.
+#[derive(PartialEq)]
+enum NormalizedTargets {
+    Unknown,
+    Known(Vec<(usize, usize)>),
+    Hinted { used: spike_isa::RegSet, defined: spike_isa::RegSet, killed: spike_isa::RegSet },
+}
+
+fn normalize_targets(p: &Program, t: &IndirectTargets) -> NormalizedTargets {
+    match t {
+        IndirectTargets::Unknown => NormalizedTargets::Unknown,
+        IndirectTargets::Known(addrs) => NormalizedTargets::Known(
+            addrs
+                .iter()
+                .map(|&a| {
+                    let (rid, ei) = p.entry_at(a).expect("validated known target is an entrance");
+                    (rid.index(), ei)
+                })
+                .collect(),
+        ),
+        IndirectTargets::Hinted { used, defined, killed } => {
+            NormalizedTargets::Hinted { used: *used, defined: *defined, killed: *killed }
+        }
+    }
+}
+
+/// Groups a program's side tables by owning routine, normalized to
+/// routine-relative offsets. Map iteration is in address order, so the
+/// per-routine vectors are deterministically ordered and comparable.
+fn aux_by_routine(p: &Program) -> BTreeMap<usize, RoutineAux> {
+    let mut out: BTreeMap<usize, RoutineAux> = BTreeMap::new();
+    let owner = |addr: u32| {
+        let rid = p.routine_containing(addr).expect("validated aux info lies in a routine");
+        (rid.index(), addr - p.routine(rid).addr())
+    };
+    for (&addr, targets) in p.jump_tables() {
+        let (ri, off) = owner(addr);
+        let base = p.routine(RoutineId::from_index(ri)).addr();
+        let rel = targets.iter().map(|&t| t - base).collect();
+        out.entry(ri).or_default().jump_tables.push((off, rel));
+    }
+    for (&addr, targets) in p.indirect_calls() {
+        let (ri, off) = owner(addr);
+        out.entry(ri).or_default().indirect.push((off, normalize_targets(p, targets)));
+    }
+    for (&addr, &set) in p.jump_hints() {
+        let (ri, off) = owner(addr);
+        out.entry(ri).or_default().jump_hints.push((off, set));
+    }
+    for (&addr, &target) in p.relocations() {
+        let (ri, off) = owner(addr);
+        out.entry(ri).or_default().relocations.push((off, target));
+    }
+    out
+}
+
+/// Whether the direct calls in two byte-identical routine bodies resolve
+/// to the same callees. Equal instructions do not guarantee this: a `bsr`
+/// displacement is layout-relative, so when surrounding routines grow or
+/// shrink, an unchanged caller body can land on a different routine (or a
+/// different entrance of the same routine).
+fn calls_resolve_identically(old: &Program, new: &Program, or: &Routine, nr: &Routine) -> bool {
+    debug_assert_eq!(or.insns(), nr.insns());
+    for (i, insn) in or.insns().iter().enumerate() {
+        if let Instruction::Bsr { .. } = insn {
+            let ot = old.direct_call_target(or.addr() + i as u32);
+            let nt = new.direct_call_target(nr.addr() + i as u32);
+            let norm = |t: Option<(RoutineId, usize)>| t.map(|(rid, ei)| (rid.index(), ei));
+            if norm(ot) != norm(nt) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Computes the set of routines whose analysis facts may differ between
+/// `old` and `new`.
+///
+/// Returns `None` when the programs are structurally incomparable —
+/// different routine counts, names, export flags, or entry routine — in
+/// which case the caller must analyze `new` from scratch. Otherwise
+/// returns the dirty-routine ids (possibly empty, for a byte-level change
+/// that turned out to be dataflow-neutral, e.g. a pure layout shift); the
+/// set may be a superset of the truly changed routines, never a subset.
+pub fn diff_for_reanalysis(old: &Program, new: &Program) -> Option<Vec<RoutineId>> {
+    if old.routines().len() != new.routines().len() || old.entry().index() != new.entry().index() {
+        return None;
+    }
+    for (or, nr) in old.routines().iter().zip(new.routines()) {
+        if or.name() != nr.name() || or.exported() != nr.exported() {
+            return None;
+        }
+    }
+
+    let old_aux = aux_by_routine(old);
+    let new_aux = aux_by_routine(new);
+    let empty = RoutineAux::default();
+
+    let mut dirty = Vec::new();
+    for (i, (or, nr)) in old.routines().iter().zip(new.routines()).enumerate() {
+        let body_equal = or.insns() == nr.insns() && or.entry_offsets() == nr.entry_offsets();
+        let aux_equal = old_aux.get(&i).unwrap_or(&empty) == new_aux.get(&i).unwrap_or(&empty);
+        let clean = body_equal && aux_equal && calls_resolve_identically(old, new, or, nr);
+        if !clean {
+            dirty.push(RoutineId::from_index(i));
+        }
+    }
+    Some(dirty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_isa::Reg;
+    use spike_program::{ProgramBuilder, Rewriter};
+
+    fn base_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).def(Reg::A1).call("helper").call("leaf").halt();
+        b.routine("helper").def(Reg::T0).def(Reg::V0).ret();
+        b.routine("leaf").def(Reg::V0).ret();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_programs_have_no_dirty_routines() {
+        let p = base_program();
+        assert_eq!(diff_for_reanalysis(&p, &p.clone()), Some(Vec::new()));
+    }
+
+    #[test]
+    fn deleting_an_instruction_dirties_its_routine() {
+        let p = base_program();
+        let helper = p.routine_by_name("helper").unwrap();
+        let addr = p.routine(helper).addr();
+        let (q, changed) = Rewriter::new(&p).delete(addr).finish().unwrap();
+        let dirty = diff_for_reanalysis(&p, &q).unwrap();
+        assert!(dirty.contains(&helper));
+        // Everything the rewriter reports changed must be in our dirty
+        // set (ours may be larger, never smaller).
+        for rid in changed {
+            assert!(dirty.contains(&rid), "{rid} changed but not marked dirty");
+        }
+    }
+
+    #[test]
+    fn renamed_routine_is_incomparable() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).def(Reg::A1).call("renamed").call("leaf").halt();
+        b.routine("renamed").def(Reg::T0).def(Reg::V0).ret();
+        b.routine("leaf").def(Reg::V0).ret();
+        let q = b.build().unwrap();
+        assert_eq!(diff_for_reanalysis(&base_program(), &q), None);
+    }
+
+    #[test]
+    fn different_routine_count_is_incomparable() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).halt();
+        let q = b.build().unwrap();
+        assert_eq!(diff_for_reanalysis(&base_program(), &q), None);
+    }
+
+    #[test]
+    fn unchanged_body_with_retargeted_call_is_dirty() {
+        // `helper` shrinks by one instruction, which shifts `leaf` down.
+        // `main`'s second call keeps its encoding semantics (the rewriter
+        // fixes displacements), so main's body changes; but the key
+        // property is that the diff never reports a caller clean while
+        // its resolved callee set changed.
+        let p = base_program();
+        let helper = p.routine_by_name("helper").unwrap();
+        let (q, _) = Rewriter::new(&p).delete(p.routine(helper).addr()).finish().unwrap();
+        let dirty = diff_for_reanalysis(&p, &q).unwrap();
+        for (rid, or) in p.iter() {
+            let nr = q.routine(rid);
+            if or.insns() == nr.insns() && !dirty.contains(&rid) {
+                assert!(calls_resolve_identically(&p, &q, or, nr));
+            }
+        }
+    }
+}

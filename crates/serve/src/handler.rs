@@ -1,0 +1,301 @@
+//! Per-request dispatch: turns a decoded [`Request`] plus its image blob
+//! into a [`Response`], routing images through the warm
+//! [`ProgramStore`](crate::cache::ProgramStore).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spike_core::AnalysisOptions;
+use spike_program::Program;
+
+use crate::cache::ProgramStore;
+use crate::metrics::Metrics;
+use crate::proto::{Command, ErrorKind, Request, Response};
+use crate::render;
+
+/// A request's processing budget, measured on the monotonic clock from
+/// the moment the daemon finished reading its frame.
+pub struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// Starts the clock with `limit_ms` to go. `0` is already expired.
+    pub fn starting_now(limit_ms: u64) -> Deadline {
+        Deadline { start: Instant::now(), limit: Duration::from_millis(limit_ms) }
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+}
+
+/// The shared state a worker needs to serve one request.
+pub struct Handler {
+    /// The cross-request analysis cache.
+    pub store: Arc<ProgramStore>,
+    /// Daemon counters.
+    pub metrics: Arc<Metrics>,
+    /// Work-queue capacity, echoed in `stats`.
+    pub queue_capacity: usize,
+    /// Set by the `shutdown` command; the accept loops watch it.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl Handler {
+    /// Serves one request. Returns the response and the response blob
+    /// (non-empty only for `optimize`, which returns the rewritten
+    /// image). Never panics outward for request-level failures — those
+    /// become structured error responses; a genuine handler panic is the
+    /// caller's `catch_unwind` problem.
+    pub fn handle(&self, req: &Request, image: &[u8], deadline: &Deadline) -> (Response, Vec<u8>) {
+        if deadline.expired() {
+            self.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            return (Response::error(ErrorKind::Deadline, "deadline expired"), Vec::new());
+        }
+        if req.cmd.wants_image() && image.is_empty() {
+            return (
+                Response::error(ErrorKind::BadRequest, "request carries no image"),
+                Vec::new(),
+            );
+        }
+        let (mut response, blob) = match &req.cmd {
+            Command::Analyze { summaries, routine } => {
+                (self.analyze(req, image, *summaries, routine.as_deref()), Vec::new())
+            }
+            Command::Lint { format } => (self.lint(req, image, *format), Vec::new()),
+            Command::Optimize { out, iterate, incremental } => {
+                self.optimize(req, image, out, *iterate, *incremental)
+            }
+            Command::Compare => (self.compare(req, image), Vec::new()),
+            Command::Stats => (self.stats(), Vec::new()),
+            Command::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    Response::ok(String::new(), "draining; daemon exits when idle\n".into()),
+                    Vec::new(),
+                )
+            }
+        };
+        // Work that outlived its budget is thrown away rather than
+        // returned late: the client asked for a bound, not a result.
+        if deadline.expired() && response.error.is_none() {
+            self.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            response = Response::error(ErrorKind::Deadline, "deadline expired during processing");
+            return (response, Vec::new());
+        }
+        (response, blob)
+    }
+
+    fn analyze(
+        &self,
+        req: &Request,
+        image: &[u8],
+        summaries: bool,
+        routine: Option<&str>,
+    ) -> Response {
+        let (entry, outcome) = match self.store.get_or_analyze(image) {
+            Ok(x) => x,
+            Err(msg) => return Response::error(ErrorKind::BadImage, msg),
+        };
+        match render::analyze_report(
+            &req.image_name,
+            &entry.program,
+            &entry.analysis,
+            summaries,
+            routine,
+        ) {
+            Ok(stdout) => {
+                let mut diag = render::analyze_diag(&entry.analysis.stats);
+                let _ = writeln!(diag, "cache: {}", outcome.name());
+                Response::ok(stdout, diag)
+            }
+            Err(msg) => Response::error(ErrorKind::BadRequest, msg),
+        }
+    }
+
+    fn lint(&self, req: &Request, image: &[u8], format: crate::proto::LintFormat) -> Response {
+        // Mirrors the local CLI's contract: an unreadable *file* is the
+        // client's problem (exit 2 before any request is sent), but bytes
+        // that fail image validation are a `malformed-image` finding with
+        // exit 1, so automated callers see it in the report.
+        let (report, diag) = match self.store.get_or_analyze(image) {
+            Ok((entry, outcome)) => (
+                spike_lint::lint_with(
+                    &entry.program,
+                    &entry.analysis,
+                    &spike_lint::LintOptions::default(),
+                ),
+                format!("cache: {}\n", outcome.name()),
+            ),
+            Err(msg) => (spike_lint::malformed_image(msg), String::new()),
+        };
+        let stdout = render::lint_report(&req.image_name, &report, format);
+        let exit = if report.errors() > 0 { 1 } else { 0 };
+        Response { exit, stdout, diag, error: None }
+    }
+
+    fn optimize(
+        &self,
+        req: &Request,
+        image: &[u8],
+        out: &str,
+        iterate: bool,
+        incremental: bool,
+    ) -> (Response, Vec<u8>) {
+        // Optimization rewrites the program, so there is nothing to share
+        // across requests: parse and run fresh, exactly like the local
+        // path. (The *analysis* passes inside optimize_with still use the
+        // optimizer's own per-run incremental cache.)
+        let program = match Program::from_image(image) {
+            Ok(p) => p,
+            Err(e) => return (Response::error(ErrorKind::BadImage, e.to_string()), Vec::new()),
+        };
+        let options = spike_opt::OptOptions {
+            analysis: self.store.options().clone(),
+            iterate,
+            incremental,
+            ..spike_opt::OptOptions::default()
+        };
+        match spike_opt::optimize_with(&program, &options) {
+            Ok((optimized, report)) => {
+                let stdout = render::optimize_report(&req.image_name, out, &report, incremental);
+                (Response::ok(stdout, String::new()), optimized.to_image())
+            }
+            Err(e) => (Response::error(ErrorKind::BadImage, e.to_string()), Vec::new()),
+        }
+    }
+
+    fn compare(&self, _req: &Request, image: &[u8]) -> Response {
+        let (entry, outcome) = match self.store.get_or_analyze(image) {
+            Ok(x) => x,
+            Err(msg) => return Response::error(ErrorKind::BadImage, msg),
+        };
+        // The PSG side comes warm from the cache; the whole-CFG baseline
+        // is the expensive cross-check and always runs fresh.
+        let opts: &AnalysisOptions = self.store.options();
+        let full = spike_baseline::analyze_baseline_with(&entry.program, opts);
+        match render::compare_report(&entry.program, &entry.analysis, &full) {
+            Ok(stdout) => {
+                let mut diag = render::compare_diag(&entry.analysis, &full);
+                let _ = writeln!(diag, "cache: {}", outcome.name());
+                Response::ok(stdout, diag)
+            }
+            Err(msg) => Response::error(ErrorKind::Panic, msg),
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let snapshot = self.store.snapshot();
+        let json = self.metrics.to_stats_json(&snapshot, self.queue_capacity);
+        Response::ok(format!("{json}\n"), String::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::LintFormat;
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    fn handler() -> Handler {
+        Handler {
+            store: Arc::new(ProgramStore::new(AnalysisOptions::default(), usize::MAX)),
+            metrics: Arc::new(Metrics::default()),
+            queue_capacity: 8,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn image() -> Vec<u8> {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).call("leaf").put_int().halt();
+        b.routine("leaf").copy(Reg::A0, Reg::V0).ret();
+        b.build().unwrap().to_image()
+    }
+
+    fn req(cmd: Command) -> Request {
+        Request { cmd, image_name: "x.img".into(), deadline_ms: None }
+    }
+
+    fn far_deadline() -> Deadline {
+        Deadline::starting_now(60_000)
+    }
+
+    #[test]
+    fn analyze_matches_the_shared_renderer() {
+        let h = handler();
+        let img = image();
+        let r = req(Command::Analyze { summaries: false, routine: None });
+        let (resp, blob) = h.handle(&r, &img, &far_deadline());
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert!(blob.is_empty());
+
+        let program = Program::from_image(&img).unwrap();
+        let analysis = spike_core::analyze(&program);
+        let expected = render::analyze_report("x.img", &program, &analysis, false, None).unwrap();
+        assert_eq!(resp.stdout, expected);
+        assert!(resp.diag.contains("cache: miss"));
+
+        // Second identical request hits the cache, byte-identically.
+        let (resp2, _) = h.handle(&r, &img, &far_deadline());
+        assert_eq!(resp2.stdout, resp.stdout);
+        assert!(resp2.diag.contains("cache: hit"));
+    }
+
+    #[test]
+    fn lint_reports_malformed_images_as_findings() {
+        let h = handler();
+        let r = req(Command::Lint { format: LintFormat::Human });
+        let (resp, _) = h.handle(&r, b"garbage", &far_deadline());
+        assert_eq!(resp.exit, 1);
+        assert!(resp.stdout.contains("error[malformed-image]"));
+        assert!(resp.error.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_work() {
+        let h = handler();
+        let r = req(Command::Analyze { summaries: false, routine: None });
+        let (resp, _) = h.handle(&r, &image(), &Deadline::starting_now(0));
+        assert_eq!(resp.exit, 2);
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::Deadline));
+        // The rejected request never touched the cache.
+        assert_eq!(h.store.snapshot().entries, 0);
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let h = handler();
+        let (resp, _) = h.handle(&req(Command::Shutdown), &[], &far_deadline());
+        assert_eq!(resp.exit, 0);
+        assert!(h.shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn missing_image_is_a_bad_request() {
+        let h = handler();
+        let r = req(Command::Analyze { summaries: false, routine: None });
+        let (resp, _) = h.handle(&r, &[], &far_deadline());
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
+    }
+
+    #[test]
+    fn stats_round_trips_through_the_parser() {
+        let h = handler();
+        h.handle(
+            &req(Command::Analyze { summaries: false, routine: None }),
+            &image(),
+            &far_deadline(),
+        );
+        let (resp, _) = h.handle(&req(Command::Stats), &[], &far_deadline());
+        let json = spike_core::json::Json::parse(resp.stdout.trim()).unwrap();
+        let cache = json.get("cache").expect("cache section");
+        assert_eq!(cache.get("entries").and_then(spike_core::json::Json::as_u64), Some(1));
+    }
+}

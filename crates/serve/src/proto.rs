@@ -1,0 +1,524 @@
+//! The wire protocol: length-prefixed JSON frames with an optional binary
+//! attachment.
+//!
+//! A frame is an 8-byte big-endian header — `u32` JSON length, `u32` blob
+//! length — followed by the JSON bytes and then the blob bytes. Requests
+//! carry the executable image in the blob (no base64 inflation); the only
+//! response that uses the blob is `optimize`, which returns the rewritten
+//! image. One connection carries exactly one request/response exchange:
+//! the client connects, writes one frame, reads one frame, and both sides
+//! close. That keeps the server's worker loop free of idle-connection
+//! bookkeeping, and connecting over a Unix socket is far cheaper than any
+//! analysis the request triggers.
+//!
+//! All JSON is read and written through [`spike_core::json`], so the
+//! daemon shares the workspace's one escaping implementation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use spike_core::json::Json;
+
+/// Frame header size: two big-endian `u32` lengths.
+const HEADER_LEN: usize = 8;
+
+/// What [`read_frame`] produced.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame: the decoded JSON document and the blob.
+    Frame(Json, Vec<u8>),
+    /// The peer closed the connection before sending a header.
+    Eof,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The header announced more than the configured byte limit. The
+    /// frame body was *not* consumed; the connection must be dropped
+    /// after the error reply.
+    TooLarge {
+        /// Announced total frame size in bytes.
+        announced: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The JSON payload failed to parse.
+    BadJson(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::TooLarge { announced, limit } => {
+                write!(f, "frame of {announced} bytes exceeds the {limit}-byte limit")
+            }
+            FrameError::BadJson(e) => write!(f, "malformed JSON payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame. The JSON document is serialized in stored member
+/// order, so identical values produce identical bytes.
+pub fn write_frame(w: &mut impl Write, json: &Json, blob: &[u8]) -> io::Result<()> {
+    let mut text = String::new();
+    json.write(&mut text);
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(text.len() as u32).to_be_bytes());
+    header[4..].copy_from_slice(&(blob.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(text.as_bytes())?;
+    w.write_all(blob)?;
+    w.flush()
+}
+
+/// Reads one frame, refusing to consume bodies larger than `max_bytes`
+/// (JSON length + blob length combined).
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<FrameRead, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(FrameRead::Eof);
+    }
+    let json_len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let blob_len = u32::from_be_bytes(header[4..].try_into().expect("4 bytes")) as usize;
+    let total = json_len.saturating_add(blob_len);
+    if total > max_bytes {
+        return Err(FrameError::TooLarge { announced: total, limit: max_bytes });
+    }
+    let mut json_bytes = vec![0u8; json_len];
+    r.read_exact(&mut json_bytes)?;
+    let mut blob = vec![0u8; blob_len];
+    r.read_exact(&mut blob)?;
+    let text = String::from_utf8(json_bytes)
+        .map_err(|e| FrameError::BadJson(format!("payload is not UTF-8: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| FrameError::BadJson(e.to_string()))?;
+    Ok(FrameRead::Frame(json, blob))
+}
+
+/// Fills `buf` completely, or reports a clean EOF if the stream ended
+/// before the first byte.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// How `lint` output should be formatted, mirroring `spike lint --format`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LintFormat {
+    /// One diagnostic per line plus a summary line.
+    Human,
+    /// The stable JSON report.
+    Json,
+}
+
+impl LintFormat {
+    fn name(self) -> &'static str {
+        match self {
+            LintFormat::Human => "human",
+            LintFormat::Json => "json",
+        }
+    }
+
+    /// Parses a `--format` value; the error text matches the local CLI's.
+    ///
+    /// # Errors
+    ///
+    /// Rejects anything other than `human` or `json`.
+    pub fn parse(s: &str) -> Result<LintFormat, String> {
+        match s {
+            "human" => Ok(LintFormat::Human),
+            "json" => Ok(LintFormat::Json),
+            other => Err(format!("--format must be `human` or `json`, got `{other}`")),
+        }
+    }
+}
+
+/// What the client asks the daemon to do.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// Interprocedural dataflow analysis; the deterministic report of
+    /// `spike analyze`.
+    Analyze {
+        /// Print every routine's summary (`--summaries`).
+        summaries: bool,
+        /// Print only this routine's summary (`--routine`).
+        routine: Option<String>,
+    },
+    /// Static checks; the report of `spike lint`.
+    Lint {
+        /// Output format.
+        format: LintFormat,
+    },
+    /// The Figure-1 optimizations; returns the rewritten image as the
+    /// response blob.
+    Optimize {
+        /// Display name of the output path (report text only; the client
+        /// decides where the blob is written).
+        out: String,
+        /// Loop the pass sequence to a fixpoint (`--iterate`).
+        iterate: bool,
+        /// Incremental re-analysis between passes (`--incremental`).
+        incremental: bool,
+    },
+    /// PSG vs whole-CFG cross-validation; the report of `spike compare`.
+    Compare,
+    /// The daemon's counters as one JSON document.
+    Stats,
+    /// Graceful drain: stop accepting, finish queued work, exit 0.
+    Shutdown,
+}
+
+impl Command {
+    /// The wire name of the command.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Analyze { .. } => "analyze",
+            Command::Lint { .. } => "lint",
+            Command::Optimize { .. } => "optimize",
+            Command::Compare => "compare",
+            Command::Stats => "stats",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether the request must carry an image in the frame blob.
+    pub fn wants_image(&self) -> bool {
+        !matches!(self, Command::Stats | Command::Shutdown)
+    }
+}
+
+/// One request: a command plus the metadata shared by all commands.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Request {
+    /// The command to run.
+    pub cmd: Command,
+    /// Display name for the image (the client's path string); appears in
+    /// report text exactly where the local CLI would print its path
+    /// argument, which is what makes the two paths byte-identical.
+    pub image_name: String,
+    /// Processing deadline in milliseconds, measured from the moment the
+    /// daemon finished reading the request. `Some(0)` is already expired
+    /// (useful for probing); `None` uses the daemon's default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// Serializes the request to its wire JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("cmd".to_string(), Json::from(self.cmd.name()))];
+        if !self.image_name.is_empty() {
+            members.push(("image".to_string(), Json::from(self.image_name.as_str())));
+        }
+        if let Some(ms) = self.deadline_ms {
+            members.push(("deadline_ms".to_string(), Json::from(ms)));
+        }
+        let mut opts: Vec<(String, Json)> = Vec::new();
+        match &self.cmd {
+            Command::Analyze { summaries, routine } => {
+                if *summaries {
+                    opts.push(("summaries".to_string(), Json::Bool(true)));
+                }
+                if let Some(r) = routine {
+                    opts.push(("routine".to_string(), Json::from(r.as_str())));
+                }
+            }
+            Command::Lint { format } => {
+                opts.push(("format".to_string(), Json::from(format.name())));
+            }
+            Command::Optimize { out, iterate, incremental } => {
+                opts.push(("out".to_string(), Json::from(out.as_str())));
+                opts.push(("iterate".to_string(), Json::Bool(*iterate)));
+                opts.push(("incremental".to_string(), Json::Bool(*incremental)));
+            }
+            Command::Compare | Command::Stats | Command::Shutdown => {}
+        }
+        if !opts.is_empty() {
+            members.push(("opts".to_string(), Json::Obj(opts)));
+        }
+        Json::Obj(members)
+    }
+
+    /// Decodes a request from its wire JSON document.
+    pub fn from_json(json: &Json) -> Result<Request, String> {
+        let name = json
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request is missing the `cmd` field".to_string())?;
+        let opts = json.get("opts");
+        let opt = |key: &str| opts.and_then(|o| o.get(key));
+        let cmd = match name {
+            "analyze" => Command::Analyze {
+                summaries: opt("summaries").and_then(Json::as_bool).unwrap_or(false),
+                routine: opt("routine").and_then(Json::as_str).map(str::to_string),
+            },
+            "lint" => Command::Lint {
+                format: LintFormat::parse(opt("format").and_then(Json::as_str).unwrap_or("human"))?,
+            },
+            "optimize" => Command::Optimize {
+                out: opt("out").and_then(Json::as_str).unwrap_or("out.img").to_string(),
+                iterate: opt("iterate").and_then(Json::as_bool).unwrap_or(false),
+                incremental: opt("incremental").and_then(Json::as_bool).unwrap_or(true),
+            },
+            "compare" => Command::Compare,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        Ok(Request {
+            cmd,
+            image_name: json.get("image").and_then(Json::as_str).unwrap_or("").to_string(),
+            deadline_ms: json.get("deadline_ms").and_then(Json::as_u64),
+        })
+    }
+}
+
+/// Machine-readable failure category of a request. The daemon always
+/// replies with a structured error — a request never silently drops — and
+/// the client maps every kind to exit code 2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorKind {
+    /// The work queue was full; retry later.
+    Busy,
+    /// The request frame exceeded the daemon's byte limit.
+    TooLarge,
+    /// The request's processing deadline expired.
+    Deadline,
+    /// The request JSON was missing fields or malformed.
+    BadRequest,
+    /// The image failed to load or validate (commands other than `lint`,
+    /// which reports this as a `malformed-image` finding instead).
+    BadImage,
+    /// The worker handling the request panicked; the daemon keeps
+    /// serving.
+    Panic,
+    /// The daemon is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The kebab-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::TooLarge => "too-large",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::BadImage => "bad-image",
+            ErrorKind::Panic => "panic",
+            ErrorKind::ShuttingDown => "shutting-down",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrorKind> {
+        [
+            ErrorKind::Busy,
+            ErrorKind::TooLarge,
+            ErrorKind::Deadline,
+            ErrorKind::BadRequest,
+            ErrorKind::BadImage,
+            ErrorKind::Panic,
+            ErrorKind::ShuttingDown,
+        ]
+        .into_iter()
+        .find(|k| k.name() == s)
+    }
+}
+
+/// One response. `stdout` holds the exact bytes the local CLI would have
+/// printed to stdout; `diag` holds non-deterministic diagnostics (timings,
+/// cache disposition) that belong on stderr.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Response {
+    /// Suggested process exit code for the client (0 ok, 1 lint errors,
+    /// 2 failures).
+    pub exit: u8,
+    /// Byte-stable report text.
+    pub stdout: String,
+    /// Timing and cache diagnostics; never part of the stability
+    /// contract.
+    pub diag: String,
+    /// Present when the request failed.
+    pub error: Option<(ErrorKind, String)>,
+}
+
+impl Response {
+    /// A successful response.
+    pub fn ok(stdout: String, diag: String) -> Response {
+        Response { exit: 0, stdout, diag, error: None }
+    }
+
+    /// A failure response; the client exits 2.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response {
+            exit: 2,
+            stdout: String::new(),
+            diag: String::new(),
+            error: Some((kind, message.into())),
+        }
+    }
+
+    /// Serializes the response to its wire JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("status".to_string(), Json::from(if self.error.is_some() { "error" } else { "ok" })),
+            ("exit".to_string(), Json::from(u64::from(self.exit))),
+        ];
+        if !self.stdout.is_empty() {
+            members.push(("stdout".to_string(), Json::from(self.stdout.as_str())));
+        }
+        if !self.diag.is_empty() {
+            members.push(("diag".to_string(), Json::from(self.diag.as_str())));
+        }
+        if let Some((kind, message)) = &self.error {
+            members.push((
+                "error".to_string(),
+                Json::Obj(vec![
+                    ("kind".to_string(), Json::from(kind.name())),
+                    ("message".to_string(), Json::from(message.as_str())),
+                ]),
+            ));
+        }
+        Json::Obj(members)
+    }
+
+    /// Decodes a response from its wire JSON document.
+    pub fn from_json(json: &Json) -> Result<Response, String> {
+        let exit = json
+            .get("exit")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "response is missing the `exit` field".to_string())?;
+        let error = match json.get("error") {
+            Some(e) => {
+                let kind = e
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorKind::parse)
+                    .ok_or_else(|| "error response has no recognizable kind".to_string())?;
+                let message =
+                    e.get("message").and_then(Json::as_str).unwrap_or_default().to_string();
+                Some((kind, message))
+            }
+            None => None,
+        };
+        Ok(Response {
+            exit: u8::try_from(exit).map_err(|_| format!("exit code {exit} out of range"))?,
+            stdout: json.get("stdout").and_then(Json::as_str).unwrap_or("").to_string(),
+            diag: json.get("diag").and_then(Json::as_str).unwrap_or("").to_string(),
+            error,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request {
+                cmd: Command::Analyze { summaries: true, routine: Some("main".into()) },
+                image_name: "a.img".into(),
+                deadline_ms: Some(250),
+            },
+            Request {
+                cmd: Command::Lint { format: LintFormat::Json },
+                image_name: "b.img".into(),
+                deadline_ms: None,
+            },
+            Request {
+                cmd: Command::Optimize { out: "o.img".into(), iterate: true, incremental: false },
+                image_name: "c.img".into(),
+                deadline_ms: None,
+            },
+            Request { cmd: Command::Compare, image_name: "d.img".into(), deadline_ms: None },
+            Request { cmd: Command::Stats, image_name: String::new(), deadline_ms: None },
+            Request { cmd: Command::Shutdown, image_name: String::new(), deadline_ms: Some(0) },
+        ];
+        for r in reqs {
+            assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let rs = [
+            Response::ok("report\n".into(), "time 1ms\n".into()),
+            Response { exit: 1, stdout: "error[x]\n".into(), diag: String::new(), error: None },
+            Response::error(ErrorKind::Busy, "queue full"),
+        ];
+        for r in rs {
+            assert_eq!(Response::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_buffer() {
+        let req = Request {
+            cmd: Command::Lint { format: LintFormat::Human },
+            image_name: "x.img".into(),
+            deadline_ms: None,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json(), b"image-bytes").unwrap();
+        let mut cursor = &buf[..];
+        match read_frame(&mut cursor, 1 << 20).unwrap() {
+            FrameRead::Frame(json, blob) => {
+                assert_eq!(Request::from_json(&json).unwrap(), req);
+                assert_eq!(blob, b"image-bytes");
+            }
+            FrameRead::Eof => panic!("expected a frame"),
+        }
+        match read_frame(&mut cursor, 1 << 20).unwrap() {
+            FrameRead::Eof => {}
+            FrameRead::Frame(..) => panic!("expected EOF"),
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_without_reading_the_body() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::Null, &[0u8; 4096]).unwrap();
+        let mut cursor = &buf[..];
+        match read_frame(&mut cursor, 64) {
+            Err(FrameError::TooLarge { announced, limit: 64 }) => assert!(announced >= 4096),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The body was left unread.
+        assert_eq!(cursor.len(), buf.len() - 8);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::Bool(true), b"xyz").unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor, 1 << 20), Err(FrameError::Io(_))));
+    }
+}

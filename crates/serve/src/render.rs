@@ -1,0 +1,273 @@
+//! Deterministic report rendering shared by the local CLI and the daemon.
+//!
+//! The byte-identity contract — `spike client <cmd>` must print exactly
+//! what `spike <cmd>` prints — is enforced *by construction*: both paths
+//! call the renderers in this module to produce the stdout text, and both
+//! route everything non-deterministic (wall-clock timings, scheduler
+//! effort, cache disposition) through the separate `*_diag` renderers,
+//! which go to stderr locally and to the response's `diag` field over the
+//! wire. Nothing in a report string may depend on timing, thread count,
+//! or cache state.
+
+use std::fmt::Write as _;
+
+use spike_baseline::BaselineAnalysis;
+use spike_core::{Analysis, AnalysisStats};
+use spike_lint::LintReport;
+use spike_opt::OptReport;
+use spike_program::Program;
+
+use crate::proto::LintFormat;
+
+/// The deterministic `spike analyze` report: structure counts, reduction
+/// ratios, memory, and (optionally) routine summaries.
+///
+/// # Errors
+///
+/// Returns the usage message when `routine` names a routine the program
+/// does not contain (checked before anything is rendered, so a failing
+/// request produces no partial report).
+pub fn analyze_report(
+    image_name: &str,
+    program: &Program,
+    analysis: &Analysis,
+    summaries: bool,
+    routine: Option<&str>,
+) -> Result<String, String> {
+    if let Some(name) = routine {
+        if program.routine_by_name(name).is_none() {
+            return Err(format!("no routine named `{name}`"));
+        }
+    }
+    let stats = &analysis.stats;
+    let psg = analysis.psg.stats();
+    let counts = analysis.cfg.counts();
+    let cg = spike_callgraph::CallGraph::build(program, &analysis.cfg);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} routines, {} basic blocks, {} instructions",
+        image_name,
+        program.routines().len(),
+        analysis.cfg.total_blocks(),
+        program.total_instructions()
+    );
+    let _ = writeln!(out, "call graph: {}", cg.stats());
+    let _ = writeln!(
+        out,
+        "psg: {} nodes, {} edges ({} flow, {} call-return, {} branch nodes)",
+        psg.nodes, psg.edges, psg.flow_edges, psg.call_return_edges, psg.branch_nodes
+    );
+    let _ = writeln!(
+        out,
+        "cfg: {} blocks, {} arcs -> psg is {:.0}% / {:.0}% smaller",
+        counts.basic_blocks,
+        counts.total_arcs(),
+        100.0 * (1.0 - psg.nodes as f64 / counts.basic_blocks as f64),
+        100.0 * (1.0 - psg.edges as f64 / counts.total_arcs() as f64)
+    );
+    let _ = writeln!(out, "memory {:.2} MB", stats.memory_bytes as f64 / 1e6);
+
+    let wanted = |name: &str| routine.map_or(summaries, |r| r == name);
+    for (rid, r) in program.iter() {
+        if !wanted(r.name()) {
+            continue;
+        }
+        let s = analysis.summary.routine(rid);
+        let _ = writeln!(out, "\n{}:", r.name());
+        for (i, _) in s.call_used.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  entrance {i}: call-used={} call-defined={} call-killed={}",
+                s.call_used[i], s.call_defined[i], s.call_killed[i]
+            );
+            let _ = writeln!(out, "  live-at-entry[{i}] = {}", s.live_at_entry[i]);
+        }
+        for (i, live) in s.live_at_exit.iter().enumerate() {
+            let _ = writeln!(out, "  live-at-exit[{i}]  = {live}");
+        }
+        if !s.saved_restored.is_empty() {
+            let _ = writeln!(out, "  saves/restores {}", s.saved_restored);
+        }
+    }
+    Ok(out)
+}
+
+/// The non-deterministic half of the analyze report: wall-clock phase
+/// timings and scheduler effort.
+pub fn analyze_diag(stats: &AnalysisStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}), \
+         {} front-end worker(s)",
+        stats.total(),
+        stats.cfg_build,
+        stats.init,
+        stats.psg_build,
+        stats.phase1,
+        stats.phase2,
+        stats.front_end_workers,
+    );
+    let _ = writeln!(
+        out,
+        "schedule: {} + {} node visits (phase 1 + 2), {} wave(s), {} wave worker(s)",
+        stats.phase1_visits, stats.phase2_visits, stats.waves, stats.phase_workers
+    );
+    out
+}
+
+/// The deterministic `spike optimize` report (both lines: edit counts and
+/// the rounds/reuse accounting, which are exact replay properties of the
+/// pass pipeline, not timings).
+pub fn optimize_report(
+    image_name: &str,
+    out_name: &str,
+    report: &OptReport,
+    incremental: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} -> {}: {} -> {} instructions ({} dead, {} spill pairs, {} reallocations)",
+        image_name,
+        out_name,
+        report.instructions_before,
+        report.instructions_after,
+        report.dead_deleted,
+        report.spill_pairs_removed,
+        report.registers_reallocated
+    );
+    let _ = writeln!(
+        out,
+        "{} round(s); analysis re-ran {} routine(s), reused {} from cache{}",
+        report.rounds,
+        report.routines_reanalyzed,
+        report.routines_reused,
+        if incremental { "" } else { " (incremental re-analysis disabled)" }
+    );
+    out
+}
+
+/// The `spike lint` report in either format. Fully deterministic.
+pub fn lint_report(image_name: &str, report: &LintReport, format: LintFormat) -> String {
+    let mut out = String::new();
+    match format {
+        LintFormat::Json => {
+            let _ = writeln!(out, "{}", report.to_json(Some(image_name)));
+        }
+        LintFormat::Human => {
+            for d in report.diagnostics() {
+                let _ = writeln!(out, "{d}");
+            }
+            let _ = writeln!(
+                out,
+                "{image_name}: {} error(s), {} warning(s)",
+                report.errors(),
+                report.warnings()
+            );
+        }
+    }
+    out
+}
+
+/// The deterministic `spike compare` report: summary identity plus the
+/// PSG-vs-supergraph size comparison.
+///
+/// # Errors
+///
+/// Returns the mismatch message when a PSG summary disagrees with the
+/// whole-CFG baseline — which is a bug in the analysis, surfaced the same
+/// way the local CLI surfaces it.
+pub fn compare_report(
+    program: &Program,
+    psg: &Analysis,
+    full: &BaselineAnalysis,
+) -> Result<String, String> {
+    for (rid, r) in program.iter() {
+        if psg.summary.routine(rid) != &full.summaries[rid.index()] {
+            return Err(format!("summary mismatch for {} — this is a bug", r.name()));
+        }
+    }
+    let s = psg.psg.stats();
+    let c = &full.counts;
+    let mut out = String::new();
+    let _ = writeln!(out, "summaries identical for all {} routines", program.routines().len());
+    let _ = writeln!(
+        out,
+        "psg: {} nodes / {} edges; full cfg: {} blocks / {} arcs",
+        s.nodes,
+        s.edges,
+        c.basic_blocks,
+        c.total_arcs(),
+    );
+    Ok(out)
+}
+
+/// The non-deterministic half of the compare report: the two analyses'
+/// wall-clock times.
+pub fn compare_diag(psg: &Analysis, full: &BaselineAnalysis) -> String {
+    format!("psg time {:?}; full cfg time {:?}\n", psg.stats.total(), full.stats.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spike_core::{analyze, AnalysisOptions};
+    use spike_isa::Reg;
+    use spike_program::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::A0).call("leaf").put_int().halt();
+        b.routine("leaf").copy(Reg::A0, Reg::V0).ret();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn analyze_report_is_deterministic_and_structural() {
+        let p = sample();
+        let a = analyze(&p);
+        let r1 = analyze_report("x.img", &p, &a, true, None).unwrap();
+        let r2 = analyze_report("x.img", &p, &a, true, None).unwrap();
+        assert_eq!(r1, r2);
+        assert!(r1.starts_with("x.img: 2 routines"));
+        assert!(r1.contains("call graph:"));
+        assert!(r1.contains("\nmain:\n"));
+        assert!(r1.contains("call-used"));
+        // Timings live in the diag renderer, never in the report.
+        assert!(!r1.contains("time "));
+        assert!(analyze_diag(&a.stats).contains("time "));
+    }
+
+    #[test]
+    fn analyze_report_rejects_unknown_routines_before_rendering() {
+        let p = sample();
+        let a = analyze(&p);
+        let err = analyze_report("x.img", &p, &a, false, Some("nope")).unwrap_err();
+        assert_eq!(err, "no routine named `nope`");
+    }
+
+    #[test]
+    fn compare_report_confirms_identity() {
+        let p = sample();
+        let a = analyze(&p);
+        let full = spike_baseline::analyze_baseline_with(&p, &AnalysisOptions::default());
+        let report = compare_report(&p, &a, &full).unwrap();
+        assert!(report.starts_with("summaries identical for all 2 routines\n"));
+        assert!(!report.contains("in "));
+        assert!(compare_diag(&a, &full).contains("psg time"));
+    }
+
+    #[test]
+    fn lint_report_matches_cli_shapes() {
+        let p = sample();
+        let report = spike_lint::lint(&p);
+        let human = lint_report("x.img", &report, LintFormat::Human);
+        assert!(human.ends_with("error(s), 0 warning(s)\n"));
+        let json = lint_report("x.img", &report, LintFormat::Json);
+        assert!(json.starts_with("{\"tool\":\"spike-lint\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

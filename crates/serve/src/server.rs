@@ -1,0 +1,474 @@
+//! The daemon runtime: listeners, a bounded work queue, a worker pool
+//! with panic isolation, and graceful drain.
+//!
+//! Life of a request:
+//!
+//! 1. An acceptor thread (one per listener, blocking `accept`) accepts
+//!    the connection. If the bounded queue is full, the acceptor itself
+//!    writes a `busy` error frame and closes — explicit backpressure,
+//!    never an unbounded backlog.
+//! 2. A worker pops the connection, reads the request frame (size-capped,
+//!    socket read/write timeouts armed), dispatches through
+//!    [`Handler`](crate::handler::Handler) under `catch_unwind`, and
+//!    writes the response frame. A panicking handler costs that request
+//!    a `panic` error reply, not the daemon.
+//! 3. `shutdown` (the command, [`Server::shutdown`], or SIGTERM in the
+//!    daemon binary) flips one flag: acceptors stop accepting and exit,
+//!    workers drain the queue, then everything joins and the Unix socket
+//!    is unlinked. Requests already accepted are always answered.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use spike_core::AnalysisOptions;
+
+use crate::cache::ProgramStore;
+use crate::handler::{Deadline, Handler};
+use crate::metrics::Metrics;
+use crate::proto::{read_frame, write_frame, ErrorKind, FrameError, FrameRead, Request, Response};
+
+/// How the daemon listens, queues, and bounds work.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// TCP listen address (`host:port`), if any. Port 0 binds an
+    /// ephemeral port; see [`Server::tcp_addr`].
+    pub tcp: Option<String>,
+    /// Unix socket path, if any. An existing socket file at the path is
+    /// replaced.
+    pub unix: Option<PathBuf>,
+    /// Worker threads; 0 picks a small default from the machine size.
+    pub workers: usize,
+    /// Byte budget for the program/analysis cache.
+    pub cache_bytes: usize,
+    /// Bounded work-queue capacity; accepts beyond it are refused with a
+    /// `busy` reply.
+    pub queue_capacity: usize,
+    /// Maximum request frame size (JSON + image blob) in bytes.
+    pub max_frame_bytes: usize,
+    /// Default per-request processing deadline (ms) when the request
+    /// does not carry its own.
+    pub default_deadline_ms: u64,
+    /// `threads` knob passed into every analysis.
+    pub analysis_threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            tcp: None,
+            unix: None,
+            workers: 0,
+            cache_bytes: 256 << 20,
+            queue_capacity: 64,
+            max_frame_bytes: 64 << 20,
+            default_deadline_ms: 300_000,
+            analysis_threads: 0,
+        }
+    }
+}
+
+/// One accepted connection, transport-erased.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn prepare(&mut self) -> io::Result<()> {
+        // Workers want blocking I/O with timeouts so a stalled client
+        // cannot pin a worker forever.
+        let timeout = Some(Duration::from_secs(10));
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The bounded handoff between acceptors and workers.
+struct Queue {
+    inner: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Queue {
+        Queue { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), capacity }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues unless full; reports the depth after the push.
+    fn push(&self, conn: Conn) -> Result<usize, Conn> {
+        let mut q = self.lock();
+        if q.len() >= self.capacity {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        let depth = q.len();
+        drop(q);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Pops the next connection; `None` once `shutdown` is set and the
+    /// queue is empty (the drain guarantee: accepted work is finished).
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Conn> {
+        let mut q = self.lock();
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(250))
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// SIGTERM flag, set by the handler installed with
+/// [`install_sigterm_handler`].
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that requests graceful drain (the accept
+/// loops watch the flag). Call once, from a binary's `main`, before
+/// starting the server; libraries and tests should use
+/// [`Server::shutdown`] or the `shutdown` command instead.
+#[cfg(unix)]
+pub fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_signum: std::os::raw::c_int) {
+        SIGTERM.store(true, Ordering::SeqCst);
+    }
+    // std links libc but exposes no signal API; `signal(2)` is the one
+    // call needed, declared here directly. SIG_ERR (usize::MAX) is
+    // ignored: failing to install only costs graceful-on-SIGTERM.
+    extern "C" {
+        fn signal(signum: std::os::raw::c_int, handler: usize) -> usize;
+    }
+    const SIGTERM_NUM: std::os::raw::c_int = 15;
+    unsafe {
+        signal(SIGTERM_NUM, on_sigterm as *const () as usize);
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; call
+/// [`shutdown`](Server::shutdown) then [`join`](Server::join).
+pub struct Server {
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the configured listeners and starts the acceptor and worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no listener is configured or a bind fails.
+    pub fn start(options: &ServeOptions) -> io::Result<Server> {
+        if options.tcp.is_none() && options.unix.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve needs --listen and/or --unix",
+            ));
+        }
+        let analysis =
+            AnalysisOptions { threads: options.analysis_threads, ..AnalysisOptions::default() };
+        let store = Arc::new(ProgramStore::new(analysis, options.cache_bytes));
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue::new(options.queue_capacity.max(1)));
+        let mut threads = Vec::new();
+
+        let tcp_addr = match &options.tcp {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                threads.push(spawn_acceptor(
+                    "tcp-acceptor",
+                    Arc::clone(&shutdown),
+                    Arc::clone(&queue),
+                    Arc::clone(&metrics),
+                    move || listener.accept().map(|(s, _)| Conn::Tcp(s)),
+                ));
+                Some(local)
+            }
+            None => None,
+        };
+
+        #[cfg(unix)]
+        let unix_path = match &options.unix {
+            Some(path) => {
+                // A stale socket file from a previous run blocks bind.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                threads.push(spawn_acceptor(
+                    "unix-acceptor",
+                    Arc::clone(&shutdown),
+                    Arc::clone(&queue),
+                    Arc::clone(&metrics),
+                    move || listener.accept().map(|(s, _)| Conn::Unix(s)),
+                ));
+                Some(path.clone())
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        let unix_path = {
+            if options.unix.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+            None
+        };
+
+        let workers = if options.workers == 0 {
+            thread::available_parallelism().map(usize::from).unwrap_or(2).clamp(2, 8)
+        } else {
+            options.workers
+        };
+        for i in 0..workers {
+            let handler = Handler {
+                store: Arc::clone(&store),
+                metrics: Arc::clone(&metrics),
+                queue_capacity: options.queue_capacity.max(1),
+                shutdown: Arc::clone(&shutdown),
+            };
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let default_deadline_ms = options.default_deadline_ms;
+            let max_frame_bytes = options.max_frame_bytes;
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn(move || {
+                        while let Some(conn) = queue.pop(&shutdown) {
+                            serve_connection(conn, &handler, default_deadline_ms, max_frame_bytes);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        Ok(Server { shutdown, threads, tcp_addr, unix_path })
+    }
+
+    /// The bound TCP address, if a TCP listener was configured — the way
+    /// to learn the port after binding `:0`.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Whether a drain has been requested (by [`shutdown`](Self::shutdown),
+    /// the `shutdown` command, or SIGTERM).
+    pub fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGTERM.load(Ordering::SeqCst)
+    }
+
+    /// Requests graceful drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake_acceptors();
+    }
+
+    /// Unblocks acceptors parked in `accept` so they re-check the
+    /// shutdown flag now rather than at the next real client. The
+    /// throwaway connections are accepted, queued, and drain as
+    /// immediate-EOF requests.
+    fn wake_acceptors(&self) {
+        if let Some(mut addr) = self.tcp_addr {
+            if addr.ip().is_unspecified() {
+                addr.set_ip(match addr {
+                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(100));
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+    }
+
+    /// Waits for every acceptor and worker to finish, then removes the
+    /// Unix socket file. Only returns once all accepted requests are
+    /// answered.
+    pub fn join(mut self) {
+        // SIGTERM and the in-band shutdown command both funnel into the
+        // same flag the threads watch.
+        if SIGTERM.load(Ordering::SeqCst) {
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        // The in-band `shutdown` command sets the flag from a worker
+        // without going through [`Server::shutdown`]; acceptors may
+        // still be parked in `accept`.
+        self.wake_acceptors();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Blocks until a drain is requested, polling the shutdown and
+    /// SIGTERM flags, then joins.
+    pub fn run_to_completion(self) {
+        while !self.draining() {
+            thread::sleep(Duration::from_millis(25));
+        }
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn spawn_acceptor(
+    name: &str,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    metrics: Arc<Metrics>,
+    mut accept: impl FnMut() -> io::Result<Conn> + Send + 'static,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) && !SIGTERM.load(Ordering::SeqCst) {
+                match accept() {
+                    Ok(conn) => match queue.push(conn) {
+                        Ok(depth) => metrics.observe_queue_depth(depth),
+                        Err(mut refused) => {
+                            metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                            // Backpressure is explicit: the refused client
+                            // gets a structured reply, not a hang.
+                            if refused.prepare().is_ok() {
+                                let resp = Response::error(ErrorKind::Busy, "work queue is full");
+                                let _ = write_frame(&mut refused, &resp.to_json(), &[]);
+                            }
+                        }
+                    },
+                    // Blocking accept only fails transiently (e.g. the
+                    // peer reset before the handshake finished); back
+                    // off briefly rather than spin on a persistent one.
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })
+        .expect("spawn acceptor")
+}
+
+/// Reads one request from `conn`, serves it, writes one response.
+fn serve_connection(
+    mut conn: Conn,
+    handler: &Handler,
+    default_deadline_ms: u64,
+    max_frame_bytes: usize,
+) {
+    if conn.prepare().is_err() {
+        return;
+    }
+    let (json, blob) = match read_frame(&mut conn, max_frame_bytes) {
+        Ok(FrameRead::Frame(json, blob)) => (json, blob),
+        Ok(FrameRead::Eof) => return,
+        Err(e @ FrameError::TooLarge { .. }) => {
+            handler.metrics.rejected_oversized.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::error(ErrorKind::TooLarge, e.to_string());
+            let _ = write_frame(&mut conn, &resp.to_json(), &[]);
+            return;
+        }
+        Err(e @ FrameError::BadJson(_)) => {
+            handler.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::error(ErrorKind::BadRequest, e.to_string());
+            let _ = write_frame(&mut conn, &resp.to_json(), &[]);
+            return;
+        }
+        Err(FrameError::Io(_)) => return,
+    };
+    let request = match Request::from_json(&json) {
+        Ok(r) => r,
+        Err(msg) => {
+            handler.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::error(ErrorKind::BadRequest, msg);
+            let _ = write_frame(&mut conn, &resp.to_json(), &[]);
+            return;
+        }
+    };
+    handler.metrics.count_request(request.cmd.name());
+
+    let started = Instant::now();
+    let deadline = Deadline::starting_now(request.deadline_ms.unwrap_or(default_deadline_ms));
+    let outcome = catch_unwind(AssertUnwindSafe(|| handler.handle(&request, &blob, &deadline)));
+    let (response, out_blob) = match outcome {
+        Ok(x) => x,
+        Err(panic) => {
+            handler.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "request handler panicked".to_string());
+            (Response::error(ErrorKind::Panic, msg), Vec::new())
+        }
+    };
+    handler.metrics.latency.record(started.elapsed());
+    let _ = write_frame(&mut conn, &response.to_json(), &out_blob);
+}
