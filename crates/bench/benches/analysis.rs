@@ -15,7 +15,13 @@
 //! * `serve/{warm-analyze,warm-lint,stats}` — steady-state round-trips
 //!   against an in-process `spike-served` daemon: a warm cache hit pays
 //!   hashing, rendering and framing but no analysis, so this isolates
-//!   the service overhead the `report serve` throughput numbers sit on.
+//!   the service overhead the `report serve` throughput numbers sit on;
+//! * `query/{full-solve,engine-build,cold-query,memoized-repeat}` —
+//!   the demand-driven query engine against the whole-program solve it
+//!   replaces for single-routine questions: `engine-build` is the
+//!   one-time front-end cost, `cold-query` a fresh engine plus one
+//!   `live-at-entry` cone solve (the marginal cone cost is the
+//!   difference), `memoized-repeat` the steady-state re-ask.
 //!
 //! Profiles are scaled down (default 5%) so the whole suite runs in
 //! minutes; relative shapes are what the paper's claims are about.
@@ -226,6 +232,41 @@ fn bench_serve(c: &mut Criterion) {
     server.join();
 }
 
+fn bench_query(c: &mut Criterion) {
+    use spike_core::{Query, QueryEngine};
+    use spike_program::RoutineId;
+
+    let mut g = c.benchmark_group("query");
+    g.sample_size(10);
+    let p = profile("gcc").expect("known benchmark");
+    let program = generate(&p, SCALE, SEED);
+    let options = AnalysisOptions::default();
+    // A mid-index routine: deep enough in the call graph to have a
+    // non-trivial cone, far from the entry's worst case.
+    let rid = RoutineId::from_index(program.routines().len() / 2);
+
+    g.bench_function("full-solve", |b| b.iter(|| black_box(analyze(&program))));
+    g.bench_function("engine-build", |b| {
+        b.iter(|| black_box(QueryEngine::new(&program, &options)))
+    });
+    // Fresh engine + one cold cone — the latency an interactive client
+    // sees for its first question about an image; subtract engine-build
+    // for the marginal cone cost (`report queries` isolates it exactly).
+    g.bench_function("cold-query", |b| {
+        b.iter(|| {
+            let mut e = QueryEngine::new(&program, &options);
+            black_box(e.query(&Query::LiveAtEntry(rid)))
+        })
+    });
+    // Steady state: the cone is memoized, a repeat re-solves nothing.
+    g.bench_function("memoized-repeat", |b| {
+        let mut e = QueryEngine::new(&program, &options);
+        e.query(&Query::LiveAtEntry(rid));
+        b.iter(|| black_box(e.query(&Query::LiveAtEntry(rid))));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2,
@@ -237,6 +278,7 @@ criterion_group!(
     bench_opt,
     bench_phases,
     bench_incremental,
-    bench_serve
+    bench_serve,
+    bench_query
 );
 criterion_main!(benches);

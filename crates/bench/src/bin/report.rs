@@ -25,6 +25,11 @@
 //! request throughput at 1/4/8 concurrent clients, cross-checks that
 //! daemon responses are byte-identical to the local library path, and
 //! writes the measurements to `BENCH_serve.json`.
+//! The `queries` section (not part of `all`) measures the demand-driven
+//! query engine against the whole-program solve on gcc: per-routine cone
+//! solve time over a deterministic routine sample, cross-checked
+//! bit-identical to the dense solution slice, written to
+//! `BENCH_query.json`.
 
 use std::collections::BTreeSet;
 
@@ -65,7 +70,7 @@ fn main() {
                 println!(
                     "report [--scale S] [--seed N] [--baseline] [--threads N] \
                      [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|\
-                     incremental|phases|serve|all]"
+                     incremental|phases|serve|queries|all]"
                 );
                 return;
             }
@@ -84,6 +89,7 @@ fn main() {
                 "incremental",
                 "phases",
                 "serve",
+                "queries",
                 "all",
             ]
             .contains(&s) =>
@@ -102,7 +108,10 @@ fn main() {
     }
 
     let want_runs = sections.iter().any(|s| {
-        !matches!(s.as_str(), "table1" | "ablate" | "parallel" | "incremental" | "phases" | "serve")
+        !matches!(
+            s.as_str(),
+            "table1" | "ablate" | "parallel" | "incremental" | "phases" | "serve" | "queries"
+        )
     });
 
     println!("# Spike interprocedural dataflow — evaluation report");
@@ -162,6 +171,9 @@ fn main() {
     }
     if sections.contains("serve") {
         serve_report(scale, seed);
+    }
+    if sections.contains("queries") {
+        queries_report(scale, seed, threads);
     }
 }
 
@@ -690,6 +702,144 @@ fn phases_report(scale: f64, seed: u64, threads: usize) {
     match std::fs::write("BENCH_phases.json", &json) {
         Ok(()) => println!("\n  wrote BENCH_phases.json\n"),
         Err(e) => eprintln!("cannot write BENCH_phases.json: {e}"),
+    }
+}
+
+/// Measures the demand-driven query engine on gcc: the one-time engine
+/// build, then the marginal cone solve for `live-at-entry` on each of a
+/// deterministic sample of routines, each cross-checked bit-identical to
+/// the corresponding slice of a whole-program solve. Writes the
+/// per-query latencies and the median speedup over the dense solve to
+/// `BENCH_query.json`.
+fn queries_report(scale: f64, seed: u64, threads: usize) {
+    use spike_core::{analyze_with, AnalysisOptions, Query, QueryAnswer, QueryEngine};
+    use spike_program::RoutineId;
+    use std::time::Instant;
+
+    const SAMPLES: usize = 24;
+
+    println!("## Demand-driven queries: per-routine cone solve vs whole-program solve\n");
+
+    let p = spike_synth::profile("gcc").expect("known benchmark");
+    eprintln!("measuring gcc ...");
+    let program = spike_synth::generate(&p, scale, seed);
+    let n = program.routines().len();
+    let options = AnalysisOptions { threads, ..AnalysisOptions::default() };
+
+    // Median of three for the two fixed costs, to damp scheduler noise.
+    let median3 = |mut f: Box<dyn FnMut() -> f64>| -> f64 {
+        let mut t = [f(), f(), f()];
+        t.sort_by(f64::total_cmp);
+        t[1]
+    };
+    let full = analyze_with(&program, &options);
+    let full_solve_secs = {
+        let (program, options) = (&program, &options);
+        median3(Box::new(move || {
+            let t = Instant::now();
+            std::hint::black_box(analyze_with(program, options));
+            t.elapsed().as_secs_f64()
+        }))
+    };
+    let engine_build_secs = {
+        let (program, options) = (&program, &options);
+        median3(Box::new(move || {
+            let t = Instant::now();
+            std::hint::black_box(QueryEngine::new(program, options));
+            t.elapsed().as_secs_f64()
+        }))
+    };
+
+    // A deterministic seeded sample of distinct routines, spread by a
+    // golden-ratio stride so cones of all depths are represented.
+    let mut sample: Vec<usize> = Vec::new();
+    let mut x = seed | 1;
+    while sample.len() < SAMPLES.min(n) {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let i = (x >> 33) as usize % n;
+        if !sample.contains(&i) {
+            sample.push(i);
+        }
+    }
+    sample.sort_unstable();
+
+    println!(
+        "  gcc: {n} routines, full solve {:.2} ms, engine build {:.2} ms\n",
+        full_solve_secs * 1e3,
+        engine_build_secs * 1e3
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>8} {:>12} {:>9}",
+        "routine", "cone rtn", "p1 comps", "p2 comps", "visits", "query (ms)", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut marginals = Vec::new();
+    for &i in &sample {
+        let rid = RoutineId::from_index(i);
+        // A fresh engine per routine isolates one cold cone: memoization
+        // across sampled routines would understate the marginal cost.
+        let mut engine = QueryEngine::new(&program, &options);
+        let t = Instant::now();
+        let (answer, stats) = engine.query(&Query::LiveAtEntry(rid));
+        let query_secs = t.elapsed().as_secs_f64();
+
+        // The exactness contract, checked on the measured workload: the
+        // demand answer is the bit-identical slice of the dense solve.
+        let s = full.summary.routine(rid);
+        let QueryAnswer::LiveAtEntry { live_at_entry, live_at_exit } = answer else {
+            panic!("liveness query must return a liveness answer");
+        };
+        assert_eq!(live_at_entry, s.live_at_entry, "query diverged for routine {i}");
+        assert_eq!(live_at_exit, s.live_at_exit, "query diverged for routine {i}");
+
+        let speedup = full_solve_secs / query_secs;
+        println!(
+            "{:>8} {:>9} {:>9} {:>9} {:>8} {:>12.3} {:>8.1}x",
+            i,
+            stats.cone_routines,
+            stats.phase1_cone_components,
+            stats.phase2_cone_components,
+            stats.visits,
+            query_secs * 1e3,
+            speedup,
+        );
+        marginals.push(query_secs);
+        rows.push(format!(
+            "    {{\"routine\": {i}, \"cone_routines\": {}, \
+             \"phase1_cone_components\": {}, \"phase2_cone_components\": {}, \
+             \"visits\": {}, \"query_secs\": {query_secs:.9}, \"speedup\": {speedup:.3}}}",
+            stats.cone_routines,
+            stats.phase1_cone_components,
+            stats.phase2_cone_components,
+            stats.visits,
+        ));
+    }
+
+    marginals.sort_by(f64::total_cmp);
+    let median_query_secs = marginals[marginals.len() / 2];
+    let speedup_median = full_solve_secs / median_query_secs;
+    println!(
+        "\n  median query {:.3} ms vs full solve {:.2} ms: {speedup_median:.1}x \
+         (engine build, paid once per image: {:.2} ms)\n",
+        median_query_secs * 1e3,
+        full_solve_secs * 1e3,
+        engine_build_secs * 1e3,
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"gcc\",\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \
+         \"threads\": {threads},\n  \"routines\": {n},\n  \
+         \"full_solve_secs\": {full_solve_secs:.9},\n  \
+         \"engine_build_secs\": {engine_build_secs:.9},\n  \
+         \"median_query_secs\": {median_query_secs:.9},\n  \
+         \"speedup_median\": {speedup_median:.3},\n  \
+         \"results_identical\": true,\n  \"queries\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_query.json", &json) {
+        Ok(()) => println!("\n  wrote BENCH_query.json\n"),
+        Err(e) => eprintln!("cannot write BENCH_query.json: {e}"),
     }
 }
 

@@ -5,10 +5,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spike_core::{analyze, analyze_with, AnalysisOptions};
+use spike_core::{analyze, analyze_with, AnalysisCache, AnalysisOptions, Query};
 use spike_program::Program;
 use spike_serve::render;
-use spike_serve::{Command, Endpoint, LintFormat, Request, ServeOptions, Server};
+use spike_serve::{Command, Endpoint, LintFormat, QueryKind, Request, ServeOptions, Server};
 use spike_sim::Outcome;
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
@@ -27,6 +27,9 @@ commands:
            [--incremental|--no-incremental]         apply the Figure-1 optimizations
   run <img> [--fuel N]                              execute under the simulator
   lint <img> [--format human|json]                  interprocedural static checks
+  query <kind> <routine> [<callee>] <img>           demand-driven analysis query
+                                                    (summary, live-at-entry, uninit,
+                                                    reaches <caller> <callee>)
   compare <img> [--threads N]                       PSG vs whole-CFG comparison
   dot <img> [--routine NAME]                        Program Summary Graph as GraphViz
   profiles                                          list generator benchmarks
@@ -34,8 +37,9 @@ commands:
         [--queue N] [--max-frame-bytes N] [--deadline-ms N] [--threads N]
                                                     run the analysis daemon
   client <cmd> [args] --connect <HOST:PORT|unix:PATH> [--deadline-ms N]
-                                                    run analyze/lint/optimize/compare/
-                                                    stats/shutdown against a daemon
+                                                    run analyze/lint/optimize/query/
+                                                    compare/stats/shutdown against a
+                                                    daemon
 ";
 
 /// Parses and executes one invocation. The returned code is the process
@@ -54,6 +58,7 @@ pub fn dispatch(args: &[String]) -> Result<ExitCode> {
         Some("optimize") => cmd_optimize(&args[1..]).map(ok),
         Some("run") => cmd_run(&args[1..]).map(ok),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("compare") => compare(&args[1..]).map(ok),
         Some("dot") => dot(&args[1..]).map(ok),
         Some("serve") => serve(&args[1..]).map(ok),
@@ -302,6 +307,71 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode> {
     Ok(if report.errors() > 0 { ExitCode::from(1) } else { ExitCode::SUCCESS })
 }
 
+/// Splits `query`'s positionals into (kind, routine, callee, image),
+/// shared by the local and client paths. Only `reaches` takes a callee.
+fn query_args<'a>(
+    positional: &[&'a str],
+) -> Result<(QueryKind, &'a str, Option<&'a str>, &'a str)> {
+    let (kind, routine, callee, path) = match *positional {
+        [kind, routine, path] => (kind, routine, None, path),
+        [kind, routine, callee, path] => (kind, routine, Some(callee), path),
+        _ => return Err("query needs: query <kind> <routine> [<callee>] <img>".into()),
+    };
+    let kind = QueryKind::parse(kind)?;
+    match (kind, callee) {
+        (QueryKind::Reaches, None) => {
+            Err("reaches needs: query reaches <caller> <callee> <img>".into())
+        }
+        (QueryKind::Reaches, Some(_)) | (_, None) => Ok((kind, routine, callee, path)),
+        (_, Some(_)) => {
+            Err(format!("only `reaches` takes a callee, `{}` does not", kind.name()).into())
+        }
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<ExitCode> {
+    let o = parse(args)?;
+    let (kind, routine, callee, path) = query_args(&o.positional)?;
+    let program = load(path)?;
+    let rid =
+        program.routine_by_name(routine).ok_or_else(|| format!("no routine named `{routine}`"))?;
+    let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
+    // The cache starts cold, so the engine solves exactly the query's
+    // cone — the same demand path the daemon uses for a fresh image.
+    let mut cache = AnalysisCache::new(options);
+    let (stdout, stats, exit) = match kind {
+        QueryKind::Uninit => {
+            // Lint-shaped: findings are the report, exit 1 when any are
+            // error severity — exactly like `spike lint`, sliced to one
+            // routine.
+            let (report, stats) = cache.with_uninit_facts(&program, rid, |cfg, summary| {
+                spike_lint::uninit_routine(&program, cfg, summary, rid)
+            });
+            let exit = if report.errors() > 0 { ExitCode::from(1) } else { ExitCode::SUCCESS };
+            (render::lint_report(path, &report, LintFormat::Human), stats, exit)
+        }
+        _ => {
+            let query = match kind {
+                QueryKind::Summary => Query::Summary(rid),
+                QueryKind::LiveAtEntry => Query::LiveAtEntry(rid),
+                QueryKind::Reaches => {
+                    let callee = callee.expect("query_args requires a callee for reaches");
+                    let cid = program
+                        .routine_by_name(callee)
+                        .ok_or_else(|| format!("no routine named `{callee}`"))?;
+                    Query::Reaches { caller: rid, callee: cid }
+                }
+                QueryKind::Uninit => unreachable!("handled above"),
+            };
+            let (answer, stats) = cache.query(&program, &query);
+            (render::query_report(routine, callee, &answer), stats, ExitCode::SUCCESS)
+        }
+    };
+    print!("{stdout}");
+    eprint!("{}", render::query_diag(&stats));
+    Ok(exit)
+}
+
 fn dot(args: &[String]) -> Result<()> {
     let o = parse(args)?;
     let [path] = o.positional[..] else {
@@ -373,7 +443,8 @@ fn serve(args: &[String]) -> Result<()> {
 fn client(args: &[String]) -> Result<ExitCode> {
     let Some(sub) = args.first().map(String::as_str) else {
         return Err(
-            "client needs a subcommand (analyze, lint, optimize, compare, stats, shutdown)".into(),
+            "client needs a subcommand (analyze, lint, optimize, query, compare, stats, shutdown)"
+                .into(),
         );
     };
     let o = parse(&args[1..])?;
@@ -403,6 +474,17 @@ fn client(args: &[String]) -> Result<ExitCode> {
                     incremental: o.incremental,
                 },
                 Some(image_path("optimize")?),
+            )
+        }
+        "query" => {
+            let (kind, routine, callee, path) = query_args(&o.positional)?;
+            (
+                Command::Query {
+                    kind,
+                    routine: routine.to_string(),
+                    callee: callee.map(str::to_string),
+                },
+                Some(path),
             )
         }
         "compare" => (Command::Compare, Some(image_path("compare")?)),

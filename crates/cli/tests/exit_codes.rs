@@ -164,6 +164,9 @@ fn client_relays_daemon_exit_codes_and_output_bytes() {
         vec!["lint", clean.as_str()],
         vec!["analyze", clean.as_str()],
         vec!["lint", clean.as_str(), "--format", "json"],
+        vec!["query", "summary", "main", clean.as_str()],
+        vec!["query", "live-at-entry", "main", clean.as_str()],
+        vec!["query", "uninit", "main", clean.as_str()],
     ] {
         let local = spike(&args);
         let mut remote_args = vec!["client"];
@@ -191,6 +194,114 @@ fn client_relays_daemon_exit_codes_and_output_bytes() {
     assert_eq!(code(&o), 0, "{}", stderr(&o));
     let status = daemon.into_inner().wait().expect("daemon exits");
     assert_eq!(status.code(), Some(0), "daemon must drain and exit 0");
+}
+
+/// Reads one complete request frame (8-byte header + body) so the fake
+/// daemons below can fail *after* the client has committed its request.
+fn drain_request(conn: &mut impl std::io::Read) {
+    let mut header = [0u8; 8];
+    conn.read_exact(&mut header).expect("request header");
+    let json = u32::from_be_bytes(header[0..4].try_into().unwrap()) as usize;
+    let blob = u32::from_be_bytes(header[4..8].try_into().unwrap()) as usize;
+    let mut body = vec![0u8; json + blob];
+    conn.read_exact(&mut body).expect("request body");
+}
+
+/// Transport failures mid-conversation are exit 2 (infrastructure), never
+/// 0 or 1 (verdicts): a truncated response must not read as "clean".
+#[test]
+fn client_transport_failures_exit_two() {
+    use std::io::Write as _;
+    use std::os::unix::net::UnixListener;
+
+    let dir = tempdir("transport");
+    let img = assemble(&dir, "ok", ".routine main\n    lda v0, 7(zero)\n    putint\n    halt\n");
+
+    // A daemon that replies with a frame header promising 100 bytes of
+    // response, sends 10, and closes: the client dies mid-frame.
+    let sock = dir.path.join("trunc.sock").to_string_lossy().into_owned();
+    let listener = UnixListener::bind(&sock).unwrap();
+    let t = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        drain_request(&mut conn);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&100u32.to_be_bytes());
+        frame.extend_from_slice(&0u32.to_be_bytes());
+        frame.extend_from_slice(&[b'{'; 10]);
+        let _ = conn.write_all(&frame);
+    });
+    let o = spike(&["client", "lint", &img, "--connect", &format!("unix:{sock}")]);
+    t.join().unwrap();
+    assert_eq!(code(&o), 2, "truncated frame: {}", stderr(&o));
+    assert!(stderr(&o).contains("mid-frame"), "{}", stderr(&o));
+
+    // A daemon that reads the request, then closes without replying.
+    let sock = dir.path.join("close.sock").to_string_lossy().into_owned();
+    let listener = UnixListener::bind(&sock).unwrap();
+    let t = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        drain_request(&mut conn);
+    });
+    let o = spike(&["client", "lint", &img, "--connect", &format!("unix:{sock}")]);
+    t.join().unwrap();
+    assert_eq!(code(&o), 2, "connection closed without reply: {}", stderr(&o));
+    assert!(stderr(&o).contains("without replying"), "{}", stderr(&o));
+
+    // A daemon that slams the door before even reading the request: the
+    // client sees a reset or an immediate EOF, both infrastructure.
+    let sock = dir.path.join("reset.sock").to_string_lossy().into_owned();
+    let listener = UnixListener::bind(&sock).unwrap();
+    let t = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+    });
+    let o = spike(&["client", "lint", &img, "--connect", &format!("unix:{sock}")]);
+    t.join().unwrap();
+    assert_eq!(code(&o), 2, "connection reset: {}", stderr(&o));
+}
+
+#[test]
+fn query_exit_codes_follow_the_contract() {
+    let dir = tempdir("query");
+    let clean = assemble(
+        &dir,
+        "clean",
+        ".routine main\n    lda a0, 1(zero)\n    bsr leaf\n    putint\n    halt\n\
+         .routine leaf\n    addq a0, a0, v0\n    ret (ra)\n",
+    );
+    let bad = assemble(&dir, "bad", ".routine main\n    addq t0, t0, v0\n    putint\n    halt\n");
+
+    // Answerable queries exit 0, whatever the verdict.
+    for args in [
+        vec!["query", "summary", "main", clean.as_str()],
+        vec!["query", "live-at-entry", "leaf", clean.as_str()],
+        vec!["query", "reaches", "main", "leaf", clean.as_str()],
+        vec!["query", "reaches", "leaf", "main", clean.as_str()],
+        vec!["query", "uninit", "main", clean.as_str()],
+    ] {
+        let o = spike(&args);
+        assert_eq!(code(&o), 0, "{args:?}: {}{}", stdout(&o), stderr(&o));
+        assert!(!stdout(&o).is_empty(), "{args:?} printed nothing");
+    }
+
+    // `uninit` findings exit 1, like lint.
+    let o = spike(&["query", "uninit", "main", &bad]);
+    assert_eq!(code(&o), 1, "{}{}", stdout(&o), stderr(&o));
+    assert!(stdout(&o).contains("error[uninit-read]"));
+
+    // Usage problems exit 2.
+    for args in [
+        vec!["query", "summary", "nope", clean.as_str()],
+        vec!["query", "reaches", "main", "nope", clean.as_str()],
+        vec!["query", "frobnicate", "main", clean.as_str()],
+        vec!["query", "reaches", "main", clean.as_str()],
+        vec!["query", "summary", "main", "leaf", clean.as_str()],
+        vec!["query", "summary", "main", "/nonexistent/image.img"],
+        vec!["query", "summary"],
+    ] {
+        let o = spike(&args);
+        assert_eq!(code(&o), 2, "{args:?}: {}{}", stdout(&o), stderr(&o));
+    }
 }
 
 #[test]

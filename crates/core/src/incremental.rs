@@ -43,6 +43,7 @@ use crate::dataflow::{run_phase1_seeded, run_phase2_seeded};
 use crate::flow::FlowScratch;
 use crate::parallel::{par_for_each_mut, par_map, par_map_with, resolve_threads};
 use crate::psg::{EdgeKind, NodeId, Psg};
+use crate::query::{Query, QueryAnswer, QueryEngine, QueryStats};
 use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
 use crate::summary::ProgramSummary;
 
@@ -74,13 +75,18 @@ use crate::summary::ProgramSummary;
 pub struct AnalysisCache {
     options: AnalysisOptions,
     state: Option<Analysis>,
+    /// Demand-driven engine serving [`Self::query`] while no converged
+    /// whole-program analysis exists. Invariant: at most one of `state`
+    /// and `query` is `Some` — a full analysis answers queries directly,
+    /// and [`Self::reanalyze`] promotes a live engine into `state`.
+    query: Option<QueryEngine>,
 }
 
 impl AnalysisCache {
     /// Creates an empty cache; the first [`analyze`](Self::analyze) or
     /// [`reanalyze`](Self::reanalyze) fills it with a from-scratch run.
     pub fn new(options: AnalysisOptions) -> AnalysisCache {
-        AnalysisCache { options, state: None }
+        AnalysisCache { options, state: None, query: None }
     }
 
     /// Creates a cache already warmed with a converged `analysis` of some
@@ -95,13 +101,15 @@ impl AnalysisCache {
     /// `memory_bytes` guarantee counts Vec *capacities*, which a plain
     /// `Clone` compacts.
     pub fn from_analysis(options: AnalysisOptions, analysis: Analysis) -> AnalysisCache {
-        AnalysisCache { options, state: Some(analysis) }
+        AnalysisCache { options, state: Some(analysis), query: None }
     }
 
     /// Consumes the cache, returning the converged analysis if any run
-    /// has completed.
+    /// has completed. A cache holding only a demand-driven query engine
+    /// drains the engine (solving whatever its queries left unsolved)
+    /// into the equivalent whole-program analysis.
     pub fn into_analysis(self) -> Option<Analysis> {
-        self.state
+        self.state.or_else(|| self.query.map(QueryEngine::into_analysis))
     }
 
     /// A deterministic estimate of the heap the cached analysis retains
@@ -109,7 +117,11 @@ impl AnalysisCache {
     /// byte-budgeted eviction decisions in caches of caches. An empty
     /// cache is free.
     pub fn heap_bytes(&self) -> usize {
-        self.state.as_ref().map_or(0, |a| a.stats.memory_bytes)
+        match (&self.state, &self.query) {
+            (Some(a), _) => a.stats.memory_bytes,
+            (None, Some(engine)) => engine.heap_bytes(),
+            (None, None) => 0,
+        }
     }
 
     /// The options every analysis run through this cache uses.
@@ -122,15 +134,110 @@ impl AnalysisCache {
         self.state.as_ref()
     }
 
-    /// Drops the cached analysis; the next call re-analyzes from scratch.
+    /// Drops the cached analysis (and any demand-driven query engine);
+    /// the next call re-analyzes from scratch.
     pub fn invalidate(&mut self) {
         self.state = None;
+        self.query = None;
     }
 
     /// Analyzes `program` from scratch and caches the result.
     pub fn analyze(&mut self, program: &Program) -> &Analysis {
         self.state = Some(analyze_with(program, &self.options));
+        self.query = None;
         self.state.as_ref().expect("state was just filled")
+    }
+
+    /// Answers one demand-driven [`Query`] about `program`.
+    ///
+    /// With a converged whole-program analysis cached, the answer is
+    /// sliced from it directly. Otherwise the cache builds (or reuses) a
+    /// [`QueryEngine`] and solves only the query's cone; the engine's
+    /// per-component memoization persists across calls, and a later
+    /// [`reanalyze`](Self::reanalyze) promotes it instead of starting
+    /// from scratch. Either way the answer is bit-identical to the same
+    /// slice of [`analyze`](Self::analyze)'s result.
+    ///
+    /// As with `reanalyze`, `program` must be the program the cache last
+    /// saw (or the first program, on a cold cache); a routine-count
+    /// change drops the stale state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query names a routine outside `program`.
+    pub fn query(&mut self, program: &Program, query: &Query) -> (QueryAnswer, QueryStats) {
+        let n_routines = program.routines().len();
+        if self.state.as_ref().is_some_and(|a| a.psg.all_routine_nodes().len() != n_routines) {
+            self.state = None;
+        }
+        if let Some(a) = &self.state {
+            let answer = match *query {
+                Query::Summary(r) => {
+                    let s = a.summary.routine(r);
+                    QueryAnswer::Summary {
+                        call_used: s.call_used.clone(),
+                        call_defined: s.call_defined.clone(),
+                        call_killed: s.call_killed.clone(),
+                        saved_restored: s.saved_restored,
+                    }
+                }
+                Query::LiveAtEntry(r) => {
+                    let s = a.summary.routine(r);
+                    QueryAnswer::LiveAtEntry {
+                        live_at_entry: s.live_at_entry.clone(),
+                        live_at_exit: s.live_at_exit.clone(),
+                    }
+                }
+                Query::Reaches { caller, callee } => {
+                    QueryAnswer::Reaches(reaches_in_callgraph(program, &a.cfg, caller, callee))
+                }
+            };
+            return (answer, QueryStats { answered_from_full: true, ..QueryStats::default() });
+        }
+        self.demand_engine(program).query(query)
+    }
+
+    /// Runs `f` on the control-flow graphs and summary slice the
+    /// single-routine uninitialized-read check of `routine` needs
+    /// (`spike-lint`'s `uninit_routine`), ensuring exactly that cone is
+    /// converged first.
+    ///
+    /// The check's restricted fixpoint reads the `call-defined` summary
+    /// of every call site in `routine`'s caller closure, so the demand
+    /// path ensures phase 1 over the callee closure of that caller
+    /// closure; within it, the summary snapshot passed to `f` equals the
+    /// whole-program analysis bit-for-bit. Summaries outside the cone
+    /// hold unconverged values the restricted check provably never
+    /// reads.
+    pub fn with_uninit_facts<R>(
+        &mut self,
+        program: &Program,
+        routine: RoutineId,
+        f: impl FnOnce(&ProgramCfg, &ProgramSummary) -> R,
+    ) -> (R, QueryStats) {
+        let n_routines = program.routines().len();
+        if self.state.as_ref().is_some_and(|a| a.psg.all_routine_nodes().len() != n_routines) {
+            self.state = None;
+        }
+        if let Some(a) = &self.state {
+            let stats = QueryStats { answered_from_full: true, ..QueryStats::default() };
+            return (f(&a.cfg, &a.summary), stats);
+        }
+        let engine = self.demand_engine(program);
+        let stats = engine.ensure_uninit(routine);
+        let summary = engine.summary_snapshot();
+        (f(engine.cfg(), &summary), stats)
+    }
+
+    /// The live demand engine for `program`, building one if the cache
+    /// holds none (or holds one for a different routine count).
+    fn demand_engine(&mut self, program: &Program) -> &mut QueryEngine {
+        let n_routines = program.routines().len();
+        if self.query.as_ref().is_some_and(|e| e.routines() != n_routines) {
+            self.query = None;
+        }
+        let options = &self.options;
+        self.query.get_or_insert_with(|| QueryEngine::new(program, options))
     }
 
     /// Re-analyzes `program` after an edit that changed (at most) the
@@ -151,6 +258,18 @@ impl AnalysisCache {
     /// `routines_reused` pair differ. Debug builds assert the equality.
     pub fn reanalyze(&mut self, program: &Program, dirty: &[RoutineId]) -> &Analysis {
         let n_routines = program.routines().len();
+        // A live demand engine stands in for the cached analysis it was
+        // promoted from: draining it solves only the components its
+        // queries left untouched and yields exactly the analysis of the
+        // program the cache last saw, which the incremental patching
+        // below then edits forward as usual.
+        if self.state.is_none() {
+            if let Some(engine) = self.query.take() {
+                if engine.routines() == n_routines {
+                    self.state = Some(engine.into_analysis());
+                }
+            }
+        }
         let cached_routines =
             self.state.as_ref().map(|a| a.psg.all_routine_nodes().len()).unwrap_or(usize::MAX);
         if self.state.is_none() || cached_routines != n_routines {
@@ -189,6 +308,31 @@ impl AnalysisCache {
         }
         self.state.as_ref().expect("state was just filled")
     }
+}
+
+/// Whether a call path of at least one edge leads from `caller` to
+/// `callee` — the [`Query::Reaches`] semantics, answered from a cached
+/// whole-program analysis (which keeps no condensation around) by a
+/// routine-level walk of the rebuilt call graph.
+fn reaches_in_callgraph(
+    program: &Program,
+    cfg: &ProgramCfg,
+    caller: RoutineId,
+    callee: RoutineId,
+) -> bool {
+    let graph = spike_callgraph::CallGraph::build(program, cfg);
+    let mut seen = vec![false; graph.len()];
+    let mut stack: Vec<RoutineId> = graph.callees(caller).to_vec();
+    while let Some(r) = stack.pop() {
+        if r == callee {
+            return true;
+        }
+        if !seen[r.index()] {
+            seen[r.index()] = true;
+            stack.extend_from_slice(graph.callees(r));
+        }
+    }
+    false
 }
 
 /// Free-function form of [`AnalysisCache::reanalyze`].
@@ -639,6 +783,73 @@ mod tests {
         assert_eq!(a.stats.routines_reused, 0);
         let scratch = analyze_with(&q, &AnalysisOptions::default());
         assert_eq!(a.summary, scratch.summary);
+    }
+
+    #[test]
+    fn query_on_a_full_cache_slices_the_analysis() {
+        let p = sample();
+        let mut cache = AnalysisCache::new(AnalysisOptions::default());
+        cache.analyze(&p);
+        let mid = p.routine_by_name("mid").unwrap();
+        let (answer, stats) = cache.query(&p, &Query::Summary(mid));
+        assert!(stats.answered_from_full);
+        assert_eq!(stats.visits, 0);
+        let s = cache.analysis().unwrap().summary.routine(mid);
+        assert_eq!(
+            answer,
+            QueryAnswer::Summary {
+                call_used: s.call_used.clone(),
+                call_defined: s.call_defined.clone(),
+                call_killed: s.call_killed.clone(),
+                saved_restored: s.saved_restored,
+            }
+        );
+        let main = p.routine_by_name("main").unwrap();
+        let (r, _) = cache.query(&p, &Query::Reaches { caller: main, callee: mid });
+        assert_eq!(r, QueryAnswer::Reaches(true));
+        let (r, _) = cache.query(&p, &Query::Reaches { caller: mid, callee: main });
+        assert_eq!(r, QueryAnswer::Reaches(false));
+    }
+
+    #[test]
+    fn queries_then_reanalyze_promotes_the_engine() {
+        let p = sample();
+        let mut cache = AnalysisCache::new(AnalysisOptions::default());
+
+        // Demand path on a cold cache: an engine is built and solves only
+        // the query's cone.
+        let leaf = p.routine_by_name("leaf").unwrap();
+        let (_, stats) = cache.query(&p, &Query::Summary(leaf));
+        assert!(!stats.answered_from_full);
+        assert!(stats.phase1_components_solved > 0);
+        assert!(cache.analysis().is_none());
+        assert!(cache.heap_bytes() > 0);
+
+        // An edit later: the engine promotes into the cached analysis of
+        // the pre-edit program, and the incremental patching proceeds as
+        // if `analyze` had run — only the dirty routine is re-analyzed.
+        let addr = p.routine(leaf).addr();
+        let (q, dirty) = Rewriter::new(&p).delete(addr).finish().unwrap();
+        let incr = cache.reanalyze(&q, &dirty);
+        assert_eq!(incr.stats.routines_reanalyzed, 1);
+        assert_eq!(incr.stats.routines_reused, 2);
+        let scratch = analyze_with(&q, &AnalysisOptions::default());
+        assert_eq!(incr.summary, scratch.summary);
+        assert_eq!(incr.psg, scratch.psg);
+        assert_eq!(incr.stats.memory_bytes, scratch.stats.memory_bytes);
+    }
+
+    #[test]
+    fn into_analysis_drains_a_query_engine() {
+        let p = sample();
+        let mut cache = AnalysisCache::new(AnalysisOptions::default());
+        let main = p.routine_by_name("main").unwrap();
+        cache.query(&p, &Query::LiveAtEntry(main));
+        let drained = cache.into_analysis().expect("engine promotes");
+        let scratch = analyze_with(&p, &AnalysisOptions::default());
+        assert_eq!(drained.summary, scratch.summary);
+        assert_eq!(drained.psg, scratch.psg);
+        assert_eq!(drained.stats.memory_bytes, scratch.stats.memory_bytes);
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod incremental;
 pub mod json;
 pub mod parallel;
 mod psg;
+mod query;
 mod schedule;
 mod summary;
 pub mod worklist;
@@ -62,4 +63,5 @@ pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions, AnalysisSta
 pub use callee_saved::saved_restored_registers;
 pub use incremental::{reanalyze, AnalysisCache};
 pub use psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, PsgStats, RoutineNodes};
+pub use query::{Query, QueryAnswer, QueryEngine, QueryStats};
 pub use summary::{CallSiteSummary, ProgramSummary, RoutineSummary};

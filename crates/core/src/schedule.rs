@@ -71,6 +71,7 @@ use crate::worklist::PriorityWorklist;
 /// The schedule borrows nothing and stores nothing on the [`Psg`]; it is
 /// built per analysis run and dropped afterwards, so `memory_bytes`
 /// accounting is identical under both schedulers.
+#[derive(Clone)]
 pub(crate) struct SccSchedule {
     cond: Condensation,
     /// Per component: the PSG nodes its routines own, ascending.
@@ -278,6 +279,23 @@ impl SccSchedule {
         }
         active
     }
+
+    /// The call-graph condensation the schedule was built over. The
+    /// demand-driven engine ([`crate::query`]) walks it to collect the
+    /// caller/callee cones of a query target.
+    pub(crate) fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+
+    /// The condensation component owning `routine`.
+    pub(crate) fn component_of_routine(&self, routine: RoutineId) -> usize {
+        self.comp_of_routine[routine.index()] as usize
+    }
+
+    /// The number of condensation components.
+    pub(crate) fn components(&self) -> usize {
+        self.comp_nodes.len()
+    }
 }
 
 /// Orders one call-graph component so that as few arcs as possible run
@@ -482,7 +500,7 @@ pub(crate) struct CompSolver {
 }
 
 impl CompSolver {
-    fn new(n_routines: usize, n_nodes: usize) -> CompSolver {
+    pub(crate) fn new(n_routines: usize, n_nodes: usize) -> CompSolver {
         CompSolver {
             routine_wl: PriorityWorklist::new(n_routines),
             node_wl: PriorityWorklist::new(n_nodes),
@@ -585,35 +603,7 @@ pub(crate) fn run_phase1_scheduled(
 ) -> usize {
     let n = psg.nodes().len();
     debug_assert!(reset.is_none_or(|m| m.len() == n), "reset mask must cover every node");
-    for i in 0..n {
-        if reset.is_none_or(|m| m[i]) {
-            let (may_use, may_def, must_def) = phase1_init_value(psg.nodes[i], psg.uj_live[i]);
-            psg.may_use[i] = may_use;
-            psg.may_def[i] = may_def;
-            psg.must_def[i] = must_def;
-        }
-    }
-    // Warm-seed along the spanning tree, targets before readers (the
-    // routine node lists are sorted by rank). Each seed is one term of
-    // the node's transfer function, so it bounds the final value from
-    // the safe side on every lattice; see [`SccSchedule::tree_edge`].
-    for nodes in &schedule.routine_nodes {
-        for &x in nodes {
-            let xi = x.index();
-            if reset.is_some_and(|m| !m[xi]) {
-                continue;
-            }
-            let te = schedule.tree_edge[xi];
-            if te == u32::MAX {
-                continue;
-            }
-            let edge = &psg.edges[te as usize];
-            let yi = edge.to().index();
-            psg.may_def[xi] = edge.may_def() | psg.may_def[yi];
-            psg.must_def[xi] = edge.must_def() | psg.must_def[yi];
-            psg.may_use[xi] = edge.may_use() | (psg.may_use[yi] - edge.must_def());
-        }
-    }
+    init_phase1_values(psg, schedule, reset);
     // No call-return edge re-initialization (unlike the seeded FIFO
     // path): each scheduled component refreshes its own known-target
     // labels from source values before any read, which supersedes
@@ -654,6 +644,160 @@ pub(crate) fn run_phase1_scheduled(
         // earlier-wave values — the `SharedMut` aliasing contract.
         unsafe { solve_comp_phase1(&views, schedule, c, cs) }
     })
+}
+
+/// The phase-1 prologue shared by [`run_phase1_scheduled`] and the
+/// demand-driven engine ([`crate::query`]): initialize every (reset)
+/// node's phase-1 values, then warm-seed along the spanning tree,
+/// targets before readers (the routine node lists are sorted by rank).
+/// Each seed is one term of the node's transfer function, so it bounds
+/// the final value from the safe side on every lattice; see
+/// [`SccSchedule::tree_edge`]. The pass is purely intra-routine and
+/// reads only static flow-summary labels, so the demand engine can run
+/// it once up front regardless of which components later solve.
+pub(crate) fn init_phase1_values(psg: &mut Psg, schedule: &SccSchedule, reset: Option<&[bool]>) {
+    let n = psg.nodes().len();
+    for i in 0..n {
+        if reset.is_none_or(|m| m[i]) {
+            let (may_use, may_def, must_def) = phase1_init_value(psg.nodes[i], psg.uj_live[i]);
+            psg.may_use[i] = may_use;
+            psg.may_def[i] = may_def;
+            psg.must_def[i] = must_def;
+        }
+    }
+    for nodes in &schedule.routine_nodes {
+        for &x in nodes {
+            let xi = x.index();
+            if reset.is_some_and(|m| !m[xi]) {
+                continue;
+            }
+            let te = schedule.tree_edge[xi];
+            if te == u32::MAX {
+                continue;
+            }
+            let edge = &psg.edges[te as usize];
+            let yi = edge.to().index();
+            psg.may_def[xi] = edge.may_def() | psg.may_def[yi];
+            psg.must_def[xi] = edge.must_def() | psg.must_def[yi];
+            psg.may_use[xi] = edge.may_use() | (psg.may_use[yi] - edge.must_def());
+        }
+    }
+}
+
+/// Solves the listed components' phase-1 systems serially, in list
+/// order. The demand-driven entry point: the caller must order `comps`
+/// bottom-up (every callee component of a listed component either
+/// precedes it in the list or has already converged) — ascending
+/// component index is exactly that order, since the condensation
+/// numbers callees before callers. Returns node evaluations.
+pub(crate) fn solve_phase1_components(
+    psg: &mut Psg,
+    schedule: &SccSchedule,
+    comps: &[usize],
+    cs: &mut CompSolver,
+) -> usize {
+    debug_assert!(comps.windows(2).all(|w| w[0] < w[1]), "phase-1 cone solves bottom-up");
+    let Psg {
+        ref nodes,
+        ref mut edges,
+        ref out_edges,
+        ref in_edges,
+        ref routines,
+        ref cr_sources,
+        ref entry_cr_edges,
+        ref pinned,
+        ref mut may_use,
+        ref mut may_def,
+        ref mut must_def,
+        ..
+    } = *psg;
+    let views = Phase1Views {
+        nodes,
+        out_edges,
+        in_edges,
+        routines,
+        cr_sources,
+        entry_cr_edges,
+        pinned,
+        edges: SharedMut::new(edges),
+        may_use: SharedMut::new(may_use),
+        may_def: SharedMut::new(may_def),
+        must_def: SharedMut::new(must_def),
+    };
+    let mut visits = 0usize;
+    for &c in comps {
+        // SAFETY: components solve one at a time with exclusive access
+        // to the whole PSG, so the `SharedMut` aliasing contract holds
+        // trivially.
+        visits += unsafe { solve_comp_phase1(&views, schedule, c, cs) };
+    }
+    visits
+}
+
+/// Initializes phase-2 liveness for the nodes of component `c` — the
+/// warm `MAY-USE` start of [`run_phase2_scheduled`] restricted to one
+/// component — and applies the exit seeds landing in it. The demand
+/// engine calls this exactly once per component, after the component's
+/// phase-1 values converged (the warm start reads final `MAY-USE`) and
+/// before its phase-2 solve.
+pub(crate) fn init_phase2_component(
+    psg: &mut Psg,
+    schedule: &SccSchedule,
+    c: usize,
+    exit_seeds: &[(NodeId, RegSet)],
+) {
+    for &x in &schedule.comp_nodes[c] {
+        let i = x.index();
+        psg.live[i] = phase2_init_value(psg.nodes[i], psg.uj_live[i]) | psg.may_use[i];
+    }
+    for &(node, set) in exit_seeds {
+        if schedule.comp_of[node.index()] as usize == c {
+            psg.live[node.index()] |= set;
+        }
+    }
+}
+
+/// Solves the listed components' phase-2 systems serially, in list
+/// order. The caller must order `comps` top-down (every caller
+/// component of a listed component either precedes it in the list or
+/// has already converged) — descending component index — and must have
+/// initialized each listed component via [`init_phase2_component`].
+/// Returns node evaluations.
+pub(crate) fn solve_phase2_components(
+    psg: &mut Psg,
+    schedule: &SccSchedule,
+    comps: &[usize],
+    cs: &mut CompSolver,
+) -> usize {
+    debug_assert!(comps.windows(2).all(|w| w[0] > w[1]), "phase-2 cone solves top-down");
+    let Psg {
+        ref nodes,
+        ref edges,
+        ref out_edges,
+        ref in_edges,
+        ref routines,
+        ref return_exit_targets,
+        ref pinned,
+        ref mut live,
+        ..
+    } = *psg;
+    let views = Phase2Views {
+        nodes,
+        out_edges,
+        in_edges,
+        routines,
+        return_exit_targets,
+        pinned,
+        edges,
+        live: SharedMut::new(live),
+    };
+    let mut visits = 0usize;
+    for &c in comps {
+        // SAFETY: as in [`solve_phase1_components`] — strictly serial,
+        // exclusive access to the whole liveness array.
+        visits += unsafe { solve_comp_phase2(&views, schedule, c, cs) };
+    }
+    visits
 }
 
 /// Scheduled phase 2 (§3.3): top-down waves, priority worklists.

@@ -43,8 +43,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use spike_core::Analysis;
-use spike_program::Program;
+use spike_cfg::ProgramCfg;
+use spike_core::{Analysis, ProgramSummary};
+use spike_program::{Program, RoutineId};
 
 mod clobber;
 mod dead;
@@ -103,6 +104,45 @@ pub fn lint_with(program: &Program, analysis: &Analysis, options: &LintOptions) 
     if options.tables {
         tables::check(program, &mut report);
     }
+    report.finish();
+    report
+}
+
+/// Runs the uninitialized-read check for a single routine on demand.
+///
+/// The must-defined fixpoint converges over `routine`'s transitive
+/// caller closure only, and only `routine`'s reads are flagged — the
+/// findings are exactly the whole-program [`lint_with`] uninit findings
+/// for that routine. `summary` must hold converged `call-defined` facts
+/// for every call site in the closure; the natural producer is
+/// [`spike_core::AnalysisCache::with_uninit_facts`], which ensures
+/// precisely that cone:
+///
+/// ```
+/// use spike_isa::Reg;
+/// use spike_program::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.routine("main").call("f").use_reg(Reg::V0).halt(); // f defines v0?
+/// b.routine("f").ret(); // no — the read of v0 is garbage
+/// let program = b.build()?;
+/// let main = program.routine_by_name("main").unwrap();
+///
+/// let mut cache = spike_core::AnalysisCache::new(spike_core::AnalysisOptions::default());
+/// let (report, _) = cache.with_uninit_facts(&program, main, |cfg, summary| {
+///     spike_lint::uninit_routine(&program, cfg, summary, main)
+/// });
+/// assert_eq!(report.errors(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn uninit_routine(
+    program: &Program,
+    cfg: &ProgramCfg,
+    summary: &ProgramSummary,
+    routine: RoutineId,
+) -> LintReport {
+    let mut report = LintReport::default();
+    uninit::check_routine(program, cfg, summary, routine, &mut report);
     report.finish();
     report
 }
@@ -375,6 +415,35 @@ mod tests {
                 d.reg,
                 d.routine
             );
+        }
+    }
+
+    #[test]
+    fn uninit_routine_matches_the_full_check() {
+        use spike_synth::DefectKind;
+        for seed in 0..4 {
+            let (p, _) =
+                spike_synth::generate_executable_with_defect(seed, 5, DefectKind::UninitRead);
+            let analysis = spike_core::analyze(&p);
+            let options = LintOptions {
+                uninit: true,
+                clobber: false,
+                dead: false,
+                reach: false,
+                tables: false,
+            };
+            let full = lint_with(&p, &analysis, &options);
+            for (rid, r) in p.iter() {
+                let solo = uninit_routine(&p, &analysis.cfg, &analysis.summary, rid);
+                let expected: Vec<&Diagnostic> =
+                    full.diagnostics().iter().filter(|d| d.routine == r.name()).collect();
+                assert_eq!(
+                    solo.diagnostics().iter().collect::<Vec<_>>(),
+                    expected,
+                    "seed {seed}: scoped uninit findings diverge for {}",
+                    r.name()
+                );
+            }
         }
     }
 

@@ -16,9 +16,9 @@
 
 use std::collections::VecDeque;
 
-use spike_cfg::{BlockId, CallTarget, RoutineCfg, TermKind};
+use spike_cfg::{BlockId, CallTarget, ProgramCfg, RoutineCfg, TermKind};
 use spike_core::worklist::PriorityWorklist;
-use spike_core::Analysis;
+use spike_core::{Analysis, ProgramSummary};
 use spike_isa::{CallingStandard, Instruction, Reg, RegSet};
 use spike_program::{Program, RoutineId};
 
@@ -64,13 +64,16 @@ pub(crate) struct MustDefined {
 
 /// `call-defined` for each call block of `rid` (empty for non-call
 /// blocks), i.e. the registers the callee must write before returning.
-fn call_defined_per_block(analysis: &Analysis, rid: RoutineId) -> Vec<RegSet> {
-    let nb = analysis.cfg.routine_cfg(rid).blocks().len();
+fn call_defined_per_block(
+    cfg: &ProgramCfg,
+    summary: &ProgramSummary,
+    rid: RoutineId,
+) -> Vec<RegSet> {
+    let nb = cfg.routine_cfg(rid).blocks().len();
     (0..nb)
         .map(|i| {
-            analysis
-                .summary
-                .call_site(&analysis.cfg, rid, BlockId::from_index(i))
+            summary
+                .call_site(cfg, rid, BlockId::from_index(i))
                 .map_or(RegSet::EMPTY, |cs| cs.defined)
         })
         .collect()
@@ -86,8 +89,14 @@ fn call_defined_per_block(analysis: &Analysis, rid: RoutineId) -> Vec<RegSet> {
 /// re-queues the blocks that actually read it. The fixpoint of the
 /// monotone meet system is unique, so the result is identical to the
 /// round-robin sweep this replaces.
-fn intra(analysis: &Analysis, rid: RoutineId, entry: &[Vec<RegSet>], block_in: &mut [RegSet]) {
-    let cfg = analysis.cfg.routine_cfg(rid);
+fn intra(
+    pcfg: &ProgramCfg,
+    summary: &ProgramSummary,
+    rid: RoutineId,
+    entry: &[Vec<RegSet>],
+    block_in: &mut [RegSet],
+) {
+    let cfg = pcfg.routine_cfg(rid);
     let nb = cfg.blocks().len();
 
     // The CFG has no call → return-point successor edges; definedness
@@ -103,7 +112,7 @@ fn intra(analysis: &Analysis, rid: RoutineId, entry: &[Vec<RegSet>], block_in: &
         }
         readers.extend(block.succs().iter().map(|s| s.index() as u32));
     }
-    let cs_defined = call_defined_per_block(analysis, rid);
+    let cs_defined = call_defined_per_block(pcfg, summary, rid);
 
     let mut constraint = vec![RegSet::ALL; nb];
     for (e, &b) in cfg.entries().iter().enumerate() {
@@ -172,13 +181,30 @@ fn intra(analysis: &Analysis, rid: RoutineId, entry: &[Vec<RegSet>], block_in: &
     }
 }
 
-/// Computes the whole-program must-defined solution: alternating
-/// intra-routine passes with a re-meet of every callee entrance over its
-/// resolved call sites, to a global fixpoint. Entrance sets start at their
-/// boundary assumptions and only shrink, so termination is immediate from
+/// Computes the must-defined solution: alternating intra-routine passes
+/// with a re-meet of every callee entrance over its resolved call sites,
+/// to a global fixpoint. Entrance sets start at their boundary
+/// assumptions and only shrink, so termination is immediate from
 /// monotonicity.
-pub(crate) fn compute(program: &Program, analysis: &Analysis) -> MustDefined {
-    let std = analysis.summary.calling_standard();
+///
+/// With `scope = Some(r)` the fixpoint is restricted to `r`'s transitive
+/// *caller closure* — the only routines whose facts can flow into `r`'s
+/// entrances. The restriction is exact for every routine in the closure:
+/// the closure is caller-closed, so every call edge into a closure
+/// routine originates inside it and all of its entrance meets are
+/// applied; routines outside the closure simply keep their boundary
+/// assumption on both sides of the convergence compare. Equivalently,
+/// the restricted system is the projection of the full descending Kleene
+/// iteration onto the closure, whose coordinates never read the dropped
+/// ones. `block_in` outside the closure is meaningless (never computed)
+/// and must not be read.
+pub(crate) fn compute_scoped(
+    program: &Program,
+    cfg: &ProgramCfg,
+    summary: &ProgramSummary,
+    scope: Option<RoutineId>,
+) -> MustDefined {
+    let std = summary.calling_standard();
     let boundary: Vec<Vec<RegSet>> = program
         .iter()
         .map(|(rid, r)| {
@@ -199,17 +225,36 @@ pub(crate) fn compute(program: &Program, analysis: &Analysis) -> MustDefined {
 
     let mut entry = boundary.clone();
     let mut block_in: Vec<Vec<RegSet>> =
-        analysis.cfg.cfgs().iter().map(|c| vec![RegSet::ALL; c.blocks().len()]).collect();
+        cfg.cfgs().iter().map(|c| vec![RegSet::ALL; c.blocks().len()]).collect();
 
     // Callers-first order: entrance facts propagate down call chains in
     // few global passes.
-    let callgraph = spike_callgraph::CallGraph::build(program, &analysis.cfg);
+    let callgraph = spike_callgraph::CallGraph::build(program, cfg);
     let mut order: Vec<RoutineId> = callgraph.sccs().bottom_up().concat();
     order.reverse();
 
+    // Restrict the iteration to the target's caller closure.
+    let in_scope: Option<Vec<bool>> = scope.map(|target| {
+        let mut mask = vec![false; program.routines().len()];
+        let mut stack = vec![target];
+        mask[target.index()] = true;
+        while let Some(r) = stack.pop() {
+            for &c in callgraph.callers(r) {
+                if !mask[c.index()] {
+                    mask[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        mask
+    });
+    if let Some(mask) = &in_scope {
+        order.retain(|r| mask[r.index()]);
+    }
+
     loop {
         for &rid in &order {
-            intra(analysis, rid, &entry, &mut block_in[rid.index()]);
+            intra(cfg, summary, rid, &entry, &mut block_in[rid.index()]);
         }
 
         // Re-meet every entrance over its call edges. The value flowing
@@ -220,9 +265,12 @@ pub(crate) fn compute(program: &Program, analysis: &Analysis) -> MustDefined {
         // keep their boundary assumption.
         let mut next = boundary.clone();
         for (rid, _) in program.iter() {
-            let cfg = analysis.cfg.routine_cfg(rid);
-            for b in cfg.call_blocks() {
-                let block = cfg.block(b);
+            if in_scope.as_ref().is_some_and(|m| !m[rid.index()]) {
+                continue;
+            }
+            let rcfg = cfg.routine_cfg(rid);
+            for b in rcfg.call_blocks() {
+                let block = rcfg.block(b);
                 let TermKind::Call { target, .. } = block.term() else { continue };
                 let at_entry = block_in[rid.index()][b.index()] | block.def();
                 match target {
@@ -248,7 +296,8 @@ pub(crate) fn compute(program: &Program, analysis: &Analysis) -> MustDefined {
 /// entrance to `target` along which `reg` is never defined. Falls back to
 /// the lone target address if no such path is recoverable.
 fn witness_path(
-    analysis: &Analysis,
+    pcfg: &ProgramCfg,
+    summary: &ProgramSummary,
     cfg: &RoutineCfg,
     rid: RoutineId,
     md: &MustDefined,
@@ -256,7 +305,7 @@ fn witness_path(
     target: BlockId,
 ) -> Vec<u32> {
     let nb = cfg.blocks().len();
-    let cs_defined = call_defined_per_block(analysis, rid);
+    let cs_defined = call_defined_per_block(pcfg, summary, rid);
     let mut parent: Vec<Option<BlockId>> = vec![None; nb];
     let mut visited = vec![false; nb];
     let mut q = VecDeque::new();
@@ -336,49 +385,81 @@ fn last_call_on_path(program: &Program, cfg: &RoutineCfg, witness: &[u32]) -> Op
     None
 }
 
-/// Flags every use not covered by the must-defined solution, one finding
-/// per `(routine, register)`.
-pub(crate) fn check(program: &Program, analysis: &Analysis, report: &mut LintReport) {
-    let md = compute(program, analysis);
-    let ret_regs = analysis.summary.calling_standard().return_value();
-    for (rid, routine) in program.iter() {
-        let cfg = analysis.cfg.routine_cfg(rid);
-        let mut flagged = RegSet::EMPTY;
-        for (bi, block) in cfg.blocks().iter().enumerate() {
-            let mut defined = md.block_in[rid.index()][bi];
-            for addr in block.start()..block.end() {
-                let insn = routine.insn_at(addr).expect("address in routine");
-                let missing = checked_uses(insn) - defined;
-                for reg in missing.iter() {
-                    // Treat as defined from here on, so one root cause is
-                    // not reported at every downstream use.
-                    defined.insert(reg);
-                    if flagged.contains(reg) {
-                        continue;
-                    }
-                    flagged.insert(reg);
-                    let witness =
-                        witness_path(analysis, cfg, rid, &md, reg, BlockId::from_index(bi));
-                    let mut d = Diagnostic::new(
-                        Check::UninitRead,
-                        routine.name(),
-                        format!("register {reg} may be read before it is initialized"),
-                    );
-                    d.addr = Some(addr);
-                    d.reg = Some(reg);
-                    if ret_regs.contains(reg) {
-                        if let Some(callee) = last_call_on_path(program, cfg, &witness) {
-                            d.note = Some(format!(
-                                "return value expected from the call to {callee}, \
-                                 which does not always define {reg}"
-                            ));
-                        }
-                    }
-                    d.witness = witness;
-                    report.push(d);
+/// Flags every use in `rid` not covered by the must-defined solution,
+/// one finding per `(routine, register)`. `md` must hold converged facts
+/// for `rid` (full solution, or a scoped one targeting `rid`).
+fn check_one(
+    program: &Program,
+    cfg: &ProgramCfg,
+    summary: &ProgramSummary,
+    md: &MustDefined,
+    rid: RoutineId,
+    report: &mut LintReport,
+) {
+    let routine = program.routine(rid);
+    let rcfg = cfg.routine_cfg(rid);
+    let ret_regs = summary.calling_standard().return_value();
+    let mut flagged = RegSet::EMPTY;
+    for (bi, block) in rcfg.blocks().iter().enumerate() {
+        let mut defined = md.block_in[rid.index()][bi];
+        for addr in block.start()..block.end() {
+            let insn = routine.insn_at(addr).expect("address in routine");
+            let missing = checked_uses(insn) - defined;
+            for reg in missing.iter() {
+                // Treat as defined from here on, so one root cause is
+                // not reported at every downstream use.
+                defined.insert(reg);
+                if flagged.contains(reg) {
+                    continue;
                 }
-                defined |= insn.defs();
+                flagged.insert(reg);
+                let witness =
+                    witness_path(cfg, summary, rcfg, rid, md, reg, BlockId::from_index(bi));
+                let mut d = Diagnostic::new(
+                    Check::UninitRead,
+                    routine.name(),
+                    format!("register {reg} may be read before it is initialized"),
+                );
+                d.addr = Some(addr);
+                d.reg = Some(reg);
+                if ret_regs.contains(reg) {
+                    if let Some(callee) = last_call_on_path(program, rcfg, &witness) {
+                        d.note = Some(format!(
+                            "return value expected from the call to {callee}, \
+                             which does not always define {reg}"
+                        ));
+                    }
+                }
+                d.witness = witness;
+                report.push(d);
             }
+            defined |= insn.defs();
         }
     }
+}
+
+/// Flags every use not covered by the must-defined solution, across the
+/// whole program.
+pub(crate) fn check(program: &Program, analysis: &Analysis, report: &mut LintReport) {
+    let md = compute_scoped(program, &analysis.cfg, &analysis.summary, None);
+    for (rid, _) in program.iter() {
+        check_one(program, &analysis.cfg, &analysis.summary, &md, rid, report);
+    }
+}
+
+/// Single-routine variant for demand-driven linting: converges the
+/// must-defined fixpoint over `rid`'s caller closure only and flags only
+/// `rid`'s reads. The findings equal the whole-program [`check`]'s
+/// findings for `rid` exactly (see [`compute_scoped`]); `summary` only
+/// needs converged `call-defined` facts for the call sites inside the
+/// closure.
+pub(crate) fn check_routine(
+    program: &Program,
+    cfg: &ProgramCfg,
+    summary: &ProgramSummary,
+    rid: RoutineId,
+    report: &mut LintReport,
+) {
+    let md = compute_scoped(program, cfg, summary, Some(rid));
+    check_one(program, cfg, summary, &md, rid, report);
 }

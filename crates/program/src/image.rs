@@ -225,8 +225,12 @@ impl Program {
             let mut insns = Vec::with_capacity(n_insns);
             for i in 0..n_insns {
                 let word = r.u32()?;
-                let insn = Instruction::decode(word)
-                    .map_err(|source| ImageError::Decode { addr: addr + i as u32, source })?;
+                // `addr` is still unvalidated image data here; wrap rather
+                // than overflow when computing the diagnostic address.
+                let insn = Instruction::decode(word).map_err(|source| ImageError::Decode {
+                    addr: addr.wrapping_add(i as u32),
+                    source,
+                })?;
                 insns.push(insn);
             }
             if insns.is_empty() || entry_offsets.first() != Some(&0) {

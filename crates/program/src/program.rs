@@ -157,6 +157,17 @@ impl Program {
         if entry.index() >= routines.len() {
             return Err(ProgramError::BadEntry);
         }
+        for r in &routines {
+            // A routine whose address range wraps past `u32::MAX` has no
+            // coherent layout, and every downstream `addr + offset`
+            // computation (`end_addr`, instruction and entry addresses)
+            // assumes the whole routine fits. Images are untrusted input,
+            // so reject the wrap here instead of overflowing below.
+            let fits = u32::try_from(r.len()).ok().and_then(|l| r.addr().checked_add(l));
+            if fits.is_none() {
+                return Err(ProgramError::BadLayout { routine: r.name().to_string() });
+            }
+        }
         for w in routines.windows(2) {
             if w[1].addr() < w[0].end_addr() {
                 return Err(ProgramError::BadLayout { routine: w[1].name().to_string() });
@@ -433,6 +444,30 @@ mod tests {
         b.routine("main").def(Reg::A0).call("callee").halt();
         b.routine("callee").def(Reg::V0).ret();
         b.build().unwrap()
+    }
+
+    #[test]
+    fn wrapping_address_ranges_are_rejected_not_overflowed() {
+        // A routine whose body runs past u32::MAX (only constructible
+        // from a corrupt image or by hand) must be a BadLayout error, not
+        // an arithmetic overflow inside validation.
+        let r = Routine::new(
+            "edge",
+            u32::MAX,
+            vec![Instruction::Halt, Instruction::Halt],
+            vec![0],
+            false,
+        );
+        let err = Program::new(
+            vec![r],
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            RoutineId::from_index(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::BadLayout { .. }), "{err:?}");
     }
 
     #[test]

@@ -91,8 +91,36 @@ pub struct AnalyzedProgram {
     pub analysis: Analysis,
 }
 
+/// A cached program served by the demand-driven query engine. Unlike
+/// [`AnalyzedProgram`] the analysis state is mutable — each query may
+/// grow the memoized cone — so it sits behind a mutex and the store
+/// re-charges its heap footprint after every query.
+pub struct QueriedProgram {
+    /// Content hash of the image this was built from.
+    pub key: CacheKey,
+    /// The validated program.
+    pub program: Program,
+    /// Query-capable analysis state (demand engine or full analysis).
+    pub cache: Mutex<AnalysisCache>,
+}
+
+impl QueriedProgram {
+    /// Locks the analysis state, shrugging off poison: a panicking query
+    /// leaves the engine in a consistent converged-prefix state.
+    pub fn lock(&self) -> MutexGuard<'_, AnalysisCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 struct Entry {
     shared: Arc<AnalyzedProgram>,
+    /// LRU + heap charge for this entry.
+    bytes: usize,
+    last_used: u64,
+}
+
+struct QueryEntry {
+    shared: Arc<QueriedProgram>,
     /// LRU + heap charge for this entry.
     bytes: usize,
     last_used: u64,
@@ -128,12 +156,58 @@ pub struct CacheSnapshot {
 
 struct Inner {
     entries: HashMap<CacheKey, Entry>,
+    /// Demand-query entries, keyed like `entries` but disjoint from it:
+    /// a key lives in at most one map (queries reuse a full entry by
+    /// seeding from it rather than sharing it).
+    query_entries: HashMap<CacheKey, QueryEntry>,
     /// Keys currently being analyzed by some thread.
     in_flight: HashSet<CacheKey>,
     /// LRU clock.
     tick: u64,
     total_bytes: usize,
     counters: CacheCounters,
+}
+
+impl Inner {
+    /// Evicts least-recently-used entries (from either map) until the
+    /// budget holds, never evicting `keep` so a single oversized program
+    /// still caches.
+    fn evict_to_budget(&mut self, budget_bytes: usize, keep: CacheKey) {
+        while self.total_bytes > budget_bytes && self.entries.len() + self.query_entries.len() > 1 {
+            let full_victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, e.last_used));
+            let query_victim = self
+                .query_entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (*k, e.last_used));
+            let victim = match (full_victim, query_victim) {
+                (Some(f), Some(q)) => {
+                    if f.1 <= q.1 {
+                        Some((f.0, true))
+                    } else {
+                        Some((q.0, false))
+                    }
+                }
+                (Some(f), None) => Some((f.0, true)),
+                (None, Some(q)) => Some((q.0, false)),
+                (None, None) => None,
+            };
+            let Some((key, is_full)) = victim else { break };
+            let bytes = if is_full {
+                self.entries.remove(&key).expect("victim exists").bytes
+            } else {
+                self.query_entries.remove(&key).expect("victim exists").bytes
+            };
+            self.total_bytes -= bytes;
+            self.counters.evictions += 1;
+        }
+    }
 }
 
 /// The shared cache. All public methods are `&self`; the store is meant
@@ -167,6 +241,7 @@ impl ProgramStore {
         ProgramStore {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                query_entries: HashMap::new(),
                 in_flight: HashSet::new(),
                 tick: 0,
                 total_bytes: 0,
@@ -194,7 +269,7 @@ impl ProgramStore {
     pub fn snapshot(&self) -> CacheSnapshot {
         let inner = self.lock();
         CacheSnapshot {
-            entries: inner.entries.len(),
+            entries: inner.entries.len() + inner.query_entries.len(),
             bytes: inner.total_bytes,
             budget_bytes: self.budget_bytes,
             counters: inner.counters,
@@ -297,23 +372,100 @@ impl ProgramStore {
         let tick = inner.tick;
         inner.total_bytes += bytes;
         inner.entries.insert(key, Entry { shared: Arc::clone(&shared), bytes, last_used: tick });
-        while inner.total_bytes > self.budget_bytes && inner.entries.len() > 1 {
-            let victim = inner
-                .entries
-                .iter()
-                .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("len > 1 and the new key is excluded");
-            let evicted = inner.entries.remove(&victim).expect("victim exists");
-            inner.total_bytes -= evicted.bytes;
-            inner.counters.evictions += 1;
-        }
+        inner.evict_to_budget(self.budget_bytes, key);
         drop(inner);
         // FlightGuard drops here: removes the in-flight mark and wakes
         // the coalesced waiters, who now find the entry (or, on the error
         // path above, find nothing and become leaders themselves).
         Ok((shared, outcome))
+    }
+
+    /// Resolves image bytes to a query-capable cached program.
+    ///
+    /// A warm query entry is a hit. Otherwise the image is parsed and a
+    /// fresh [`AnalysisCache`] is installed — seeded from the full
+    /// analysis when `get_or_analyze` already converged this image (so
+    /// queries answer from the whole-program solution), empty otherwise
+    /// (so the first query builds the demand engine and solves only its
+    /// cone). No single-flight: creating a cold entry costs one image
+    /// parse, not an analysis; the actual solving happens under the
+    /// entry's own mutex, serialized per image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the image loader's error message when `image` does not
+    /// decode to a valid [`Program`]. Parse failures are not cached.
+    pub fn get_or_query(
+        &self,
+        image: &[u8],
+    ) -> Result<(Arc<QueriedProgram>, CacheOutcome), String> {
+        let key = CacheKey::of(image);
+        let seed: Option<Arc<AnalyzedProgram>> = {
+            let mut inner = self.lock();
+            if inner.query_entries.contains_key(&key) {
+                inner.tick += 1;
+                inner.counters.hits += 1;
+                let tick = inner.tick;
+                let e = inner.query_entries.get_mut(&key).expect("entry just seen");
+                e.last_used = tick;
+                return Ok((Arc::clone(&e.shared), CacheOutcome::Hit));
+            }
+            inner.entries.get(&key).map(|e| Arc::clone(&e.shared))
+        };
+
+        let (program, cache, outcome) = match seed {
+            // `clone_exact` for the same reason as the incremental seed:
+            // a query answered from this state must be bit-identical to
+            // one answered from the original full analysis.
+            Some(donor) => (
+                donor.program.clone(),
+                AnalysisCache::from_analysis(self.options.clone(), donor.analysis.clone_exact()),
+                CacheOutcome::Hit,
+            ),
+            None => (
+                Program::from_image(image).map_err(|e| e.to_string())?,
+                AnalysisCache::new(self.options.clone()),
+                CacheOutcome::MissCold,
+            ),
+        };
+
+        let bytes = image.len() + cache.heap_bytes();
+        let shared = Arc::new(QueriedProgram { key, program, cache: Mutex::new(cache) });
+
+        let mut inner = self.lock();
+        match outcome {
+            CacheOutcome::Hit => inner.counters.hits += 1,
+            _ => inner.counters.misses_cold += 1,
+        }
+        // Lost race: another thread installed the same key while we were
+        // parsing. Use theirs; the work above is wasted but consistent.
+        if inner.query_entries.contains_key(&key) {
+            inner.tick += 1;
+            let tick = inner.tick;
+            let e = inner.query_entries.get_mut(&key).expect("entry just seen");
+            e.last_used = tick;
+            return Ok((Arc::clone(&e.shared), outcome));
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.total_bytes += bytes;
+        inner
+            .query_entries
+            .insert(key, QueryEntry { shared: Arc::clone(&shared), bytes, last_used: tick });
+        inner.evict_to_budget(self.budget_bytes, key);
+        Ok((shared, outcome))
+    }
+
+    /// Re-charges a query entry after a query may have grown its engine,
+    /// and re-runs eviction against the new total. No-op if the entry
+    /// was evicted in the meantime.
+    pub fn recharge_query(&self, key: CacheKey, bytes: usize) {
+        let mut inner = self.lock();
+        let Some(e) = inner.query_entries.get_mut(&key) else { return };
+        let old = e.bytes;
+        e.bytes = bytes;
+        inner.total_bytes = inner.total_bytes - old + bytes;
+        inner.evict_to_budget(self.budget_bytes, key);
     }
 }
 
@@ -379,6 +531,48 @@ mod tests {
     fn keys_differ_across_images() {
         assert_ne!(CacheKey::of(&image(0)), CacheKey::of(&image(1)));
         assert_eq!(CacheKey::of(&image(1)), CacheKey::of(&image(1)));
+    }
+
+    #[test]
+    fn query_entries_cache_and_seed_from_full_analyses() {
+        let s = store(usize::MAX);
+        let img = image(0);
+        let (e1, o1) = s.get_or_query(&img).unwrap();
+        assert_eq!(o1, CacheOutcome::MissCold);
+        let (e2, o2) = s.get_or_query(&img).unwrap();
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(s.snapshot().entries, 1);
+
+        // A converged full analysis seeds the query entry, so queries
+        // answer from the whole-program solution.
+        let s = store(usize::MAX);
+        s.get_or_analyze(&img).unwrap();
+        let (entry, outcome) = s.get_or_query(&img).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let rid = entry.program.routine_by_name("main").unwrap();
+        let (_, stats) = entry.lock().query(&entry.program, &spike_core::Query::Summary(rid));
+        assert!(stats.answered_from_full);
+        assert_eq!(s.snapshot().entries, 2, "full and query entries are distinct");
+    }
+
+    #[test]
+    fn recharge_evicts_when_a_grown_engine_busts_the_budget() {
+        let s = store(10_000);
+        let img_a = image(0);
+        let img_b = image(1);
+        let (ea, _) = s.get_or_query(&img_a).unwrap();
+        s.get_or_query(&img_b).unwrap();
+        assert_eq!(s.snapshot().entries, 2);
+        // Pretend entry A's engine grew past the whole budget: B (the
+        // older untouched entry is A... A was just recharged, so the
+        // LRU victim is B).
+        s.recharge_query(ea.key, 1_000_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.entries, 1, "over-budget recharge evicts the other entry");
+        assert_eq!(snap.counters.evictions, 1);
+        let (_, o) = s.get_or_query(&img_a).unwrap();
+        assert_eq!(o, CacheOutcome::Hit, "the recharged entry itself survives");
     }
 
     #[test]

@@ -102,8 +102,17 @@ fn calls_resolve_identically(old: &Program, new: &Program, or: &Routine, nr: &Ro
     debug_assert_eq!(or.insns(), nr.insns());
     for (i, insn) in or.insns().iter().enumerate() {
         if let Instruction::Bsr { .. } = insn {
-            let ot = old.direct_call_target(or.addr() + i as u32);
-            let nt = new.direct_call_target(nr.addr() + i as u32);
+            // A routine based near the top of the address space can make
+            // `base + i` wrap, which would panic in debug builds and
+            // compare the wrong address's call target in release builds
+            // (unsound: a changed callee could look clean). Overflow
+            // means we cannot prove the calls identical, so report dirty.
+            let insn_addr = |base: u32| u32::try_from(i).ok().and_then(|i| base.checked_add(i));
+            let (Some(oa), Some(na)) = (insn_addr(or.addr()), insn_addr(nr.addr())) else {
+                return false;
+            };
+            let ot = old.direct_call_target(oa);
+            let nt = new.direct_call_target(na);
             let norm = |t: Option<(RoutineId, usize)>| t.map(|(rid, ei)| (rid.index(), ei));
             if norm(ot) != norm(nt) {
                 return false;
@@ -199,6 +208,24 @@ mod tests {
         b.routine("main").def(Reg::A0).halt();
         let q = b.build().unwrap();
         assert_eq!(diff_for_reanalysis(&base_program(), &q), None);
+    }
+
+    #[test]
+    fn near_overflow_call_addresses_mark_the_routine_dirty() {
+        // A routine based at the very top of the address space: the bsr
+        // at index 1 makes `base + i` wrap. Such a routine can only come
+        // from a corrupt or adversarial image; the diff must answer
+        // "cannot prove identical" (dirty), not panic in debug builds or
+        // compare a wrapped address's call target in release builds.
+        let p = base_program();
+        let r = spike_program::Routine::new(
+            "edge",
+            u32::MAX,
+            vec![Instruction::Bsr { disp: 0 }, Instruction::Bsr { disp: 0 }],
+            vec![0],
+            false,
+        );
+        assert!(!calls_resolve_identically(&p, &p, &r, &r));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use spike_program::Program;
 
 use crate::cache::ProgramStore;
 use crate::metrics::Metrics;
-use crate::proto::{Command, ErrorKind, Request, Response};
+use crate::proto::{Command, ErrorKind, QueryKind, Request, Response};
 use crate::render;
 
 /// A request's processing budget, measured on the monotonic clock from
@@ -70,6 +70,9 @@ impl Handler {
             Command::Lint { format } => (self.lint(req, image, *format), Vec::new()),
             Command::Optimize { out, iterate, incremental } => {
                 self.optimize(req, image, out, *iterate, *incremental)
+            }
+            Command::Query { kind, routine, callee } => {
+                (self.query(req, image, *kind, routine, callee.as_deref()), Vec::new())
             }
             Command::Compare => (self.compare(req, image), Vec::new()),
             Command::Stats => (self.stats(), Vec::new()),
@@ -137,6 +140,74 @@ impl Handler {
         let stdout = render::lint_report(&req.image_name, &report, format);
         let exit = if report.errors() > 0 { 1 } else { 0 };
         Response { exit, stdout, diag, error: None }
+    }
+
+    fn query(
+        &self,
+        req: &Request,
+        image: &[u8],
+        kind: QueryKind,
+        routine: &str,
+        callee: Option<&str>,
+    ) -> Response {
+        let (entry, outcome) = match self.store.get_or_query(image) {
+            Ok(x) => x,
+            Err(msg) => return Response::error(ErrorKind::BadImage, msg),
+        };
+        let program = &entry.program;
+        let Some(rid) = program.routine_by_name(routine) else {
+            return Response::error(ErrorKind::BadRequest, format!("no routine named `{routine}`"));
+        };
+        let query = match kind {
+            QueryKind::Summary => Some(spike_core::Query::Summary(rid)),
+            QueryKind::LiveAtEntry => Some(spike_core::Query::LiveAtEntry(rid)),
+            QueryKind::Uninit => None,
+            QueryKind::Reaches => {
+                let Some(callee) = callee else {
+                    return Response::error(
+                        ErrorKind::BadRequest,
+                        "reaches query needs a callee routine",
+                    );
+                };
+                let Some(cid) = program.routine_by_name(callee) else {
+                    return Response::error(
+                        ErrorKind::BadRequest,
+                        format!("no routine named `{callee}`"),
+                    );
+                };
+                Some(spike_core::Query::Reaches { caller: rid, callee: cid })
+            }
+        };
+
+        let mut cache = entry.lock();
+        let (mut response, stats) = match query {
+            Some(q) => {
+                let (answer, stats) = cache.query(program, &q);
+                let stdout = render::query_report(routine, callee, &answer);
+                (Response::ok(stdout, String::new()), stats)
+            }
+            None => {
+                // `uninit` is a lint-shaped query: exit 1 with findings,
+                // rendered exactly like `spike lint`'s human format.
+                let (report, stats) = cache.with_uninit_facts(program, rid, |cfg, summary| {
+                    spike_lint::uninit_routine(program, cfg, summary, rid)
+                });
+                let stdout =
+                    render::lint_report(&req.image_name, &report, crate::proto::LintFormat::Human);
+                let exit = if report.errors() > 0 { 1 } else { 0 };
+                (Response { exit, stdout, diag: String::new(), error: None }, stats)
+            }
+        };
+        // The engine may have grown while solving this query's cone;
+        // re-charge the entry so the LRU budget stays honest.
+        let bytes = image.len() + cache.heap_bytes();
+        drop(cache);
+        self.store.recharge_query(entry.key, bytes);
+
+        let mut diag = render::query_diag(&stats);
+        let _ = writeln!(diag, "cache: {}", outcome.name());
+        response.diag = diag;
+        response
     }
 
     fn optimize(
@@ -282,6 +353,102 @@ mod tests {
         let h = handler();
         let r = req(Command::Analyze { summaries: false, routine: None });
         let (resp, _) = h.handle(&r, &[], &far_deadline());
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
+    }
+
+    #[test]
+    fn query_answers_match_the_analyze_slice() {
+        let h = handler();
+        let img = image();
+        let q =
+            req(Command::Query { kind: QueryKind::Summary, routine: "main".into(), callee: None });
+        let (resp, blob) = h.handle(&q, &img, &far_deadline());
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert!(blob.is_empty());
+        assert!(resp.diag.contains("query: cone"));
+        assert!(resp.diag.contains("cache: miss"));
+
+        // Every line of the demand-driven answer appears verbatim in the
+        // whole-program analyze slice for the same routine.
+        let program = Program::from_image(&img).unwrap();
+        let analysis = spike_core::analyze(&program);
+        let slice =
+            render::analyze_report("x.img", &program, &analysis, false, Some("main")).unwrap();
+        for line in resp.stdout.lines() {
+            assert!(slice.contains(line), "query line {line:?} missing from analyze slice");
+        }
+
+        // A repeat hits the warm entry and re-solves nothing.
+        let (resp2, _) = h.handle(&q, &img, &far_deadline());
+        assert_eq!(resp2.stdout, resp.stdout);
+        assert!(resp2.diag.contains("solved 0 + 0, 0 visit(s)"), "{}", resp2.diag);
+        assert!(resp2.diag.contains("cache: hit"));
+    }
+
+    #[test]
+    fn query_after_analyze_answers_from_the_full_state() {
+        let h = handler();
+        let img = image();
+        h.handle(&req(Command::Analyze { summaries: false, routine: None }), &img, &far_deadline());
+        let q = req(Command::Query {
+            kind: QueryKind::LiveAtEntry,
+            routine: "leaf".into(),
+            callee: None,
+        });
+        let (resp, _) = h.handle(&q, &img, &far_deadline());
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert!(resp.diag.contains("query: answered from the full analysis"), "{}", resp.diag);
+    }
+
+    #[test]
+    fn reaches_query_renders_both_verdicts() {
+        let h = handler();
+        let img = image();
+        let q = |caller: &str, callee: &str| {
+            req(Command::Query {
+                kind: QueryKind::Reaches,
+                routine: caller.into(),
+                callee: Some(callee.into()),
+            })
+        };
+        let (resp, _) = h.handle(&q("main", "leaf"), &img, &far_deadline());
+        assert_eq!(resp.stdout, "main reaches leaf\n");
+        let (resp, _) = h.handle(&q("leaf", "main"), &img, &far_deadline());
+        assert_eq!(resp.stdout, "leaf does not reach main\n");
+    }
+
+    #[test]
+    fn uninit_query_exits_like_lint() {
+        let h = handler();
+        let q =
+            req(Command::Query { kind: QueryKind::Uninit, routine: "main".into(), callee: None });
+        let (resp, _) = h.handle(&q, &image(), &far_deadline());
+        assert_eq!(resp.exit, 0, "the sample image is clean: {:?}", resp.stdout);
+        assert!(resp.stdout.ends_with("0 error(s), 0 warning(s)\n"));
+
+        let (defective, _) =
+            spike_synth::generate_executable_with_defect(7, 5, spike_synth::DefectKind::UninitRead);
+        let rname = {
+            let report = spike_lint::lint(&defective);
+            report.diagnostics()[0].routine.clone()
+        };
+        let q = req(Command::Query { kind: QueryKind::Uninit, routine: rname, callee: None });
+        let (resp, _) = h.handle(&q, &defective.to_image(), &far_deadline());
+        assert_eq!(resp.exit, 1, "{}", resp.stdout);
+        assert!(resp.stdout.contains("uninit"));
+    }
+
+    #[test]
+    fn query_rejects_unknown_routines_and_missing_callees() {
+        let h = handler();
+        let img = image();
+        let q =
+            req(Command::Query { kind: QueryKind::Summary, routine: "nope".into(), callee: None });
+        let (resp, _) = h.handle(&q, &img, &far_deadline());
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
+        let q =
+            req(Command::Query { kind: QueryKind::Reaches, routine: "main".into(), callee: None });
+        let (resp, _) = h.handle(&q, &img, &far_deadline());
         assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
     }
 

@@ -37,5 +37,5 @@ pub mod server;
 
 pub use cache::{CacheOutcome, ProgramStore};
 pub use client::{ClientError, Endpoint};
-pub use proto::{Command, ErrorKind, LintFormat, Request, Response};
+pub use proto::{Command, ErrorKind, LintFormat, QueryKind, Request, Response};
 pub use server::{ServeOptions, Server};

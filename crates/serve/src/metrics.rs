@@ -12,18 +12,29 @@ use spike_core::json::Json;
 
 use crate::cache::CacheSnapshot;
 
-/// Number of latency buckets: bucket `i` counts requests that finished
-/// in `< 2^i` microseconds, the last bucket absorbing everything slower.
+/// Number of finite latency buckets. Bucket 0 counts sub-microsecond
+/// observations (an elapsed time of `0µs`); bucket `i ≥ 1` counts
+/// observations in `[2^(i-1), 2^i)` microseconds, so every finite
+/// bucket's exclusive upper bound is `2^i` — the value the percentiles
+/// report. Observations of `2^(BUCKETS-1)` microseconds or more land in
+/// a separate overflow bucket rather than being silently merged into the
+/// top finite bucket (which would make bucket `BUCKETS-1`'s bound a
+/// lie); the overflow count is reported explicitly and percentiles that
+/// fall into it return `u64::MAX`.
 const BUCKETS: usize = 40;
 
 /// A lock-free power-of-two-bucket histogram of request latencies.
 pub struct Histogram {
     counts: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Histogram {
-        Histogram { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+        }
     }
 }
 
@@ -31,23 +42,27 @@ impl Histogram {
     /// Records one latency observation.
     pub fn record(&self, elapsed: Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket].fetch_add(1, Relaxed);
+        let bucket = 64 - us.leading_zeros() as usize;
+        match self.counts.get(bucket) {
+            Some(slot) => slot.fetch_add(1, Relaxed),
+            None => self.overflow.fetch_add(1, Relaxed),
+        };
     }
 
-    fn snapshot(&self) -> [u64; BUCKETS] {
+    fn snapshot(&self) -> ([u64; BUCKETS], u64) {
         let mut out = [0u64; BUCKETS];
         for (o, c) in out.iter_mut().zip(&self.counts) {
             *o = c.load(Relaxed);
         }
-        out
+        (out, self.overflow.load(Relaxed))
     }
 
-    /// The upper bound (in µs) of the bucket containing the `p`-th
-    /// percentile observation, 0 when nothing was recorded. `p` is in
-    /// `(0, 100]`.
-    fn percentile(counts: &[u64; BUCKETS], p: u64) -> u64 {
-        let total: u64 = counts.iter().sum();
+    /// The exclusive upper bound (in µs) of the bucket containing the
+    /// `p`-th percentile observation; 0 when nothing was recorded and
+    /// `u64::MAX` when the percentile falls in the overflow bucket. `p`
+    /// is in `(0, 100]`.
+    fn percentile(counts: &[u64; BUCKETS], overflow: u64, p: u64) -> u64 {
+        let total: u64 = counts.iter().sum::<u64>() + overflow;
         if total == 0 {
             return 0;
         }
@@ -59,7 +74,7 @@ impl Histogram {
                 return 1u64 << i;
             }
         }
-        1u64 << (BUCKETS - 1)
+        u64::MAX
     }
 }
 
@@ -69,6 +84,7 @@ pub struct CommandCounters {
     analyze: AtomicU64,
     lint: AtomicU64,
     optimize: AtomicU64,
+    query: AtomicU64,
     compare: AtomicU64,
     stats: AtomicU64,
     shutdown: AtomicU64,
@@ -80,6 +96,7 @@ impl CommandCounters {
             "analyze" => Some(&self.analyze),
             "lint" => Some(&self.lint),
             "optimize" => Some(&self.optimize),
+            "query" => Some(&self.query),
             "compare" => Some(&self.compare),
             "stats" => Some(&self.stats),
             "shutdown" => Some(&self.shutdown),
@@ -128,14 +145,14 @@ impl Metrics {
 
     /// Renders the full `stats` document. Schema (stable, checked by the
     /// CI dogfood job): `{tool, version, requests: {total, analyze, lint,
-    /// optimize, compare, stats, shutdown}, cache: {entries, bytes,
-    /// budget_bytes, hits, misses, incremental_warm, coalesced,
+    /// optimize, query, compare, stats, shutdown}, cache: {entries,
+    /// bytes, budget_bytes, hits, misses, incremental_warm, coalesced,
     /// evictions}, queue: {capacity, depth_highwater, rejected_busy},
     /// rejected: {oversized, deadline, bad_request}, panics,
-    /// latency_us: {p50, p99, buckets}}`.
+    /// latency_us: {p50, p99, buckets, overflow}}`.
     pub fn to_stats_json(&self, cache: &CacheSnapshot, queue_capacity: usize) -> Json {
         let n = |v: u64| Json::from(v);
-        let counts = self.latency.snapshot();
+        let (counts, overflow) = self.latency.snapshot();
         let obj = |fields: Vec<(&str, Json)>| {
             Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
         };
@@ -149,6 +166,7 @@ impl Metrics {
                     ("analyze", n(self.per_command.analyze.load(Relaxed))),
                     ("lint", n(self.per_command.lint.load(Relaxed))),
                     ("optimize", n(self.per_command.optimize.load(Relaxed))),
+                    ("query", n(self.per_command.query.load(Relaxed))),
                     ("compare", n(self.per_command.compare.load(Relaxed))),
                     ("stats", n(self.per_command.stats.load(Relaxed))),
                     ("shutdown", n(self.per_command.shutdown.load(Relaxed))),
@@ -187,9 +205,10 @@ impl Metrics {
             (
                 "latency_us",
                 obj(vec![
-                    ("p50", n(Histogram::percentile(&counts, 50))),
-                    ("p99", n(Histogram::percentile(&counts, 99))),
+                    ("p50", n(Histogram::percentile(&counts, overflow, 50))),
+                    ("p99", n(Histogram::percentile(&counts, overflow, 99))),
                     ("buckets", Json::Arr(counts.iter().map(|&c| n(c)).collect())),
+                    ("overflow", n(overflow)),
                 ]),
             ),
         ])
@@ -216,9 +235,9 @@ mod tests {
         for us in [3u64, 5, 9, 900, 1_000_000] {
             h.record(Duration::from_micros(us));
         }
-        let counts = h.snapshot();
-        let p50 = Histogram::percentile(&counts, 50);
-        let p99 = Histogram::percentile(&counts, 99);
+        let (counts, overflow) = h.snapshot();
+        let p50 = Histogram::percentile(&counts, overflow, 50);
+        let p99 = Histogram::percentile(&counts, overflow, 99);
         // p50 lands in the bucket holding 9µs (<16), p99 in the bucket
         // holding 1s (<2^20 µs is too small; 1e6 < 2^20 = 1048576).
         assert_eq!(p50, 16);
@@ -227,10 +246,40 @@ mod tests {
     }
 
     #[test]
+    fn histogram_buckets_hold_exact_half_open_ranges() {
+        let h = Histogram::default();
+        // Bucket i ≥ 1 holds [2^(i-1), 2^i); bucket 0 holds only 0µs.
+        // Probe every boundary of the first few buckets plus interior
+        // points, and both sides of the overflow boundary.
+        for us in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(Duration::from_micros(us));
+        }
+        h.record(Duration::from_micros((1 << 39) - 1)); // top finite bucket
+        h.record(Duration::from_micros(1 << 39)); // first overflow value
+        h.record(Duration::from_micros(u64::MAX));
+        let (counts, overflow) = h.snapshot();
+        let mut expected = [0u64; BUCKETS];
+        expected[0] = 1; // 0
+        expected[1] = 1; // 1
+        expected[2] = 2; // 2, 3
+        expected[3] = 2; // 4, 7
+        expected[4] = 1; // 8
+        expected[10] = 1; // 1023
+        expected[11] = 1; // 1024
+        expected[39] = 1; // 2^39 - 1
+        assert_eq!(counts, expected);
+        assert_eq!(overflow, 2, "≥ 2^39µs observations go to the overflow bucket");
+        // A percentile that falls in the overflow bucket says so rather
+        // than reporting the top finite bound.
+        assert_eq!(Histogram::percentile(&counts, overflow, 99), u64::MAX);
+        assert_eq!(Histogram::percentile(&counts, overflow, 50), 8);
+    }
+
+    #[test]
     fn empty_histogram_reports_zero() {
-        let counts = Histogram::default().snapshot();
-        assert_eq!(Histogram::percentile(&counts, 50), 0);
-        assert_eq!(Histogram::percentile(&counts, 99), 0);
+        let (counts, overflow) = Histogram::default().snapshot();
+        assert_eq!(Histogram::percentile(&counts, overflow, 50), 0);
+        assert_eq!(Histogram::percentile(&counts, overflow, 99), 0);
     }
 
     #[test]

@@ -96,14 +96,26 @@ pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<FrameRead, Fram
     if total > max_bytes {
         return Err(FrameError::TooLarge { announced: total, limit: max_bytes });
     }
+    // The header has been read, so an EOF anywhere in the payloads is a
+    // mid-frame close — report it as such, not as a generic short read.
     let mut json_bytes = vec![0u8; json_len];
-    r.read_exact(&mut json_bytes)?;
+    read_exact_mid_frame(r, &mut json_bytes)?;
     let mut blob = vec![0u8; blob_len];
-    r.read_exact(&mut blob)?;
+    read_exact_mid_frame(r, &mut blob)?;
     let text = String::from_utf8(json_bytes)
         .map_err(|e| FrameError::BadJson(format!("payload is not UTF-8: {e}")))?;
     let json = Json::parse(&text).map_err(|e| FrameError::BadJson(e.to_string()))?;
     Ok(FrameRead::Frame(json, blob))
+}
+
+/// Fills `buf` completely; an EOF at any point (the frame header is
+/// already consumed) is a mid-frame close.
+fn read_exact_mid_frame(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+    if read_exact_or_eof(r, buf)? {
+        Ok(())
+    } else {
+        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-frame"))
+    }
 }
 
 /// Fills `buf` completely, or reports a clean EOF if the stream ended
@@ -158,6 +170,50 @@ impl LintFormat {
     }
 }
 
+/// Which demand-driven question a `query` request asks, mirroring
+/// `spike query <kind>`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    /// The routine's phase-1 entry summary.
+    Summary,
+    /// The routine's live-at-entry / live-at-exit sets.
+    LiveAtEntry,
+    /// The single-routine uninitialized-read check.
+    Uninit,
+    /// Whether one routine transitively calls another.
+    Reaches,
+}
+
+impl QueryKind {
+    /// The kebab-case wire name, identical to the CLI argument.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Summary => "summary",
+            QueryKind::LiveAtEntry => "live-at-entry",
+            QueryKind::Uninit => "uninit",
+            QueryKind::Reaches => "reaches",
+        }
+    }
+
+    /// Parses a query kind; the error text matches the local CLI's.
+    ///
+    /// # Errors
+    ///
+    /// Rejects anything other than the four kind names.
+    pub fn parse(s: &str) -> Result<QueryKind, String> {
+        match s {
+            "summary" => Ok(QueryKind::Summary),
+            "live-at-entry" => Ok(QueryKind::LiveAtEntry),
+            "uninit" => Ok(QueryKind::Uninit),
+            "reaches" => Ok(QueryKind::Reaches),
+            other => Err(format!(
+                "query kind must be `summary`, `live-at-entry`, `uninit` or `reaches`, \
+                 got `{other}`"
+            )),
+        }
+    }
+}
+
 /// What the client asks the daemon to do.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Command {
@@ -185,6 +241,16 @@ pub enum Command {
         /// Incremental re-analysis between passes (`--incremental`).
         incremental: bool,
     },
+    /// A demand-driven query answered from the daemon's warm per-image
+    /// engine; the report of `spike query`.
+    Query {
+        /// Which question to ask.
+        kind: QueryKind,
+        /// The routine the question is about (for `reaches`, the caller).
+        routine: String,
+        /// For `reaches`: the callee end of the path.
+        callee: Option<String>,
+    },
     /// PSG vs whole-CFG cross-validation; the report of `spike compare`.
     Compare,
     /// The daemon's counters as one JSON document.
@@ -200,6 +266,7 @@ impl Command {
             Command::Analyze { .. } => "analyze",
             Command::Lint { .. } => "lint",
             Command::Optimize { .. } => "optimize",
+            Command::Query { .. } => "query",
             Command::Compare => "compare",
             Command::Stats => "stats",
             Command::Shutdown => "shutdown",
@@ -255,6 +322,13 @@ impl Request {
                 opts.push(("iterate".to_string(), Json::Bool(*iterate)));
                 opts.push(("incremental".to_string(), Json::Bool(*incremental)));
             }
+            Command::Query { kind, routine, callee } => {
+                opts.push(("query".to_string(), Json::from(kind.name())));
+                opts.push(("routine".to_string(), Json::from(routine.as_str())));
+                if let Some(c) = callee {
+                    opts.push(("callee".to_string(), Json::from(c.as_str())));
+                }
+            }
             Command::Compare | Command::Stats | Command::Shutdown => {}
         }
         if !opts.is_empty() {
@@ -283,6 +357,15 @@ impl Request {
                 out: opt("out").and_then(Json::as_str).unwrap_or("out.img").to_string(),
                 iterate: opt("iterate").and_then(Json::as_bool).unwrap_or(false),
                 incremental: opt("incremental").and_then(Json::as_bool).unwrap_or(true),
+            },
+            "query" => Command::Query {
+                kind: QueryKind::parse(opt("query").and_then(Json::as_str).unwrap_or(""))?,
+                routine: opt("routine")
+                    .and_then(Json::as_str)
+                    .filter(|r| !r.is_empty())
+                    .ok_or_else(|| "query request is missing the `routine` option".to_string())?
+                    .to_string(),
+                callee: opt("callee").and_then(Json::as_str).map(str::to_string),
             },
             "compare" => Command::Compare,
             "stats" => Command::Stats,
@@ -457,6 +540,24 @@ mod tests {
                 deadline_ms: None,
             },
             Request { cmd: Command::Compare, image_name: "d.img".into(), deadline_ms: None },
+            Request {
+                cmd: Command::Query {
+                    kind: QueryKind::LiveAtEntry,
+                    routine: "main".into(),
+                    callee: None,
+                },
+                image_name: "e.img".into(),
+                deadline_ms: None,
+            },
+            Request {
+                cmd: Command::Query {
+                    kind: QueryKind::Reaches,
+                    routine: "main".into(),
+                    callee: Some("leaf".into()),
+                },
+                image_name: "f.img".into(),
+                deadline_ms: Some(100),
+            },
             Request { cmd: Command::Stats, image_name: String::new(), deadline_ms: None },
             Request { cmd: Command::Shutdown, image_name: String::new(), deadline_ms: Some(0) },
         ];

@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 
 use spike_baseline::BaselineAnalysis;
-use spike_core::{Analysis, AnalysisStats};
+use spike_core::{Analysis, AnalysisStats, QueryAnswer, QueryStats};
 use spike_lint::LintReport;
 use spike_opt::OptReport;
 use spike_program::Program;
@@ -150,6 +150,64 @@ pub fn optimize_report(
     out
 }
 
+/// The deterministic `spike query` report for summary, live-at-entry and
+/// reaches queries (`uninit` renders through [`lint_report`] instead).
+///
+/// The per-routine lines are byte-identical to the corresponding lines of
+/// `analyze_report`'s routine slice, so a demand-driven answer can be
+/// diffed directly against the whole-program report.
+pub fn query_report(routine: &str, callee: Option<&str>, answer: &QueryAnswer) -> String {
+    let mut out = String::new();
+    match answer {
+        QueryAnswer::Summary { call_used, call_defined, call_killed, saved_restored } => {
+            let _ = writeln!(out, "{routine}:");
+            for (i, _) in call_used.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  entrance {i}: call-used={} call-defined={} call-killed={}",
+                    call_used[i], call_defined[i], call_killed[i]
+                );
+            }
+            if !saved_restored.is_empty() {
+                let _ = writeln!(out, "  saves/restores {saved_restored}");
+            }
+        }
+        QueryAnswer::LiveAtEntry { live_at_entry, live_at_exit } => {
+            let _ = writeln!(out, "{routine}:");
+            for (i, live) in live_at_entry.iter().enumerate() {
+                let _ = writeln!(out, "  live-at-entry[{i}] = {live}");
+            }
+            for (i, live) in live_at_exit.iter().enumerate() {
+                let _ = writeln!(out, "  live-at-exit[{i}]  = {live}");
+            }
+        }
+        QueryAnswer::Reaches(reaches) => {
+            let callee = callee.unwrap_or("?");
+            let verb = if *reaches { "reaches" } else { "does not reach" };
+            let _ = writeln!(out, "{routine} {verb} {callee}");
+        }
+    }
+    out
+}
+
+/// The non-deterministic half of the query report: how much of the
+/// program the demand engine actually solved.
+pub fn query_diag(stats: &QueryStats) -> String {
+    if stats.answered_from_full {
+        "query: answered from the full analysis\n".into()
+    } else {
+        format!(
+            "query: cone {} + {} component(s) ({} routine(s)), solved {} + {}, {} visit(s)\n",
+            stats.phase1_cone_components,
+            stats.phase2_cone_components,
+            stats.cone_routines,
+            stats.phase1_components_solved,
+            stats.phase2_components_solved,
+            stats.visits,
+        )
+    }
+}
+
 /// The `spike lint` report in either format. Fully deterministic.
 pub fn lint_report(image_name: &str, report: &LintReport, format: LintFormat) -> String {
     let mut out = String::new();
@@ -258,6 +316,28 @@ mod tests {
         assert!(report.starts_with("summaries identical for all 2 routines\n"));
         assert!(!report.contains("in "));
         assert!(compare_diag(&a, &full).contains("psg time"));
+    }
+
+    #[test]
+    fn query_report_lines_match_the_analyze_slice() {
+        let p = sample();
+        let a = analyze(&p);
+        let slice = analyze_report("x.img", &p, &a, false, Some("main")).unwrap();
+        let mut cache =
+            spike_core::AnalysisCache::from_analysis(AnalysisOptions::default(), analyze(&p));
+        let main = p.routine_by_name("main").unwrap();
+        let (summary, _) = cache.query(&p, &spike_core::Query::Summary(main));
+        let (live, _) = cache.query(&p, &spike_core::Query::LiveAtEntry(main));
+        for report in [query_report("main", None, &summary), query_report("main", None, &live)] {
+            for line in report.lines() {
+                assert!(slice.contains(line), "query line {line:?} missing from analyze slice");
+            }
+        }
+        let leaf = p.routine_by_name("leaf").unwrap();
+        let (r, _) = cache.query(&p, &spike_core::Query::Reaches { caller: main, callee: leaf });
+        assert_eq!(query_report("main", Some("leaf"), &r), "main reaches leaf\n");
+        let (r, _) = cache.query(&p, &spike_core::Query::Reaches { caller: leaf, callee: main });
+        assert_eq!(query_report("leaf", Some("main"), &r), "leaf does not reach main\n");
     }
 
     #[test]

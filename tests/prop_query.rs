@@ -1,0 +1,213 @@
+//! Equivalence of demand-driven queries with the whole-program fixpoint.
+//!
+//! The query engine ([`spike::core::AnalysisCache::query`]) solves only
+//! the SCC cone a question depends on. These properties pin down its
+//! contract: every answer is the bit-identical slice of the dense
+//! whole-program solution, on every paper profile; memoized components
+//! are never re-solved; the contract survives an incremental
+//! `reanalyze`; and the scoped `uninit` check agrees with the full lint
+//! pass routine by routine.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use spike::core::{analyze_with, AnalysisCache, AnalysisOptions, Query, QueryAnswer};
+use spike::program::{Program, Rewriter, RoutineId};
+
+/// All sixteen Table-2 profiles, scaled to ~20 routines so that 16 cases
+/// sweep every profile shape without analysis dominating the suite.
+const PROFILES: [&str; 16] = [
+    "compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex", "acad", "excel", "maxeda",
+    "sqlservr", "texim", "ustation", "vc", "winword",
+];
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (any::<u64>(), 0usize..PROFILES.len()).prop_map(|(seed, i)| {
+        let p = spike::synth::profile(PROFILES[i]).expect("known benchmark");
+        spike::synth::generate(&p, 20.0 / p.routines as f64, seed)
+    })
+}
+
+/// A deterministic spread of routine ids across the program.
+fn sample_routines(program: &Program) -> Vec<RoutineId> {
+    let n = program.routines().len();
+    let mut picks: Vec<usize> = vec![0, n / 3, (2 * n) / 3, n - 1, program.entry().index()];
+    picks.sort_unstable();
+    picks.dedup();
+    picks.into_iter().map(RoutineId::from_index).collect()
+}
+
+/// Routine-level call-graph reachability (≥ 1 call edge), the ground
+/// truth for `Query::Reaches`, computed independently of the engine.
+fn reaches_by_dfs(
+    program: &Program,
+    cfg: &spike::cfg::ProgramCfg,
+    from: RoutineId,
+) -> HashSet<usize> {
+    let graph = spike::callgraph::CallGraph::build(program, cfg);
+    let mut seen = HashSet::new();
+    let mut stack: Vec<RoutineId> = graph.callees(from).to_vec();
+    while let Some(r) = stack.pop() {
+        if seen.insert(r.index()) {
+            stack.extend(graph.callees(r).iter().copied());
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every query answer equals the corresponding slice of the dense
+    /// whole-program solution, bit for bit, and repeating a query never
+    /// re-solves a memoized component.
+    #[test]
+    fn queries_match_the_whole_program_slice(program in arb_program()) {
+        let options = AnalysisOptions::default();
+        let scratch = analyze_with(&program, &options);
+        let mut cache = AnalysisCache::new(options);
+        for rid in sample_routines(&program) {
+            let s = scratch.summary.routine(rid);
+            let (answer, _) = cache.query(&program, &Query::Summary(rid));
+            let QueryAnswer::Summary { call_used, call_defined, call_killed, saved_restored } =
+                answer
+            else {
+                panic!("summary query must return a summary answer");
+            };
+            prop_assert_eq!(&call_used, &s.call_used);
+            prop_assert_eq!(&call_defined, &s.call_defined);
+            prop_assert_eq!(&call_killed, &s.call_killed);
+            prop_assert_eq!(saved_restored, s.saved_restored);
+
+            let (answer, _) = cache.query(&program, &Query::LiveAtEntry(rid));
+            let QueryAnswer::LiveAtEntry { live_at_entry, live_at_exit } = answer else {
+                panic!("liveness query must return a liveness answer");
+            };
+            prop_assert_eq!(&live_at_entry, &s.live_at_entry);
+            prop_assert_eq!(&live_at_exit, &s.live_at_exit);
+
+            // Asking again re-solves nothing: the cone is memoized.
+            let (_, stats) = cache.query(&program, &Query::LiveAtEntry(rid));
+            prop_assert_eq!(stats.phase1_components_solved, 0);
+            prop_assert_eq!(stats.phase2_components_solved, 0);
+            prop_assert_eq!(stats.visits, 0);
+        }
+    }
+
+    /// `Query::Reaches` agrees with an independent DFS over the call
+    /// graph, including the self-reach-only-via-a-cycle case.
+    #[test]
+    fn reaches_matches_call_graph_reachability(program in arb_program()) {
+        let options = AnalysisOptions::default();
+        let scratch = analyze_with(&program, &options);
+        let mut cache = AnalysisCache::new(options);
+        for caller in sample_routines(&program) {
+            let truth = reaches_by_dfs(&program, &scratch.cfg, caller);
+            for callee in sample_routines(&program) {
+                let (answer, _) =
+                    cache.query(&program, &Query::Reaches { caller, callee });
+                prop_assert_eq!(
+                    answer,
+                    QueryAnswer::Reaches(truth.contains(&callee.index())),
+                    "reaches({}, {})",
+                    caller.index(),
+                    callee.index()
+                );
+            }
+        }
+    }
+
+    /// A cache that has served queries survives an incremental
+    /// `reanalyze` — the demand engine is promoted and patched to exactly
+    /// the from-scratch solution of the edited program — and later
+    /// queries slice that full state.
+    #[test]
+    fn queries_then_reanalyze_matches_scratch(seed in any::<u64>()) {
+        let program = spike::synth::generate_executable(seed, 8);
+        let options = AnalysisOptions::default();
+        let mut cache = AnalysisCache::new(options.clone());
+        let entry = program.entry();
+        let (_, warm) = cache.query(&program, &Query::LiveAtEntry(entry));
+        prop_assert!(!warm.answered_from_full, "a cold cache must answer by demand");
+
+        // Delete the last deletable instruction (not a terminator, not a
+        // relocated constant); the rewriter reports the dirty routines.
+        let victim = program
+            .iter()
+            .flat_map(|(_, r)| {
+                (0..r.len() as u32).map(move |i| (r.addr() + i, &r.insns()[i as usize]))
+            })
+            .filter(|(addr, insn)| {
+                !insn.is_terminator() && !program.relocations().contains_key(addr)
+            })
+            .last()
+            .map(|(addr, _)| addr);
+        prop_assert!(victim.is_some(), "generated executables have deletable instructions");
+        let (edited, changed) = Rewriter::new(&program)
+            .delete(victim.unwrap())
+            .finish()
+            .expect("delete relinks");
+
+        let scratch = analyze_with(&edited, &options);
+        {
+            let incremental = cache.reanalyze(&edited, &changed);
+            for (rid, r) in edited.iter() {
+                prop_assert_eq!(
+                    incremental.summary.routine(rid),
+                    scratch.summary.routine(rid),
+                    "summary mismatch for {}",
+                    r.name()
+                );
+            }
+            prop_assert_eq!(&incremental.psg, &scratch.psg);
+            prop_assert_eq!(incremental.stats.memory_bytes, scratch.stats.memory_bytes);
+        }
+
+        let (answer, stats) = cache.query(&edited, &Query::Summary(entry));
+        prop_assert!(stats.answered_from_full, "after reanalyze the cache holds full state");
+        let QueryAnswer::Summary { call_used, .. } = answer else {
+            panic!("summary query must return a summary answer");
+        };
+        prop_assert_eq!(&call_used, &scratch.summary.routine(entry).call_used);
+    }
+
+    /// The scoped `uninit` query finds exactly the full lint pass's
+    /// uninit findings for the queried routine — on programs with a
+    /// planted defect, so the equality is about real findings, not just
+    /// mutual emptiness.
+    #[test]
+    fn uninit_query_matches_the_full_check(seed in any::<u64>()) {
+        let (program, _) = spike::synth::generate_executable_with_defect(
+            seed,
+            6,
+            spike::synth::DefectKind::UninitRead,
+        );
+        let options = AnalysisOptions::default();
+        let full = spike::lint::lint_with(
+            &program,
+            &analyze_with(&program, &options),
+            &spike::lint::LintOptions {
+                uninit: true,
+                clobber: false,
+                dead: false,
+                reach: false,
+                tables: false,
+            },
+        );
+        for (rid, r) in program.iter() {
+            let mut cache = AnalysisCache::new(options.clone());
+            let (solo, _) = cache.with_uninit_facts(&program, rid, |cfg, summary| {
+                spike::lint::uninit_routine(&program, cfg, summary, rid)
+            });
+            let expected: Vec<_> =
+                full.diagnostics().iter().filter(|d| d.routine == r.name()).collect();
+            prop_assert_eq!(
+                solo.diagnostics().iter().collect::<Vec<_>>(),
+                expected,
+                "routine {}",
+                r.name()
+            );
+        }
+    }
+}
