@@ -16,10 +16,12 @@
 //! The `incremental` section (not part of `all`) runs the optimizer with
 //! incremental re-analysis off and on, cross-checks bit-identical output
 //! programs, and writes the measurements to `BENCH_incremental.json`.
-//! The `phases` section (not part of `all`) compares the default
-//! SCC-wave scheduled fixpoint engine against the chaotic FIFO reference
-//! on the two largest benchmarks, cross-checks bit-identical results at
-//! 1 and N workers, and writes the measurements to `BENCH_phases.json`.
+//! The `phases` section (not part of `all`) compares the chaotic FIFO
+//! reference, the SCC-wave engine over dense per-node sets, and the
+//! default SCC-wave engine over sparse def-use chains on the two largest
+//! benchmarks, cross-checks bit-identical results at 1 and N workers for
+//! both representations, and writes the measurements to
+//! `BENCH_phases.json`.
 //! The `serve` section (not part of `all`) starts an in-process
 //! `spike-served` daemon, measures cold vs warm vs incremental-warm
 //! request throughput at 1/4/8 concurrent clients, cross-checks that
@@ -595,27 +597,29 @@ fn incremental_report(scale: f64, seed: u64, threads: usize) {
     }
 }
 
-/// Compares the default SCC-wave scheduled fixpoint engine against the
-/// chaotic FIFO reference it replaced, cross-checks that both engines —
-/// and the scheduled engine at 1 and N wave workers — produce
-/// bit-identical results, and records the visit reduction in
+/// Compares the chaotic FIFO reference, the SCC-wave schedule solving
+/// dense per-node sets, and the SCC-wave schedule solving contracted
+/// sparse def-use chains (the default). Cross-checks that all three
+/// engines — and both SCC-wave representations at 1 and N wave workers —
+/// produce bit-identical results, and records the visit reductions in
 /// `BENCH_phases.json`.
 fn phases_report(scale: f64, seed: u64, threads: usize) {
-    use spike_core::{analyze_with, AnalysisOptions, Scheduler};
+    use spike_core::{analyze_with, AnalysisOptions, Representation, Scheduler};
 
     let requested = spike_core::parallel::resolve_threads(threads);
-    println!("## Fixpoint scheduling: chaotic FIFO vs SCC-wave priority engine\n");
+    println!("## Fixpoint scheduling: FIFO vs SCC-wave, dense vs sparse chains\n");
     println!(
-        "{:<10} {:>9} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7} {:>8}",
+        "{:<10} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8}",
         "benchmark",
         "routines",
         "fifo p1",
         "fifo p2",
-        "sched p1",
-        "sched p2",
-        "reduction",
-        "waves",
-        "workers"
+        "dense p1",
+        "dense p2",
+        "sparse p1",
+        "sparse p2",
+        "sched-x",
+        "sparse-x"
     );
 
     let mut rows = Vec::new();
@@ -624,20 +628,28 @@ fn phases_report(scale: f64, seed: u64, threads: usize) {
         eprintln!("measuring {name} ...");
         let program = spike_synth::generate(&p, scale, seed);
 
-        let run = |scheduler: Scheduler, t: usize| {
+        let run = |scheduler: Scheduler, representation: Representation, t: usize| {
             analyze_with(
                 &program,
-                &AnalysisOptions { scheduler, threads: t, ..AnalysisOptions::default() },
+                &AnalysisOptions {
+                    scheduler,
+                    representation,
+                    threads: t,
+                    ..AnalysisOptions::default()
+                },
             )
         };
-        let fifo = run(Scheduler::Fifo, 1);
-        let serial = run(Scheduler::SccWave, 1);
-        let wide = run(Scheduler::SccWave, requested);
+        let fifo = run(Scheduler::Fifo, Representation::Dense, 1);
+        let serial = run(Scheduler::SccWave, Representation::Dense, 1);
+        let wide = run(Scheduler::SccWave, Representation::Dense, requested);
+        let sparse = run(Scheduler::SccWave, Representation::Sparse, 1);
+        let sparse_wide = run(Scheduler::SccWave, Representation::Sparse, requested);
 
-        // The determinism contract, checked on real workloads: the
-        // scheduler is pure strategy, so summaries, the PSG solution and
-        // the deterministic memory accounting must be bit-identical
-        // whichever engine ran and however many workers solved the waves.
+        // The determinism contract, checked on real workloads: scheduler
+        // and representation are pure strategy, so summaries, the PSG
+        // solution and the deterministic memory accounting must be
+        // bit-identical whichever engine ran and however many workers
+        // solved the waves.
         for (rid, r) in program.iter() {
             assert_eq!(
                 fifo.summary.routine(rid),
@@ -651,43 +663,62 @@ fn phases_report(scale: f64, seed: u64, threads: usize) {
                 "threads=1 vs threads={requested} summary mismatch for {}",
                 r.name()
             );
+            assert_eq!(
+                serial.summary.routine(rid),
+                sparse.summary.routine(rid),
+                "dense vs sparse summary mismatch for {}",
+                r.name()
+            );
         }
         assert_eq!(fifo.psg, serial.psg);
         assert_eq!(serial.psg, wide.psg);
+        assert_eq!(serial.psg, sparse.psg, "dense vs sparse PSG mismatch");
+        assert_eq!(serial.psg, sparse_wide.psg, "dense vs wide sparse PSG mismatch");
         assert_eq!(fifo.stats.memory_bytes, serial.stats.memory_bytes);
         assert_eq!(serial.stats.memory_bytes, wide.stats.memory_bytes);
+        assert_eq!(serial.stats.memory_bytes, sparse.stats.memory_bytes);
         // Wave workers partition the schedule rather than race for it,
-        // so the effort is also deterministic across worker counts.
+        // so the effort is also deterministic across worker counts, for
+        // both representations.
         assert_eq!(serial.stats.phase1_visits, wide.stats.phase1_visits);
         assert_eq!(serial.stats.phase2_visits, wide.stats.phase2_visits);
         assert_eq!(serial.stats.waves, wide.stats.waves);
+        assert_eq!(sparse.stats.phase1_visits, sparse_wide.stats.phase1_visits);
+        assert_eq!(sparse.stats.phase2_visits, sparse_wide.stats.phase2_visits);
 
         let fifo_total = fifo.stats.phase1_visits + fifo.stats.phase2_visits;
         let sched_total = serial.stats.phase1_visits + serial.stats.phase2_visits;
+        let sparse_total = sparse.stats.phase1_visits + sparse.stats.phase2_visits;
         let reduction = fifo_total as f64 / sched_total.max(1) as f64;
+        let sparse_reduction = sched_total as f64 / sparse_total.max(1) as f64;
         println!(
-            "{:<10} {:>9} {:>12} {:>12} {:>12} {:>12} {:>9.2}x {:>7} {:>8}",
+            "{:<10} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>7.2}x {:>7.2}x",
             name,
             program.routines().len(),
             fifo.stats.phase1_visits,
             fifo.stats.phase2_visits,
             serial.stats.phase1_visits,
             serial.stats.phase2_visits,
+            sparse.stats.phase1_visits,
+            sparse.stats.phase2_visits,
             reduction,
-            wide.stats.waves,
-            wide.stats.phase_workers,
+            sparse_reduction,
         );
         rows.push(format!(
             "    {{\"benchmark\": \"{name}\", \"routines\": {}, \"scale\": {scale}, \
              \"fifo_phase1_visits\": {}, \"fifo_phase2_visits\": {}, \
              \"sched_phase1_visits\": {}, \"sched_phase2_visits\": {}, \
-             \"visit_reduction\": {reduction:.3}, \"waves\": {}, \"phase_workers\": {}, \
-             \"results_identical\": true}}",
+             \"sparse_phase1_visits\": {}, \"sparse_phase2_visits\": {}, \
+             \"visit_reduction\": {reduction:.3}, \
+             \"sparse_reduction\": {sparse_reduction:.3}, \"waves\": {}, \
+             \"phase_workers\": {}, \"results_identical\": true}}",
             program.routines().len(),
             fifo.stats.phase1_visits,
             fifo.stats.phase2_visits,
             serial.stats.phase1_visits,
             serial.stats.phase2_visits,
+            sparse.stats.phase1_visits,
+            sparse.stats.phase2_visits,
             wide.stats.waves,
             wide.stats.phase_workers,
         ));

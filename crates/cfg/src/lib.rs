@@ -43,11 +43,13 @@
 mod block;
 mod blockset;
 mod build;
+mod dom;
 mod order;
 mod program_cfg;
 
 pub use block::{BasicBlock, BlockId, CallTarget, TermKind};
 pub use blockset::BlockSet;
 pub use build::RoutineCfg;
+pub use dom::DomTree;
 pub use order::{postorder, reverse_postorder};
 pub use program_cfg::{ProgramCfg, SupergraphCounts};

@@ -5,7 +5,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use spike_core::{analyze, analyze_with, AnalysisCache, AnalysisOptions, Query};
+use spike_core::{analyze, analyze_with, AnalysisCache, AnalysisOptions, Query, Representation};
 use spike_program::Program;
 use spike_serve::render;
 use spike_serve::{Command, Endpoint, LintFormat, QueryKind, Request, ServeOptions, Server};
@@ -21,7 +21,7 @@ commands:
   gen-exec [--routines K] [--seed N] -o <img>       generate a runnable image
   asm <file.s> -o <img>                             assemble a text module
   disasm <img>                                      disassemble to parseable assembly
-  analyze <img> [--summaries] [--routine NAME] [--threads N]
+  analyze <img> [--summaries] [--routine NAME] [--threads N] [--sparse|--dense]
                                                     interprocedural dataflow analysis
   optimize <img> -o <img> [--threads N] [--iterate]
            [--incremental|--no-incremental]         apply the Figure-1 optimizations
@@ -35,11 +35,15 @@ commands:
   profiles                                          list generator benchmarks
   serve [--listen HOST:PORT] [--unix PATH] [--workers N] [--cache-bytes N]
         [--queue N] [--max-frame-bytes N] [--deadline-ms N] [--threads N]
-                                                    run the analysis daemon
+        [--sparse|--dense]                          run the analysis daemon
   client <cmd> [args] --connect <HOST:PORT|unix:PATH> [--deadline-ms N]
                                                     run analyze/lint/optimize/query/
                                                     compare/stats/shutdown against a
                                                     daemon
+
+analyze, optimize, query, compare, and serve solve on the sparse def-use
+chain representation by default; --dense selects the dense per-node engine
+the sparse one is validated against.
 ";
 
 /// Parses and executes one invocation. The returned code is the process
@@ -102,6 +106,7 @@ struct Opts<'a> {
     queue: Option<usize>,
     max_frame_bytes: Option<usize>,
     deadline_ms: Option<u64>,
+    representation: Representation,
 }
 
 fn parse(args: &[String]) -> Result<Opts<'_>> {
@@ -126,6 +131,7 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         queue: None,
         max_frame_bytes: None,
         deadline_ms: None,
+        representation: Representation::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -153,6 +159,8 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "--queue" => o.queue = Some(want("--queue")?.parse()?),
             "--max-frame-bytes" => o.max_frame_bytes = Some(want("--max-frame-bytes")?.parse()?),
             "--deadline-ms" => o.deadline_ms = Some(want("--deadline-ms")?.parse()?),
+            "--sparse" => o.representation = Representation::Sparse,
+            "--dense" => o.representation = Representation::Dense,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`").into())
             }
@@ -239,7 +247,11 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
         return Err("analyze needs an image path".into());
     };
     let program = load(path)?;
-    let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
+    let options = AnalysisOptions {
+        threads: o.threads,
+        representation: o.representation,
+        ..AnalysisOptions::default()
+    };
     let analysis = analyze_with(&program, &options);
     // Deterministic report on stdout, timing/scheduler diagnostics on
     // stderr — the same renderers the daemon uses, so `spike client
@@ -257,7 +269,11 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
     };
     let program = load(path)?;
     let opt_options = spike_opt::OptOptions {
-        analysis: AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() },
+        analysis: AnalysisOptions {
+            threads: o.threads,
+            representation: o.representation,
+            ..AnalysisOptions::default()
+        },
         iterate: o.iterate,
         incremental: o.incremental,
         ..spike_opt::OptOptions::default()
@@ -335,7 +351,11 @@ fn cmd_query(args: &[String]) -> Result<ExitCode> {
     let program = load(path)?;
     let rid =
         program.routine_by_name(routine).ok_or_else(|| format!("no routine named `{routine}`"))?;
-    let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
+    let options = AnalysisOptions {
+        threads: o.threads,
+        representation: o.representation,
+        ..AnalysisOptions::default()
+    };
     // The cache starts cold, so the engine solves exactly the query's
     // cone — the same demand path the daemon uses for a fresh image.
     let mut cache = AnalysisCache::new(options);
@@ -395,7 +415,11 @@ fn compare(args: &[String]) -> Result<()> {
         return Err("compare needs an image path".into());
     };
     let program = load(path)?;
-    let options = AnalysisOptions { threads: o.threads, ..AnalysisOptions::default() };
+    let options = AnalysisOptions {
+        threads: o.threads,
+        representation: o.representation,
+        ..AnalysisOptions::default()
+    };
     let psg = analyze_with(&program, &options);
     let full = spike_baseline::analyze_baseline_with(&program, &options);
     let report = render::compare_report(&program, &psg, &full)?;
@@ -411,6 +435,7 @@ fn serve(args: &[String]) -> Result<()> {
         unix: o.unix.map(PathBuf::from),
         workers: o.workers,
         analysis_threads: o.threads,
+        analysis_representation: o.representation,
         ..ServeOptions::default()
     };
     if let Some(n) = o.cache_bytes {

@@ -12,6 +12,7 @@ use crate::dataflow::{run_phase1, run_phase2};
 use crate::parallel::{par_for_each_mut, par_map, resolve_threads};
 use crate::psg::{NodeId, Psg};
 use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
+use crate::sparse::{run_phase1_sparse, run_phase2_sparse, SparseProgram};
 use crate::summary::ProgramSummary;
 
 /// How the two dataflow phases schedule their node evaluations. Both
@@ -30,6 +31,34 @@ pub enum Scheduler {
     /// Flat chaotic FIFO iteration over the whole PSG — the reference
     /// implementation the scheduled engine is measured against.
     Fifo,
+}
+
+/// Which value representation the SCC-wave engine's intra-routine solving
+/// iterates over. Both converge to the same least fixpoint — summaries,
+/// PSG, liveness and `memory_bytes` are bit-identical — they differ only
+/// in effort (`phase1_visits`/`phase2_visits` count chain evaluations
+/// under [`Representation::Sparse`]) and time.
+///
+/// The FIFO scheduler always solves dense, whatever this option says.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Representation {
+    /// Contract pass-through def-use chains and iterate only the join
+    /// anchors (the default): see [`crate::sparse`].
+    #[default]
+    Sparse,
+    /// Iterate every PSG node's dense register sets — the oracle the
+    /// sparse engine is checked against.
+    Dense,
+}
+
+impl Representation {
+    /// The lowercase flag/report spelling (`"sparse"` / `"dense"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::Sparse => "sparse",
+            Representation::Dense => "dense",
+        }
+    }
 }
 
 /// Tuning knobs for the analysis, mirroring the paper's design choices.
@@ -57,6 +86,10 @@ pub struct AnalysisOptions {
     /// How the dataflow phases schedule node evaluations; see
     /// [`Scheduler`]. Results are bit-identical either way.
     pub scheduler: Scheduler,
+    /// Whether the SCC-wave engine solves over sparse def-use chains or
+    /// dense per-node sets; see [`Representation`]. Results are
+    /// bit-identical either way.
+    pub representation: Representation,
 }
 
 impl Default for AnalysisOptions {
@@ -74,6 +107,7 @@ impl Default for AnalysisOptions {
             exported_live_at_exit,
             threads: 0,
             scheduler: Scheduler::default(),
+            representation: Representation::default(),
         }
     }
 }
@@ -92,10 +126,15 @@ pub struct AnalysisStats {
     pub phase1: Duration,
     /// Time for the second dataflow phase.
     pub phase2: Duration,
-    /// Node evaluations performed by phase 1.
+    /// Node evaluations performed by phase 1 (chain evaluations under
+    /// [`Representation::Sparse`]).
     pub phase1_visits: usize,
-    /// Node evaluations performed by phase 2.
+    /// Node evaluations performed by phase 2 (chain evaluations under
+    /// [`Representation::Sparse`]).
     pub phase2_visits: usize,
+    /// The value representation the phases actually solved over
+    /// ([`Representation::Dense`] under [`Scheduler::Fifo`]).
+    pub representation: Representation,
     /// Worker threads the per-routine front-end stages (CFG build,
     /// `DEF`/`UBD` initialization, PSG build) ran with.
     pub front_end_workers: usize,
@@ -211,36 +250,95 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
     let psg_build = t.elapsed();
 
     let t = Instant::now();
-    let (phase1_visits, phase2_visits, waves, phase_workers, phase1, phase2) =
-        match options.scheduler {
-            Scheduler::SccWave => {
-                // Schedule construction (call graph, condensation,
-                // partition, ranks) is charged to phase 1, mirroring the
-                // FIFO path's seed-order construction.
-                let schedule = SccSchedule::build(program, &cfg, &psg);
-                let phase_workers =
-                    resolve_threads(options.threads).clamp(1, schedule.max_wave_width().max(1));
-                let phase1_visits = run_phase1_scheduled(&mut psg, &schedule, None, phase_workers);
-                let phase1 = t.elapsed();
-                let t = Instant::now();
-                let exit_seeds = exported_exit_seeds(program, &psg, options);
-                let phase2_visits =
-                    run_phase2_scheduled(&mut psg, &schedule, &exit_seeds, None, phase_workers);
-                (phase1_visits, phase2_visits, schedule.waves(), phase_workers, phase1, t.elapsed())
+    let representation = match options.scheduler {
+        Scheduler::SccWave => options.representation,
+        Scheduler::Fifo => Representation::Dense,
+    };
+    let (phase1_visits, phase2_visits, waves, phase_workers, phase1, phase2) = match options
+        .scheduler
+    {
+        Scheduler::SccWave => {
+            // Schedule construction (call graph, condensation,
+            // partition, ranks) is charged to phase 1, mirroring the
+            // FIFO path's seed-order construction — and so is sparse
+            // chain construction when it is selected.
+            let schedule = SccSchedule::build(program, &cfg, &psg);
+            let phase_workers =
+                resolve_threads(options.threads).clamp(1, schedule.max_wave_width().max(1));
+            match representation {
+                Representation::Sparse => {
+                    let sparse = SparseProgram::build(&psg, &schedule, &cfg);
+                    let phase1_visits =
+                        run_phase1_sparse(&mut psg, &schedule, &sparse, None, phase_workers);
+                    let phase1 = t.elapsed();
+                    let t = Instant::now();
+                    let exit_seeds = exported_exit_seeds(program, &psg, options);
+                    let phase2_visits = run_phase2_sparse(
+                        &mut psg,
+                        &schedule,
+                        &sparse,
+                        &exit_seeds,
+                        None,
+                        phase_workers,
+                    );
+                    (
+                        phase1_visits,
+                        phase2_visits,
+                        schedule.waves(),
+                        phase_workers,
+                        phase1,
+                        t.elapsed(),
+                    )
+                }
+                Representation::Dense => {
+                    let phase1_visits =
+                        run_phase1_scheduled(&mut psg, &schedule, None, phase_workers);
+                    let phase1 = t.elapsed();
+                    let t = Instant::now();
+                    let exit_seeds = exported_exit_seeds(program, &psg, options);
+                    let phase2_visits =
+                        run_phase2_scheduled(&mut psg, &schedule, &exit_seeds, None, phase_workers);
+                    (
+                        phase1_visits,
+                        phase2_visits,
+                        schedule.waves(),
+                        phase_workers,
+                        phase1,
+                        t.elapsed(),
+                    )
+                }
             }
-            Scheduler::Fifo => {
-                let seed_order = phase1_seed_order(program, &cfg, &psg);
-                let phase1_visits = run_phase1(&mut psg, &seed_order);
-                let phase1 = t.elapsed();
-                let t = Instant::now();
-                let exit_seeds = exported_exit_seeds(program, &psg, options);
-                let phase2_visits = run_phase2(&mut psg, &exit_seeds);
-                (phase1_visits, phase2_visits, 0, 1, phase1, t.elapsed())
-            }
-        };
+        }
+        Scheduler::Fifo => {
+            let seed_order = phase1_seed_order(program, &cfg, &psg);
+            let phase1_visits = run_phase1(&mut psg, &seed_order);
+            let phase1 = t.elapsed();
+            let t = Instant::now();
+            let exit_seeds = exported_exit_seeds(program, &psg, options);
+            let phase2_visits = run_phase2(&mut psg, &exit_seeds);
+            (phase1_visits, phase2_visits, 0, 1, phase1, t.elapsed())
+        }
+    };
 
     let summary = ProgramSummary::from_psg(&psg, options.calling_standard);
     let memory_bytes = cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes();
+
+    // Debug builds cross-check every sparse solve against the dense
+    // oracle: the converged PSG, the summaries and the deterministic
+    // memory footprint must be bit-identical.
+    #[cfg(debug_assertions)]
+    if representation == Representation::Sparse {
+        let dense = analyze_with(
+            program,
+            &AnalysisOptions { representation: Representation::Dense, ..options.clone() },
+        );
+        debug_assert!(psg == dense.psg, "sparse PSG diverged from the dense oracle");
+        debug_assert!(summary == dense.summary, "sparse summaries diverged from the dense oracle");
+        debug_assert_eq!(
+            memory_bytes, dense.stats.memory_bytes,
+            "sparse memory footprint diverged from the dense oracle"
+        );
+    }
 
     Analysis {
         psg,
@@ -254,6 +352,7 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
             phase2,
             phase1_visits,
             phase2_visits,
+            representation,
             front_end_workers: workers,
             phase_workers,
             waves,

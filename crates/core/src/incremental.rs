@@ -35,7 +35,7 @@ use spike_program::{Program, RoutineId};
 
 use crate::analysis::{
     analyze_with, exported_exit_seeds, phase1_seed_order, Analysis, AnalysisOptions, AnalysisStats,
-    Scheduler,
+    Representation, Scheduler,
 };
 use crate::build::{plan_routine_edges, plan_routine_nodes, RoutineEdgePlan};
 use crate::callee_saved::saved_restored_registers;
@@ -45,6 +45,7 @@ use crate::parallel::{par_for_each_mut, par_map, par_map_with, resolve_threads};
 use crate::psg::{EdgeKind, NodeId, Psg};
 use crate::query::{Query, QueryAnswer, QueryEngine, QueryStats};
 use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
+use crate::sparse::{run_phase1_sparse, run_phase2_sparse, SparseProgram};
 use crate::summary::ProgramSummary;
 
 /// A reusable analysis: the converged [`Analysis`] of the last program
@@ -80,13 +81,22 @@ pub struct AnalysisCache {
     /// and `query` is `Some` — a full analysis answers queries directly,
     /// and [`Self::reanalyze`] promotes a live engine into `state`.
     query: Option<QueryEngine>,
+    /// Warm sparse def-use chains from the last
+    /// [`Representation::Sparse`] run over `state`'s PSG. Chains are
+    /// strictly intra-routine, so [`Self::reanalyze`] rebuilds only the
+    /// dirty routines' chains and reuses the rest — the chain-level twin
+    /// of the CFG/PSG plan reuse. Never part of `state` itself: the
+    /// analysis result (and its `memory_bytes`) stays bit-identical
+    /// whether or not warm chains exist; they are charged separately via
+    /// [`Self::heap_bytes`].
+    sparse: Option<SparseProgram>,
 }
 
 impl AnalysisCache {
     /// Creates an empty cache; the first [`analyze`](Self::analyze) or
     /// [`reanalyze`](Self::reanalyze) fills it with a from-scratch run.
     pub fn new(options: AnalysisOptions) -> AnalysisCache {
-        AnalysisCache { options, state: None, query: None }
+        AnalysisCache { options, state: None, query: None, sparse: None }
     }
 
     /// Creates a cache already warmed with a converged `analysis` of some
@@ -101,7 +111,7 @@ impl AnalysisCache {
     /// `memory_bytes` guarantee counts Vec *capacities*, which a plain
     /// `Clone` compacts.
     pub fn from_analysis(options: AnalysisOptions, analysis: Analysis) -> AnalysisCache {
-        AnalysisCache { options, state: Some(analysis), query: None }
+        AnalysisCache { options, state: Some(analysis), query: None, sparse: None }
     }
 
     /// Consumes the cache, returning the converged analysis if any run
@@ -116,11 +126,15 @@ impl AnalysisCache {
     /// (its CFGs, PSG and summaries, via [`HeapSize`] accounting), for
     /// byte-budgeted eviction decisions in caches of caches. An empty
     /// cache is free.
+    /// Warm sparse chains, when present, are charged on top of the
+    /// analysis bytes (they are cache acceleration state, not part of
+    /// the bit-identical analysis result).
     pub fn heap_bytes(&self) -> usize {
+        let chains = self.sparse.heap_bytes();
         match (&self.state, &self.query) {
-            (Some(a), _) => a.stats.memory_bytes,
-            (None, Some(engine)) => engine.heap_bytes(),
-            (None, None) => 0,
+            (Some(a), _) => a.stats.memory_bytes + chains,
+            (None, Some(engine)) => engine.heap_bytes() + chains,
+            (None, None) => chains,
         }
     }
 
@@ -139,12 +153,14 @@ impl AnalysisCache {
     pub fn invalidate(&mut self) {
         self.state = None;
         self.query = None;
+        self.sparse = None;
     }
 
     /// Analyzes `program` from scratch and caches the result.
     pub fn analyze(&mut self, program: &Program) -> &Analysis {
         self.state = Some(analyze_with(program, &self.options));
         self.query = None;
+        self.sparse = None;
         self.state.as_ref().expect("state was just filled")
     }
 
@@ -288,6 +304,7 @@ impl AnalysisCache {
             let a = self.state.as_mut().expect("cache is non-empty");
             a.stats = AnalysisStats {
                 front_end_workers: a.stats.front_end_workers,
+                representation: a.stats.representation,
                 routines_reused: n_routines,
                 memory_bytes: a.stats.memory_bytes,
                 ..AnalysisStats::default()
@@ -296,13 +313,16 @@ impl AnalysisCache {
         }
 
         let cached = self.state.take().expect("cache is non-empty");
-        match try_reanalyze(cached, program, &self.options, &dirty) {
+        match try_reanalyze(cached, program, &self.options, &dirty, &mut self.sparse) {
             Ok(analysis) => {
                 #[cfg(debug_assertions)]
                 assert_matches_scratch(&analysis, program, &self.options);
                 self.state = Some(analysis);
             }
             Err(()) => {
+                // The chains (if any) describe the cached PSG that just
+                // failed structural validation; drop them with it.
+                self.sparse = None;
                 self.state = Some(analyze_with(program, &self.options));
             }
         }
@@ -366,6 +386,7 @@ fn try_reanalyze(
     program: &Program,
     options: &AnalysisOptions,
     dirty: &[RoutineId],
+    sparse_cache: &mut Option<SparseProgram>,
 ) -> Result<Analysis, ()> {
     let n_routines = program.routines().len();
     let Analysis { mut psg, summary: _, cfg, stats: _ } = cached;
@@ -421,27 +442,91 @@ fn try_reanalyze(
     // SCC-saturated); every clean component keeps its wave slot empty.
     let t = Instant::now();
     let (reset1, reset2) = reset_masks(&psg, &dirty_mask);
+    let representation = match options.scheduler {
+        Scheduler::SccWave => options.representation,
+        Scheduler::Fifo => Representation::Dense,
+    };
     let (phase1_visits, phase2_visits, waves, phase_workers, phase1, phase2) =
         match options.scheduler {
             Scheduler::SccWave => {
                 let schedule = SccSchedule::build(program, &cfg, &psg);
                 let phase_workers =
                     resolve_threads(options.threads).clamp(1, schedule.max_wave_width().max(1));
-                let phase1_visits =
-                    run_phase1_scheduled(&mut psg, &schedule, Some(&reset1), phase_workers);
-                let phase1 = t.elapsed();
-                let t = Instant::now();
-                let exit_seeds = exported_exit_seeds(program, &psg, options);
-                let phase2_visits = run_phase2_scheduled(
-                    &mut psg,
-                    &schedule,
-                    &exit_seeds,
-                    Some(&reset2),
-                    phase_workers,
-                );
-                (phase1_visits, phase2_visits, schedule.waves(), phase_workers, phase1, t.elapsed())
+                match representation {
+                    Representation::Sparse => {
+                        // Reuse the cached chains, rebuilding only the
+                        // dirty routines': clean routines keep their PSG
+                        // structure, flow labels and feedback-arc node
+                        // ranks, so their chains are unchanged. A cache
+                        // that no longer covers the PSG (or none at all)
+                        // is rebuilt from scratch; construction is
+                        // charged to phase 1 either way.
+                        let chains = match sparse_cache.take() {
+                            Some(mut sp) if sp.covers(&psg) => {
+                                sp.rebuild_routines(&psg, &schedule, dirty);
+                                sp
+                            }
+                            _ => SparseProgram::build(&psg, &schedule, &cfg),
+                        };
+                        debug_assert!(
+                            chains == SparseProgram::build(&psg, &schedule, &cfg),
+                            "dirty-routine chain rebuild must equal a from-scratch build"
+                        );
+                        let phase1_visits = run_phase1_sparse(
+                            &mut psg,
+                            &schedule,
+                            &chains,
+                            Some(&reset1),
+                            phase_workers,
+                        );
+                        let phase1 = t.elapsed();
+                        let t = Instant::now();
+                        let exit_seeds = exported_exit_seeds(program, &psg, options);
+                        let phase2_visits = run_phase2_sparse(
+                            &mut psg,
+                            &schedule,
+                            &chains,
+                            &exit_seeds,
+                            Some(&reset2),
+                            phase_workers,
+                        );
+                        *sparse_cache = Some(chains);
+                        (
+                            phase1_visits,
+                            phase2_visits,
+                            schedule.waves(),
+                            phase_workers,
+                            phase1,
+                            t.elapsed(),
+                        )
+                    }
+                    Representation::Dense => {
+                        *sparse_cache = None;
+                        let phase1_visits =
+                            run_phase1_scheduled(&mut psg, &schedule, Some(&reset1), phase_workers);
+                        let phase1 = t.elapsed();
+                        let t = Instant::now();
+                        let exit_seeds = exported_exit_seeds(program, &psg, options);
+                        let phase2_visits = run_phase2_scheduled(
+                            &mut psg,
+                            &schedule,
+                            &exit_seeds,
+                            Some(&reset2),
+                            phase_workers,
+                        );
+                        (
+                            phase1_visits,
+                            phase2_visits,
+                            schedule.waves(),
+                            phase_workers,
+                            phase1,
+                            t.elapsed(),
+                        )
+                    }
+                }
             }
             Scheduler::Fifo => {
+                *sparse_cache = None;
                 let seed: Vec<NodeId> = phase1_seed_order(program, &cfg, &psg)
                     .into_iter()
                     .filter(|n| reset1[n.index()])
@@ -470,6 +555,7 @@ fn try_reanalyze(
             phase2,
             phase1_visits,
             phase2_visits,
+            representation,
             front_end_workers: workers,
             phase_workers,
             waves,

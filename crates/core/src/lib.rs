@@ -56,10 +56,13 @@ pub mod parallel;
 mod psg;
 mod query;
 mod schedule;
+mod sparse;
 mod summary;
 pub mod worklist;
 
-pub use analysis::{analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats, Scheduler};
+pub use analysis::{
+    analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats, Representation, Scheduler,
+};
 pub use callee_saved::saved_restored_registers;
 pub use incremental::{reanalyze, AnalysisCache};
 pub use psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, PsgStats, RoutineNodes};

@@ -88,6 +88,57 @@ where
     slots.into_iter().map(|s| s.expect("every index was claimed by exactly one worker")).collect()
 }
 
+/// [`par_map_with`] with *caller-owned* worker state: each thread takes
+/// one element of `pool` as its scratch, so the allocations inside
+/// survive the call and are reused by the next one. The wave scheduler
+/// threads its component-solver pool (worklists, dedup buffers) through
+/// every wave this way instead of reallocating them per wave.
+///
+/// Spawns one thread per pool element (capped at `count`); with a
+/// single-element pool (or at most one item) `f` runs inline on
+/// `pool[0]`, the serial fast path.
+pub(crate) fn par_map_with_pool<S, T, F>(pool: &mut [S], count: usize, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    assert!(!pool.is_empty(), "worker pool must hold at least one state");
+    let workers = pool.len().min(count.max(1));
+    if workers == 1 {
+        let state = &mut pool[0];
+        return (0..count).map(|i| f(state, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pool[..workers]
+            .iter_mut()
+            .map(|state| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        done.push((i, f(state, i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("analysis worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index was claimed by exactly one worker")).collect()
+}
+
 /// Runs `f` on every item of `items` in place, splitting the slice into
 /// one contiguous chunk per worker. Items must be mutually independent.
 pub fn par_for_each_mut<T, F>(items: &mut [T], workers: usize, f: F)
@@ -209,6 +260,25 @@ mod tests {
         );
         assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<_>>());
         assert_eq!(processed.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn par_map_with_pool_reuses_and_preserves_state() {
+        // The pool's state survives the call: counts accumulate across
+        // two invocations, and results stay in index order.
+        let mut pool = vec![0usize; 4];
+        let got = par_map_with_pool(&mut pool, 50, |state, i| {
+            *state += 1;
+            i * 2
+        });
+        assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(pool.iter().sum::<usize>(), 50);
+        par_map_with_pool(&mut pool, 30, |state, _| *state += 1);
+        assert_eq!(pool.iter().sum::<usize>(), 80);
+
+        // Single-element pool takes the serial fast path.
+        let mut one = vec![0usize];
+        assert_eq!(par_map_with_pool(&mut one, 3, |_, i| i), vec![0, 1, 2]);
     }
 
     #[test]

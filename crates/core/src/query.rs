@@ -48,7 +48,9 @@ use spike_cfg::{ProgramCfg, RoutineCfg};
 use spike_isa::{CallingStandard, CloneExact, HeapSize, RegSet};
 use spike_program::{Program, RoutineId};
 
-use crate::analysis::{exported_exit_seeds, Analysis, AnalysisOptions, AnalysisStats};
+use crate::analysis::{
+    exported_exit_seeds, Analysis, AnalysisOptions, AnalysisStats, Representation,
+};
 use crate::build::build_psg;
 use crate::parallel::{par_for_each_mut, par_map, resolve_threads};
 use crate::psg::{NodeId, Psg};
@@ -339,6 +341,11 @@ impl QueryEngine {
                 phase2: self.phase2_time,
                 phase1_visits: self.phase1_visits,
                 phase2_visits: self.phase2_visits,
+                // The demand engine iterates the dense per-node sets,
+                // whatever the options say (see DESIGN.md: demand cones
+                // re-solve components piecemeal, which the warm-start
+                // contract of the chain solvers does not cover).
+                representation: Representation::Dense,
                 front_end_workers: self.front_end_workers,
                 phase_workers: 1,
                 waves: self.schedule.waves(),

@@ -60,7 +60,7 @@ use spike_isa::RegSet;
 use spike_program::{Program, RoutineId};
 
 use crate::dataflow::{phase1_init_value, phase2_init_value};
-use crate::parallel::{par_map_with, SharedMut};
+use crate::parallel::{par_map_with_pool, SharedMut};
 use crate::psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, RoutineNodes};
 use crate::worklist::PriorityWorklist;
 
@@ -73,26 +73,26 @@ use crate::worklist::PriorityWorklist;
 /// accounting is identical under both schedulers.
 #[derive(Clone)]
 pub(crate) struct SccSchedule {
-    cond: Condensation,
+    pub(crate) cond: Condensation,
     /// Per component: the PSG nodes its routines own, ascending.
-    comp_nodes: Vec<Vec<NodeId>>,
+    pub(crate) comp_nodes: Vec<Vec<NodeId>>,
     /// Per node: the owning component.
-    comp_of: Vec<u32>,
+    pub(crate) comp_of: Vec<u32>,
     /// Per routine: the owning component.
-    comp_of_routine: Vec<u32>,
+    pub(crate) comp_of_routine: Vec<u32>,
     /// Per routine: every PSG node it owns, ascending.
-    routine_nodes: Vec<Vec<NodeId>>,
+    pub(crate) routine_nodes: Vec<Vec<NodeId>>,
     /// Per routine: the known-target call-return edges it owns (the
     /// edges whose labels its phase-1 pull recomputes).
-    routine_cr_edges: Vec<Vec<EdgeId>>,
+    pub(crate) routine_cr_edges: Vec<Vec<EdgeId>>,
     /// Per routine: phase-1 priority — its position in the bottom-up
     /// SCC order, so callees pop before their callers.
-    rrank1: Vec<u32>,
+    pub(crate) rrank1: Vec<u32>,
     /// Per routine: phase-2 priority — the reverse, callers first.
-    rrank2: Vec<u32>,
+    pub(crate) rrank2: Vec<u32>,
     /// Per node: intra-routine priority — descending creation order, so
     /// sinks pop first and every sweep follows the backward flow.
-    node_rank: Vec<u32>,
+    pub(crate) node_rank: Vec<u32>,
     /// Per node: one forward flow-summary out-edge (its target ranks
     /// below the node), or `u32::MAX`. Phase 1 seeds the node's values
     /// along this edge before solving: a single tree path's `MAY` union
@@ -101,11 +101,11 @@ pub(crate) struct SccSchedule {
     /// safe starting point on both lattices — and it hands loop
     /// back-edge readers a near-final value up front instead of the
     /// neutral `(∅, ALL)` that forces a second visit of every cycle.
-    tree_edge: Vec<u32>,
+    pub(crate) tree_edge: Vec<u32>,
     /// Per node: the return nodes broadcasting phase-2 liveness into it
     /// (inverse of `return_exit_targets`; non-empty only for exits of
     /// called routines).
-    exit_sources: Vec<Vec<NodeId>>,
+    pub(crate) exit_sources: Vec<Vec<NodeId>>,
 }
 
 impl SccSchedule {
@@ -256,7 +256,7 @@ impl SccSchedule {
     /// The incremental reset closures are caller-/callee-closed and thus
     /// saturated on whole SCCs (debug-asserted here), which is what
     /// makes "schedule only the reset components" exact.
-    fn active_components(&self, reset: Option<&[bool]>) -> Vec<bool> {
+    pub(crate) fn active_components(&self, reset: Option<&[bool]>) -> Vec<bool> {
         let Some(mask) = reset else {
             return vec![true; self.comp_nodes.len()];
         };
@@ -483,15 +483,15 @@ fn greedy_fas(out_adj: &[Vec<u32>], in_adj: &[Vec<u32>]) -> Vec<u32> {
 /// "already seeded in this stratum" flags (a re-solved routine seeds
 /// only the nodes its pull actually changed).
 pub(crate) struct CompSolver {
-    routine_wl: PriorityWorklist,
-    node_wl: PriorityWorklist,
-    seeded: Vec<bool>,
+    pub(crate) routine_wl: PriorityWorklist,
+    pub(crate) node_wl: PriorityWorklist,
+    pub(crate) seeded: Vec<bool>,
     /// Back-edge pushes (a boundary change flowing to a routine ranked
     /// at or below the one being solved) park here until the current
     /// round drains, so one round's worth of changes is absorbed by a
     /// single re-solve instead of being chased a register at a time.
-    deferred: Vec<bool>,
-    deferred_list: Vec<u32>,
+    pub(crate) deferred: Vec<bool>,
+    pub(crate) deferred_list: Vec<u32>,
     /// The node-level twin of `deferred`: loop-carried pushes inside one
     /// routine solve park until the current sweep drains, batching each
     /// loop's wrap-around into one extra pass.
@@ -515,7 +515,7 @@ impl CompSolver {
     /// Queues the boundary-change push `target` (rank `rank`), deferring
     /// it to the next round when it does not run strictly after the
     /// routine currently being solved (rank `current`).
-    fn push_routine(&mut self, target: usize, rank: u32, current: u32) {
+    pub(crate) fn push_routine(&mut self, target: usize, rank: u32, current: u32) {
         if self.deferred[target] {
             return;
         }
@@ -530,7 +530,7 @@ impl CompSolver {
     /// Queues node `target` during a routine solve, deferring loop
     /// back-edge pushes (rank at or below the node being evaluated) to
     /// the sweep boundary.
-    fn push_node(&mut self, target: usize, rank: u32, current: u32) {
+    pub(crate) fn push_node(&mut self, target: usize, rank: u32, current: u32) {
         if self.node_deferred[target] {
             return;
         }
@@ -542,9 +542,16 @@ impl CompSolver {
         }
     }
 
+    /// Whether any node pushes are parked for the next sweep round —
+    /// pre-sweep pulls can park through [`CompSolver::push_node`], so a
+    /// solve must not bail on an empty worklist while these wait.
+    pub(crate) fn has_deferred_nodes(&self) -> bool {
+        !self.node_deferred_list.is_empty()
+    }
+
     /// Drains the parked loop-carried node pushes back into the node
     /// worklist; returns `false` when there were none (sweep converged).
-    fn flush_deferred_nodes(&mut self, node_rank: &[u32]) -> bool {
+    pub(crate) fn flush_deferred_nodes(&mut self, node_rank: &[u32]) -> bool {
         if self.node_deferred_list.is_empty() {
             return false;
         }
@@ -868,7 +875,7 @@ pub(crate) fn run_phase2_scheduled(
 /// Single-component waves — the common case on deep call chains —
 /// reuse one persistent solver with no thread traffic at all. Returns
 /// total evaluations.
-fn run_waves(
+pub(crate) fn run_waves(
     waves: &[Vec<usize>],
     active: &[bool],
     workers: usize,
@@ -878,22 +885,26 @@ fn run_waves(
 ) -> usize {
     let n_routines = schedule.routine_nodes.len();
     let mut visits = 0usize;
-    let mut serial = CompSolver::new(n_routines, n_nodes);
+    // One solver pool for the whole phase: the worklist heaps, dedup
+    // buffers and deferral scratch are allocated once and reused by
+    // every wave (a solver drains itself back to empty after each
+    // component, so reuse cannot leak state between solves). Serial
+    // waves run on slot 0; parallel waves grow the pool to the worker
+    // count on first use.
+    let mut pool = vec![CompSolver::new(n_routines, n_nodes)];
     for wave in waves {
         let batch: Vec<usize> = wave.iter().copied().filter(|&c| active[c]).collect();
         if batch.len() <= 1 || workers == 1 {
             for &c in &batch {
-                visits += solve(&mut serial, c);
+                visits += solve(&mut pool[0], c);
             }
         } else {
-            visits += par_map_with(
-                batch.len(),
-                workers,
-                || CompSolver::new(n_routines, n_nodes),
-                |cs, k| solve(cs, batch[k]),
-            )
-            .into_iter()
-            .sum::<usize>();
+            while pool.len() < workers.min(batch.len()) {
+                pool.push(CompSolver::new(n_routines, n_nodes));
+            }
+            visits += par_map_with_pool(&mut pool, batch.len(), |cs, k| solve(cs, batch[k]))
+                .into_iter()
+                .sum::<usize>();
         }
     }
     visits

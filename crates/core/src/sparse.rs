@@ -1,0 +1,1240 @@
+//! The sparse def-use chain representation for the dataflow phases.
+//!
+//! The dense engines ([`crate::dataflow`], [`crate::schedule`]) keep a
+//! register set per PSG node and re-evaluate a node's full transfer
+//! function whenever any input may have moved. But most PSG nodes are
+//! *pass-through*: a single flow-summary out-edge with a static label,
+//! so the node's value is a closed-form function of one downstream
+//! node — `use = l.use ∪ (use(y) − l.must)`, `may = l.may ∪ may(y)`,
+//! `must = l.must ∪ must(y)` for every lattice the phases solve.
+//! Iterating such nodes moves no information of its own; it just relays
+//! its anchor's bits one hop per visit.
+//!
+//! This module contracts those chains away, in the spirit of
+//! "Parameterized Construction of Program Representations for Sparse
+//! Dataflow Analyses" (Tavares et al.): *join points* — the places an
+//! analysis must materialize a value — are kept as **anchors**, and
+//! every run between them is composed into one [`ChainEdge`] carrying
+//! the pre-multiplied static label. Chains end at a **dynamic point**:
+//! an anchor, or a contracted *call* node. Calls contract too — a
+//! call's stored chain label is only the static suffix *below* its
+//! call-return edge, and evaluation re-reads that edge's live label
+//! (rewritten by phase 1 as callee summaries converge) on every chain
+//! walk, so a chain is an alternating sequence of static segments and
+//! live call hops. A node stays an anchor exactly when its value
+//! genuinely joins or originates information:
+//!
+//! * a fork (out-degree ≥ 2) whose branches reach *different* dynamic
+//!   points — when they all reconverge at one point the per-edge views
+//!   distribute over the shared downstream value and the fork contracts
+//!   under the exact label join (∪ for the `MAY`/live lattices, ∩ for
+//!   `MUST-DEF`),
+//! * a pinned boundary (halt / unknown-jump / diverge sinks),
+//! * a sink with no out-edges (exits), or
+//! * the source of a back edge — the target of one of its out-edges
+//!   does not rank below it in the routine's feedback-arc order, so
+//!   contracting it would make the chain graph cyclic.
+//!
+//! The contraction criterion is a *postdominance* fact — every
+//! terminating path from a contracted node's program point reaches its
+//! chain target's block — and debug builds validate exactly that
+//! against the [`spike_cfg::DomTree`] postdominator trees.
+//!
+//! The phases then run **chain propagation inside the unchanged
+//! SCC-wave schedule**: same condensation waves, same pull-model
+//! cross-routine refresh and settled-boundary broadcasts as
+//! [`crate::schedule`], but the intra-routine worklists hold only
+//! anchors, each visit evaluating all phase-1 lattices fused over the
+//! composed chain edges. Values of contracted nodes are read *on
+//! demand* through their chain label (so entries and returns may be
+//! contracted even though broadcasts read them) and written back once
+//! at the end — the uncounted materialization sweep — so the final
+//! PSG, summaries, liveness slices and `memory_bytes` are bit-identical
+//! to the dense engines.
+//!
+//! Chains are per-routine (every PSG edge is intra-routine), so the
+//! incremental path ([`crate::incremental`]) rebuilds only the dirty
+//! routines' chains and reuses the rest, mirroring its CFG/PSG plan
+//! reuse.
+
+use spike_cfg::ProgramCfg;
+use spike_isa::{CloneExact, HeapSize, RegSet};
+use spike_program::RoutineId;
+
+use crate::dataflow::phase2_init_value;
+use crate::parallel::SharedMut;
+use crate::psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, RoutineNodes};
+use crate::schedule::{init_phase1_values, run_waves, CompSolver, SccSchedule};
+
+/// A composed static transfer label: the product of the flow-summary
+/// labels along a contracted chain. Crossing the label maps a
+/// downstream value `v` to `use ∪ (v.use − must)`, `may ∪ v.may`,
+/// `must ∪ v.must` — the same shape as a single Figure-6 edge label,
+/// closed under composition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ChainLabel {
+    may_use: RegSet,
+    may_def: RegSet,
+    must_def: RegSet,
+}
+
+impl ChainLabel {
+    const IDENTITY: ChainLabel =
+        ChainLabel { may_use: RegSet::EMPTY, may_def: RegSet::EMPTY, must_def: RegSet::EMPTY };
+
+    /// Composes `self` (the hop nearer the reader) with `rest` (the
+    /// already-composed suffix below it): crossing the result equals
+    /// crossing `self` after `rest`.
+    fn then(self, rest: ChainLabel) -> ChainLabel {
+        ChainLabel {
+            may_use: self.may_use | (rest.may_use - self.must_def),
+            may_def: self.may_def | rest.may_def,
+            must_def: self.must_def | rest.must_def,
+        }
+    }
+
+    fn of(edge: &Edge) -> ChainLabel {
+        ChainLabel { may_use: edge.may_use(), may_def: edge.may_def(), must_def: edge.must_def() }
+    }
+
+    /// The join of two parallel labels reaching the *same* anchor:
+    /// crossing the result equals joining the two crossings, because
+    /// each per-edge view distributes over the shared downstream value —
+    /// `∪ₑ (useₑ ∪ (v − mustₑ)) = (∪ₑ useₑ) ∪ (v − ∩ₑ mustₑ)`, and
+    /// likewise for the may/must lattices. This is what lets a fork
+    /// whose branches reconverge at one join anchor contract.
+    fn join(self, other: ChainLabel) -> ChainLabel {
+        ChainLabel {
+            may_use: self.may_use | other.may_use,
+            may_def: self.may_def | other.may_def,
+            must_def: self.must_def & other.must_def,
+        }
+    }
+}
+
+/// One composed out-edge of an anchor: the underlying PSG edge (whose
+/// label is read live at evaluation time — call-return labels change
+/// during phase 1) plus the static suffix from the edge's target down
+/// to the dynamic point `to` it chains to (identity when the target is
+/// itself a dynamic point).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ChainEdge {
+    edge: EdgeId,
+    to: NodeId,
+    suffix: ChainLabel,
+}
+
+/// Sentinel slot marking an `in_chains` entry whose reader is a
+/// contracted call rather than an anchor's chain edge.
+const CALL_READER: u32 = u32::MAX;
+
+/// The sparse program: per-node contraction chains and the composed
+/// anchor-to-anchor edges the phase solvers walk. Built per analysis
+/// from the PSG and its [`SccSchedule`]; cached across incremental
+/// re-analyses with per-routine rebuilds.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SparseProgram {
+    /// Per node: the next dynamic point its chain leads to (an anchor
+    /// or a contracted call), or `u32::MAX` when the node is itself an
+    /// anchor. For a contracted call this names the point *below* its
+    /// call-return edge — the live edge label is crossed separately at
+    /// walk time.
+    chain_to: Vec<u32>,
+    /// Per node: the composed static label down to `chain_to`
+    /// (identity for anchors; the suffix below the call-return edge
+    /// for contracted calls).
+    chain_label: Vec<ChainLabel>,
+    /// Per node: composed out-edges to anchors. Empty for contracted
+    /// nodes and for sinks.
+    out_chains: Vec<Vec<ChainEdge>>,
+    /// Per node: the readers of its value, as (reader, index into the
+    /// reader's `out_chains`) pairs for anchors reading it through a
+    /// chain edge, or [`CALL_READER`] when the reader is a contracted
+    /// call chaining to it — the walk continues through that call's
+    /// live label to *its* readers.
+    in_chains: Vec<Vec<(NodeId, u32)>>,
+    /// Per routine: its contracted nodes, ascending by node rank — the
+    /// materialization order (a chain target materializes before its
+    /// readers).
+    interior: Vec<Vec<NodeId>>,
+    /// Per routine: its anchors, ascending by node rank — the node
+    /// worklist seed set.
+    anchors: Vec<Vec<NodeId>>,
+}
+
+impl SparseProgram {
+    /// Builds the chains for every routine of `psg`. `cfg` is consulted
+    /// only by debug builds, which check each contraction against the
+    /// routine's postdominator tree.
+    pub(crate) fn build(psg: &Psg, schedule: &SccSchedule, cfg: &ProgramCfg) -> SparseProgram {
+        let n = psg.nodes().len();
+        let n_routines = psg.routines.len();
+        let mut sp = SparseProgram {
+            chain_to: vec![u32::MAX; n],
+            chain_label: vec![ChainLabel::IDENTITY; n],
+            out_chains: vec![Vec::new(); n],
+            in_chains: vec![Vec::new(); n],
+            interior: vec![Vec::new(); n_routines],
+            anchors: vec![Vec::new(); n_routines],
+        };
+        for r in 0..n_routines {
+            sp.build_routine(psg, schedule, r);
+        }
+        #[cfg(debug_assertions)]
+        sp.validate_contractions(psg, cfg);
+        #[cfg(not(debug_assertions))]
+        let _ = cfg;
+        sp
+    }
+
+    /// Rebuilds the chains of exactly the `dirty` routines in place,
+    /// leaving every other routine's chains untouched. Sound because
+    /// chains are strictly intra-routine and the incremental front end
+    /// guarantees a dirty routine keeps its node/edge *shape* (ids,
+    /// kinds, targets) — only its flow labels, and hence the composed
+    /// chain labels, change.
+    pub(crate) fn rebuild_routines(
+        &mut self,
+        psg: &Psg,
+        schedule: &SccSchedule,
+        dirty: &[RoutineId],
+    ) {
+        for &r in dirty {
+            let ri = r.index();
+            for &x in &schedule.routine_nodes[ri] {
+                let xi = x.index();
+                self.chain_to[xi] = u32::MAX;
+                self.chain_label[xi] = ChainLabel::IDENTITY;
+                self.out_chains[xi].clear();
+                self.in_chains[xi].clear();
+            }
+            self.interior[ri].clear();
+            self.anchors[ri].clear();
+            self.build_routine(psg, schedule, ri);
+        }
+    }
+
+    /// Whether the chains still describe `psg`'s node universe — the
+    /// cheap structural guard the incremental path checks before
+    /// reusing a cached instance.
+    pub(crate) fn covers(&self, psg: &Psg) -> bool {
+        self.chain_to.len() == psg.nodes().len() && self.interior.len() == psg.routines.len()
+    }
+
+    /// Resolves an edge target to the chain's next *dynamic point* — an
+    /// anchor or a contracted call, the places a value must be read or
+    /// a live label crossed — plus the static label from the target
+    /// down to it. The pass-1 sweep runs ascending rank, so every
+    /// lower-rank target is already resolved when it is consulted.
+    fn resolve(&self, psg: &Psg, yi: usize) -> (u32, ChainLabel) {
+        if self.chain_to[yi] == u32::MAX || matches!(psg.nodes[yi], NodeKind::Call { .. }) {
+            (yi as u32, ChainLabel::IDENTITY)
+        } else {
+            (self.chain_to[yi], self.chain_label[yi])
+        }
+    }
+
+    fn build_routine(&mut self, psg: &Psg, schedule: &SccSchedule, r: usize) {
+        // Pass 1, ascending rank: decide contraction and compose each
+        // contracted node's static label down to the next dynamic
+        // point. A node contracts when *every* out-edge chains —
+        // through already-resolved lower-rank targets — to one common
+        // dynamic point: a pass-through node trivially (one edge), a
+        // fork whose branches reconverge before the next join anchor
+        // via [`ChainLabel::join`], and a call through its single
+        // call-return edge, whose live label is *not* composed — it is
+        // read at evaluation time, only the static suffix below it is
+        // stored. Sinks, pinned nodes, back-edge sources and forks
+        // whose branches reach distinct points stay anchors — exactly
+        // the join points the solver must iterate.
+        for &x in &schedule.routine_nodes[r] {
+            let xi = x.index();
+            let rank_ok =
+                |edge: &Edge| schedule.node_rank[edge.to().index()] < schedule.node_rank[xi];
+            let mut contraction: Option<(u32, ChainLabel)> = None;
+            if !psg.pinned[xi] && !psg.out_edges[xi].is_empty() {
+                if matches!(psg.nodes[xi], NodeKind::Call { .. }) {
+                    let edge = &psg.edges[psg.out_edges[xi][0].index()];
+                    if edge.kind() == EdgeKind::CallReturn && rank_ok(edge) {
+                        contraction = Some(self.resolve(psg, edge.to().index()));
+                    }
+                } else if psg.out_edges[xi].iter().all(|&e| {
+                    let edge = &psg.edges[e.index()];
+                    edge.kind() == EdgeKind::FlowSummary && rank_ok(edge)
+                }) {
+                    for &e in &psg.out_edges[xi] {
+                        let edge = &psg.edges[e.index()];
+                        let (point, sfx) = self.resolve(psg, edge.to().index());
+                        let label = ChainLabel::of(edge).then(sfx);
+                        contraction = match contraction {
+                            None => Some((point, label)),
+                            Some((p0, l0)) if p0 == point => Some((p0, l0.join(label))),
+                            Some(_) => None,
+                        };
+                        if contraction.is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+            match contraction {
+                Some((point, label)) => {
+                    self.chain_to[xi] = point;
+                    self.chain_label[xi] = label;
+                    self.interior[r].push(x);
+                }
+                None => self.anchors[r].push(x),
+            }
+        }
+        // Pass 2: the anchors' composed out-edges and their inverses,
+        // plus the up-links from every contracted call to its own next
+        // dynamic point — the path a delta walks when it crosses the
+        // call's live label on its way to the anchors above.
+        for k in 0..self.anchors[r].len() {
+            let x = self.anchors[r][k];
+            let xi = x.index();
+            for &e in &psg.out_edges[xi] {
+                let edge = &psg.edges[e.index()];
+                let (to, suffix) = self.resolve(psg, edge.to().index());
+                let slot = self.out_chains[xi].len() as u32;
+                let to = NodeId::from_index(to as usize);
+                self.out_chains[xi].push(ChainEdge { edge: e, to, suffix });
+                self.in_chains[to.index()].push((x, slot));
+            }
+        }
+        for k in 0..self.interior[r].len() {
+            let x = self.interior[r][k];
+            let xi = x.index();
+            if matches!(psg.nodes[xi], NodeKind::Call { .. }) {
+                self.in_chains[self.chain_to[xi] as usize].push((x, CALL_READER));
+            }
+        }
+    }
+
+    /// Debug-only: every contraction is a postdominance fact. A node
+    /// chains into its single flow target only if all terminating paths
+    /// from the node's program point reach the target's block, i.e. the
+    /// target's block postdominates the source's — checked against
+    /// [`spike_cfg::DomTree::postdominators`] per routine.
+    #[cfg(debug_assertions)]
+    fn validate_contractions(&self, psg: &Psg, cfg: &ProgramCfg) {
+        use spike_cfg::{BlockId, DomTree, TermKind};
+
+        for (r, interior) in self.interior.iter().enumerate() {
+            if interior.is_empty() {
+                continue;
+            }
+            let rid = RoutineId::from_index(r);
+            let rcfg = cfg.routine_cfg(rid);
+            let pdom = DomTree::postdominators(rcfg);
+            let source_block = |kind: NodeKind| -> Option<BlockId> {
+                match kind {
+                    NodeKind::Entry { index, .. } => Some(rcfg.entries()[index]),
+                    NodeKind::Return { block, .. } => match rcfg.block(block).term() {
+                        TermKind::Call { return_to, .. } => *return_to,
+                        _ => None,
+                    },
+                    NodeKind::Branch { block, .. } => Some(block),
+                    _ => None,
+                }
+            };
+            let target_block = |kind: NodeKind| -> Option<BlockId> {
+                match kind {
+                    NodeKind::Exit { index, .. } => Some(rcfg.exits()[index]),
+                    NodeKind::Call { block, .. }
+                    | NodeKind::Branch { block, .. }
+                    | NodeKind::Halt { block, .. }
+                    | NodeKind::UnknownJump { block, .. } => Some(block),
+                    _ => None,
+                }
+            };
+            for &x in interior {
+                let xi = x.index();
+                // The claim is about the chain's next *dynamic point*:
+                // every flow path from the node reaches it (a fork's
+                // individual hops need not postdominate — only the
+                // reconvergence point they merge at does).
+                let anchor = self.chain_to[xi] as usize;
+                let (Some(src), Some(dst)) =
+                    (source_block(psg.nodes[xi]), target_block(psg.nodes[anchor]))
+                else {
+                    continue; // diverge sinks and non-returning calls
+                };
+                if pdom.is_reachable(src) {
+                    debug_assert!(
+                        pdom.dominates(dst, src),
+                        "contracted chain {:?} -> {:?} in routine {r} is not a postdominance \
+                         fact ({src:?} -> {dst:?})",
+                        psg.nodes[xi],
+                        psg.nodes[anchor],
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl HeapSize for ChainLabel {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for ChainEdge {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl CloneExact for ChainLabel {
+    fn clone_exact(&self) -> ChainLabel {
+        *self
+    }
+}
+
+impl CloneExact for ChainEdge {
+    fn clone_exact(&self) -> ChainEdge {
+        *self
+    }
+}
+
+impl HeapSize for SparseProgram {
+    fn heap_bytes(&self) -> usize {
+        self.chain_to.heap_bytes()
+            + self.chain_label.heap_bytes()
+            + self.out_chains.heap_bytes()
+            + self.in_chains.heap_bytes()
+            + self.interior.heap_bytes()
+            + self.anchors.heap_bytes()
+    }
+}
+
+impl CloneExact for SparseProgram {
+    fn clone_exact(&self) -> SparseProgram {
+        SparseProgram {
+            chain_to: self.chain_to.clone_exact(),
+            chain_label: self.chain_label.clone_exact(),
+            out_chains: self.out_chains.clone_exact(),
+            in_chains: self.in_chains.clone_exact(),
+            interior: self.interior.clone_exact(),
+            anchors: self.anchors.clone_exact(),
+        }
+    }
+}
+
+/// Shared views for the sparse phase-1 wave solvers — the chain twin of
+/// `schedule::Phase1Views`, with the same `SharedMut` partition
+/// discipline.
+struct Sparse1Views<'a> {
+    nodes: &'a [NodeKind],
+    routines: &'a [RoutineNodes],
+    cr_sources: &'a [Vec<NodeId>],
+    entry_cr_edges: &'a [Vec<EdgeId>],
+    out_edges: &'a [Vec<EdgeId>],
+    pinned: &'a [bool],
+    edges: SharedMut<'a, Edge>,
+    may_use: SharedMut<'a, RegSet>,
+    may_def: SharedMut<'a, RegSet>,
+    must_def: SharedMut<'a, RegSet>,
+    sp: &'a SparseProgram,
+}
+
+/// Shared views for the sparse phase-2 wave solvers.
+struct Sparse2Views<'a> {
+    nodes: &'a [NodeKind],
+    routines: &'a [RoutineNodes],
+    return_exit_targets: &'a [Vec<NodeId>],
+    out_edges: &'a [Vec<EdgeId>],
+    pinned: &'a [bool],
+    edges: &'a [Edge],
+    live: SharedMut<'a, RegSet>,
+    sp: &'a SparseProgram,
+}
+
+/// The phase-1 value of any node, contracted or not: anchors read their
+/// stored sets, contracted nodes compose the chain down to their final
+/// anchor — static segment labels as stored, and each contracted call's
+/// live call-return label read as the walk crosses it. Broadcast pulls
+/// (call-return sources) go through this, which is what lets entries be
+/// contracted.
+///
+/// # Safety
+/// No thread may be concurrently writing the value slots or edge labels
+/// of any node along the chain (all intra-routine, so the component
+/// ownership discipline covers them).
+unsafe fn p1_value(v: &Sparse1Views<'_>, xi: usize) -> (RegSet, RegSet, RegSet) {
+    let mut acc = ChainLabel::IDENTITY;
+    let mut i = xi;
+    loop {
+        if v.sp.chain_to[i] == u32::MAX {
+            return (
+                acc.may_use | (*v.may_use.get(i) - acc.must_def),
+                acc.may_def | *v.may_def.get(i),
+                acc.must_def | *v.must_def.get(i),
+            );
+        }
+        if matches!(v.nodes[i], NodeKind::Call { .. }) {
+            acc = acc.then(ChainLabel::of(v.edges.get(v.out_edges[i][0].index())));
+        }
+        acc = acc.then(v.sp.chain_label[i]);
+        i = v.sp.chain_to[i] as usize;
+    }
+}
+
+/// The phase-2 liveness of any node, through its chain if contracted —
+/// the exit pulls read return-node liveness this way. Call-return
+/// labels are frozen by phase 1, so the crossed labels are all
+/// effectively static here.
+///
+/// # Safety
+/// As [`p1_value`].
+unsafe fn p2_value(v: &Sparse2Views<'_>, xi: usize) -> RegSet {
+    let mut acc = ChainLabel::IDENTITY;
+    let mut i = xi;
+    loop {
+        if v.sp.chain_to[i] == u32::MAX {
+            return acc.may_use | (*v.live.get(i) - acc.must_def);
+        }
+        if matches!(v.nodes[i], NodeKind::Call { .. }) {
+            acc = acc.then(ChainLabel::of(&v.edges[v.out_edges[i][0].index()]));
+        }
+        acc = acc.then(v.sp.chain_label[i]);
+        i = v.sp.chain_to[i] as usize;
+    }
+}
+
+/// Sparse phase 1: the same bottom-up waves and pull-model refresh as
+/// [`crate::schedule::run_phase1_scheduled`], with intra-routine solving
+/// walking composed chain edges — one *fused* evaluation of all three
+/// lattices per anchor visit — and a final uncounted materialization
+/// writing every contracted node's dense value back. Bit-identical to
+/// the dense engines; returns the number of chain (anchor) evaluations.
+pub(crate) fn run_phase1_sparse(
+    psg: &mut Psg,
+    schedule: &SccSchedule,
+    sp: &SparseProgram,
+    reset: Option<&[bool]>,
+    workers: usize,
+) -> usize {
+    let n = psg.nodes().len();
+    debug_assert!(reset.is_none_or(|m| m.len() == n), "reset mask must cover every node");
+    // The dense init + spanning-tree warm seed is reused unchanged:
+    // anchor seeds are what the fused evaluation grows from, and
+    // contracted nodes' seeded values are simply dead until the
+    // materialization sweep overwrites them.
+    init_phase1_values(psg, schedule, reset);
+    // A seeded run must also re-initialize the recomputable call-return
+    // labels of reset routines. The dense engine can keep them stale —
+    // it only ever reads a label after the owning routine's pull has
+    // recomputed it from stored entry values — but the sparse on-demand
+    // reads cross *other* routines' labels transitively (a contracted
+    // entry's value walks its own routine's calls), and a stale label
+    // from the previous fixpoint can over-approximate the new one.
+    // From the build-time bottom `(∅, ∅, ALL)` every transitive read
+    // under-approximates, exactly as in a cold solve.
+    if let Some(m) = reset {
+        for cr_edges in &schedule.routine_cr_edges {
+            for &e in cr_edges {
+                let edge = &mut psg.edges[e.index()];
+                if m[edge.from().index()] {
+                    edge.may_use = RegSet::EMPTY;
+                    edge.may_def = RegSet::EMPTY;
+                    edge.must_def = RegSet::ALL;
+                }
+            }
+        }
+    }
+    let active = schedule.active_components(reset);
+
+    let visits;
+    {
+        let Psg {
+            ref nodes,
+            ref mut edges,
+            ref routines,
+            ref cr_sources,
+            ref entry_cr_edges,
+            ref out_edges,
+            ref pinned,
+            ref mut may_use,
+            ref mut may_def,
+            ref mut must_def,
+            ..
+        } = *psg;
+        let views = Sparse1Views {
+            nodes,
+            routines,
+            cr_sources,
+            entry_cr_edges,
+            out_edges,
+            pinned,
+            edges: SharedMut::new(edges),
+            may_use: SharedMut::new(may_use),
+            may_def: SharedMut::new(may_def),
+            must_def: SharedMut::new(must_def),
+            sp,
+        };
+        visits =
+            run_waves(schedule.cond.waves_bottom_up(), &active, workers, schedule, n, |cs, c| {
+                // SAFETY: as in the dense engine — one worker per
+                // in-flight component, writes confined to the
+                // component's own values and its routines' edge labels;
+                // chain reads of foreign values only touch converged
+                // earlier waves.
+                unsafe { solve_comp_sparse1(&views, schedule, c, cs) }
+            });
+    }
+
+    // Materialize the contracted nodes' dense values through their
+    // chain label and next dynamic point — the same closed form the
+    // on-demand views read, so one assignment per node reproduces the
+    // dense fixpoint exactly. Interior lists ascend by rank and chains
+    // descend, so a contracted call's own value is in place before any
+    // node chaining through it materializes. Not counted as visits: no
+    // information moves, this is a change of representation.
+    for interior in &sp.interior {
+        for &x in interior {
+            let xi = x.index();
+            if reset.is_some_and(|m| !m[xi]) {
+                continue;
+            }
+            let mut l = sp.chain_label[xi];
+            if matches!(psg.nodes[xi], NodeKind::Call { .. }) {
+                l = ChainLabel::of(&psg.edges[psg.out_edges[xi][0].index()]).then(l);
+            }
+            let yi = sp.chain_to[xi] as usize;
+            psg.may_def[xi] = l.may_def | psg.may_def[yi];
+            psg.must_def[xi] = l.must_def | psg.must_def[yi];
+            psg.may_use[xi] = l.may_use | (psg.may_use[yi] - l.must_def);
+        }
+    }
+    visits
+}
+
+/// Sparse phase 2: top-down waves, chain propagation, on-demand
+/// return-liveness reads, then the uncounted materialization. The same
+/// warm `MAY-USE` start and exit-seed contract as the dense engine.
+pub(crate) fn run_phase2_sparse(
+    psg: &mut Psg,
+    schedule: &SccSchedule,
+    sp: &SparseProgram,
+    exit_seeds: &[(NodeId, RegSet)],
+    reset: Option<&[bool]>,
+    workers: usize,
+) -> usize {
+    let n = psg.nodes().len();
+    debug_assert!(reset.is_none_or(|m| m.len() == n), "reset mask must cover every node");
+    for i in 0..n {
+        if reset.is_none_or(|m| m[i]) {
+            psg.live[i] = phase2_init_value(psg.nodes[i], psg.uj_live[i]) | psg.may_use[i];
+        }
+    }
+    // Exit seeds land on exit nodes, which are sinks and therefore
+    // always anchors.
+    for &(node, set) in exit_seeds {
+        psg.live[node.index()] |= set;
+    }
+    let active = schedule.active_components(reset);
+
+    let visits;
+    {
+        let Psg {
+            ref nodes,
+            ref edges,
+            ref routines,
+            ref return_exit_targets,
+            ref out_edges,
+            ref pinned,
+            ref mut live,
+            ..
+        } = *psg;
+        let views = Sparse2Views {
+            nodes,
+            routines,
+            return_exit_targets,
+            out_edges,
+            pinned,
+            edges,
+            live: SharedMut::new(live),
+            sp,
+        };
+        visits =
+            run_waves(schedule.cond.waves_top_down(), &active, workers, schedule, n, |cs, c| {
+                // SAFETY: as in phase 1.
+                unsafe { solve_comp_sparse2(&views, schedule, c, cs) }
+            });
+    }
+
+    // Materialization through the chain label and next dynamic point,
+    // as in phase 1. Exact because a contracted node's phase-2 init
+    // (`may_use`, never a pinned or seeded set) is contained in its
+    // transfer value, so the accumulate-evaluation degenerates to the
+    // same overwrite this sweep performs — for a contracted call,
+    // `may_use = cr.use ∪ (may_use(ret) − cr.must)` is contained in
+    // `cr.use ∪ (live(ret) − cr.must)` since `live ⊇ may_use` at every
+    // node.
+    for interior in &sp.interior {
+        for &x in interior {
+            let xi = x.index();
+            if reset.is_some_and(|m| !m[xi]) {
+                continue;
+            }
+            let mut l = sp.chain_label[xi];
+            if matches!(psg.nodes[xi], NodeKind::Call { .. }) {
+                l = ChainLabel::of(&psg.edges[psg.out_edges[xi][0].index()]).then(l);
+            }
+            let yi = sp.chain_to[xi] as usize;
+            psg.live[xi] = l.may_use | (psg.live[yi] - l.must_def);
+        }
+    }
+    visits
+}
+
+/// Solves phase 1 for component `c` over anchors only. Unlike the dense
+/// engine's two strata, the sparse solver evaluates all three lattices
+/// *fused* per visit: every transfer is monotone over the product
+/// lattice (`MAY` sets grow, `MUST-DEF` shrinks, and a shrinking kill
+/// set only grows `MAY-USE`), so chaotic fused iteration reaches the
+/// same unique least fixpoint the stratified engine does.
+///
+/// # Safety
+/// As `schedule::solve_comp_phase1`: exclusive access to component
+/// `c`'s values and its routines' edge labels; cross-boundary reads
+/// only touch converged components.
+unsafe fn solve_comp_sparse1(
+    v: &Sparse1Views<'_>,
+    s: &SccSchedule,
+    c: usize,
+    cs: &mut CompSolver,
+) -> usize {
+    let routines = &s.cond.sccs().components()[c];
+    for &r in routines.iter() {
+        cs.seeded[r.index()] = false;
+        cs.routine_wl.push(r.index(), s.rrank1[r.index()]);
+    }
+    let mut visits = 0usize;
+    loop {
+        while let Some(ri) = cs.routine_wl.pop() {
+            visits += solve_routine_sparse1(v, s, c, ri, cs);
+        }
+        if cs.deferred_list.is_empty() {
+            break;
+        }
+        let mut list = std::mem::take(&mut cs.deferred_list);
+        for &r in &list {
+            cs.deferred[r as usize] = false;
+            cs.routine_wl.push(r as usize, s.rrank1[r as usize]);
+        }
+        list.clear();
+        cs.deferred_list = list;
+    }
+    visits
+}
+
+/// Routes a phase-1 value delta `(grown MAY-USE, grown MAY-DEF, lost
+/// MUST-DEF)` at dynamic point `from` to the anchors that must
+/// re-evaluate: anchor readers get the masked absorption check against
+/// their stored values, and contracted-call readers cross their static
+/// suffix and live call-return label and recurse to *their* readers.
+/// Up-links strictly ascend the rank order, so the walk terminates.
+/// `defer` selects the sweep's loop-carried parking
+/// ([`CompSolver::push_node`]); pre-sweep pulls push directly.
+///
+/// # Safety
+/// As [`solve_routine_sparse1`] — the walk stays inside the owning
+/// component's routines.
+unsafe fn propagate_p1(
+    v: &Sparse1Views<'_>,
+    s: &SccSchedule,
+    cs: &mut CompSolver,
+    from: usize,
+    (gmu, gmd, lmd): (RegSet, RegSet, RegSet),
+    defer: bool,
+) {
+    for &(f, slot) in &v.sp.in_chains[from] {
+        let fi = f.index();
+        if slot == CALL_READER {
+            let sx = &v.sp.chain_label[fi];
+            let lc = ChainLabel::of(v.edges.get(v.out_edges[fi][0].index()));
+            let g1 = (((gmu - sx.must_def) - sx.may_use) - lc.must_def) - lc.may_use;
+            let g2 = (gmd - sx.may_def) - lc.may_def;
+            let l1 = (lmd - sx.must_def) - lc.must_def;
+            if !(g1.is_empty() && g2.is_empty() && l1.is_empty()) {
+                propagate_p1(v, s, cs, fi, (g1, g2, l1), defer);
+            }
+        } else {
+            let ce = &v.sp.out_chains[fi][slot as usize];
+            let l = v.edges.get(ce.edge.index());
+            let sx = &ce.suffix;
+            // The delta crosses the suffix first, then the live hop
+            // label — mask it down to what survives both, and skip the
+            // reader if its value already absorbs the rest.
+            let moved = !((gmd - sx.may_def) - l.may_def()).is_subset(*v.may_def.get(fi))
+                || !(((lmd - sx.must_def) - l.must_def()) & *v.must_def.get(fi)).is_empty()
+                || !((((gmu - sx.must_def) - sx.may_use) - l.must_def()) - l.may_use())
+                    .is_subset(*v.may_use.get(fi));
+            if moved {
+                if defer {
+                    cs.push_node(fi, s.node_rank[fi], s.node_rank[from]);
+                } else {
+                    cs.node_wl.push(fi, s.node_rank[fi]);
+                }
+            }
+        }
+    }
+}
+
+/// One routine's sparse phase-1 solve: fused call-return pull, anchor
+/// sweep over composed chain edges, settled-entry broadcast with
+/// on-demand entry values.
+///
+/// # Safety
+/// As [`solve_comp_sparse1`].
+unsafe fn solve_routine_sparse1(
+    v: &Sparse1Views<'_>,
+    s: &SccSchedule,
+    c: usize,
+    r: usize,
+    cs: &mut CompSolver,
+) -> usize {
+    let first = !cs.seeded[r];
+    let rn = &v.routines[r];
+    // Snapshot the entry views BEFORE the call-return pull: an entry
+    // contracted through a call reads that call's live label, so the
+    // pull itself can grow the view without any node evaluation —
+    // snapshotting first makes the settled comparison below catch
+    // exactly those pull-induced changes (the phase-2 exit pull has the
+    // same discipline).
+    let snapshot: Vec<(RegSet, RegSet, RegSet)> =
+        rn.entries().iter().map(|&x| p1_value(v, x.index())).collect();
+    let mut labels_moved = false;
+    for &e in &s.routine_cr_edges[r] {
+        let (gmu, gmd, lmd) = recompute_cr_fused(v, e);
+        labels_moved |= !(gmu.is_empty() && gmd.is_empty() && lmd.is_empty());
+        if !first {
+            let owner = v.edges.get(e.index()).from().index();
+            if v.sp.chain_to[owner] == u32::MAX {
+                // A lost `MUST-DEF` bit also unmasks `MAY-USE` flowing
+                // through the label, but the owner's own kill set
+                // always contains the loss (it was computed from the
+                // old label), so the `MUST-DEF` absorption check fires
+                // and the fused re-evaluation picks up both effects.
+                if !gmd.is_subset(*v.may_def.get(owner))
+                    || !(lmd & *v.must_def.get(owner)).is_empty()
+                    || !gmu.is_subset(*v.may_use.get(owner))
+                {
+                    cs.node_wl.push(owner, s.node_rank[owner]);
+                }
+            } else if !(gmu.is_empty() && gmd.is_empty() && lmd.is_empty()) {
+                // The owner call is contracted: no stored kill set
+                // catches the unmask, so the lost `MUST-DEF` bits ride
+                // along as potential `MAY-USE` gains and the chain walk
+                // delivers the delta to the anchors above.
+                let sx = &v.sp.chain_label[owner];
+                propagate_p1(v, s, cs, owner, (gmu | lmd, gmd, lmd - sx.must_def), false);
+            }
+        }
+    }
+    if first {
+        cs.seeded[r] = true;
+        for &x in &v.sp.anchors[r] {
+            cs.node_wl.push(x.index(), s.node_rank[x.index()]);
+        }
+    }
+    // Fast path: nothing queued and no label moved — no value in this
+    // routine (stored or viewed through a chain) can have changed since
+    // the last settled comparison, so skip both sweep and broadcast.
+    if !first && !labels_moved && cs.node_wl.is_empty() && !cs.has_deferred_nodes() {
+        return 0;
+    }
+
+    let mut visits = 0usize;
+    'sweep: loop {
+        while let Some(xi) = cs.node_wl.pop() {
+            if v.pinned[xi] || v.sp.out_chains[xi].is_empty() {
+                continue;
+            }
+            visits += 1;
+            // Fused evaluation over the composed chain edges: the hop
+            // label `l` is read live (call-return labels move), the
+            // suffix is static, and the target's value is read on
+            // demand — through its own chain when it is a contracted
+            // call.
+            let mut may_use = RegSet::EMPTY;
+            let mut may_def = RegSet::EMPTY;
+            let mut must_def = RegSet::EMPTY;
+            let mut first_edge = true;
+            for ce in &v.sp.out_chains[xi] {
+                let (mu_t, md_t, big_t) = p1_value(v, ce.to.index());
+                let l = v.edges.get(ce.edge.index());
+                may_def |= l.may_def() | ce.suffix.may_def | md_t;
+                let md = l.must_def() | ce.suffix.must_def | big_t;
+                if first_edge {
+                    must_def = md;
+                    first_edge = false;
+                } else {
+                    must_def &= md;
+                }
+                may_use |= l.may_use()
+                    | (ce.suffix.may_use - l.must_def())
+                    | ((mu_t - ce.suffix.must_def) - l.must_def());
+            }
+            debug_assert!(
+                v.may_use.get(xi).is_subset(may_use)
+                    && v.may_def.get(xi).is_subset(may_def)
+                    && must_def.is_subset(*v.must_def.get(xi)),
+                "fused sparse evaluation must be monotone on every lattice"
+            );
+            let gmu = may_use - *v.may_use.get(xi);
+            let gmd = may_def - *v.may_def.get(xi);
+            let lmd = *v.must_def.get(xi) - must_def;
+            *v.may_use.get_mut(xi) = may_use;
+            *v.may_def.get_mut(xi) = may_def;
+            *v.must_def.get_mut(xi) = must_def;
+            if gmu.is_empty() && gmd.is_empty() && lmd.is_empty() {
+                continue;
+            }
+
+            propagate_p1(v, s, cs, xi, (gmu, gmd, lmd), true);
+            // Eager broadcast only into this routine itself (direct
+            // recursion through an *anchor* entry; a contracted entry's
+            // change is caught by the settled comparison below).
+            if matches!(v.nodes[xi], NodeKind::Entry { .. }) {
+                for &e in &v.entry_cr_edges[xi] {
+                    let owner = v.edges.get(e.index()).from().index();
+                    if v.nodes[owner].routine().index() != r {
+                        continue;
+                    }
+                    let (gmu, gmd, lmd) = recompute_cr_fused(v, e);
+                    if v.sp.chain_to[owner] == u32::MAX {
+                        if !gmd.is_subset(*v.may_def.get(owner))
+                            || !(lmd & *v.must_def.get(owner)).is_empty()
+                            || !gmu.is_subset(*v.may_use.get(owner))
+                        {
+                            cs.push_node(owner, s.node_rank[owner], s.node_rank[xi]);
+                        }
+                    } else if !(gmu.is_empty() && gmd.is_empty() && lmd.is_empty()) {
+                        let sx = &v.sp.chain_label[owner];
+                        propagate_p1(v, s, cs, owner, (gmu | lmd, gmd, lmd - sx.must_def), true);
+                    }
+                }
+            }
+        }
+        if !cs.flush_deferred_nodes(&s.node_rank) {
+            break 'sweep;
+        }
+    }
+
+    // Batched broadcast with on-demand entry values. Direct recursion
+    // through a *contracted* entry has no eager path above, so the
+    // routine also re-queues itself in that case (the push defers to
+    // the next round, where the pull re-checks the labels).
+    for (k, &x) in rn.entries().iter().enumerate() {
+        let xi = x.index();
+        if p1_value(v, xi) == snapshot[k] {
+            continue;
+        }
+        for &e in &v.entry_cr_edges[xi] {
+            let owner = v.edges.get(e.index()).from().index();
+            let or = v.nodes[owner].routine().index();
+            if s.comp_of_routine[or] as usize != c {
+                continue;
+            }
+            if or != r || v.sp.chain_to[xi] != u32::MAX {
+                cs.push_routine(or, s.rrank1[or], s.rrank1[r]);
+            }
+        }
+    }
+    visits
+}
+
+/// Solves phase 2 for component `c` over anchors only.
+///
+/// # Safety
+/// As `schedule::solve_comp_phase2`.
+unsafe fn solve_comp_sparse2(
+    v: &Sparse2Views<'_>,
+    s: &SccSchedule,
+    c: usize,
+    cs: &mut CompSolver,
+) -> usize {
+    let routines = &s.cond.sccs().components()[c];
+    for &r in routines.iter() {
+        cs.seeded[r.index()] = false;
+        cs.routine_wl.push(r.index(), s.rrank2[r.index()]);
+    }
+    let mut visits = 0usize;
+    loop {
+        while let Some(ri) = cs.routine_wl.pop() {
+            visits += solve_routine_sparse2(v, s, c, ri, cs);
+        }
+        if cs.deferred_list.is_empty() {
+            break;
+        }
+        let mut list = std::mem::take(&mut cs.deferred_list);
+        for &r in &list {
+            cs.deferred[r as usize] = false;
+            cs.routine_wl.push(r as usize, s.rrank2[r as usize]);
+        }
+        list.clear();
+        cs.deferred_list = list;
+    }
+    visits
+}
+
+/// One routine's sparse phase-2 solve: exit pull with on-demand
+/// return-node liveness, anchor sweep, settled-return broadcast.
+///
+/// # Safety
+/// As [`solve_comp_sparse2`].
+/// The phase-2 twin of [`propagate_p1`]: routes a liveness delta at
+/// dynamic point `from` through the chain readers, crossing contracted
+/// calls' (phase-1-frozen) labels on the way up.
+///
+/// # Safety
+/// As [`solve_routine_sparse2`].
+unsafe fn propagate_p2(
+    v: &Sparse2Views<'_>,
+    s: &SccSchedule,
+    cs: &mut CompSolver,
+    from: usize,
+    grown: RegSet,
+    defer: bool,
+) {
+    for &(f, slot) in &v.sp.in_chains[from] {
+        let fi = f.index();
+        if slot == CALL_READER {
+            let sx = &v.sp.chain_label[fi];
+            let lc = &v.edges[v.out_edges[fi][0].index()];
+            let g = (((grown - sx.must_def) - sx.may_use) - lc.must_def()) - lc.may_use();
+            if !g.is_empty() {
+                propagate_p2(v, s, cs, fi, g, defer);
+            }
+        } else {
+            let ce = &v.sp.out_chains[fi][slot as usize];
+            let l = &v.edges[ce.edge.index()];
+            if !((((grown - ce.suffix.must_def) - ce.suffix.may_use) - l.must_def()) - l.may_use())
+                .is_subset(*v.live.get(fi))
+            {
+                if defer {
+                    cs.push_node(fi, s.node_rank[fi], s.node_rank[from]);
+                } else {
+                    cs.node_wl.push(fi, s.node_rank[fi]);
+                }
+            }
+        }
+    }
+}
+
+unsafe fn solve_routine_sparse2(
+    v: &Sparse2Views<'_>,
+    s: &SccSchedule,
+    c: usize,
+    r: usize,
+    cs: &mut CompSolver,
+) -> usize {
+    let first = !cs.seeded[r];
+    cs.seeded[r] = true;
+    let rn = &v.routines[r];
+
+    // Snapshot the return views BEFORE the exit pull, unlike the dense
+    // engine: a contracted return's on-demand value is a view through
+    // its anchor — frequently one of this routine's own exits — so the
+    // pull itself (and the sweep's eager exit writes) can grow the view
+    // without any node evaluation. Snapshotting first makes the settled
+    // comparison below catch exactly those pull-induced changes, which
+    // other exits may have merged stale.
+    let snapshot: Vec<RegSet> =
+        rn.calls().iter().map(|&(_, _, ret)| p2_value(v, ret.index())).collect();
+
+    for &x in rn.exits() {
+        let xi = x.index();
+        let mut grown = RegSet::EMPTY;
+        if !s.exit_sources[xi].is_empty() {
+            let mut merged = *v.live.get(xi);
+            for &ret in &s.exit_sources[xi] {
+                merged |= p2_value(v, ret.index());
+            }
+            grown = merged - *v.live.get(xi);
+            if !grown.is_empty() {
+                *v.live.get_mut(xi) = merged;
+            }
+        }
+        let delta = if first { *v.live.get(xi) } else { grown };
+        if delta.is_empty() {
+            continue;
+        }
+        propagate_p2(v, s, cs, xi, delta, false);
+    }
+
+    let mut visits = 0usize;
+    'sweep: loop {
+        while let Some(xi) = cs.node_wl.pop() {
+            if v.pinned[xi] || v.sp.out_chains[xi].is_empty() {
+                continue;
+            }
+            visits += 1;
+
+            let mut live = *v.live.get(xi);
+            for ce in &v.sp.out_chains[xi] {
+                let lv_t = p2_value(v, ce.to.index());
+                let l = &v.edges[ce.edge.index()];
+                live |= l.may_use()
+                    | (ce.suffix.may_use - l.must_def())
+                    | ((lv_t - ce.suffix.must_def) - l.must_def());
+            }
+            let grown = live - *v.live.get(xi);
+            if grown.is_empty() {
+                continue;
+            }
+            *v.live.get_mut(xi) = live;
+
+            propagate_p2(v, s, cs, xi, grown, true);
+            // Eager broadcast into this routine's own exits (direct
+            // recursion through an *anchor* return node).
+            for &t in &v.return_exit_targets[xi] {
+                let ti = t.index();
+                if v.nodes[ti].routine().index() != r {
+                    continue;
+                }
+                let egrown = grown - *v.live.get(ti);
+                if !egrown.is_empty() {
+                    *v.live.get_mut(ti) = *v.live.get(ti) | grown;
+                    propagate_p2(v, s, cs, ti, egrown, true);
+                }
+            }
+        }
+        if !cs.flush_deferred_nodes(&s.node_rank) {
+            break 'sweep;
+        }
+    }
+
+    // Batched broadcast with on-demand return values; direct recursion
+    // through a contracted return re-queues this routine itself.
+    for (k, &(_, _, ret)) in rn.calls().iter().enumerate() {
+        let reti = ret.index();
+        if p2_value(v, reti) == snapshot[k] {
+            continue;
+        }
+        for &t in &v.return_exit_targets[reti] {
+            let tr = v.nodes[t.index()].routine().index();
+            if s.comp_of_routine[tr] as usize != c {
+                continue;
+            }
+            if tr != r || v.sp.chain_to[reti] != u32::MAX {
+                cs.push_routine(tr, s.rrank2[tr], s.rrank2[r]);
+            }
+        }
+    }
+    visits
+}
+
+/// Recomputes a call-return edge's full label — all three lattices in
+/// one pass, the fused twin of the dense per-stratum recomputes —
+/// reading each source entry's value on demand through its chain.
+/// Returns the label delta `(grown MAY-USE, grown MAY-DEF, lost
+/// MUST-DEF)`.
+///
+/// # Safety
+/// Exclusive access to edge `e`; no source entry's values (nor their
+/// anchors') may be written concurrently.
+unsafe fn recompute_cr_fused(v: &Sparse1Views<'_>, e: EdgeId) -> (RegSet, RegSet, RegSet) {
+    let sources = &v.cr_sources[e.index()];
+    debug_assert!(!sources.is_empty(), "only known-target edges are recomputed");
+    let mut may_use = RegSet::EMPTY;
+    let mut may_def = RegSet::EMPTY;
+    let mut must_def = RegSet::EMPTY;
+    let mut first = true;
+    for &src in sources {
+        let si = src.index();
+        let csr = v.routines[v.nodes[si].routine().index()].saved_restored;
+        let (mu, mad, mud) = p1_value(v, si);
+        may_use |= mu - csr;
+        may_def |= mad - csr;
+        let md = mud - csr;
+        if first {
+            must_def = md;
+            first = false;
+        } else {
+            must_def &= md;
+        }
+    }
+    let edge = v.edges.get_mut(e.index());
+    debug_assert_eq!(edge.kind(), EdgeKind::CallReturn);
+    let delta = (may_use - edge.may_use, may_def - edge.may_def, edge.must_def - must_def);
+    edge.may_use = may_use;
+    edge.may_def = may_def;
+    edge.must_def = must_def;
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{exported_exit_seeds, AnalysisOptions};
+    use crate::build::build_psg;
+    use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled};
+    use spike_cfg::RoutineCfg;
+    use spike_program::Program;
+
+    fn front_end(program: &Program, options: &AnalysisOptions) -> (ProgramCfg, Psg) {
+        let n = program.routines().len();
+        let mut cfgs: Vec<RoutineCfg> = (0..n)
+            .map(|i| RoutineCfg::build_structure(program, RoutineId::from_index(i)))
+            .collect();
+        for c in &mut cfgs {
+            c.init_def_ubd(program);
+        }
+        let cfg = ProgramCfg::from_cfgs(cfgs);
+        let psg = build_psg(program, &cfg, options, 1);
+        (cfg, psg)
+    }
+
+    /// Engine-level oracle: on every synthetic profile the sparse chain
+    /// solver must leave *every* node value and *every* edge label — not
+    /// just the materialized summary — bit-identical to the dense solver.
+    #[test]
+    fn sparse_matches_dense_engine_on_profiles() {
+        let options = AnalysisOptions::default();
+        for profile in spike_synth::profiles() {
+            for seed in 0..3u64 {
+                let scale = 25.0 / profile.routines as f64;
+                let program = spike_synth::generate(&profile, scale, seed);
+                let (cfg, psg0) = front_end(&program, &options);
+                let schedule = SccSchedule::build(&program, &cfg, &psg0);
+                let sparse = SparseProgram::build(&psg0, &schedule, &cfg);
+                let mut dense = psg0.clone();
+                let mut sp = psg0;
+                run_phase1_scheduled(&mut dense, &schedule, None, 1);
+                run_phase1_sparse(&mut sp, &schedule, &sparse, None, 1);
+                for i in 0..dense.nodes.len() {
+                    assert_eq!(
+                        (dense.may_use[i], dense.may_def[i], dense.must_def[i]),
+                        (sp.may_use[i], sp.may_def[i], sp.must_def[i]),
+                        "{} seed {seed}: phase-1 values diverge at node {i} ({:?})",
+                        profile.name,
+                        dense.nodes[i]
+                    );
+                }
+                for e in 0..dense.edges.len() {
+                    assert_eq!(
+                        dense.edges[e], sp.edges[e],
+                        "{} seed {seed}: phase-1 edge label {e} diverges",
+                        profile.name
+                    );
+                }
+
+                let seeds = exported_exit_seeds(&program, &dense, &options);
+                run_phase2_scheduled(&mut dense, &schedule, &seeds, None, 1);
+                run_phase2_sparse(&mut sp, &schedule, &sparse, &seeds, None, 1);
+                for i in 0..dense.nodes.len() {
+                    assert_eq!(
+                        dense.live[i], sp.live[i],
+                        "{} seed {seed}: phase-2 liveness diverges at node {i} ({:?})",
+                        profile.name, dense.nodes[i]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -110,10 +110,19 @@ pub fn analyze_diag(stats: &AnalysisStats) -> String {
         stats.phase2,
         stats.front_end_workers,
     );
+    let visits = match stats.representation {
+        spike_core::Representation::Sparse => "chain visits",
+        spike_core::Representation::Dense => "node visits",
+    };
     let _ = writeln!(
         out,
-        "schedule: {} + {} node visits (phase 1 + 2), {} wave(s), {} wave worker(s)",
-        stats.phase1_visits, stats.phase2_visits, stats.waves, stats.phase_workers
+        "schedule: {} representation, {} + {} {} (phase 1 + 2), {} wave(s), {} wave worker(s)",
+        stats.representation.name(),
+        stats.phase1_visits,
+        stats.phase2_visits,
+        visits,
+        stats.waves,
+        stats.phase_workers
     );
     out
 }

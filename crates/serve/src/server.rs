@@ -59,6 +59,9 @@ pub struct ServeOptions {
     pub default_deadline_ms: u64,
     /// `threads` knob passed into every analysis.
     pub analysis_threads: usize,
+    /// Value representation passed into every analysis (`--sparse` /
+    /// `--dense` on the CLI).
+    pub analysis_representation: spike_core::Representation,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +75,7 @@ impl Default for ServeOptions {
             max_frame_bytes: 64 << 20,
             default_deadline_ms: 300_000,
             analysis_threads: 0,
+            analysis_representation: spike_core::Representation::default(),
         }
     }
 }
@@ -229,8 +233,11 @@ impl Server {
                 "serve needs --listen and/or --unix",
             ));
         }
-        let analysis =
-            AnalysisOptions { threads: options.analysis_threads, ..AnalysisOptions::default() };
+        let analysis = AnalysisOptions {
+            threads: options.analysis_threads,
+            representation: options.analysis_representation,
+            ..AnalysisOptions::default()
+        };
         let store = Arc::new(ProgramStore::new(analysis, options.cache_bytes));
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 
-use spike::core::{analyze_with, AnalysisCache, AnalysisOptions, Scheduler};
+use spike::core::{analyze_with, AnalysisCache, AnalysisOptions, Representation, Scheduler};
 use spike::program::{Program, Rewriter};
 
 fn arb_program() -> impl Strategy<Value = Program> {
@@ -36,6 +36,48 @@ fn arb_program() -> impl Strategy<Value = Program> {
 
 fn with(scheduler: Scheduler, threads: usize) -> AnalysisOptions {
     AnalysisOptions { scheduler, threads, ..AnalysisOptions::default() }
+}
+
+fn with_repr(representation: Representation, threads: usize) -> AnalysisOptions {
+    AnalysisOptions {
+        scheduler: Scheduler::SccWave,
+        threads,
+        representation,
+        ..AnalysisOptions::default()
+    }
+}
+
+/// Asserts every observable output of two analyses is bit-identical:
+/// per-routine summaries, the full PSG (values and labels), and the
+/// deterministic `memory_bytes`.
+fn assert_identical(program: &Program, a: &spike::core::Analysis, b: &spike::core::Analysis) {
+    for (rid, r) in program.iter() {
+        assert_eq!(
+            a.summary.routine(rid),
+            b.summary.routine(rid),
+            "summary mismatch for {}",
+            r.name()
+        );
+    }
+    assert_eq!(&a.psg, &b.psg);
+    assert_eq!(a.stats.memory_bytes, b.stats.memory_bytes);
+}
+
+/// The sparse chain engine is pure representation: on every one of the
+/// paper's 16 benchmark profiles it reaches exactly the dense engine's
+/// fixpoint, serial and wide.
+#[test]
+fn sparse_matches_dense_on_all_profiles() {
+    for p in spike::synth::profiles() {
+        let program = spike::synth::generate(&p, 30.0 / p.routines as f64, 1);
+        let dense = analyze_with(&program, &with_repr(Representation::Dense, 1));
+        let sparse1 = analyze_with(&program, &with_repr(Representation::Sparse, 1));
+        let sparse8 = analyze_with(&program, &with_repr(Representation::Sparse, 8));
+        assert_identical(&program, &dense, &sparse1);
+        assert_identical(&program, &dense, &sparse8);
+        assert_eq!(sparse1.stats.representation, Representation::Sparse, "{}", p.name);
+        assert_eq!(dense.stats.representation, Representation::Dense, "{}", p.name);
+    }
 }
 
 proptest! {
@@ -129,5 +171,74 @@ proptest! {
         }
         prop_assert_eq!(&incremental.psg, &scratch.psg);
         prop_assert_eq!(incremental.stats.memory_bytes, scratch.stats.memory_bytes);
+    }
+
+    /// Sparse and dense are the same analysis in different clothes: every
+    /// observable — summaries, PSG, `memory_bytes` — is bit-identical at
+    /// 1 and at 8 workers, whatever program the generator draws.
+    #[test]
+    fn sparse_matches_dense_bit_for_bit(program in arb_program()) {
+        let dense = analyze_with(&program, &with_repr(Representation::Dense, 1));
+        let sparse1 = analyze_with(&program, &with_repr(Representation::Sparse, 1));
+        let sparse8 = analyze_with(&program, &with_repr(Representation::Sparse, 8));
+        assert_identical(&program, &dense, &sparse1);
+        assert_identical(&program, &dense, &sparse8);
+        prop_assert_eq!(sparse1.stats.phase1_visits, sparse8.stats.phase1_visits);
+        prop_assert_eq!(sparse1.stats.phase2_visits, sparse8.stats.phase2_visits);
+    }
+
+    /// Chain contraction only ever removes work: the sparse engine's
+    /// chain evaluations never exceed the dense engine's node visits
+    /// under the same SCC-wave schedule, because every contracted
+    /// pass-through node the dense engine would sweep is folded into a
+    /// label composition the sparse engine never revisits.
+    #[test]
+    fn chains_never_visit_more(program in arb_program()) {
+        let dense = analyze_with(&program, &with_repr(Representation::Dense, 1));
+        let sparse = analyze_with(&program, &with_repr(Representation::Sparse, 1));
+        prop_assert!(
+            sparse.stats.phase1_visits + sparse.stats.phase2_visits
+                <= dense.stats.phase1_visits + dense.stats.phase2_visits,
+            "sparse {} + {} vs dense {} + {}",
+            sparse.stats.phase1_visits,
+            sparse.stats.phase2_visits,
+            dense.stats.phase1_visits,
+            dense.stats.phase2_visits
+        );
+    }
+
+    /// The sparse engine composes with incremental invalidation: a warm
+    /// cache re-analysis under the sparse default — which rebuilds chains
+    /// only for the dirtied routines and reuses the rest — reaches
+    /// exactly the solution a from-scratch dense FIFO analysis of the
+    /// edited program computes. (In debug builds the cache additionally
+    /// asserts the partial chain rebuild equals a from-scratch chain
+    /// build.)
+    #[test]
+    fn incremental_sparse_matches_scratch(seed in any::<u64>()) {
+        let program = spike::synth::generate_executable(seed, 6);
+        let mut cache = AnalysisCache::new(with_repr(Representation::Sparse, 2));
+        cache.analyze(&program);
+
+        let victim = program
+            .iter()
+            .flat_map(|(_, r)| {
+                (0..r.len() as u32).map(move |i| (r.addr() + i, &r.insns()[i as usize]))
+            })
+            .filter(|(addr, insn)| {
+                !insn.is_terminator() && !program.relocations().contains_key(addr)
+            })
+            .last()
+            .map(|(addr, _)| addr);
+        prop_assert!(victim.is_some(), "generated executables have deletable instructions");
+        let (edited, changed) = Rewriter::new(&program)
+            .delete(victim.unwrap())
+            .finish()
+            .expect("delete relinks");
+
+        let incremental = cache.reanalyze(&edited, &changed);
+        prop_assert_eq!(incremental.stats.representation, Representation::Sparse);
+        let scratch = analyze_with(&edited, &with(Scheduler::Fifo, 1));
+        assert_identical(&edited, incremental, &scratch);
     }
 }
