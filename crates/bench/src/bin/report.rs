@@ -685,6 +685,14 @@ fn phases_report(scale: f64, seed: u64, threads: usize) {
         assert_eq!(serial.stats.waves, wide.stats.waves);
         assert_eq!(sparse.stats.phase1_visits, sparse_wide.stats.phase1_visits);
         assert_eq!(sparse.stats.phase2_visits, sparse_wide.stats.phase2_visits);
+        // The stack-slot dataflows ride the same schedule and are pure
+        // strategy-independent facts: identical results and effort
+        // whichever register engine ran alongside them.
+        assert_eq!(fifo.stack, serial.stack, "fifo vs scheduled stack mismatch");
+        assert_eq!(serial.stack, sparse.stack, "dense vs sparse stack mismatch");
+        assert_eq!(serial.stack, wide.stack, "serial vs wide stack mismatch");
+        assert_eq!(serial.stats.stack_forward_visits, wide.stats.stack_forward_visits);
+        assert_eq!(serial.stats.stack_backward_visits, wide.stats.stack_backward_visits);
 
         let fifo_total = fifo.stats.phase1_visits + fifo.stats.phase2_visits;
         let sched_total = serial.stats.phase1_visits + serial.stats.phase2_visits;
@@ -709,6 +717,7 @@ fn phases_report(scale: f64, seed: u64, threads: usize) {
              \"fifo_phase1_visits\": {}, \"fifo_phase2_visits\": {}, \
              \"sched_phase1_visits\": {}, \"sched_phase2_visits\": {}, \
              \"sparse_phase1_visits\": {}, \"sparse_phase2_visits\": {}, \
+             \"slot_forward_visits\": {}, \"slot_backward_visits\": {}, \
              \"visit_reduction\": {reduction:.3}, \
              \"sparse_reduction\": {sparse_reduction:.3}, \"waves\": {}, \
              \"phase_workers\": {}, \"results_identical\": true}}",
@@ -719,6 +728,8 @@ fn phases_report(scale: f64, seed: u64, threads: usize) {
             serial.stats.phase2_visits,
             sparse.stats.phase1_visits,
             sparse.stats.phase2_visits,
+            serial.stats.stack_forward_visits,
+            serial.stats.stack_backward_visits,
             wide.stats.waves,
             wide.stats.phase_workers,
         ));

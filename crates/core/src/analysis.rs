@@ -13,6 +13,7 @@ use crate::parallel::{par_for_each_mut, par_map, resolve_threads};
 use crate::psg::{NodeId, Psg};
 use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
 use crate::sparse::{run_phase1_sparse, run_phase2_sparse, SparseProgram};
+use crate::stack::{analyze_stack, StackAnalysis};
 use crate::summary::ProgramSummary;
 
 /// How the two dataflow phases schedule their node evaluations. Both
@@ -126,12 +127,19 @@ pub struct AnalysisStats {
     pub phase1: Duration,
     /// Time for the second dataflow phase.
     pub phase2: Duration,
+    /// Time for the interprocedural stack-slot analysis (frame models,
+    /// MOD/REF/KILL summaries, and both slot dataflows).
+    pub stack_build: Duration,
     /// Node evaluations performed by phase 1 (chain evaluations under
     /// [`Representation::Sparse`]).
     pub phase1_visits: usize,
     /// Node evaluations performed by phase 2 (chain evaluations under
     /// [`Representation::Sparse`]).
     pub phase2_visits: usize,
+    /// Block evaluations of the forward MUST-defined stack-slot solver.
+    pub stack_forward_visits: usize,
+    /// Block evaluations of the backward MAY-live stack-slot solver.
+    pub stack_backward_visits: usize,
     /// The value representation the phases actually solved over
     /// ([`Representation::Dense`] under [`Scheduler::Fifo`]).
     pub representation: Representation,
@@ -159,7 +167,7 @@ pub struct AnalysisStats {
 impl AnalysisStats {
     /// Total analysis time across all stages.
     pub fn total(&self) -> Duration {
-        self.cfg_build + self.init + self.psg_build + self.phase1 + self.phase2
+        self.cfg_build + self.init + self.psg_build + self.phase1 + self.phase2 + self.stack_build
     }
 }
 
@@ -182,6 +190,9 @@ pub struct Analysis {
     pub psg: Psg,
     /// Per-routine summaries and call-site resolution.
     pub summary: ProgramSummary,
+    /// The interprocedural stack-slot analysis (frame models, slot
+    /// dataflows, and MOD/REF/KILL summaries).
+    pub stack: StackAnalysis,
     /// The control-flow graphs the analysis was computed over.
     pub cfg: ProgramCfg,
     /// Stage timings, effort counters and memory footprint.
@@ -193,6 +204,7 @@ impl CloneExact for Analysis {
         Analysis {
             psg: self.psg.clone_exact(),
             summary: self.summary.clone_exact(),
+            stack: self.stack.clone_exact(),
             cfg: self.cfg.clone_exact(),
             stats: self.stats,
         }
@@ -321,7 +333,13 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
     };
 
     let summary = ProgramSummary::from_psg(&psg, options.calling_standard);
-    let memory_bytes = cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes();
+
+    let t = Instant::now();
+    let (stack, stack_stats) = analyze_stack(program, &cfg);
+    let stack_build = t.elapsed();
+
+    let memory_bytes =
+        cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes() + stack.heap_bytes();
 
     // Debug builds cross-check every sparse solve against the dense
     // oracle: the converged PSG, the summaries and the deterministic
@@ -343,6 +361,7 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
     Analysis {
         psg,
         summary,
+        stack,
         cfg,
         stats: AnalysisStats {
             cfg_build,
@@ -350,8 +369,11 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
             psg_build,
             phase1,
             phase2,
+            stack_build,
             phase1_visits,
             phase2_visits,
+            stack_forward_visits: stack_stats.forward_visits,
+            stack_backward_visits: stack_stats.backward_visits,
             representation,
             front_end_workers: workers,
             phase_workers,

@@ -46,6 +46,7 @@ use crate::psg::{EdgeKind, NodeId, Psg};
 use crate::query::{Query, QueryAnswer, QueryEngine, QueryStats};
 use crate::schedule::{run_phase1_scheduled, run_phase2_scheduled, SccSchedule};
 use crate::sparse::{run_phase1_sparse, run_phase2_sparse, SparseProgram};
+use crate::stack::reanalyze_stack;
 use crate::summary::ProgramSummary;
 
 /// A reusable analysis: the converged [`Analysis`] of the last program
@@ -376,6 +377,10 @@ fn assert_matches_scratch(incremental: &Analysis, program: &Program, options: &A
         "incremental memory accounting must equal a from-scratch run"
     );
     assert_eq!(scratch.psg, incremental.psg, "incremental PSG must equal a from-scratch run");
+    assert_eq!(
+        scratch.stack, incremental.stack,
+        "incremental stack-slot analysis must equal a from-scratch run"
+    );
 }
 
 /// The incremental pipeline. Consumes the cached analysis (its PSG is
@@ -389,7 +394,7 @@ fn try_reanalyze(
     sparse_cache: &mut Option<SparseProgram>,
 ) -> Result<Analysis, ()> {
     let n_routines = program.routines().len();
-    let Analysis { mut psg, summary: _, cfg, stats: _ } = cached;
+    let Analysis { mut psg, summary: _, stack: prev_stack, cfg, stats: _ } = cached;
 
     let mut dirty_mask = vec![false; n_routines];
     for &r in dirty {
@@ -541,11 +546,21 @@ fn try_reanalyze(
         };
 
     let summary = ProgramSummary::from_psg(&psg, options.calling_standard);
-    let memory_bytes = cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes();
+
+    // The stack-slot layer has its own component-grained incremental
+    // path: clean components with unchanged external callee summaries
+    // move their facts over untouched.
+    let t = Instant::now();
+    let (stack, stack_stats) = reanalyze_stack(program, &cfg, prev_stack, &dirty_mask);
+    let stack_build = t.elapsed();
+
+    let memory_bytes =
+        cfg.heap_bytes() + psg.heap_bytes() + summary.heap_bytes() + stack.heap_bytes();
 
     Ok(Analysis {
         psg,
         summary,
+        stack,
         cfg,
         stats: AnalysisStats {
             cfg_build,
@@ -553,8 +568,11 @@ fn try_reanalyze(
             psg_build,
             phase1,
             phase2,
+            stack_build,
             phase1_visits,
             phase2_visits,
+            stack_forward_visits: stack_stats.forward_visits,
+            stack_backward_visits: stack_stats.backward_visits,
             representation,
             front_end_workers: workers,
             phase_workers,

@@ -57,6 +57,7 @@ mod psg;
 mod query;
 mod schedule;
 mod sparse;
+mod stack;
 mod summary;
 pub mod worklist;
 
@@ -67,4 +68,8 @@ pub use callee_saved::saved_restored_registers;
 pub use incremental::{reanalyze, AnalysisCache};
 pub use psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, PsgStats, RoutineNodes};
 pub use query::{Query, QueryAnswer, QueryEngine, QueryStats};
+pub use stack::{
+    analyze_stack, reanalyze_stack, AccessKind, FrameModel, RoutineStack, Slot, SlotSet,
+    StackAccess, StackAnalysis, StackStats, StackSummary,
+};
 pub use summary::{CallSiteSummary, ProgramSummary, RoutineSummary};

@@ -164,6 +164,12 @@ pub struct QueryEngine {
     p2_solved: Vec<bool>,
     solver: CompSolver,
     calling_standard: CallingStandard,
+    /// The stack-slot layer, computed eagerly at construction (the
+    /// engine keeps no program reference, and the layer is front-end
+    /// cheap next to the register phases); promotion moves it out.
+    stack: crate::stack::StackAnalysis,
+    stack_stats: crate::stack::StackStats,
+    stack_build: Duration,
     // Accumulated effort, reported by `into_analysis` as the promoted
     // run's stats.
     front_end_workers: usize,
@@ -213,6 +219,10 @@ impl QueryEngine {
             .collect();
         let phase1_time = t.elapsed();
 
+        let t = Instant::now();
+        let (stack, stack_stats) = crate::stack::analyze_stack(program, &cfg);
+        let stack_build = t.elapsed();
+
         let components = schedule.components();
         let solver = CompSolver::new(n_routines, psg.nodes().len());
         QueryEngine {
@@ -225,6 +235,9 @@ impl QueryEngine {
             p2_solved: vec![false; components],
             solver,
             calling_standard: options.calling_standard,
+            stack,
+            stack_stats,
+            stack_build,
             front_end_workers: workers,
             cfg_build,
             init,
@@ -245,7 +258,7 @@ impl QueryEngine {
     /// caches. Solving mutates values in place, so this is constant
     /// over the engine's lifetime.
     pub fn heap_bytes(&self) -> usize {
-        self.cfg.heap_bytes() + self.psg.heap_bytes()
+        self.cfg.heap_bytes() + self.psg.heap_bytes() + self.stack.heap_bytes()
     }
 
     /// The control-flow graphs the engine analyzes over.
@@ -328,10 +341,14 @@ impl QueryEngine {
         self.phase2_time += t.elapsed();
 
         let summary = ProgramSummary::from_psg(&self.psg, self.calling_standard);
-        let memory_bytes = self.cfg.heap_bytes() + self.psg.heap_bytes() + summary.heap_bytes();
+        let memory_bytes = self.cfg.heap_bytes()
+            + self.psg.heap_bytes()
+            + summary.heap_bytes()
+            + self.stack.heap_bytes();
         Analysis {
             psg: self.psg,
             summary,
+            stack: self.stack,
             cfg: self.cfg,
             stats: AnalysisStats {
                 cfg_build: self.cfg_build,
@@ -339,8 +356,11 @@ impl QueryEngine {
                 psg_build: self.psg_build,
                 phase1: self.phase1_time,
                 phase2: self.phase2_time,
+                stack_build: self.stack_build,
                 phase1_visits: self.phase1_visits,
                 phase2_visits: self.phase2_visits,
+                stack_forward_visits: self.stack_stats.forward_visits,
+                stack_backward_visits: self.stack_stats.backward_visits,
                 // The demand engine iterates the dense per-node sets,
                 // whatever the options say (see DESIGN.md: demand cones
                 // re-solve components piecemeal, which the warm-start
@@ -481,6 +501,9 @@ impl Clone for QueryEngine {
             p2_solved: self.p2_solved.clone(),
             solver: CompSolver::new(self.routines(), self.psg.nodes().len()),
             calling_standard: self.calling_standard,
+            stack: self.stack.clone_exact(),
+            stack_stats: self.stack_stats,
+            stack_build: self.stack_build,
             front_end_workers: self.front_end_workers,
             cfg_build: self.cfg_build,
             init: self.init,

@@ -186,6 +186,17 @@ pub enum MemWidth {
     T,
 }
 
+impl MemWidth {
+    /// The access size in bytes.
+    #[inline]
+    pub fn bytes(self) -> i64 {
+        match self {
+            MemWidth::L => 4,
+            MemWidth::Q | MemWidth::T => 8,
+        }
+    }
+}
+
 /// Floating-point compute operations for [`Instruction::FpOperate`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FpOp {

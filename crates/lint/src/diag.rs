@@ -57,6 +57,15 @@ pub enum Check {
     DuplicateJumpTargets,
     /// The image failed to load or validate.
     MalformedImage,
+    /// A stack slot may be read before any store reaches it (the slot
+    /// analogue of [`Check::UninitRead`]).
+    UninitStackRead,
+    /// An SP-relative access outside the live frame region
+    /// `[sp, entry_sp)` — reads caller memory or below-SP garbage.
+    OutOfFrameAccess,
+    /// A stack store no valid path reads before the slot is popped
+    /// (the slot analogue of [`Check::DeadStore`]).
+    DeadStackStore,
 }
 
 impl Check {
@@ -72,6 +81,9 @@ impl Check {
             Check::EmptyJumpTable => "empty-jump-table",
             Check::DuplicateJumpTargets => "duplicate-jump-targets",
             Check::MalformedImage => "malformed-image",
+            Check::UninitStackRead => "uninit-stack-read",
+            Check::OutOfFrameAccess => "out-of-frame-access",
+            Check::DeadStackStore => "dead-stack-store",
         }
     }
 
@@ -81,12 +93,15 @@ impl Check {
             Check::UninitRead
             | Check::CalleeSavedClobber
             | Check::EmptyJumpTable
-            | Check::MalformedImage => Severity::Error,
+            | Check::MalformedImage
+            | Check::UninitStackRead
+            | Check::OutOfFrameAccess => Severity::Error,
             Check::DeadStore
             | Check::DeadArgument
             | Check::UnreachableRoutine
             | Check::UnreachableBlock
-            | Check::DuplicateJumpTargets => Severity::Warning,
+            | Check::DuplicateJumpTargets
+            | Check::DeadStackStore => Severity::Warning,
         }
     }
 }
@@ -112,6 +127,9 @@ pub struct Diagnostic {
     pub addr: Option<u32>,
     /// The register involved, if one is.
     pub reg: Option<Reg>,
+    /// For stack-slot findings: the entry-SP-relative byte offset of the
+    /// slot involved.
+    pub slot: Option<i64>,
     /// Human-readable description.
     pub message: String,
     /// A path witnessing the finding: block-start addresses from a routine
@@ -132,6 +150,7 @@ impl Diagnostic {
             routine: routine.into(),
             addr: None,
             reg: None,
+            slot: None,
             message: message.into(),
             witness: Vec::new(),
             note: None,

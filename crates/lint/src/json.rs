@@ -29,6 +29,13 @@ fn finding(d: &Diagnostic, out: &mut String) {
         Some(r) => escape(&r.to_string(), out),
         None => out.push_str("null"),
     }
+    out.push_str(",\"slot\":");
+    match d.slot {
+        Some(off) => {
+            let _ = write!(out, "{off}");
+        }
+        None => out.push_str("null"),
+    }
     out.push_str(",\"message\":");
     escape(&d.message, out);
     out.push_str(",\"witness\":[");
@@ -52,8 +59,8 @@ impl LintReport {
     ///
     /// Schema (stable; drift is caught by a golden test and the CI dogfood
     /// job): `{tool, version, image, summary: {errors, warnings},
-    /// findings: [{check, severity, routine, addr, reg, message, witness,
-    /// note}]}`.
+    /// findings: [{check, severity, routine, addr, reg, slot, message,
+    /// witness, note}]}`.
     pub fn to_json(&self, image: Option<&str>) -> String {
         let mut out = String::new();
         out.push_str("{\"tool\":\"spike-lint\",\"version\":");

@@ -19,11 +19,16 @@
 //!   reads;
 //! * `unreachable-routine` / `unreachable-block` (warning);
 //! * `empty-jump-table` (error) / `duplicate-jump-targets` (warning);
-//! * `malformed-image` (error) — the image failed to load or validate.
+//! * `malformed-image` (error) — the image failed to load or validate;
+//! * `uninit-stack-read` (error) / `out-of-frame-access` (error) /
+//!   `dead-stack-store` (warning) — the stack-slot analogues, driven by
+//!   the interprocedural stack-slot analysis (`spike_core::StackAnalysis`).
 //!
 //! The error-severity checks are grounded by a simulator oracle:
 //! `spike_sim::run_shadow` tracks register definedness with the identical
-//! use/def model, and proptests assert lint-clean programs never trap.
+//! use/def model (`run_shadow_slots` adds per-slot stack definedness for
+//! the stack checks), and proptests assert lint-clean programs never
+//! trap.
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@ mod diag;
 mod graph;
 mod json;
 mod reach;
+mod stack;
 mod tables;
 mod uninit;
 
@@ -71,11 +77,21 @@ pub struct LintOptions {
     pub reach: bool,
     /// Jump-table checks.
     pub tables: bool,
+    /// Stack-slot checks: uninit-stack-read / out-of-frame-access
+    /// (errors) and dead-stack-store (warning).
+    pub stack: bool,
 }
 
 impl Default for LintOptions {
     fn default() -> LintOptions {
-        LintOptions { uninit: true, clobber: true, dead: true, reach: true, tables: true }
+        LintOptions {
+            uninit: true,
+            clobber: true,
+            dead: true,
+            reach: true,
+            tables: true,
+            stack: true,
+        }
     }
 }
 
@@ -103,6 +119,9 @@ pub fn lint_with(program: &Program, analysis: &Analysis, options: &LintOptions) 
     }
     if options.tables {
         tables::check(program, &mut report);
+    }
+    if options.stack {
+        stack::check(program, analysis, &mut report);
     }
     report.finish();
     report
@@ -431,6 +450,7 @@ mod tests {
                 dead: false,
                 reach: false,
                 tables: false,
+                stack: false,
             };
             let full = lint_with(&p, &analysis, &options);
             for (rid, r) in p.iter() {
@@ -444,6 +464,128 @@ mod tests {
                     r.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn uninit_stack_read_is_flagged_with_slot_and_witness() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .lda(Reg::SP, Reg::SP, -16)
+            .cond(spike_isa::BranchCond::Eq, Reg::T0, "skip")
+            .store(Reg::T0, Reg::SP, 8)
+            .label("skip")
+            .load(Reg::T1, Reg::SP, 8) // stored on one path only
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let u = findings(&r, Check::UninitStackRead);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].routine, "main");
+        assert_eq!(u[0].slot, Some(-8));
+        assert_eq!(u[0].severity, Severity::Error);
+        assert!(!u[0].witness.is_empty());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn dominating_store_keeps_the_stack_read_clean() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::T0, Reg::SP, 8)
+            .load(Reg::T1, Reg::SP, 8)
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        assert!(findings(&r, Check::UninitStackRead).is_empty());
+    }
+
+    #[test]
+    fn callee_initialization_covers_the_caller_read() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::SP, Reg::SP, -16)
+            .call("init")
+            .load(Reg::T1, Reg::SP, 0)
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        b.routine("init").def(Reg::T0).store(Reg::T0, Reg::SP, 0).ret();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        assert!(
+            findings(&r, Check::UninitStackRead).is_empty(),
+            "the callee's KILL summary initializes the caller slot: {r}"
+        );
+    }
+
+    #[test]
+    fn out_of_frame_access_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::T0, Reg::SP, 24) // entry-SP+8: caller memory
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let o = findings(&r, Check::OutOfFrameAccess);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o[0].slot, Some(8));
+        assert_eq!(o[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dead_stack_store_warns() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .def(Reg::T0)
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::T0, Reg::SP, 0) // never read
+            .store(Reg::T0, Reg::SP, 8)
+            .load(Reg::T1, Reg::SP, 8)
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        let d = findings(&r, Check::DeadStackStore);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].slot, Some(-16));
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn escaped_frames_produce_no_stack_findings() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::SP, Reg::SP, -16)
+            .lda(Reg::T0, Reg::SP, 0) // SP leaks: frame escapes
+            .load(Reg::T1, Reg::SP, 8) // would be uninit if judged
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let r = lint(&p);
+        assert!(findings(&r, Check::UninitStackRead).is_empty());
+        assert!(findings(&r, Check::OutOfFrameAccess).is_empty());
+    }
+
+    #[test]
+    fn generated_executables_are_stack_lint_clean() {
+        for seed in 0..8 {
+            let p = spike_synth::generate_executable(seed, 4);
+            let r = lint(&p);
+            let stack_errors: Vec<&Diagnostic> = r
+                .diagnostics()
+                .iter()
+                .filter(|d| matches!(d.check, Check::UninitStackRead | Check::OutOfFrameAccess))
+                .collect();
+            assert!(stack_errors.is_empty(), "seed {seed}: {stack_errors:?}");
         }
     }
 

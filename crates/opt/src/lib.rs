@@ -47,6 +47,7 @@ mod dead;
 mod liveness;
 mod save_restore;
 mod spill;
+mod stack_dse;
 
 use std::borrow::Cow;
 
@@ -72,6 +73,9 @@ pub struct OptOptions {
     pub spills: bool,
     /// Callee-saved register reallocation (Figure 1(d)).
     pub realloc: bool,
+    /// Dead-stack-store elimination and frame shrinking, driven by the
+    /// interprocedural stack-slot analysis.
+    pub stack: bool,
     /// Loop spills → reallocation → dead code until a whole round finds
     /// nothing to edit (bounded by an internal round cap). The paper's
     /// passes expose each other's opportunities — a removed spill frees a
@@ -94,6 +98,7 @@ impl Default for OptOptions {
             dead_code: true,
             spills: true,
             realloc: true,
+            stack: true,
             iterate: false,
             incremental: true,
             analysis: AnalysisOptions::default(),
@@ -113,6 +118,10 @@ pub struct OptReport {
     pub registers_reallocated: usize,
     /// Save/restore instructions deleted by reallocation.
     pub save_restores_deleted: usize,
+    /// Dead stack stores deleted by the stack-slot pass.
+    pub stack_stores_deleted: usize,
+    /// Total bytes removed from stack frames by frame shrinking.
+    pub frame_bytes_shrunk: usize,
     /// Instruction count before optimization.
     pub instructions_before: usize,
     /// Instruction count after optimization.
@@ -146,12 +155,15 @@ pub fn optimize(program: &Program) -> Result<(Program, OptReport), RewriteError>
 
 /// The passes the manager can schedule, in their fixed run order:
 /// removing a spill first makes its register visibly live across the
-/// call, so reallocation cannot claim it; dead-code elimination last
-/// cleans up whatever the earlier passes expose.
+/// call, so reallocation cannot claim it; stack DSE runs before
+/// register dead-code elimination because a deleted stack store often
+/// strands the definition that produced the stored value; dead-code
+/// elimination last cleans up whatever the earlier passes expose.
 #[derive(Clone, Copy, Debug)]
 enum Pass {
     Spills,
     Realloc,
+    StackDse,
     Dead,
 }
 
@@ -191,6 +203,13 @@ fn collect_edits(
                 edits.deletes.extend_from_slice(&r.delete);
                 edits.replaces.extend_from_slice(&r.rename);
             }
+        }
+        Pass::StackDse => {
+            let se = stack_dse::find(program, analysis);
+            report.stack_stores_deleted += se.stores_deleted;
+            report.frame_bytes_shrunk += se.frame_bytes_shrunk;
+            edits.deletes.extend_from_slice(&se.deletes);
+            edits.replaces.extend_from_slice(&se.replaces);
         }
         Pass::Dead => {
             let dead = dead::find_dead(program, analysis);
@@ -233,6 +252,9 @@ pub fn optimize_with(
     }
     if options.realloc {
         passes.push(Pass::Realloc);
+    }
+    if options.stack {
+        passes.push(Pass::StackDse);
     }
     if options.dead_code {
         passes.push(Pass::Dead);
@@ -378,6 +400,85 @@ mod tests {
         assert_eq!(report.save_restores_deleted, 2);
         assert_eq!(behaviour(&p), behaviour(&q));
         assert_eq!(behaviour(&q), vec![3]);
+    }
+
+    #[test]
+    fn dead_stack_store_is_deleted_and_the_frame_vanishes() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").put_int().halt();
+        b.routine("f")
+            .lda(Reg::SP, Reg::SP, -16)
+            .lda(Reg::T0, Reg::ZERO, 3)
+            .store(Reg::T0, Reg::SP, 8) // nothing ever reads this slot
+            .copy(Reg::T0, Reg::V0)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        assert_eq!(report.stack_stores_deleted, 1);
+        // With no surviving access the whole frame goes away too.
+        assert_eq!(report.frame_bytes_shrunk, 16);
+        assert_eq!(behaviour(&p), behaviour(&q));
+        assert_eq!(behaviour(&q), vec![3]);
+    }
+
+    #[test]
+    fn oversized_frame_is_shrunk_around_surviving_slots() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").put_int().halt();
+        b.routine("f")
+            .lda(Reg::SP, Reg::SP, -32)
+            .lda(Reg::T0, Reg::ZERO, 7)
+            .store(Reg::T0, Reg::SP, 24)
+            .load(Reg::T1, Reg::SP, 24)
+            .copy(Reg::T1, Reg::V0)
+            .lda(Reg::SP, Reg::SP, 32)
+            .ret();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        // The only live slot sits 8 bytes below entry SP; 16 bytes of
+        // frame suffice and 16 are returned.
+        assert_eq!(report.stack_stores_deleted, 0);
+        assert_eq!(report.frame_bytes_shrunk, 16);
+        assert_eq!(behaviour(&p), behaviour(&q));
+        assert_eq!(behaviour(&q), vec![7]);
+    }
+
+    #[test]
+    fn red_zone_store_is_left_to_the_spill_pass() {
+        // A store below an unadjusted SP (Figure 1(c)'s shape) is an
+        // out-of-frame access: the stack DSE must not touch the routine
+        // even though nothing reads the slot.
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T0, Reg::ZERO, 1)
+            .store(Reg::T0, Reg::SP, -8)
+            .copy(Reg::T0, Reg::V0)
+            .put_int()
+            .halt();
+        let p = b.build().unwrap();
+        let (q, report) = optimize(&p).unwrap();
+        assert_eq!(report.stack_stores_deleted, 0);
+        assert_eq!(report.frame_bytes_shrunk, 0);
+        assert_eq!(behaviour(&p), behaviour(&q));
+    }
+
+    #[test]
+    fn stack_pass_can_be_disabled() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").call("f").halt();
+        b.routine("f")
+            .lda(Reg::SP, Reg::SP, -16)
+            .lda(Reg::T0, Reg::ZERO, 3)
+            .store(Reg::T0, Reg::SP, 8)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        let p = b.build().unwrap();
+        let options = OptOptions { stack: false, ..OptOptions::default() };
+        let (q, report) = optimize_with(&p, &options).unwrap();
+        assert_eq!(report.stack_stores_deleted, 0);
+        assert_eq!(report.frame_bytes_shrunk, 0);
+        assert!(q.total_instructions() >= p.total_instructions() - 1); // dead pass may still fire
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Dead-stack-store elimination and frame shrinking, justified by the
+//! interprocedural stack-slot analysis (`spike_core::StackAnalysis`).
+//!
+//! A store to a frame slot no valid path reads — before the slot is
+//! overwritten, popped, or the routine returns with nothing above the
+//! entry SP referring to it — is deleted outright, the memory analogue
+//! of Figure 1(a) register dead-store elimination. When deletions (or
+//! the original layout) leave the deep end of a frame unused, the frame
+//! is shrunk: the prologue/epilogue SP adjustments are rewritten to the
+//! smaller size and every surviving access keeps its *absolute* slot
+//! address (`entry_sp + entry_off = (entry_sp - F') + (entry_off + F')`
+//! for any F'), so the transformation moves no data.
+//!
+//! The pass is deliberately conservative — it touches a routine only
+//! when the slot model is fully trusted there:
+//!
+//! * the frame must not have escaped and the routine must be
+//!   SP-balanced (otherwise slot identities are unreliable);
+//! * every SP-relative access must be in-frame and every load's slot
+//!   MUST-defined — any error-class stack finding disqualifies the
+//!   routine, so the red-zone spill idiom (accesses below an unadjusted
+//!   SP, Figure 1(c)'s shape) is left to the spill pass;
+//! * frames shrink only in the canonical single-size shape: every SP
+//!   adjustment in the routine is exactly `lda sp, ∓F(sp)` and every
+//!   access executes at displacement `-F`.
+
+use spike_core::{AccessKind, Analysis};
+use spike_isa::{Instruction, Reg};
+use spike_program::Program;
+
+/// The edits the pass wants: dead-store deletions, SP-adjust and access
+/// rewrites for frame shrinks, and the shrink byte count for the report.
+#[derive(Default)]
+pub(crate) struct StackDseEdits {
+    pub deletes: Vec<u32>,
+    pub replaces: Vec<(u32, Instruction)>,
+    pub stores_deleted: usize,
+    pub frame_bytes_shrunk: usize,
+}
+
+pub(crate) fn find(program: &Program, analysis: &Analysis) -> StackDseEdits {
+    let mut edits = StackDseEdits::default();
+    for (rid, routine) in program.iter() {
+        let rs = analysis.stack.routine(rid);
+        if rs.frame.escaped || rs.summary.unbalanced {
+            continue;
+        }
+        let accesses = analysis.stack.accesses(program, &analysis.cfg, rid);
+        // Any error-class finding means the model and the machine may
+        // disagree about this frame; leave the routine alone.
+        if accesses.iter().any(|a| !a.in_frame || (a.kind == AccessKind::Load && !a.defined_before))
+        {
+            continue;
+        }
+
+        let dead: Vec<u32> = accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Store && !a.live_after)
+            .map(|a| a.addr)
+            .collect();
+        edits.stores_deleted += dead.len();
+        edits.deletes.extend_from_slice(&dead);
+
+        // Frame shrink: compute the smallest 16-aligned size covering
+        // every surviving access, and rewrite only if the routine has
+        // the canonical single-size adjust shape.
+        let f = rs.frame.frame_size;
+        if f == 0 {
+            continue;
+        }
+        let survivors: Vec<_> = accesses.iter().filter(|a| !dead.contains(&a.addr)).collect();
+        if survivors.iter().any(|a| a.sp_disp != -f) {
+            continue;
+        }
+        let need = survivors.iter().map(|a| -a.entry_off).max().unwrap_or(0);
+        let f_new = (need + 15) / 16 * 16;
+        if f_new >= f {
+            continue;
+        }
+        // Every SP adjustment (reachable or not) must be exactly ±F.
+        let adjusts: Vec<(u32, i64)> = routine
+            .insns()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, insn)| match *insn {
+                Instruction::Lda { rd: Reg::SP, base: Reg::SP, disp } => {
+                    Some((routine.addr() + i as u32, disp as i64))
+                }
+                _ => None,
+            })
+            .collect();
+        if adjusts.iter().any(|&(_, d)| d != -f && d != f) {
+            continue;
+        }
+        for &(addr, d) in &adjusts {
+            if f_new == 0 {
+                edits.deletes.push(addr);
+            } else {
+                let disp = if d < 0 { -f_new } else { f_new } as i16;
+                edits.replaces.push((addr, Instruction::Lda { rd: Reg::SP, base: Reg::SP, disp }));
+            }
+        }
+        for a in &survivors {
+            let disp = (a.entry_off + f_new) as i16;
+            let insn = routine.insn_at(a.addr).expect("access address in routine");
+            let rewritten = match *insn {
+                Instruction::Load { width, rd, base, .. } => {
+                    Instruction::Load { width, rd, base, disp }
+                }
+                Instruction::Store { width, rs, base, .. } => {
+                    Instruction::Store { width, rs, base, disp }
+                }
+                _ => unreachable!("stack accesses are loads and stores"),
+            };
+            edits.replaces.push((a.addr, rewritten));
+        }
+        edits.frame_bytes_shrunk += (f - f_new) as usize;
+    }
+    edits
+}

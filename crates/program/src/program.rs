@@ -62,6 +62,9 @@ pub enum ProgramError {
     MisplacedAuxInfo { addr: u32 },
     /// A routine's last instruction can fall through past the routine end.
     FallsThroughEnd { routine: String },
+    /// An SP-relative `Load`/`Store` displacement is not a multiple of its
+    /// access size, so the access straddles the natural slot grid.
+    MisalignedStackAccess { routine: String, addr: u32, disp: i16, size: u8 },
     /// The entry routine id is out of range.
     BadEntry,
 }
@@ -96,6 +99,11 @@ impl fmt::Display for ProgramError {
             ProgramError::FallsThroughEnd { routine } => {
                 write!(f, "routine {routine} can fall through past its last instruction")
             }
+            ProgramError::MisalignedStackAccess { routine, addr, disp, size } => write!(
+                f,
+                "stack access at {addr:#x} in {routine} has displacement {disp} which is not a \
+                 multiple of its {size}-byte access size"
+            ),
             ProgramError::BadEntry => write!(f, "program entry routine does not exist"),
         }
     }
@@ -235,6 +243,22 @@ impl Program {
                                 target,
                             });
                         }
+                    }
+                    // The stack-slot model keys frame slots by
+                    // `(SP-relative offset, width)`; a displacement off
+                    // the natural grid would let two accesses overlap
+                    // without sharing a key, so reject it at load time
+                    // like the other malformed-image shapes.
+                    Instruction::Load { width, base, disp, .. }
+                    | Instruction::Store { width, base, disp, .. }
+                        if base == spike_isa::Reg::SP && (disp as i64) % width.bytes() != 0 =>
+                    {
+                        return Err(ProgramError::MisalignedStackAccess {
+                            routine: r.name().to_string(),
+                            addr,
+                            disp,
+                            size: width.bytes() as u8,
+                        });
                     }
                     _ => {}
                 }
@@ -606,6 +630,56 @@ mod tests {
         assert!(one(vec![
             Instruction::Operate { op: AluOp::Add, ra: Reg::A0, rb: Reg::A1, rc: Reg::V0 },
             Instruction::Br { disp: -2 },
+        ])
+        .is_ok());
+    }
+
+    /// SP-relative memory traffic must stay on the natural slot grid:
+    /// a `stq`/`ldq` displacement that is not a multiple of 8 (or 4 for
+    /// `ldl`/`stl`) would alias two different `(offset, width)` slot keys.
+    #[test]
+    fn rejects_misaligned_sp_relative_access() {
+        use spike_isa::MemWidth;
+        let one = |insns| {
+            Program::new(
+                vec![Routine::new("f", 0x400, insns, vec![0], false)],
+                BTreeMap::new(),
+                BTreeMap::new(),
+                BTreeMap::new(),
+                BTreeMap::new(),
+                RoutineId::from_index(0),
+            )
+        };
+
+        let err = one(vec![
+            Instruction::Store { width: MemWidth::Q, rs: Reg::T0, base: Reg::SP, disp: -12 },
+            Instruction::Ret { base: Reg::RA },
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::MisalignedStackAccess {
+                routine: "f".into(),
+                addr: 0x400,
+                disp: -12,
+                size: 8
+            }
+        );
+
+        let err = one(vec![
+            Instruction::Load { width: MemWidth::L, rd: Reg::T0, base: Reg::SP, disp: 6 },
+            Instruction::Ret { base: Reg::RA },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ProgramError::MisalignedStackAccess { size: 4, .. }), "{err:?}");
+
+        // Aligned SP accesses and misaligned non-SP accesses are fine:
+        // only the stack-slot grid is a program invariant.
+        assert!(one(vec![
+            Instruction::Store { width: MemWidth::Q, rs: Reg::T0, base: Reg::SP, disp: -16 },
+            Instruction::Load { width: MemWidth::L, rd: Reg::T0, base: Reg::SP, disp: 4 },
+            Instruction::Load { width: MemWidth::Q, rd: Reg::T0, base: Reg::A0, disp: 3 },
+            Instruction::Ret { base: Reg::RA },
         ])
         .is_ok());
     }

@@ -67,6 +67,13 @@ pub fn analyze_report(
         100.0 * (1.0 - psg.nodes as f64 / counts.basic_blocks as f64),
         100.0 * (1.0 - psg.edges as f64 / counts.total_arcs() as f64)
     );
+    let _ = writeln!(
+        out,
+        "stack: {} slots in {} frames ({} escaped)",
+        analysis.stack.slot_count(),
+        program.routines().len() - analysis.stack.escaped_count(),
+        analysis.stack.escaped_count()
+    );
     let _ = writeln!(out, "memory {:.2} MB", stats.memory_bytes as f64 / 1e6);
 
     let wanted = |name: &str| routine.map_or(summaries, |r| r == name);
@@ -100,7 +107,7 @@ pub fn analyze_diag(stats: &AnalysisStats) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}), \
+        "time {:?} (cfg {:?}, init {:?}, psg {:?}, phase1 {:?}, phase2 {:?}, stack {:?}), \
          {} front-end worker(s)",
         stats.total(),
         stats.cfg_build,
@@ -108,6 +115,7 @@ pub fn analyze_diag(stats: &AnalysisStats) -> String {
         stats.psg_build,
         stats.phase1,
         stats.phase2,
+        stats.stack_build,
         stats.front_end_workers,
     );
     let visits = match stats.representation {
@@ -124,6 +132,11 @@ pub fn analyze_diag(stats: &AnalysisStats) -> String {
         stats.waves,
         stats.phase_workers
     );
+    let _ = writeln!(
+        out,
+        "stack slots: {} + {} block visits (must-defined + live)",
+        stats.stack_forward_visits, stats.stack_backward_visits
+    );
     out
 }
 
@@ -139,14 +152,17 @@ pub fn optimize_report(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} -> {}: {} -> {} instructions ({} dead, {} spill pairs, {} reallocations)",
+        "{} -> {}: {} -> {} instructions ({} dead, {} spill pairs, {} reallocations, \
+         {} dead stack stores, {} frame bytes shrunk)",
         image_name,
         out_name,
         report.instructions_before,
         report.instructions_after,
         report.dead_deleted,
         report.spill_pairs_removed,
-        report.registers_reallocated
+        report.registers_reallocated,
+        report.stack_stores_deleted,
+        report.frame_bytes_shrunk
     );
     let _ = writeln!(
         out,

@@ -68,20 +68,51 @@ pub enum Outcome {
 }
 
 /// A simulated machine fault.
+///
+/// Faults raised by the shadow modes carry the name of the routine whose
+/// instruction faulted (resolved from the routine map at raise time), so a
+/// lint-oracle failure names the routine directly instead of only a raw
+/// pc.
 #[derive(Clone, PartialEq, Eq, Debug)]
 #[non_exhaustive]
 pub enum Fault {
     /// Control transferred to an address holding no instruction.
     BadPc(u32),
     /// An instruction consumed a register no prior instruction had
-    /// defined. Only raised by [`run_shadow`]; the plain interpreter
-    /// executes the same program without complaint (undefined registers
-    /// read as whatever the machine happens to hold).
+    /// defined. Only raised by [`run_shadow`] / [`run_shadow_slots`]; the
+    /// plain interpreter executes the same program without complaint
+    /// (undefined registers read as whatever the machine happens to hold).
     UninitRead {
         /// Address of the consuming instruction.
         pc: u32,
+        /// Name of the routine containing `pc`.
+        routine: String,
         /// The undefined register it read.
         reg: Reg,
+    },
+    /// An SP-relative load read a stack slot of the current frame that no
+    /// store had initialized. Only raised by [`run_shadow_slots`].
+    UninitStackRead {
+        /// Address of the loading instruction.
+        pc: u32,
+        /// Name of the routine containing `pc`.
+        routine: String,
+        /// The slot's byte offset relative to the frame's entry SP
+        /// (negative: slots live below the SP the routine was entered
+        /// with).
+        offset: i64,
+    },
+    /// An SP-relative access landed outside the current frame — at or
+    /// above the SP the routine was entered with (the caller's frame), or
+    /// below the current SP (unallocated stack). Only raised by
+    /// [`run_shadow_slots`].
+    OutOfFrame {
+        /// Address of the accessing instruction.
+        pc: u32,
+        /// Name of the routine containing `pc`.
+        routine: String,
+        /// The byte address the access computed.
+        addr: i64,
     },
 }
 
@@ -89,11 +120,27 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::BadPc(pc) => write!(f, "control reached non-code address {pc:#x}"),
-            Fault::UninitRead { pc, reg } => {
-                write!(f, "read of uninitialized register {reg} at {pc:#x}")
+            Fault::UninitRead { pc, routine, reg } => {
+                write!(f, "read of uninitialized register {reg} at {pc:#x} in {routine}")
             }
+            Fault::UninitStackRead { pc, routine, offset } => write!(
+                f,
+                "read of uninitialized stack slot at entry-SP{offset:+} at {pc:#x} in {routine}"
+            ),
+            Fault::OutOfFrame { pc, routine, addr } => write!(
+                f,
+                "stack access at {pc:#x} in {routine} touches {addr:#x} outside the frame"
+            ),
         }
     }
+}
+
+/// The name of the routine containing `pc`, for fault messages.
+fn routine_name(program: &Program, pc: u32) -> String {
+    program
+        .routine_containing(pc)
+        .map(|rid| program.routine(rid).name().to_string())
+        .unwrap_or_else(|| "<unknown>".to_string())
 }
 
 impl std::error::Error for Fault {}
@@ -345,7 +392,118 @@ pub fn run_shadow(program: &Program, fuel: u64) -> Outcome {
         let need = shadow_uses(&insn);
         if !need.is_subset(defined) {
             let reg = (need - defined).iter().next().expect("non-empty difference");
-            return Outcome::Fault(Fault::UninitRead { pc, reg });
+            return Outcome::Fault(Fault::UninitRead {
+                pc,
+                routine: routine_name(program, pc),
+                reg,
+            });
+        }
+        defined |= insn.defs();
+        match m.run(program, 1) {
+            Outcome::OutOfFuel { .. } => {} // single step executed; continue
+            done => return done,
+        }
+    }
+}
+
+/// Runs `program` with per-register *and* per-stack-slot definedness
+/// tracking — the soundness oracle for the stack lints, strictly stronger
+/// than [`run_shadow`].
+///
+/// On top of [`run_shadow`]'s register rules, the tracker maintains a
+/// shadow frame stack: the entry SP of every live activation (calls push
+/// the current SP, returns pop). SP-relative accesses are checked against
+/// the current frame, the byte range `[sp, entry_sp)`:
+///
+/// * an access at or above `entry_sp` (the caller's frame) or below the
+///   current `sp` (unallocated stack) is [`Fault::OutOfFrame`];
+/// * a load inside the frame from an address no store initialized since
+///   the frame covered it is [`Fault::UninitStackRead`];
+/// * SP adjustments (`lda sp, sp, d`) *un*define every address in the
+///   region the move crossed, in both directions — freshly allocated
+///   frame bytes start undefined, and deallocated bytes do not carry
+///   stale definedness into a later frame at the same addresses.
+///
+/// Only `sp`-based loads and stores are checked: the tracker has no alias
+/// analysis, so an access through a copied or derived pointer is invisible
+/// to it (and equally invisible to the static stack lints, which treat
+/// such routines as having an escaped frame). On the SP-disciplined
+/// programs `spike-synth` generates, lint-clean implies slots-clean; see
+/// DESIGN.md's oracle-boundary discussion.
+///
+/// On a program that trips no tracker, the outcome is identical to
+/// [`run`] with the same fuel.
+pub fn run_shadow_slots(program: &Program, fuel: u64) -> Outcome {
+    let mut m = Machine::new(program);
+    let mut defined = RegSet::of(&[Reg::RA, Reg::SP, Reg::ZERO, Reg::FZERO]);
+    let mut frames: Vec<i64> = vec![STACK_TOP];
+    let mut slots: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
+    loop {
+        if m.steps() >= fuel {
+            return Outcome::OutOfFuel { output: m.output().to_vec() };
+        }
+        let pc = m.pc();
+        if pc == EXIT_ADDR {
+            return Outcome::Halted { output: m.output().to_vec(), steps: m.steps() };
+        }
+        let Some(&insn) = program.insn_at(pc) else {
+            return Outcome::Fault(Fault::BadPc(pc));
+        };
+        let need = shadow_uses(&insn);
+        if !need.is_subset(defined) {
+            let reg = (need - defined).iter().next().expect("non-empty difference");
+            return Outcome::Fault(Fault::UninitRead {
+                pc,
+                routine: routine_name(program, pc),
+                reg,
+            });
+        }
+        let sp = m.reg(Reg::SP);
+        let entry_sp = *frames.last().expect("frame stack never empties");
+        match insn {
+            Instruction::Bsr { .. } | Instruction::Jsr { .. } => frames.push(sp),
+            Instruction::Ret { .. } if frames.len() > 1 => {
+                frames.pop();
+            }
+            Instruction::Lda { rd: Reg::SP, base: Reg::SP, disp } => {
+                // The bytes the move crossed change frames; definedness
+                // never survives the transition in either direction.
+                let new_sp = sp.wrapping_add(disp as i64);
+                let (lo, hi) = (sp.min(new_sp), sp.max(new_sp));
+                let crossed: Vec<i64> = slots.range(lo..hi).copied().collect();
+                for a in crossed {
+                    slots.remove(&a);
+                }
+            }
+            Instruction::Load { base: Reg::SP, disp, .. } => {
+                let addr = sp.wrapping_add(disp as i64);
+                if addr >= entry_sp || addr < sp {
+                    return Outcome::Fault(Fault::OutOfFrame {
+                        pc,
+                        routine: routine_name(program, pc),
+                        addr,
+                    });
+                }
+                if !slots.contains(&addr) {
+                    return Outcome::Fault(Fault::UninitStackRead {
+                        pc,
+                        routine: routine_name(program, pc),
+                        offset: addr - entry_sp,
+                    });
+                }
+            }
+            Instruction::Store { base: Reg::SP, disp, .. } => {
+                let addr = sp.wrapping_add(disp as i64);
+                if addr >= entry_sp || addr < sp {
+                    return Outcome::Fault(Fault::OutOfFrame {
+                        pc,
+                        routine: routine_name(program, pc),
+                        addr,
+                    });
+                }
+                slots.insert(addr);
+            }
+            _ => {}
         }
         defined |= insn.defs();
         match m.run(program, 1) {
@@ -686,9 +844,117 @@ mod tests {
             .halt();
         let p = b.build().unwrap();
         let pc = p.routine(p.entry()).addr();
-        assert_eq!(run_shadow(&p, 100), Outcome::Fault(Fault::UninitRead { pc, reg: Reg::T0 }));
+        assert_eq!(
+            run_shadow(&p, 100),
+            Outcome::Fault(Fault::UninitRead { pc, routine: "main".into(), reg: Reg::T0 })
+        );
         // The plain interpreter is oblivious.
         assert!(matches!(run(&p, 100), Outcome::Halted { .. }));
+    }
+
+    /// Fault messages must name the routine, not just the raw pc: a lint
+    /// oracle failure on a 400-routine image is otherwise unactionable.
+    #[test]
+    fn fault_display_includes_routine_name() {
+        let f = Fault::UninitRead { pc: 0x412, routine: "quantize".into(), reg: Reg::T0 };
+        assert_eq!(f.to_string(), "read of uninitialized register t0 at 0x412 in quantize");
+        let f = Fault::UninitStackRead { pc: 0x413, routine: "quantize".into(), offset: -16 };
+        assert_eq!(
+            f.to_string(),
+            "read of uninitialized stack slot at entry-SP-16 at 0x413 in quantize"
+        );
+        let f = Fault::OutOfFrame { pc: 0x414, routine: "quantize".into(), addr: 0x10_0008 };
+        assert_eq!(
+            f.to_string(),
+            "stack access at 0x414 in quantize touches 0x100008 outside the frame"
+        );
+    }
+
+    #[test]
+    fn slots_run_matches_plain_run_on_disciplined_programs() {
+        // A full prologue/epilogue discipline: allocate, save, store
+        // before load, deallocate. Nested one call deep so the shadow
+        // frame stack pushes and pops.
+        let mut b = ProgramBuilder::new();
+        b.routine("main").lda(Reg::A0, Reg::ZERO, 5).call("outer").put_int().halt();
+        b.routine("outer")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::RA, Reg::SP, 0)
+            .store(Reg::A0, Reg::SP, 8)
+            .call("inner")
+            .load(Reg::T0, Reg::SP, 8)
+            .op(AluOp::Add, Reg::V0, Reg::T0, Reg::V0)
+            .load(Reg::RA, Reg::SP, 0)
+            .lda(Reg::SP, Reg::SP, 16)
+            .ret();
+        b.routine("inner").op(AluOp::Add, Reg::A0, Reg::A0, Reg::V0).ret();
+        let p = b.build().unwrap();
+        assert_eq!(run_shadow_slots(&p, 1_000), run(&p, 1_000));
+        match run_shadow_slots(&p, 1_000) {
+            Outcome::Halted { output, .. } => assert_eq!(output, vec![15]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slots_run_traps_uninit_stack_read() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::SP, Reg::SP, -16)
+            .load(Reg::V0, Reg::SP, 8) // never stored
+            .put_int()
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let pc = p.routine(p.entry()).addr() + 1;
+        assert_eq!(
+            run_shadow_slots(&p, 100),
+            Outcome::Fault(Fault::UninitStackRead { pc, routine: "main".into(), offset: -8 })
+        );
+        // The register-only shadow mode is oblivious: loads define.
+        assert!(matches!(run_shadow(&p, 100), Outcome::Halted { .. }));
+    }
+
+    #[test]
+    fn slots_run_traps_out_of_frame_access() {
+        // A store above the entry SP lands in the caller's frame.
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::ZERO, Reg::SP, 24) // entry_sp + 8
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        let pc = p.routine(p.entry()).addr() + 1;
+        assert_eq!(
+            run_shadow_slots(&p, 100),
+            Outcome::Fault(Fault::OutOfFrame { pc, routine: "main".into(), addr: STACK_TOP + 8 })
+        );
+        // So is a red-zone access below the current SP.
+        let mut b = ProgramBuilder::new();
+        b.routine("main").store(Reg::ZERO, Reg::SP, -8).halt();
+        let p = b.build().unwrap();
+        assert!(matches!(run_shadow_slots(&p, 100), Outcome::Fault(Fault::OutOfFrame { .. })));
+    }
+
+    #[test]
+    fn slots_run_undefines_on_frame_reuse() {
+        // Deallocate a frame with a defined slot, then reallocate the
+        // same bytes: the stale definedness must not survive.
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::SP, Reg::SP, -16)
+            .store(Reg::ZERO, Reg::SP, 8)
+            .lda(Reg::SP, Reg::SP, 16)
+            .lda(Reg::SP, Reg::SP, -16)
+            .load(Reg::V0, Reg::SP, 8) // same address, new frame: undefined
+            .lda(Reg::SP, Reg::SP, 16)
+            .halt();
+        let p = b.build().unwrap();
+        assert!(matches!(
+            run_shadow_slots(&p, 100),
+            Outcome::Fault(Fault::UninitStackRead { offset: -8, .. })
+        ));
     }
 
     #[test]

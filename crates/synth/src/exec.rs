@@ -42,6 +42,12 @@ pub enum DefectKind {
     /// Overwrite a callee-saved register on a path to a routine's exit
     /// without saving and restoring it.
     CalleeSavedClobber,
+    /// Read a freshly allocated stack slot no instruction ever stores —
+    /// the memory analogue of [`DefectKind::UninitRead`].
+    UninitStackSlotRead,
+    /// Store above the entry stack pointer, into memory belonging to the
+    /// caller's frame.
+    OutOfFrameStore,
 }
 
 /// Where and what [`generate_executable_with_defect`] injected, so tests
@@ -54,6 +60,9 @@ pub struct InjectedDefect {
     pub routine: String,
     /// The register the defect reads (uninit) or clobbers (callee-saved).
     pub reg: Reg,
+    /// For stack defects, the entry-SP-relative byte offset of the slot
+    /// the defective access touches; `None` for register defects.
+    pub slot: Option<i64>,
 }
 
 #[derive(Clone, Debug)]
@@ -153,7 +162,12 @@ impl Ctx<'_, '_> {
     /// A register guaranteed to hold a value; materializes a constant if
     /// nothing is valid.
     fn source(&mut self) -> Reg {
-        let candidates: Vec<Reg> = self.valid.iter().filter(|r| !r.is_fp()).collect();
+        // SP is always valid but never a data source: arithmetic reading
+        // the stack pointer into a general register is an SP leak, which
+        // (rightly) makes the stack-slot analysis treat the whole frame
+        // as escaped and masks every stack check on the routine.
+        let candidates: Vec<Reg> =
+            self.valid.iter().filter(|r| !r.is_fp() && *r != Reg::SP).collect();
         if candidates.is_empty() || self.rng.gen_bool(0.2) {
             let d = TEMPS[self.rng.gen_range(0..TEMPS.len())];
             let v = self.rng.gen_range(-50..=50i16);
@@ -341,6 +355,11 @@ pub fn generate_executable(seed: u64, n_routines: usize) -> Program {
 ///   register in one non-entry routine. Execution is unaffected (nothing
 ///   reads that register), which is exactly why only a static check can
 ///   catch it.
+/// * [`DefectKind::UninitStackSlotRead`] dips the entry routine's stack
+///   pointer on its final path and loads from a slot in the dip that no
+///   store ever wrote — the per-slot shadow simulator traps on it.
+/// * [`DefectKind::OutOfFrameStore`] stores 8 bytes above the entry
+///   routine's entry SP — memory the frame model places in the caller.
 ///
 /// # Panics
 ///
@@ -417,6 +436,7 @@ fn generate_inner(
                 kind: DefectKind::CalleeSavedClobber,
                 routine: name.clone(),
                 reg: UNSAVED_CALLEE_SAVED,
+                slot: None,
             });
         }
 
@@ -442,15 +462,44 @@ fn generate_inner(
             ctx.r.copy(s, Reg::V0);
         }
         if i == 0 {
-            if matches!(kind, Some(DefectKind::UninitRead)) {
-                // The planted defect: consume a register no instruction in
-                // the program writes, on the once-executed final path.
-                ctx.r.op(AluOp::Add, NEVER_WRITTEN_TEMP, Reg::ZERO, Reg::T0);
-                defect = Some(InjectedDefect {
-                    kind: DefectKind::UninitRead,
-                    routine: name.clone(),
-                    reg: NEVER_WRITTEN_TEMP,
-                });
+            match kind {
+                Some(DefectKind::UninitRead) => {
+                    // The planted defect: consume a register no instruction
+                    // in the program writes, on the once-executed final path.
+                    ctx.r.op(AluOp::Add, NEVER_WRITTEN_TEMP, Reg::ZERO, Reg::T0);
+                    defect = Some(InjectedDefect {
+                        kind: DefectKind::UninitRead,
+                        routine: name.clone(),
+                        reg: NEVER_WRITTEN_TEMP,
+                        slot: None,
+                    });
+                }
+                Some(DefectKind::UninitStackSlotRead) => {
+                    // Dip SP below every slot the routine ever stores and
+                    // read from the fresh region: a guaranteed uninitialized
+                    // stack slot, on the once-executed final path.
+                    ctx.r.lda(Reg::SP, Reg::SP, -16);
+                    ctx.r.load(Reg::T0, Reg::SP, 8);
+                    ctx.r.lda(Reg::SP, Reg::SP, 16);
+                    defect = Some(InjectedDefect {
+                        kind: DefectKind::UninitStackSlotRead,
+                        routine: name.clone(),
+                        reg: Reg::T0,
+                        slot: Some(-(frame as i64) - 8),
+                    });
+                }
+                Some(DefectKind::OutOfFrameStore) => {
+                    // Store above the entry SP: the slot belongs to the
+                    // caller's frame (for `main`, to nobody at all).
+                    ctx.r.store(Reg::V0, Reg::SP, frame + 8);
+                    defect = Some(InjectedDefect {
+                        kind: DefectKind::OutOfFrameStore,
+                        routine: name.clone(),
+                        reg: Reg::V0,
+                        slot: Some(8),
+                    });
+                }
+                _ => {}
             }
             ctx.r.put_int();
             ctx.r.halt();
@@ -531,6 +580,40 @@ mod tests {
                 other => panic!("seed {seed}: expected uninit trap, got {other:?}"),
             }
             // The plain interpreter runs the defective program happily.
+            assert!(matches!(run(&p, 2_000_000), Outcome::Halted { .. }));
+        }
+    }
+
+    #[test]
+    fn injected_uninit_slot_read_traps_in_slot_shadow_mode() {
+        for seed in 0..10 {
+            let (p, d) = generate_executable_with_defect(seed, 4, DefectKind::UninitStackSlotRead);
+            assert_eq!(d.routine, "main");
+            let slot = d.slot.expect("stack defects carry a slot");
+            match spike_sim::run_shadow_slots(&p, 2_000_000) {
+                Outcome::Fault(spike_sim::Fault::UninitStackRead { routine, offset, .. }) => {
+                    assert_eq!(routine, d.routine, "seed {seed}");
+                    assert_eq!(offset, slot, "seed {seed}");
+                }
+                other => panic!("seed {seed}: expected uninit-slot trap, got {other:?}"),
+            }
+            // The plain interpreter runs the defective program happily.
+            assert!(matches!(run(&p, 2_000_000), Outcome::Halted { .. }));
+        }
+    }
+
+    #[test]
+    fn injected_out_of_frame_store_traps_in_slot_shadow_mode() {
+        for seed in 0..10 {
+            let (p, d) = generate_executable_with_defect(seed, 4, DefectKind::OutOfFrameStore);
+            assert_eq!(d.routine, "main");
+            assert_eq!(d.slot, Some(8));
+            match spike_sim::run_shadow_slots(&p, 2_000_000) {
+                Outcome::Fault(spike_sim::Fault::OutOfFrame { routine, .. }) => {
+                    assert_eq!(routine, d.routine, "seed {seed}");
+                }
+                other => panic!("seed {seed}: expected out-of-frame trap, got {other:?}"),
+            }
             assert!(matches!(run(&p, 2_000_000), Outcome::Halted { .. }));
         }
     }

@@ -15,6 +15,11 @@
 //! * routines save and restore callee-saved registers with real
 //!   prologue/epilogue store/load sequences, so §3.4 filtering has
 //!   something to find;
+//! * framed routines carry a scratch area whose loads follow the same
+//!   MUST-defined discipline as register reads (a slot is reloaded only
+//!   when a store on every path wrote it), so the stack-slot lints stay
+//!   clean by construction — while scratch stores are free to go unread,
+//!   giving the dead-stack-store pass real work;
 //! * indirect calls appear both with recovered target lists and as
 //!   unknown-target calls (§3.5).
 
@@ -123,6 +128,13 @@ struct Emitter<'a, 'b> {
     /// The floor `valid` resets to at labels (join points): `sp` always,
     /// plus `a0`/`a1` for routines whose every call site sets both.
     base: RegSet,
+    /// SP-relative offsets of the frame's scratch slots (empty when the
+    /// routine has no frame).
+    scratch: Vec<i16>,
+    /// Bitmask over `scratch` of slots stored on every path to the
+    /// current emission point — the slot analogue of `valid`. Resets to
+    /// empty at every label, exactly where `valid` resets to `base`.
+    slots_valid: u32,
 }
 
 impl Emitter<'_, '_> {
@@ -167,6 +179,22 @@ impl Emitter<'_, '_> {
         self.defined(reg)
     }
 
+    /// Resets path-sensitive definedness at a join point: only `base`
+    /// registers and no scratch slots are certain there.
+    fn join(&mut self) {
+        self.valid = self.base;
+        self.slots_valid = 0;
+    }
+
+    fn arith(&mut self) {
+        let op =
+            [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And][self.rng.gen_range(0..5)];
+        let (a, b2) = (self.read_reg(), self.read_reg());
+        let d = self.temp();
+        self.r.op(op, a, b2, d);
+        self.valid.insert(d);
+    }
+
     fn pad(&mut self, n: usize) {
         for _ in 0..n {
             self.emitted += 1;
@@ -178,25 +206,32 @@ impl Emitter<'_, '_> {
                     self.valid.insert(d);
                 }
                 1 => {
-                    let (s, d) = (self.pick_reg(), self.temp());
-                    self.r.load(d, Reg::SP, 8 * (s.index() as i16 % 8));
-                    self.valid.insert(d);
+                    // Reload a scratch slot only when a store on every path
+                    // here wrote it — the slot analogue of `read_reg`.
+                    let defined: Vec<usize> = (0..self.scratch.len())
+                        .filter(|i| self.slots_valid & (1 << i) != 0)
+                        .collect();
+                    if defined.is_empty() {
+                        self.arith();
+                    } else {
+                        let off = self.scratch[defined[self.rng.gen_range(0..defined.len())]];
+                        let d = self.temp();
+                        self.r.load(d, Reg::SP, off);
+                        self.valid.insert(d);
+                    }
                 }
-                2 => {
+                2 if !self.scratch.is_empty() => {
                     // Store data is exempt from definedness (the prologue
                     // save idiom stores the caller's registers unread), so
-                    // an unmaterialized pick is fine here.
+                    // an unmaterialized pick is fine here. The slot itself
+                    // may well stay unread — a dead stack store for the
+                    // optimizer to find.
+                    let i = self.rng.gen_range(0..self.scratch.len());
                     let s = self.pick_reg();
-                    self.r.store(s, Reg::SP, 8 * (s.index() as i16 % 8));
+                    self.r.store(s, Reg::SP, self.scratch[i]);
+                    self.slots_valid |= 1 << i;
                 }
-                _ => {
-                    let op = [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And]
-                        [self.rng.gen_range(0..5)];
-                    let (a, b2) = (self.read_reg(), self.read_reg());
-                    let d = self.temp();
-                    self.r.op(op, a, b2, d);
-                    self.valid.insert(d);
-                }
+                _ => self.arith(),
             }
         }
     }
@@ -227,7 +262,7 @@ impl Emitter<'_, '_> {
         }
         if placed_any {
             // A label is a join point: only `base` survives the meet.
-            self.valid = self.base;
+            self.join();
         }
     }
 
@@ -330,11 +365,16 @@ fn emit_routine(
         Vec::new()
     };
     let saves_ra = n_calls > 0 || dispatch || binary_dispatch;
-    let frame: i16 = if saved.is_empty() && !saves_ra {
+    // Frame layout, entry SP downwards: saved callee-saved registers at
+    // [0, 8s), a 32-byte scratch area above them, `ra` in the top slot.
+    // Frameless routines get no scratch and emit no stack traffic at all.
+    let scratch_len: i16 = if saved.is_empty() && !saves_ra { 0 } else { 4 };
+    let frame: i16 = if scratch_len == 0 {
         0
     } else {
-        (8 * saved.len() as i16 + if saves_ra { 8 } else { 0 } + 8) & !15
+        (8 * saved.len() as i16 + 8 * scratch_len + if saves_ra { 8 } else { 0 } + 15) & !15
     };
+    let scratch: Vec<i16> = (0..scratch_len).map(|i| 8 * saved.len() as i16 + 8 * i).collect();
 
     let r = b.routine(&name);
     if exported {
@@ -361,6 +401,8 @@ fn emit_routine(
         emitted: 0,
         valid: base,
         base,
+        scratch,
+        slots_valid: 0,
     };
 
     // Prologue: allocate the frame, save ra and callee-saved registers.
@@ -460,7 +502,7 @@ fn emit_routine(
                 e.emitted += 1;
                 for (ci, c) in cases.iter().enumerate() {
                     e.r.label(c);
-                    e.valid = e.base;
+                    e.join();
                     let d = e.temp();
                     e.r.lda(d, Reg::ZERO, ci as i16);
                     e.valid.insert(d);
@@ -471,7 +513,7 @@ fn emit_routine(
                     }
                 }
                 e.r.label(&join);
-                e.valid = e.base;
+                e.join();
                 e.boundary();
             }
             Event::Dispatch(k) => {
@@ -487,13 +529,13 @@ fn emit_routine(
                 let mut cases: Vec<String> = (0..*k).map(|_| e.fresh("dc")).collect();
                 cases.push(out.clone());
                 e.r.label(&top);
-                e.valid = e.base;
+                e.join();
                 let crefs: Vec<&str> = cases.iter().map(String::as_str).collect();
                 e.r.switch(idx_reg, &crefs);
                 e.emitted += 1;
                 for c in &cases[..*k] {
                     e.r.label(c);
-                    e.valid = e.base;
+                    e.join();
                     for a in ARGS.iter().take(2) {
                         e.r.lda(*a, Reg::ZERO, 1);
                         e.valid.insert(*a);
@@ -505,7 +547,7 @@ fn emit_routine(
                     e.emitted += 2;
                 }
                 e.r.label(&out);
-                e.valid = e.base;
+                e.join();
                 e.boundary();
             }
             Event::BinaryDispatch(k) => {
@@ -520,7 +562,7 @@ fn emit_routine(
                 let sel = e.temp();
                 e.defined(sel); // ahead of the loop head, like Dispatch
                 e.r.label(&top);
-                e.valid = e.base;
+                e.join();
                 for c in &cases[1..] {
                     e.r.cond(BranchCond::Ne, sel, c);
                     e.emitted += 1;
@@ -530,7 +572,7 @@ fn emit_routine(
                 for (ci, c) in cases.iter().enumerate() {
                     if ci > 0 {
                         e.r.label(c);
-                        e.valid = e.base;
+                        e.join();
                     }
                     for a in ARGS.iter().take(2) {
                         e.r.lda(*a, Reg::ZERO, 1);
@@ -548,7 +590,7 @@ fn emit_routine(
                     e.emitted += 1;
                 }
                 e.r.label(&out);
-                e.valid = e.base;
+                e.join();
                 e.boundary();
             }
             Event::Exit => {
@@ -563,7 +605,7 @@ fn emit_routine(
                 }
                 e.epilogue();
                 e.r.label(&skip);
-                e.valid = e.base;
+                e.join();
                 e.boundary();
             }
         }
@@ -573,7 +615,7 @@ fn emit_routine(
         if alt_remaining > 0 && e.saved.is_empty() {
             let l = e.fresh("alt");
             e.r.label(&l).alt_entry(&l);
-            e.valid = e.base;
+            e.join();
             alt_remaining -= 1;
         }
     }
@@ -585,7 +627,7 @@ fn emit_routine(
     let leftovers: Vec<String> = e.pending.drain(..).map(|(l, _)| l).collect();
     for l in &leftovers {
         e.r.label(l);
-        e.valid = e.base;
+        e.join();
     }
     if idx == 0 {
         // The entry routine ends the program.

@@ -70,8 +70,10 @@ fn analysis_stats_are_populated() {
     assert!(s.memory_bytes > 0);
     assert!(s.phase1_visits > 0);
     assert!(s.phase2_visits > 0);
+    assert!(s.stack_forward_visits > 0);
+    assert!(s.stack_backward_visits > 0);
     // Stage timers measure disjoint work; the sum is the total.
-    assert_eq!(s.total(), s.cfg_build + s.init + s.psg_build + s.phase1 + s.phase2);
+    assert_eq!(s.total(), s.cfg_build + s.init + s.psg_build + s.phase1 + s.phase2 + s.stack_build);
     // Memory accounting is deterministic.
     let again = analyze(&program);
     assert_eq!(s.memory_bytes, again.stats.memory_bytes);

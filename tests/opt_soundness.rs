@@ -35,12 +35,13 @@ proptest! {
 
     /// Every single pass is independently sound.
     #[test]
-    fn each_pass_is_independently_sound(seed in any::<u64>(), pass in 0usize..3) {
+    fn each_pass_is_independently_sound(seed in any::<u64>(), pass in 0usize..4) {
         let p = generate_executable(seed, 6);
         let options = OptOptions {
             dead_code: pass == 0,
             spills: pass == 1,
             realloc: pass == 2,
+            stack: pass == 3,
             ..OptOptions::default()
         };
         let (before_out, _) = halted(run(&p, FUEL));

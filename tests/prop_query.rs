@@ -193,6 +193,7 @@ proptest! {
                 dead: false,
                 reach: false,
                 tables: false,
+                stack: false,
             },
         );
         for (rid, r) in program.iter() {
