@@ -72,7 +72,7 @@ fn main() {
                 println!(
                     "report [--scale S] [--seed N] [--baseline] [--threads N] \
                      [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|\
-                     incremental|phases|serve|queries|all]"
+                     incremental|phases|serve|serve_cluster|queries|all]"
                 );
                 return;
             }
@@ -91,6 +91,7 @@ fn main() {
                 "incremental",
                 "phases",
                 "serve",
+                "serve_cluster",
                 "queries",
                 "all",
             ]
@@ -112,7 +113,14 @@ fn main() {
     let want_runs = sections.iter().any(|s| {
         !matches!(
             s.as_str(),
-            "table1" | "ablate" | "parallel" | "incremental" | "phases" | "serve" | "queries"
+            "table1"
+                | "ablate"
+                | "parallel"
+                | "incremental"
+                | "phases"
+                | "serve"
+                | "serve_cluster"
+                | "queries"
         )
     });
 
@@ -173,6 +181,9 @@ fn main() {
     }
     if sections.contains("serve") {
         serve_report(scale, seed);
+    }
+    if sections.contains("serve_cluster") {
+        serve_cluster_report(scale, seed);
     }
     if sections.contains("queries") {
         queries_report(scale, seed, threads);
@@ -1100,9 +1111,360 @@ fn serve_report(scale: f64, seed: u64) {
         }
     }
 
-    let json = format!("{{\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ]\n}}\n", rows.join(",\n"),);
-    match std::fs::write("BENCH_serve.json", &json) {
+    let runs = spike_core::json::Json::parse(&format!("[{}]", rows.join(",")))
+        .expect("bench rows are valid JSON");
+    update_bench_serve(vec![("seed", spike_core::json::Json::Int(seed as i64)), ("runs", runs)]);
+}
+
+/// Rewrites `BENCH_serve.json`, replacing only the keys in `updates`
+/// and preserving everything else the file already holds — the `serve`
+/// section owns `seed`/`runs`, the `serve_cluster` section owns
+/// `loadgen`/`cluster`, and either can run alone.
+fn update_bench_serve(updates: Vec<(&'static str, spike_core::json::Json)>) {
+    use spike_core::json::Json;
+    let mut members: Vec<(String, Json)> = match std::fs::read_to_string("BENCH_serve.json") {
+        Ok(text) => match Json::parse(&text) {
+            Ok(Json::Obj(members)) => members,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    for (key, value) in updates {
+        match members.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => members.push((key.to_string(), value)),
+        }
+    }
+    members.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in members.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        match value {
+            // One element per line for arrays of rows, compact otherwise.
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (j, item) in items.iter().enumerate() {
+                    out.push_str("    ");
+                    item.write(&mut out);
+                    if j + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str("  ]");
+            }
+            other => other.write(&mut out),
+        }
+        if i + 1 < members.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    match std::fs::write("BENCH_serve.json", &out) {
         Ok(()) => println!("\n  wrote BENCH_serve.json\n"),
         Err(e) => eprintln!("cannot write BENCH_serve.json: {e}"),
     }
+}
+
+/// Fleet-scale serving. Three measurements, merged into
+/// `BENCH_serve.json` as the `loadgen` and `cluster` keys:
+///
+/// 1. **10k concurrent connections** against one event-driven instance.
+///    The daemon runs as a *separate process* (`spike-served`, found
+///    next to this binary) because each side holds one file descriptor
+///    per connection; latency percentiles come from the in-process
+///    load generator.
+/// 2. **Cold start vs warm restart**: the same request set served by a
+///    fresh daemon (every image analyzed) and by a restart from the
+///    snapshot the first daemon wrote when it drained (every image a
+///    cache hit).
+/// 3. **A 3-shard cluster behind the router**: every routed response is
+///    cross-checked byte-for-byte against the local library path, one
+///    shard is killed mid-run and restarted warm from its snapshot on
+///    the same port, and per-shard hit rates are recorded.
+fn serve_cluster_report(scale: f64, seed: u64) {
+    use spike_core::json::Json;
+    use spike_core::AnalysisOptions;
+    use spike_serve::{
+        client, loadgen, render, Command, Endpoint, Request, Ring, Router, RouterOptions,
+        ServeOptions, Server,
+    };
+    use std::time::{Duration, Instant};
+
+    let analyze = || Command::Analyze { summaries: false, routine: None };
+    let request =
+        |name: &str| Request { cmd: analyze(), image_name: name.to_string(), deadline_ms: None };
+    let blobless = |cmd: Command| Request { cmd, image_name: String::new(), deadline_ms: None };
+    let shutdown_cmd = |endpoint: &Endpoint| {
+        let (r, _) = client::request(endpoint, &blobless(Command::Shutdown), &[])
+            .expect("shutdown round trip");
+        assert_eq!(r.exit, 0, "{:?}", r.error);
+    };
+    let stats_of = |endpoint: &Endpoint| -> Json {
+        let (r, _) =
+            client::request(endpoint, &blobless(Command::Stats), &[]).expect("stats round trip");
+        Json::parse(&r.stdout).expect("stats is JSON")
+    };
+    let counter = |s: &Json, group: &str, name: &str| {
+        s.get(group).and_then(|g| g.get(name)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    let reserve = |n: usize| -> Vec<String> {
+        let held: Vec<std::net::TcpListener> =
+            (0..n).map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        held.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+    };
+    let dir = std::env::temp_dir().join(format!("spike-report-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    println!("## Fleet-scale serving: event-driven core, snapshots, sharded cluster\n");
+
+    // ---- 1. ten thousand concurrent connections, one instance ----
+    let loadgen_json = {
+        let addr = reserve(1).pop().unwrap();
+        let served = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("spike-served")))
+            .filter(|p| p.exists());
+        match served {
+            None => {
+                eprintln!(
+                    "spike-served not found next to this binary; skipping the loadgen \
+                     section (build it with `cargo build --release -p spike-serve`)"
+                );
+                Json::Null
+            }
+            Some(bin) => {
+                let mut child = std::process::Command::new(&bin)
+                    .args(["--listen", &addr, "--workers", "4"])
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn spike-served");
+                let deadline = Instant::now() + Duration::from_secs(30);
+                loop {
+                    match std::net::TcpStream::connect(&addr) {
+                        Ok(_) => break,
+                        Err(_) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(25))
+                        }
+                        Err(e) => panic!("spike-served never came up on {addr}: {e}"),
+                    }
+                }
+                let images: Vec<Vec<u8>> = (0..4)
+                    .map(|i| generate_executable(seed ^ (0x10AD + i as u64), 6).to_image())
+                    .collect();
+                let options = loadgen::LoadgenOptions {
+                    connect: addr.clone(),
+                    connections: 10_000,
+                    inflight: 32,
+                };
+                eprintln!("loadgen: {} connections against {addr} ...", options.connections);
+                let report = loadgen::run(&options, &images).expect("loadgen runs");
+                shutdown_cmd(&Endpoint::Tcp(addr.clone()));
+                let _ = child.wait();
+                println!(
+                    "{:>12} {} held concurrently: p50 {} us, p95 {} us, p99 {} us \
+                     ({:.0} r/s, {} errors)",
+                    "connections:",
+                    report.connections,
+                    report.p50_us,
+                    report.p95_us,
+                    report.p99_us,
+                    report.rps,
+                    report.errors,
+                );
+                assert!(
+                    report.connections >= 10_000,
+                    "the daemon must hold at least 10k concurrent connections, got {}",
+                    report.connections
+                );
+                assert_eq!(report.errors, 0, "load generation saw failed requests");
+                report.to_json()
+            }
+        }
+    };
+
+    // ---- 2. cold start vs warm restart from the drain snapshot ----
+    let gcc = spike_synth::profile("gcc").expect("known benchmark");
+    let restart_images: Vec<Vec<u8>> = (0..6)
+        .map(|i| spike_synth::generate(&gcc, scale, seed ^ (0x5AAB + i as u64)).to_image())
+        .collect();
+    let snap = dir.join("single.snap");
+    let boot = |snapshot: std::path::PathBuf| -> (Server, Endpoint) {
+        let server = Server::start(&ServeOptions {
+            tcp: Some("127.0.0.1:0".into()),
+            snapshot: Some(snapshot),
+            workers: 2,
+            analysis_threads: 1,
+            ..ServeOptions::default()
+        })
+        .expect("daemon starts");
+        let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
+        (server, endpoint)
+    };
+    let drive_all = |endpoint: &Endpoint| {
+        for (i, image) in restart_images.iter().enumerate() {
+            let (r, _) =
+                client::request(endpoint, &request(&format!("img{i}")), image).expect("round trip");
+            assert_eq!(r.exit, 0, "{:?}", r.error);
+        }
+    };
+    let t = Instant::now();
+    let (server, endpoint) = boot(snap.clone());
+    drive_all(&endpoint);
+    let cold_ms = t.elapsed().as_millis().max(1);
+    shutdown_cmd(&endpoint);
+    server.join();
+    let t = Instant::now();
+    let (server, endpoint) = boot(snap.clone());
+    let restored = server.restored().map(|r| r.entries).unwrap_or(0);
+    drive_all(&endpoint);
+    let warm_ms = t.elapsed().as_millis().max(1);
+    shutdown_cmd(&endpoint);
+    server.join();
+    assert_eq!(restored, restart_images.len(), "drain snapshot must restore every entry");
+    assert!(
+        warm_ms < cold_ms,
+        "a warm restart must beat a cold start ({warm_ms} ms vs {cold_ms} ms)"
+    );
+    println!(
+        "{:>12} cold start-and-serve {cold_ms} ms, warm restart {warm_ms} ms ({:.1}x)",
+        "snapshot:",
+        cold_ms as f64 / warm_ms as f64
+    );
+    let restart_json = Json::parse(&format!(
+        "{{\"images\": {}, \"restored_entries\": {restored}, \"cold_ms\": {cold_ms}, \
+         \"warm_ms\": {warm_ms}, \"warm_speedup\": {:.3}}}",
+        restart_images.len(),
+        cold_ms as f64 / warm_ms as f64
+    ))
+    .expect("restart row is JSON");
+
+    // ---- 3. three shards behind the router, one killed mid-run ----
+    let shards = reserve(3);
+    let boot_shard = |i: usize| -> Server {
+        Server::start(&ServeOptions {
+            tcp: Some(shards[i].clone()),
+            cluster: shards.clone(),
+            shard_index: Some(i),
+            snapshot: Some(dir.join(format!("shard{i}.snap"))),
+            workers: 2,
+            analysis_threads: 1,
+            ..ServeOptions::default()
+        })
+        .expect("shard starts")
+    };
+    let mut servers: Vec<Option<Server>> = (0..shards.len()).map(|i| Some(boot_shard(i))).collect();
+    let router = Router::start(&RouterOptions {
+        listen: "127.0.0.1:0".into(),
+        shards: shards.clone(),
+        ..RouterOptions::default()
+    })
+    .expect("router starts");
+    let via = Endpoint::Tcp(router.addr().to_string());
+
+    let compress = spike_synth::profile("compress").expect("known benchmark");
+    let cluster_images: Vec<(String, Vec<u8>, String)> = (0..12)
+        .map(|i| {
+            let program = spike_synth::generate(&compress, scale, seed ^ (0xC1 + i as u64));
+            let image = program.to_image();
+            let analysis = spike_core::analyze_with(&program, &AnalysisOptions::default());
+            let name = format!("img{i}");
+            let expected = render::analyze_report(&name, &program, &analysis, false, None)
+                .expect("program renders");
+            (name, image, expected)
+        })
+        .collect();
+    let ring = Ring::new(shards.clone());
+
+    // Two routed passes (cold then warm), byte-identity on every answer.
+    for _pass in 0..2 {
+        for (name, image, expected) in &cluster_images {
+            let (r, _) = client::request(&via, &request(name), image).expect("routed round trip");
+            assert_eq!(r.exit, 0, "{:?}", r.error);
+            assert_eq!(r.stdout, *expected, "routed response diverged from the local path");
+        }
+    }
+
+    // Kill shard 0 (drains, writes its snapshot), restart it warm on the
+    // same port, keep serving.
+    let t = Instant::now();
+    shutdown_cmd(&Endpoint::Tcp(shards[0].clone()));
+    servers[0].take().expect("shard 0 is up").join();
+    let reborn = boot_shard(0);
+    let shard0_restored = reborn.restored().map(|r| r.entries).unwrap_or(0);
+    servers[0] = Some(reborn);
+    let restart_ms = t.elapsed().as_millis();
+    assert!(shard0_restored > 0, "the restarted shard must come back warm from its snapshot");
+
+    for (name, image, expected) in &cluster_images {
+        let (r, _) = client::request(&via, &request(name), image).expect("routed round trip");
+        assert_eq!(r.exit, 0, "{:?}", r.error);
+        assert_eq!(r.stdout, *expected, "response changed after the shard restart");
+    }
+    println!(
+        "{:>12} shard 0 killed and restarted warm in {restart_ms} ms ({shard0_restored} \
+         entries restored); responses stayed byte-identical",
+        "cluster:"
+    );
+
+    let mut per_shard = Vec::new();
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>8} {:>10} {:>9}",
+        "shard", "owned", "entries", "hits", "misses", "hit rate"
+    );
+    for (i, addr) in shards.iter().enumerate() {
+        let owned = cluster_images
+            .iter()
+            .filter(|(_, image, _)| ring.owner_of(spike_serve::cache::CacheKey::of(image)) == i)
+            .count();
+        let s = stats_of(&Endpoint::Tcp(addr.clone()));
+        let (entries, hits) = (counter(&s, "cache", "entries"), counter(&s, "cache", "hits"));
+        let misses = counter(&s, "cache", "misses");
+        let forwarded = s.get("forwarded").and_then(Json::as_u64).unwrap_or(0);
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+        println!("{i:<8} {owned:>8} {entries:>8} {hits:>8} {misses:>10} {hit_rate:>9.3}");
+        per_shard.push(format!(
+            "{{\"shard\": {i}, \"owned_images\": {owned}, \"entries\": {entries}, \
+             \"hits\": {hits}, \"misses\": {misses}, \"forwarded\": {forwarded}, \
+             \"hit_rate\": {hit_rate:.3}}}"
+        ));
+    }
+    let total_entries: u64 = shards
+        .iter()
+        .map(|addr| counter(&stats_of(&Endpoint::Tcp(addr.clone())), "cache", "entries"))
+        .sum();
+    assert_eq!(
+        total_entries,
+        cluster_images.len() as u64,
+        "shards must hold disjoint warm sets: one copy of each image cluster-wide"
+    );
+
+    // One shutdown through the router drains the whole cluster.
+    shutdown_cmd(&via);
+    router.join();
+    for server in servers {
+        server.expect("shard is up").join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cluster_json = Json::parse(&format!(
+        "{{\"shards\": {}, \"images\": {}, \"byte_identical\": true, \
+         \"shard0_restart\": {{\"restored_entries\": {shard0_restored}, \
+         \"restart_ms\": {restart_ms}}}, \"restart\": {restart_json_text}, \
+         \"per_shard\": [{per_shard_text}]}}",
+        shards.len(),
+        cluster_images.len(),
+        restart_json_text = {
+            let mut s = String::new();
+            restart_json.write(&mut s);
+            s
+        },
+        per_shard_text = per_shard.join(", "),
+    ))
+    .expect("cluster row is JSON");
+
+    update_bench_serve(vec![("loadgen", loadgen_json), ("cluster", cluster_json)]);
 }

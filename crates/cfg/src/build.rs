@@ -392,6 +392,30 @@ impl CloneExact for RoutineCfg {
     }
 }
 
+impl spike_isa::Snap for RoutineCfg {
+    fn snap(&self, w: &mut spike_isa::SnapWriter) {
+        self.routine.snap(w);
+        w.put_u32(self.base);
+        self.blocks.snap(w);
+        self.entries.snap(w);
+        self.exits.snap(w);
+        self.unknown_jumps.snap(w);
+        self.halts.snap(w);
+    }
+    fn unsnap(r: &mut spike_isa::SnapReader<'_>) -> Result<Self, spike_isa::SnapError> {
+        use spike_isa::Snap;
+        Ok(RoutineCfg {
+            routine: Snap::unsnap(r)?,
+            base: r.get_u32()?,
+            blocks: Snap::unsnap(r)?,
+            entries: Snap::unsnap(r)?,
+            exits: Snap::unsnap(r)?,
+            unknown_jumps: Snap::unsnap(r)?,
+            halts: Snap::unsnap(r)?,
+        })
+    }
+}
+
 impl fmt::Display for RoutineCfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cfg of {} ({} blocks):", self.routine, self.blocks.len())?;

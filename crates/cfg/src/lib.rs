@@ -46,6 +46,7 @@ mod build;
 mod dom;
 mod order;
 mod program_cfg;
+mod snap;
 
 pub use block::{BasicBlock, BlockId, CallTarget, TermKind};
 pub use blockset::BlockSet;

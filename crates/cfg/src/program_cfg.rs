@@ -142,6 +142,15 @@ impl spike_isa::CloneExact for ProgramCfg {
     }
 }
 
+impl spike_isa::Snap for ProgramCfg {
+    fn snap(&self, w: &mut spike_isa::SnapWriter) {
+        spike_isa::Snap::snap(&self.cfgs, w);
+    }
+    fn unsnap(r: &mut spike_isa::SnapReader<'_>) -> Result<Self, spike_isa::SnapError> {
+        Ok(ProgramCfg { cfgs: spike_isa::Snap::unsnap(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

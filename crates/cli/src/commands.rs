@@ -35,11 +35,21 @@ commands:
   profiles                                          list generator benchmarks
   serve [--listen HOST:PORT] [--unix PATH] [--workers N] [--cache-bytes N]
         [--queue N] [--max-frame-bytes N] [--deadline-ms N] [--threads N]
-        [--sparse|--dense]                          run the analysis daemon
+        [--snapshot PATH] [--snapshot-interval-ms N] [--no-reactor]
+        [--cluster A,B,C --shard-index I] [--sparse|--dense]
+                                                    run the analysis daemon
+  route --listen HOST:PORT --cluster A,B,C [--workers N] [--max-frame-bytes N]
+                                                    run the cluster routing front
   client <cmd> [args] --connect <HOST:PORT|unix:PATH> [--deadline-ms N]
                                                     run analyze/lint/optimize/query/
                                                     compare/stats/shutdown against a
-                                                    daemon
+                                                    daemon; --cluster A,B,C instead of
+                                                    --connect routes straight to the
+                                                    owning shard
+  loadgen --connect HOST:PORT [--connections N] [--inflight N] [--images M]
+          [--routines K] [--seed S]                 hold N concurrent connections
+                                                    against a daemon and report
+                                                    p50/p95/p99 latency as JSON
 
 analyze, optimize, query, compare, and serve solve on the sparse def-use
 chain representation by default; --dense selects the dense per-node engine
@@ -66,7 +76,9 @@ pub fn dispatch(args: &[String]) -> Result<ExitCode> {
         Some("compare") => compare(&args[1..]).map(ok),
         Some("dot") => dot(&args[1..]).map(ok),
         Some("serve") => serve(&args[1..]).map(ok),
+        Some("route") => route(&args[1..]).map(ok),
         Some("client") => client(&args[1..]),
+        Some("loadgen") => loadgen(&args[1..]).map(ok),
         Some("profiles") => {
             for p in spike_synth::profiles() {
                 println!(
@@ -107,6 +119,14 @@ struct Opts<'a> {
     max_frame_bytes: Option<usize>,
     deadline_ms: Option<u64>,
     representation: Representation,
+    snapshot: Option<&'a str>,
+    snapshot_interval_ms: Option<u64>,
+    no_reactor: bool,
+    cluster: Vec<String>,
+    shard_index: Option<usize>,
+    connections: usize,
+    inflight: usize,
+    images: usize,
 }
 
 fn parse(args: &[String]) -> Result<Opts<'_>> {
@@ -132,6 +152,14 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         max_frame_bytes: None,
         deadline_ms: None,
         representation: Representation::default(),
+        snapshot: None,
+        snapshot_interval_ms: None,
+        no_reactor: false,
+        cluster: Vec::new(),
+        shard_index: None,
+        connections: 10_000,
+        inflight: 32,
+        images: 4,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -159,6 +187,18 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "--queue" => o.queue = Some(want("--queue")?.parse()?),
             "--max-frame-bytes" => o.max_frame_bytes = Some(want("--max-frame-bytes")?.parse()?),
             "--deadline-ms" => o.deadline_ms = Some(want("--deadline-ms")?.parse()?),
+            "--snapshot" => o.snapshot = Some(want("--snapshot")?),
+            "--snapshot-interval-ms" => {
+                o.snapshot_interval_ms = Some(want("--snapshot-interval-ms")?.parse()?)
+            }
+            "--no-reactor" => o.no_reactor = true,
+            "--cluster" => {
+                o.cluster = want("--cluster")?.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--shard-index" => o.shard_index = Some(want("--shard-index")?.parse()?),
+            "--connections" => o.connections = want("--connections")?.parse()?,
+            "--inflight" => o.inflight = want("--inflight")?.parse()?,
+            "--images" => o.images = want("--images")?.parse()?,
             "--sparse" => o.representation = Representation::Sparse,
             "--dense" => o.representation = Representation::Dense,
             other if other.starts_with('-') => {
@@ -450,6 +490,13 @@ fn serve(args: &[String]) -> Result<()> {
     if let Some(n) = o.deadline_ms {
         options.default_deadline_ms = n;
     }
+    options.snapshot = o.snapshot.map(PathBuf::from);
+    options.snapshot_interval_ms = o.snapshot_interval_ms;
+    if o.no_reactor {
+        options.event_driven = false;
+    }
+    options.cluster = o.cluster.clone();
+    options.shard_index = o.shard_index;
     #[cfg(unix)]
     spike_serve::server::install_sigterm_handler();
     let server = Server::start(&options)?;
@@ -465,6 +512,61 @@ fn serve(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+fn route(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let options = spike_serve::RouterOptions {
+        listen: o.listen.ok_or("route needs --listen HOST:PORT")?.to_string(),
+        shards: o.cluster.clone(),
+        max_frame_bytes: o
+            .max_frame_bytes
+            .unwrap_or_else(|| spike_serve::RouterOptions::default().max_frame_bytes),
+        workers: if o.workers == 0 {
+            spike_serve::RouterOptions::default().workers
+        } else {
+            o.workers
+        },
+    };
+    if options.shards.is_empty() {
+        return Err("route needs --cluster A,B,C (the shard addresses)".into());
+    }
+    #[cfg(unix)]
+    spike_serve::server::install_sigterm_handler();
+    let router = spike_serve::Router::start(&options)?;
+    eprintln!("spike: routing on tcp {} over {} shard(s)", router.addr(), options.shards.len());
+    // Returns on SIGTERM; in-flight relays finish first.
+    router.run_to_completion();
+    Ok(())
+}
+
+fn loadgen(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let options = spike_serve::loadgen::LoadgenOptions {
+        connect: o.connect.ok_or("loadgen needs --connect HOST:PORT")?.to_string(),
+        connections: o.connections,
+        inflight: o.inflight,
+    };
+    let images: Vec<Vec<u8>> = (0..o.images.max(1))
+        .map(|i| spike_synth::generate_executable(o.seed ^ i as u64, o.routines).to_image())
+        .collect();
+    eprintln!(
+        "spike: loadgen {} connections ({} in flight) against {}",
+        options.connections, options.inflight, options.connect
+    );
+    let report = spike_serve::loadgen::run(&options, &images)
+        .map_err(|e| -> Box<dyn Error> { format!("loadgen: {e}").into() })?;
+    eprintln!(
+        "spike: {} ok, {} errors, p50 {} us, p95 {} us, p99 {} us",
+        report.ok, report.errors, report.p50_us, report.p95_us, report.p99_us
+    );
+    let mut out = String::new();
+    report.to_json().write(&mut out);
+    println!("{out}");
+    if report.errors > 0 {
+        return Err(format!("loadgen saw {} failed requests", report.errors).into());
+    }
+    Ok(())
+}
+
 fn client(args: &[String]) -> Result<ExitCode> {
     let Some(sub) = args.first().map(String::as_str) else {
         return Err(
@@ -473,8 +575,15 @@ fn client(args: &[String]) -> Result<ExitCode> {
         );
     };
     let o = parse(&args[1..])?;
-    let endpoint =
-        Endpoint::parse(o.connect.ok_or("client needs --connect <HOST:PORT|unix:PATH>")?)?;
+    // `--connect` names one daemon; `--cluster` lists every shard and
+    // the client computes the owning shard itself (no router hop).
+    let endpoint = match o.connect {
+        Some(c) => Some(Endpoint::parse(c)?),
+        None if !o.cluster.is_empty() => None,
+        None => {
+            return Err("client needs --connect <HOST:PORT|unix:PATH> or --cluster A,B,C".into())
+        }
+    };
 
     let image_path = |what: &str| -> Result<&str> {
         match o.positional[..] {
@@ -529,7 +638,10 @@ fn client(args: &[String]) -> Result<ExitCode> {
         image_name: path.unwrap_or_default().to_string(),
         deadline_ms: o.deadline_ms,
     };
-    let (response, blob) = spike_serve::client::request(&endpoint, &request, &image)?;
+    let (response, blob) = match &endpoint {
+        Some(endpoint) => spike_serve::client::request(endpoint, &request, &image)?,
+        None => spike_serve::cluster::cluster_request(&o.cluster, &request, &image)?,
+    };
     if let Some((kind, message)) = &response.error {
         eprint!("{}", response.diag);
         return Err(format!("daemon refused request ({}): {message}", kind.name()).into());

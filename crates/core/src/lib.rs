@@ -56,6 +56,7 @@ pub mod parallel;
 mod psg;
 mod query;
 mod schedule;
+mod snap;
 mod sparse;
 mod stack;
 mod summary;
@@ -68,6 +69,7 @@ pub use callee_saved::saved_restored_registers;
 pub use incremental::{reanalyze, AnalysisCache};
 pub use psg::{Edge, EdgeId, EdgeKind, NodeId, NodeKind, Psg, PsgStats, RoutineNodes};
 pub use query::{Query, QueryAnswer, QueryEngine, QueryStats};
+pub use snap::options_fingerprint;
 pub use stack::{
     analyze_stack, reanalyze_stack, AccessKind, FrameModel, RoutineStack, Slot, SlotSet,
     StackAccess, StackAnalysis, StackStats, StackSummary,

@@ -185,6 +185,15 @@ impl CloneExact for SlotSet {
     }
 }
 
+impl spike_isa::Snap for SlotSet {
+    fn snap(&self, w: &mut spike_isa::SnapWriter) {
+        spike_isa::Snap::snap(&self.bits, w);
+    }
+    fn unsnap(r: &mut spike_isa::SnapReader<'_>) -> Result<Self, spike_isa::SnapError> {
+        Ok(SlotSet { bits: spike_isa::Snap::unsnap(r)? })
+    }
+}
+
 /// A routine's discovered stack frame.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct FrameModel {
@@ -335,6 +344,15 @@ impl HeapSize for StackAnalysis {
 impl CloneExact for StackAnalysis {
     fn clone_exact(&self) -> Self {
         StackAnalysis { routines: self.routines.clone_exact() }
+    }
+}
+
+impl spike_isa::Snap for StackAnalysis {
+    fn snap(&self, w: &mut spike_isa::SnapWriter) {
+        spike_isa::Snap::snap(&self.routines, w);
+    }
+    fn unsnap(r: &mut spike_isa::SnapReader<'_>) -> Result<Self, spike_isa::SnapError> {
+        Ok(StackAnalysis { routines: spike_isa::Snap::unsnap(r)? })
     }
 }
 

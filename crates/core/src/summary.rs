@@ -200,3 +200,16 @@ impl CloneExact for ProgramSummary {
         }
     }
 }
+
+impl spike_isa::Snap for ProgramSummary {
+    fn snap(&self, w: &mut spike_isa::SnapWriter) {
+        spike_isa::Snap::snap(&self.routines, w);
+        spike_isa::Snap::snap(&self.calling_standard, w);
+    }
+    fn unsnap(r: &mut spike_isa::SnapReader<'_>) -> Result<Self, spike_isa::SnapError> {
+        Ok(ProgramSummary {
+            routines: spike_isa::Snap::unsnap(r)?,
+            calling_standard: spike_isa::Snap::unsnap(r)?,
+        })
+    }
+}

@@ -158,6 +158,25 @@ impl Default for CallingStandard {
     }
 }
 
+impl crate::Snap for CallingStandard {
+    fn snap(&self, w: &mut crate::SnapWriter) {
+        self.argument.snap(w);
+        self.return_value.snap(w);
+        self.callee_saved.snap(w);
+        self.temporary.snap(w);
+        self.special.snap(w);
+    }
+    fn unsnap(r: &mut crate::SnapReader<'_>) -> Result<Self, crate::SnapError> {
+        Ok(CallingStandard {
+            argument: crate::Snap::unsnap(r)?,
+            return_value: crate::Snap::unsnap(r)?,
+            callee_saved: crate::Snap::unsnap(r)?,
+            temporary: crate::Snap::unsnap(r)?,
+            special: crate::Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,9 +47,11 @@ mod insn;
 mod mem;
 mod reg;
 mod regset;
+mod snap;
 
 pub use callstd::CallingStandard;
 pub use insn::{AluOp, BranchCond, DecodeError, FpOp, Instruction, MemWidth};
 pub use mem::{CloneExact, HeapSize};
 pub use reg::{Reg, NUM_REGS};
 pub use regset::RegSet;
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};

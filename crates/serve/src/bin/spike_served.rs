@@ -10,10 +10,18 @@ use spike_serve::{server, ServeOptions, Server};
 const USAGE: &str = "\
 usage: spike-served [--listen HOST:PORT] [--unix PATH] [--workers N]
                     [--cache-bytes N] [--queue N] [--max-frame-bytes N]
-                    [--deadline-ms N] [--threads N]
+                    [--deadline-ms N] [--threads N] [--snapshot PATH]
+                    [--snapshot-interval-ms N] [--no-reactor]
+                    [--cluster A,B,C --shard-index I]
 
 At least one of --listen / --unix is required. Runs until SIGTERM or a
 client sends the `shutdown` command; both drain gracefully and exit 0.
+
+--snapshot restores the warm cache from PATH at startup (cold fallback
+on any mismatch) and writes a final snapshot on drain; with
+--snapshot-interval-ms it also snapshots periodically while serving.
+--cluster/--shard-index join a sharded cluster: this instance owns its
+consistent-hash slice and forwards misrouted requests to the owner.
 ";
 
 fn parse(args: &[String]) -> Result<ServeOptions, String> {
@@ -41,6 +49,18 @@ fn parse(args: &[String]) -> Result<ServeOptions, String> {
                 o.default_deadline_ms = num("--deadline-ms", want("--deadline-ms")?)?
             }
             "--threads" => o.analysis_threads = num("--threads", want("--threads")?)? as usize,
+            "--snapshot" => o.snapshot = Some(PathBuf::from(want("--snapshot")?)),
+            "--snapshot-interval-ms" => {
+                o.snapshot_interval_ms =
+                    Some(num("--snapshot-interval-ms", want("--snapshot-interval-ms")?)?)
+            }
+            "--no-reactor" => o.event_driven = false,
+            "--cluster" => {
+                o.cluster = want("--cluster")?.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--shard-index" => {
+                o.shard_index = Some(num("--shard-index", want("--shard-index")?)? as usize)
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }

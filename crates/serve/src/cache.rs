@@ -51,6 +51,17 @@ impl CacheKey {
         }
         CacheKey([a, b])
     }
+
+    /// The two 64-bit lanes, for serialization and for the cluster's
+    /// consistent-hash ring (which positions keys by the first lane).
+    pub const fn lanes(self) -> [u64; 2] {
+        self.0
+    }
+
+    /// Rebuilds a key from its serialized lanes.
+    pub const fn from_lanes(lanes: [u64; 2]) -> CacheKey {
+        CacheKey(lanes)
+    }
 }
 
 /// How a request's image was resolved; feeds the daemon's counters and
@@ -89,6 +100,12 @@ pub struct AnalyzedProgram {
     pub program: Program,
     /// The converged interprocedural analysis.
     pub analysis: Analysis,
+    /// The raw image bytes. Retained because they are the canonical
+    /// program representation for warm-cache snapshots: a snapshot
+    /// stores `(image, analysis)` and re-parses the program on restore
+    /// (`Program::from_image` is deterministic), and the cluster router
+    /// hashes them for ownership checks.
+    pub image: Vec<u8>,
 }
 
 /// A cached program served by the demand-driven query engine. Unlike
@@ -139,6 +156,8 @@ pub struct CacheCounters {
     pub misses_incremental: u64,
     /// Entries dropped by the byte-budget LRU.
     pub evictions: u64,
+    /// Entries installed warm from a snapshot file at startup.
+    pub restored: u64,
 }
 
 /// Point-in-time cache occupancy, for the `stats` command.
@@ -361,7 +380,7 @@ impl ProgramStore {
         };
 
         let bytes = image.len() + analysis.stats.memory_bytes;
-        let shared = Arc::new(AnalyzedProgram { key, program, analysis });
+        let shared = Arc::new(AnalyzedProgram { key, program, analysis, image: image.to_vec() });
 
         let mut inner = self.lock();
         match outcome {
@@ -454,6 +473,58 @@ impl ProgramStore {
             .insert(key, QueryEntry { shared: Arc::clone(&shared), bytes, last_used: tick });
         inner.evict_to_budget(self.budget_bytes, key);
         Ok((shared, outcome))
+    }
+
+    /// The full-analysis entries in LRU order (least recently used
+    /// first), for snapshotting. Writing them oldest-first means a
+    /// restore that replays insertion order reproduces the eviction
+    /// order too. Query entries are *not* exported: their state is
+    /// derived (seeded from full entries or rebuilt on demand) and a
+    /// partially-memoized demand engine is cheap to regrow.
+    pub fn export_entries(&self) -> Vec<Arc<AnalyzedProgram>> {
+        let inner = self.lock();
+        let mut entries: Vec<(u64, Arc<AnalyzedProgram>)> =
+            inner.entries.values().map(|e| (e.last_used, Arc::clone(&e.shared))).collect();
+        drop(inner);
+        entries.sort_by_key(|(last_used, _)| *last_used);
+        entries.into_iter().map(|(_, shared)| shared).collect()
+    }
+
+    /// Installs one decoded snapshot entry, warm. The caller (the
+    /// snapshot loader) has already verified the container checksum and
+    /// the options fingerprint; this re-validates the entry itself: the
+    /// image must parse and must hash to `key`, otherwise the entry is
+    /// refused and the cache state is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch; the caller treats any
+    /// error as "fall back to cold" for the whole snapshot.
+    pub fn restore_entry(
+        &self,
+        key: CacheKey,
+        image: Vec<u8>,
+        analysis: Analysis,
+    ) -> Result<(), String> {
+        if CacheKey::of(&image) != key {
+            return Err("snapshot entry key does not match its image bytes".into());
+        }
+        let program = Program::from_image(&image).map_err(|e| e.to_string())?;
+        let bytes = image.len() + analysis.stats.memory_bytes;
+        let shared = Arc::new(AnalyzedProgram { key, program, analysis, image });
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // A live entry for the same key wins over the snapshot: it is at
+        // least as fresh.
+        if inner.entries.contains_key(&key) {
+            return Ok(());
+        }
+        inner.total_bytes += bytes;
+        inner.entries.insert(key, Entry { shared, bytes, last_used: tick });
+        inner.counters.restored += 1;
+        inner.evict_to_budget(self.budget_bytes, key);
+        Ok(())
     }
 
     /// Re-charges a query entry after a query may have grown its engine,

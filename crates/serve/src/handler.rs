@@ -44,6 +44,10 @@ pub struct Handler {
     pub queue_capacity: usize,
     /// Set by the `shutdown` command; the accept loops watch it.
     pub shutdown: Arc<AtomicBool>,
+    /// Cluster membership, when this instance is one shard of a
+    /// cluster. Image-bearing requests owned by a different shard are
+    /// forwarded there and the owner's reply relayed verbatim.
+    pub cluster: Option<Arc<crate::cluster::ShardIdentity>>,
 }
 
 impl Handler {
@@ -62,6 +66,27 @@ impl Handler {
                 Response::error(ErrorKind::BadRequest, "request carries no image"),
                 Vec::new(),
             );
+        }
+        // Misroute forwarding: a request for an image another shard owns
+        // is relayed to the owner, whose renderers produce the same
+        // bytes this shard would — the client cannot tell which shard
+        // answered, except through the diagnostics.
+        if let Some(cluster) = &self.cluster {
+            if let Some(owner) = cluster.misrouted(image) {
+                self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+                let addr = &cluster.ring.shards()[owner];
+                return match crate::cluster::forward_frame(addr, &req.to_json(), image) {
+                    Ok((json, blob)) => match Response::from_json(&json) {
+                        Ok(mut resp) => {
+                            let _ =
+                                writeln!(resp.diag, "cluster: forwarded to shard {owner} ({addr})");
+                            (resp, blob)
+                        }
+                        Err(msg) => (Response::error(ErrorKind::Panic, msg), Vec::new()),
+                    },
+                    Err(msg) => (Response::error(ErrorKind::Busy, msg), Vec::new()),
+                };
+            }
         }
         let (mut response, blob) = match &req.cmd {
             Command::Analyze { summaries, routine } => {
@@ -280,6 +305,7 @@ mod tests {
             metrics: Arc::new(Metrics::default()),
             queue_capacity: 8,
             shutdown: Arc::new(AtomicBool::new(false)),
+            cluster: None,
         }
     }
 

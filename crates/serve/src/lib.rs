@@ -25,17 +25,35 @@
 //!   as diagnostics.
 //! * [`metrics`] — request/cache/queue counters and a fixed-bucket
 //!   latency histogram, exported by the `stats` command as stable JSON.
+//! * [`cluster`] — fleet mode: a consistent-hash [`cluster::Ring`] over
+//!   image content hashes gives every image one owner shard (disjoint
+//!   warm sets), a stateless [`cluster::Router`] relays frames to the
+//!   owner byte-for-byte, and non-owner shards forward misroutes
+//!   themselves, so stdout is byte-identical whichever address serves.
+//! * [`snapshot`] — versioned, checksummed warm-cache persistence
+//!   (periodic and at drain; all-or-nothing restore with cold fallback),
+//!   so a plain restart starts warm.
+//! * `reactor` (Linux) — an epoll event loop that reads frames from
+//!   nonblocking sockets and hands only complete requests to the worker
+//!   pool, letting one instance hold thousands of concurrent
+//!   connections; [`loadgen`] measures exactly that.
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod diff;
 pub mod handler;
+pub mod loadgen;
 pub mod metrics;
 pub mod proto;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod render;
 pub mod server;
+pub mod snapshot;
 
 pub use cache::{CacheOutcome, ProgramStore};
 pub use client::{ClientError, Endpoint};
+pub use cluster::{Ring, Router, RouterOptions, ShardIdentity};
 pub use proto::{Command, ErrorKind, LintFormat, QueryKind, Request, Response};
 pub use server::{ServeOptions, Server};

@@ -123,6 +123,9 @@ pub struct Metrics {
     pub bad_requests: AtomicU64,
     /// Handler panics survived via `catch_unwind`.
     pub panics: AtomicU64,
+    /// Image-bearing requests forwarded to their owning shard because
+    /// they landed on the wrong cluster member.
+    pub forwarded: AtomicU64,
     /// Highest queue depth ever observed.
     pub queue_depth_highwater: AtomicU64,
     /// End-to-end handler latency (dequeue to reply written).
@@ -147,9 +150,10 @@ impl Metrics {
     /// CI dogfood job): `{tool, version, requests: {total, analyze, lint,
     /// optimize, query, compare, stats, shutdown}, cache: {entries,
     /// bytes, budget_bytes, hits, misses, incremental_warm, coalesced,
-    /// evictions}, queue: {capacity, depth_highwater, rejected_busy},
-    /// rejected: {oversized, deadline, bad_request}, panics,
-    /// latency_us: {p50, p99, buckets, overflow}}`.
+    /// evictions, restored}, queue: {capacity, depth_highwater,
+    /// rejected_busy}, rejected: {oversized, deadline, bad_request},
+    /// panics, forwarded, latency_us: {p50, p95, p99, buckets,
+    /// overflow}}`.
     pub fn to_stats_json(&self, cache: &CacheSnapshot, queue_capacity: usize) -> Json {
         let n = |v: u64| Json::from(v);
         let (counts, overflow) = self.latency.snapshot();
@@ -183,6 +187,7 @@ impl Metrics {
                     ("incremental_warm", n(cache.counters.misses_incremental)),
                     ("coalesced", n(cache.counters.coalesced)),
                     ("evictions", n(cache.counters.evictions)),
+                    ("restored", n(cache.counters.restored)),
                 ]),
             ),
             (
@@ -202,10 +207,12 @@ impl Metrics {
                 ]),
             ),
             ("panics", n(self.panics.load(Relaxed))),
+            ("forwarded", n(self.forwarded.load(Relaxed))),
             (
                 "latency_us",
                 obj(vec![
                     ("p50", n(Histogram::percentile(&counts, overflow, 50))),
+                    ("p95", n(Histogram::percentile(&counts, overflow, 95))),
                     ("p99", n(Histogram::percentile(&counts, overflow, 99))),
                     ("buckets", Json::Arr(counts.iter().map(|&c| n(c)).collect())),
                     ("overflow", n(overflow)),

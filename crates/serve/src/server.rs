@@ -29,12 +29,14 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use spike_core::json::Json;
 use spike_core::AnalysisOptions;
 
 use crate::cache::ProgramStore;
 use crate::handler::{Deadline, Handler};
 use crate::metrics::Metrics;
 use crate::proto::{read_frame, write_frame, ErrorKind, FrameError, FrameRead, Request, Response};
+use crate::snapshot::{self, RestoreReport};
 
 /// How the daemon listens, queues, and bounds work.
 #[derive(Clone, Debug)]
@@ -62,6 +64,27 @@ pub struct ServeOptions {
     /// Value representation passed into every analysis (`--sparse` /
     /// `--dense` on the CLI).
     pub analysis_representation: spike_core::Representation,
+    /// Warm-cache snapshot file. When set, the daemon restores the cache
+    /// from it at startup (falling back to cold on any mismatch or
+    /// corruption) and writes a final snapshot after draining, so a
+    /// plain restart starts warm.
+    pub snapshot: Option<PathBuf>,
+    /// Also write the snapshot every this many milliseconds while
+    /// serving, so a crash loses at most one interval of warmth.
+    /// Ignored without [`snapshot`](Self::snapshot).
+    pub snapshot_interval_ms: Option<u64>,
+    /// Drive connections through the event-driven reactor (epoll) rather
+    /// than thread-per-connection acceptors, so thousands of idle
+    /// clients cost one thread plus a few bytes each. Only effective on
+    /// Linux; elsewhere the threaded acceptors are always used.
+    pub event_driven: bool,
+    /// All shard addresses of the cluster this instance belongs to, in
+    /// shard-index order. Empty means standalone (no ownership checks,
+    /// no forwarding).
+    pub cluster: Vec<String>,
+    /// This instance's index into [`cluster`](Self::cluster). Required
+    /// when `cluster` is non-empty.
+    pub shard_index: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -76,19 +99,24 @@ impl Default for ServeOptions {
             default_deadline_ms: 300_000,
             analysis_threads: 0,
             analysis_representation: spike_core::Representation::default(),
+            snapshot: None,
+            snapshot_interval_ms: None,
+            event_driven: cfg!(target_os = "linux"),
+            cluster: Vec::new(),
+            shard_index: None,
         }
     }
 }
 
 /// One accepted connection, transport-erased.
-enum Conn {
+pub(crate) enum Conn {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
 }
 
 impl Conn {
-    fn prepare(&mut self) -> io::Result<()> {
+    pub(crate) fn prepare(&mut self) -> io::Result<()> {
         // Workers want blocking I/O with timeouts so a stalled client
         // cannot pin a worker forever.
         let timeout = Some(Duration::from_secs(10));
@@ -136,9 +164,18 @@ impl Write for Conn {
     }
 }
 
-/// The bounded handoff between acceptors and workers.
-struct Queue {
-    inner: Mutex<VecDeque<Conn>>,
+/// One unit of work for the pool: either a raw accepted connection
+/// (threaded acceptors — the worker reads the frame itself) or a frame
+/// the reactor already read off a nonblocking socket (the worker only
+/// dispatches and replies).
+pub(crate) enum Work {
+    Conn(Conn),
+    Frame(Conn, Json, Vec<u8>),
+}
+
+/// The bounded handoff between acceptors (or the reactor) and workers.
+pub(crate) struct Queue {
+    inner: Mutex<VecDeque<Work>>,
     ready: Condvar,
     capacity: usize,
 }
@@ -148,30 +185,30 @@ impl Queue {
         Queue { inner: Mutex::new(VecDeque::new()), ready: Condvar::new(), capacity }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Work>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Enqueues unless full; reports the depth after the push.
-    fn push(&self, conn: Conn) -> Result<usize, Conn> {
+    pub(crate) fn push(&self, work: Work) -> Result<usize, Work> {
         let mut q = self.lock();
         if q.len() >= self.capacity {
-            return Err(conn);
+            return Err(work);
         }
-        q.push_back(conn);
+        q.push_back(work);
         let depth = q.len();
         drop(q);
         self.ready.notify_one();
         Ok(depth)
     }
 
-    /// Pops the next connection; `None` once `shutdown` is set and the
+    /// Pops the next work item; `None` once `shutdown` is set and the
     /// queue is empty (the drain guarantee: accepted work is finished).
-    fn pop(&self, shutdown: &AtomicBool) -> Option<Conn> {
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Work> {
         let mut q = self.lock();
         loop {
-            if let Some(conn) = q.pop_front() {
-                return Some(conn);
+            if let Some(work) = q.pop_front() {
+                return Some(work);
             }
             if shutdown.load(Ordering::SeqCst) {
                 return None;
@@ -185,9 +222,112 @@ impl Queue {
     }
 }
 
+/// Binds a TCP listener with `SO_REUSEADDR`, so a restarted daemon can
+/// reclaim its port immediately instead of waiting out the TIME_WAIT
+/// sockets its predecessor left behind. std's `TcpListener::bind` does
+/// not set the option, which makes fixed-port restarts — the whole
+/// point of warm snapshot restores, and what a cluster shard *must* do
+/// to keep its ring position — fail with `EADDRINUSE` for up to a
+/// minute.
+#[cfg(target_os = "linux")]
+pub(crate) fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x80000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+    #[repr(C)]
+    struct SockaddrIn6 {
+        sin6_family: u16,
+        sin6_port: u16,
+        sin6_flowinfo: u32,
+        sin6_addr: [u8; 16],
+        sin6_scope_id: u32,
+    }
+
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("cannot resolve {addr}"))
+    })?;
+    let domain = if resolved.is_ipv4() { AF_INET } else { AF_INET6 };
+    // SAFETY: plain syscalls on an owned fd; on any failure the fd is
+    // closed before returning, on success it becomes a TcpListener.
+    unsafe {
+        let fd = socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> io::Error {
+            let e = io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, size_of::<i32>() as u32) < 0 {
+            return Err(fail(fd));
+        }
+        let rc = match resolved {
+            SocketAddr::V4(a) => {
+                let sa = SockaddrIn {
+                    sin_family: AF_INET as u16,
+                    sin_port: a.port().to_be(),
+                    sin_addr: u32::from_ne_bytes(a.ip().octets()),
+                    sin_zero: [0; 8],
+                };
+                bind(fd, (&sa as *const SockaddrIn).cast(), size_of::<SockaddrIn>() as u32)
+            }
+            SocketAddr::V6(a) => {
+                let sa = SockaddrIn6 {
+                    sin6_family: AF_INET6 as u16,
+                    sin6_port: a.port().to_be(),
+                    sin6_flowinfo: a.flowinfo(),
+                    sin6_addr: a.ip().octets(),
+                    sin6_scope_id: a.scope_id(),
+                };
+                bind(fd, (&sa as *const SockaddrIn6).cast(), size_of::<SockaddrIn6>() as u32)
+            }
+        };
+        if rc < 0 || listen(fd, 1024) < 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Off Linux, plain `bind` (the reactor is Linux-only anyway and tests
+/// there use ephemeral ports).
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
 /// SIGTERM flag, set by the handler installed with
 /// [`install_sigterm_handler`].
 static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM has requested a drain; the reactor polls this
+/// alongside the server's own shutdown flag.
+pub(crate) fn sigterm_requested() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
+}
 
 /// Installs a SIGTERM handler that requests graceful drain (the accept
 /// loops watch the flag). Call once, from a binary's `main`, before
@@ -217,6 +357,9 @@ pub struct Server {
     threads: Vec<JoinHandle<()>>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
+    store: Arc<ProgramStore>,
+    snapshot_path: Option<PathBuf>,
+    restored: Option<RestoreReport>,
 }
 
 impl Server {
@@ -238,45 +381,82 @@ impl Server {
             representation: options.analysis_representation,
             ..AnalysisOptions::default()
         };
+        let cluster = if options.cluster.is_empty() {
+            None
+        } else {
+            let index = options.shard_index.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cluster mode needs --shard-index to say which shard this is",
+                )
+            })?;
+            if index >= options.cluster.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "shard index {index} is out of range for a {}-shard cluster",
+                        options.cluster.len()
+                    ),
+                ));
+            }
+            Some(Arc::new(crate::cluster::ShardIdentity {
+                ring: crate::cluster::Ring::new(options.cluster.clone()),
+                index,
+            }))
+        };
         let store = Arc::new(ProgramStore::new(analysis, options.cache_bytes));
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(Queue::new(options.queue_capacity.max(1)));
         let mut threads = Vec::new();
 
-        let tcp_addr = match &options.tcp {
-            Some(addr) => {
-                let listener = TcpListener::bind(addr)?;
-                let local = listener.local_addr()?;
-                threads.push(spawn_acceptor(
-                    "tcp-acceptor",
-                    Arc::clone(&shutdown),
-                    Arc::clone(&queue),
-                    Arc::clone(&metrics),
-                    move || listener.accept().map(|(s, _)| Conn::Tcp(s)),
-                ));
-                Some(local)
-            }
+        // Warm restart: try the snapshot before accepting anything, so
+        // the first request already sees the restored entries. Every
+        // failure mode degrades to a cold start.
+        let restored = match &options.snapshot {
+            Some(path) => match snapshot::restore(path, &store, store.options()) {
+                Ok(report) => {
+                    eprintln!(
+                        "spike-served: restored {} cached analyses ({} bytes) from {} in {} ms",
+                        report.entries,
+                        report.bytes,
+                        path.display(),
+                        report.elapsed_ms,
+                    );
+                    Some(report)
+                }
+                Err(snapshot::SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => None,
+                Err(e) => {
+                    eprintln!(
+                        "spike-served: ignoring snapshot {}: {e}; starting cold",
+                        path.display()
+                    );
+                    None
+                }
+            },
             None => None,
         };
 
+        let event_driven = options.event_driven && cfg!(target_os = "linux");
+        let tcp_listener = match &options.tcp {
+            Some(addr) => Some(bind_reuseaddr(addr)?),
+            None => None,
+        };
+        let tcp_addr = match &tcp_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         #[cfg(unix)]
-        let unix_path = match &options.unix {
+        let unix_listener = match &options.unix {
             Some(path) => {
                 // A stale socket file from a previous run blocks bind.
                 let _ = std::fs::remove_file(path);
-                let listener = UnixListener::bind(path)?;
-                threads.push(spawn_acceptor(
-                    "unix-acceptor",
-                    Arc::clone(&shutdown),
-                    Arc::clone(&queue),
-                    Arc::clone(&metrics),
-                    move || listener.accept().map(|(s, _)| Conn::Unix(s)),
-                ));
-                Some(path.clone())
+                Some(UnixListener::bind(path)?)
             }
             None => None,
         };
+        #[cfg(unix)]
+        let unix_path = options.unix.clone();
         #[cfg(not(unix))]
         let unix_path = {
             if options.unix.is_some() {
@@ -287,6 +467,48 @@ impl Server {
             }
             None
         };
+
+        if event_driven {
+            // `event_driven` is false off-Linux, so this arm only
+            // compiles (and only runs) where epoll exists.
+            #[cfg(target_os = "linux")]
+            {
+                let mut listeners = Vec::new();
+                if let Some(l) = tcp_listener {
+                    listeners.push(crate::reactor::Listener::Tcp(l));
+                }
+                if let Some(l) = unix_listener {
+                    listeners.push(crate::reactor::Listener::Unix(l));
+                }
+                threads.push(crate::reactor::spawn_reactor(
+                    listeners,
+                    Arc::clone(&shutdown),
+                    Arc::clone(&queue),
+                    Arc::clone(&metrics),
+                    options.max_frame_bytes,
+                )?);
+            }
+        } else {
+            if let Some(listener) = tcp_listener {
+                threads.push(spawn_acceptor(
+                    "tcp-acceptor",
+                    Arc::clone(&shutdown),
+                    Arc::clone(&queue),
+                    Arc::clone(&metrics),
+                    move || listener.accept().map(|(s, _)| Conn::Tcp(s)),
+                ));
+            }
+            #[cfg(unix)]
+            if let Some(listener) = unix_listener {
+                threads.push(spawn_acceptor(
+                    "unix-acceptor",
+                    Arc::clone(&shutdown),
+                    Arc::clone(&queue),
+                    Arc::clone(&metrics),
+                    move || listener.accept().map(|(s, _)| Conn::Unix(s)),
+                ));
+            }
+        }
 
         let workers = if options.workers == 0 {
             thread::available_parallelism().map(usize::from).unwrap_or(2).clamp(2, 8)
@@ -299,6 +521,7 @@ impl Server {
                 metrics: Arc::clone(&metrics),
                 queue_capacity: options.queue_capacity.max(1),
                 shutdown: Arc::clone(&shutdown),
+                cluster: cluster.clone(),
             };
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
@@ -308,21 +531,76 @@ impl Server {
                 thread::Builder::new()
                     .name(format!("worker-{i}"))
                     .spawn(move || {
-                        while let Some(conn) = queue.pop(&shutdown) {
-                            serve_connection(conn, &handler, default_deadline_ms, max_frame_bytes);
+                        while let Some(work) = queue.pop(&shutdown) {
+                            match work {
+                                Work::Conn(conn) => serve_connection(
+                                    conn,
+                                    &handler,
+                                    default_deadline_ms,
+                                    max_frame_bytes,
+                                ),
+                                Work::Frame(conn, json, blob) => {
+                                    serve_frame(conn, json, blob, &handler, default_deadline_ms);
+                                }
+                            }
                         }
                     })
                     .expect("spawn worker"),
             );
         }
 
-        Ok(Server { shutdown, threads, tcp_addr, unix_path })
+        // The periodic snapshotter: bounds how much warmth a crash can
+        // lose. The graceful paths (drain, SIGTERM) write their own
+        // final snapshot in `join`.
+        if let (Some(path), Some(interval_ms)) = (&options.snapshot, options.snapshot_interval_ms) {
+            let path = path.clone();
+            let store = Arc::clone(&store);
+            let shutdown = Arc::clone(&shutdown);
+            let interval = Duration::from_millis(interval_ms.max(1));
+            threads.push(
+                thread::Builder::new()
+                    .name("snapshotter".into())
+                    .spawn(move || {
+                        let mut last = Instant::now();
+                        while !shutdown.load(Ordering::SeqCst) && !SIGTERM.load(Ordering::SeqCst) {
+                            thread::sleep(Duration::from_millis(100).min(interval));
+                            if last.elapsed() < interval {
+                                continue;
+                            }
+                            if let Err(e) = snapshot::write(&path, &store, store.options()) {
+                                eprintln!(
+                                    "spike-served: periodic snapshot to {} failed: {e}",
+                                    path.display()
+                                );
+                            }
+                            last = Instant::now();
+                        }
+                    })
+                    .expect("spawn snapshotter"),
+            );
+        }
+
+        Ok(Server {
+            shutdown,
+            threads,
+            tcp_addr,
+            unix_path,
+            store,
+            snapshot_path: options.snapshot.clone(),
+            restored,
+        })
     }
 
     /// The bound TCP address, if a TCP listener was configured — the way
     /// to learn the port after binding `:0`.
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_addr
+    }
+
+    /// What the startup snapshot restore installed, if a snapshot was
+    /// configured, present, and valid.
+    pub fn restored(&self) -> Option<RestoreReport> {
+        self.restored
     }
 
     /// Whether a drain has been requested (by [`shutdown`](Self::shutdown),
@@ -373,6 +651,20 @@ impl Server {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Drain-time snapshot: every accepted request has been answered
+        // and the workers are gone, so this captures the final warm
+        // state. A plain restart pointed at the same file starts warm.
+        if let Some(path) = &self.snapshot_path {
+            match snapshot::write(path, &self.store, self.store.options()) {
+                Ok((entries, bytes)) => eprintln!(
+                    "spike-served: wrote snapshot of {entries} cached analyses ({bytes} bytes) to {}",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("spike-served: final snapshot to {} failed: {e}", path.display());
+                }
+            }
+        }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
@@ -401,9 +693,10 @@ fn spawn_acceptor(
         .spawn(move || {
             while !shutdown.load(Ordering::SeqCst) && !SIGTERM.load(Ordering::SeqCst) {
                 match accept() {
-                    Ok(conn) => match queue.push(conn) {
+                    Ok(conn) => match queue.push(Work::Conn(conn)) {
                         Ok(depth) => metrics.observe_queue_depth(depth),
-                        Err(mut refused) => {
+                        Err(refused) => {
+                            let Work::Conn(mut refused) = refused else { unreachable!() };
                             metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
                             // Backpressure is explicit: the refused client
                             // gets a structured reply, not a hang.
@@ -450,6 +743,33 @@ fn serve_connection(
         }
         Err(FrameError::Io(_)) => return,
     };
+    dispatch(conn, json, blob, handler, default_deadline_ms);
+}
+
+/// Serves a frame the reactor already read: re-arms blocking I/O with
+/// timeouts for the reply write, then dispatches like the threaded path.
+pub(crate) fn serve_frame(
+    mut conn: Conn,
+    json: Json,
+    blob: Vec<u8>,
+    handler: &Handler,
+    default_deadline_ms: u64,
+) {
+    if conn.prepare().is_err() {
+        return;
+    }
+    dispatch(conn, json, blob, handler, default_deadline_ms);
+}
+
+/// The shared tail of both intake paths: decode the request, run it
+/// under `catch_unwind`, record latency, write the reply.
+fn dispatch(
+    mut conn: Conn,
+    json: Json,
+    blob: Vec<u8>,
+    handler: &Handler,
+    default_deadline_ms: u64,
+) {
     let request = match Request::from_json(&json) {
         Ok(r) => r,
         Err(msg) => {

@@ -15,7 +15,8 @@ use spike_program::{Program, ProgramBuilder, Rewriter};
 use spike_serve::proto::{read_frame, FrameError, FrameRead};
 use spike_serve::render;
 use spike_serve::{
-    client, Command, Endpoint, ErrorKind, LintFormat, Request, Response, ServeOptions, Server,
+    client, Command, Endpoint, ErrorKind, LintFormat, Request, Response, Ring, RouterOptions,
+    ServeOptions, Server,
 };
 
 /// Starts a daemon on an ephemeral TCP port and returns it with its
@@ -277,4 +278,152 @@ fn concurrent_submissions_of_one_image_coalesce_to_a_single_analysis() {
     assert_eq!(counter(&s, "cache", "misses"), 1, "single-flight must dedupe the analysis: {s}");
     assert_eq!(counter(&s, "cache", "hits") + counter(&s, "cache", "coalesced"), 3, "{s}");
     stop(server, &endpoint);
+}
+
+#[test]
+fn drain_snapshot_makes_a_plain_restart_start_warm() {
+    let dir = std::env::temp_dir().join(format!("spike-serve-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("cache.snap");
+    let analyze = || Command::Analyze { summaries: false, routine: None };
+
+    let images: Vec<Vec<u8>> =
+        (0..2).map(|i| spike_synth::generate_executable(61 + i, 8).to_image()).collect();
+    let (server, endpoint) = start(|o| o.snapshot = Some(snap.clone()));
+    assert!(server.restored().is_none(), "nothing to restore on the first boot");
+    let first: Vec<String> = images
+        .iter()
+        .enumerate()
+        .map(|(i, image)| {
+            let r = send(&endpoint, &req(analyze(), &format!("img{i}")), image);
+            assert_eq!(r.exit, 0, "{:?}", r.error);
+            assert!(r.diag.contains("cache: miss"), "{}", r.diag);
+            r.stdout
+        })
+        .collect();
+    stop(server, &endpoint);
+    assert!(snap.exists(), "graceful drain must write the final snapshot");
+
+    // Same options, same snapshot path: the restart begins warm and
+    // serves byte-identical reports without a single analysis.
+    let (server, endpoint) = start(|o| o.snapshot = Some(snap.clone()));
+    let report = server.restored().expect("snapshot restores");
+    assert_eq!(report.entries, 2);
+    for (i, image) in images.iter().enumerate() {
+        let r = send(&endpoint, &req(analyze(), &format!("img{i}")), image);
+        assert_eq!(r.exit, 0, "{:?}", r.error);
+        assert!(r.diag.contains("cache: hit"), "restored entries must serve warm: {}", r.diag);
+        assert_eq!(r.stdout, first[i], "restored analysis must render identically");
+    }
+    let s = stats(&endpoint);
+    assert_eq!(counter(&s, "cache", "restored"), 2, "{s}");
+    assert_eq!(counter(&s, "cache", "misses"), 0, "{s}");
+    stop(server, &endpoint);
+
+    // A corrupted snapshot file degrades to a cold start, not a panic.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x5A;
+    std::fs::write(&snap, &bytes).unwrap();
+    let (server, endpoint) = start(|o| o.snapshot = Some(snap.clone()));
+    assert!(server.restored().is_none(), "corrupt snapshot must be rejected");
+    let r = send(&endpoint, &req(analyze(), "img0"), &images[0]);
+    assert_eq!(r.exit, 0, "{:?}", r.error);
+    assert!(r.diag.contains("cache: miss"), "cold fallback: {}", r.diag);
+    assert_eq!(r.stdout, first[0], "cold answers still match");
+    stop(server, &endpoint);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Grabs `n` distinct ephemeral ports and frees them, so a cluster can
+/// be configured with every member's address known up front.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> =
+        (0..n).map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+}
+
+#[test]
+fn cluster_routes_by_content_hash_and_forwards_misroutes() {
+    let shards = reserve_addrs(3);
+    let servers: Vec<Server> = (0..shards.len())
+        .map(|i| {
+            Server::start(&ServeOptions {
+                tcp: Some(shards[i].clone()),
+                cluster: shards.clone(),
+                shard_index: Some(i),
+                ..ServeOptions::default()
+            })
+            .expect("shard starts")
+        })
+        .collect();
+    let router = spike_serve::Router::start(&RouterOptions {
+        listen: "127.0.0.1:0".into(),
+        shards: shards.clone(),
+        ..RouterOptions::default()
+    })
+    .expect("router starts");
+    let via_router = Endpoint::Tcp(router.addr().to_string());
+
+    let images: Vec<(String, Vec<u8>)> = (0..6)
+        .map(|i| {
+            let program = spike_synth::generate_executable(71 + i, 6);
+            (format!("img{i}"), program.to_image())
+        })
+        .collect();
+    let ring = Ring::new(shards.clone());
+    let owners: Vec<usize> = images.iter().map(|(_, image)| ring.owner_of(key_of(image))).collect();
+    assert!(
+        owners.iter().collect::<std::collections::HashSet<_>>().len() >= 2,
+        "sample images should spread over shards: {owners:?}"
+    );
+
+    let analyze = || Command::Analyze { summaries: false, routine: None };
+    for (name, image) in &images {
+        // Through the router: the answer matches the local library path
+        // byte for byte, whichever shard served it.
+        let program = Program::from_image(image).unwrap();
+        let analysis = spike_core::analyze_with(&program, &AnalysisOptions::default());
+        let expected = render::analyze_report(name, &program, &analysis, false, None).unwrap();
+        let r = send(&via_router, &req(analyze(), name), image);
+        assert_eq!(r.exit, 0, "{:?}", r.error);
+        assert_eq!(r.stdout, expected, "routed response must match the local path");
+
+        // Straight at the wrong shard: forwarded to the owner, same
+        // bytes, and the diagnostics say so.
+        let owner = ring.owner_of(key_of(image));
+        let wrong = (owner + 1) % shards.len();
+        let r = send(&Endpoint::Tcp(shards[wrong].clone()), &req(analyze(), name), image);
+        assert_eq!(r.exit, 0, "{:?}", r.error);
+        assert_eq!(r.stdout, expected, "forwarded response must be byte-identical");
+        assert!(r.diag.contains("cluster: forwarded to shard"), "{}", r.diag);
+    }
+
+    // Each shard's warm set is disjoint: the cluster analyzed each image
+    // exactly once, on its owner, and holds exactly one copy.
+    let mut total_entries = 0;
+    let mut total_misses = 0;
+    let mut total_forwarded = 0;
+    for addr in &shards {
+        let s = stats(&Endpoint::Tcp(addr.clone()));
+        total_entries += counter(&s, "cache", "entries");
+        total_misses += counter(&s, "cache", "misses");
+        total_forwarded += s.get("forwarded").and_then(Json::as_u64).unwrap();
+    }
+    assert_eq!(total_entries, images.len() as u64, "one warm copy per image, cluster-wide");
+    assert_eq!(total_misses, images.len() as u64, "each image analyzed exactly once");
+    assert_eq!(total_forwarded, images.len() as u64, "every wrong-shard send was forwarded");
+
+    // One shutdown through the router drains the whole cluster.
+    let r = send(&via_router, &req(Command::Shutdown, ""), &[]);
+    assert_eq!(r.exit, 0, "{:?}", r.error);
+    router.join();
+    for server in servers {
+        server.join();
+    }
+}
+
+/// The image content hash, via the public serve API.
+fn key_of(image: &[u8]) -> spike_serve::cache::CacheKey {
+    spike_serve::cache::CacheKey::of(image)
 }
