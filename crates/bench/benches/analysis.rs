@@ -218,7 +218,8 @@ fn bench_serve(c: &mut Criterion) {
     };
     let server = Server::start(&options).expect("daemon starts");
     let endpoint = Endpoint::Tcp(server.tcp_addr().expect("tcp bound").to_string());
-    let request = |cmd: Command| Request { cmd, image_name: "img".into(), deadline_ms: None };
+    let request =
+        |cmd: Command| Request { cmd, image_name: "img".into(), deadline_ms: None, profile_len: 0 };
     let send = |cmd: Command, image: &[u8]| {
         let (r, _) = client::request(&endpoint, &request(cmd), image).expect("round-trip");
         assert_eq!(r.exit, 0, "{:?}", r.error);

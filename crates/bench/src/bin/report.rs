@@ -32,6 +32,12 @@
 //! solve time over a deterministic routine sample, cross-checked
 //! bit-identical to the dense solution slice, written to
 //! `BENCH_query.json`.
+//! The `pgo` section (not part of `all`) profiles all 16 benchmarks
+//! under the simulator, re-optimizes each with its profile, and counts
+//! the dynamic instructions both variants need to produce the same
+//! output prefix; written to `BENCH_pgo.json`. It uses a fixed
+//! calibrated shape (scale 20/routines, seed 1) rather than `--scale`,
+//! matching the workspace PGO property tests.
 
 use std::collections::BTreeSet;
 
@@ -72,7 +78,7 @@ fn main() {
                 println!(
                     "report [--scale S] [--seed N] [--baseline] [--threads N] \
                      [table1|table2|table3|table4|table5|fig13|fig14|fig15|opts|parallel|\
-                     incremental|phases|serve|serve_cluster|queries|all]"
+                     incremental|phases|serve|serve_cluster|queries|pgo|all]"
                 );
                 return;
             }
@@ -93,6 +99,7 @@ fn main() {
                 "serve",
                 "serve_cluster",
                 "queries",
+                "pgo",
                 "all",
             ]
             .contains(&s) =>
@@ -121,6 +128,7 @@ fn main() {
                 | "serve"
                 | "serve_cluster"
                 | "queries"
+                | "pgo"
         )
     });
 
@@ -187,6 +195,9 @@ fn main() {
     }
     if sections.contains("queries") {
         queries_report(scale, seed, threads);
+    }
+    if sections.contains("pgo") {
+        pgo_report(threads);
     }
 }
 
@@ -978,6 +989,7 @@ fn serve_report(scale: f64, seed: u64) {
 
     let analyze = || Command::Analyze { summaries: false, routine: None };
     let request = |image_name: &str| Request {
+        profile_len: 0,
         cmd: analyze(),
         image_name: image_name.to_string(),
         deadline_ms: None,
@@ -1069,7 +1081,12 @@ fn serve_report(scale: f64, seed: u64) {
             let incr_rps = drive(&endpoint, &variants, clients);
             let (stats, _) = client::request(
                 &endpoint,
-                &Request { cmd: Command::Stats, image_name: String::new(), deadline_ms: None },
+                &Request {
+                    cmd: Command::Stats,
+                    image_name: String::new(),
+                    deadline_ms: None,
+                    profile_len: 0,
+                },
                 &[],
             )
             .expect("stats round-trip");
@@ -1082,7 +1099,12 @@ fn serve_report(scale: f64, seed: u64) {
 
             let (_, _) = client::request(
                 &endpoint,
-                &Request { cmd: Command::Shutdown, image_name: String::new(), deadline_ms: None },
+                &Request {
+                    cmd: Command::Shutdown,
+                    image_name: String::new(),
+                    deadline_ms: None,
+                    profile_len: 0,
+                },
                 &[],
             )
             .expect("shutdown round-trip");
@@ -1195,9 +1217,18 @@ fn serve_cluster_report(scale: f64, seed: u64) {
     use std::time::{Duration, Instant};
 
     let analyze = || Command::Analyze { summaries: false, routine: None };
-    let request =
-        |name: &str| Request { cmd: analyze(), image_name: name.to_string(), deadline_ms: None };
-    let blobless = |cmd: Command| Request { cmd, image_name: String::new(), deadline_ms: None };
+    let request = |name: &str| Request {
+        cmd: analyze(),
+        image_name: name.to_string(),
+        deadline_ms: None,
+        profile_len: 0,
+    };
+    let blobless = |cmd: Command| Request {
+        cmd,
+        image_name: String::new(),
+        deadline_ms: None,
+        profile_len: 0,
+    };
     let shutdown_cmd = |endpoint: &Endpoint| {
         let (r, _) = client::request(endpoint, &blobless(Command::Shutdown), &[])
             .expect("shutdown round trip");
@@ -1467,4 +1498,106 @@ fn serve_cluster_report(scale: f64, seed: u64) {
     .expect("cluster row is JSON");
 
     update_bench_serve(vec![("loadgen", loadgen_json), ("cluster", cluster_json)]);
+}
+
+/// Profiles every paper benchmark under the simulator, re-optimizes it
+/// with the measured profile, and counts the dynamic instructions the
+/// PGO build saves over a LICM-less build producing the same output
+/// prefix. Uses the same calibrated shape as the workspace PGO property
+/// tests (scale 20/routines, seed 1) so the committed `BENCH_pgo.json`
+/// reflects exactly what `tests/prop_pgo.rs` verifies for behaviour.
+fn pgo_report(threads: usize) {
+    use spike_core::AnalysisOptions;
+    use spike_opt::{optimize_with, OptOptions};
+    use spike_profile::Profile;
+    use spike_sim::{run, run_profiled, steps_to_output};
+
+    const PROFILE_FUEL: u64 = 200_000;
+
+    println!("## Profile-guided loop optimization: dynamic instructions to equal output\n");
+    println!(
+        "{:<10} {:>9} {:>7} {:>5} {:>12} {:>12} {:>9}",
+        "benchmark", "routines", "hoists", "spill", "base (dyn)", "pgo (dyn)", "saved"
+    );
+
+    let analysis = AnalysisOptions { threads, ..AnalysisOptions::default() };
+    let mut rows = Vec::new();
+    let mut reduced = 0usize;
+    let mut total = 0usize;
+    for p in profiles() {
+        eprintln!("profiling {} ...", p.name);
+        let program = spike_synth::generate(&p, 20.0 / p.routines as f64, 1);
+        let (_, exec) = run_profiled(&program, PROFILE_FUEL);
+        let profile = Profile::collect(&program, &exec);
+
+        let base_opts =
+            OptOptions { analysis: analysis.clone(), licm: false, ..OptOptions::default() };
+        let pgo_opts = OptOptions {
+            analysis: analysis.clone(),
+            profile: Some(profile),
+            ..OptOptions::default()
+        };
+        let (base, _) = optimize_with(&program, &base_opts).expect("baseline optimizes");
+        let (pgo, rep) = optimize_with(&program, &pgo_opts).expect("pgo optimizes");
+
+        // Both variants preserve behaviour, so equal output prefixes are
+        // comparable work: count the instructions each needs to emit the
+        // longest prefix both produce within the fuel budget.
+        let outputs = |prog: &spike_program::Program| match run(prog, PROFILE_FUEL) {
+            Outcome::Halted { output, .. } | Outcome::OutOfFuel { output, .. } => output.len(),
+            _ => 0,
+        };
+        let k = outputs(&base).min(outputs(&pgo));
+        let dyn_base = steps_to_output(&base, PROFILE_FUEL, k).expect("k outputs were produced");
+        let dyn_pgo = steps_to_output(&pgo, PROFILE_FUEL, k).expect("k outputs were produced");
+
+        total += 1;
+        if dyn_pgo < dyn_base {
+            reduced += 1;
+        }
+        let saved_pct = if dyn_base == 0 {
+            0.0
+        } else {
+            100.0 * (dyn_base as f64 - dyn_pgo as f64) / dyn_base as f64
+        };
+        println!(
+            "{:<10} {:>9} {:>7} {:>5} {:>12} {:>12} {:>8.1}%",
+            p.name,
+            program.routines().len(),
+            rep.loads_hoisted + rep.ops_hoisted,
+            rep.spill_pairs_removed,
+            dyn_base,
+            dyn_pgo,
+            saved_pct,
+        );
+        rows.push(format!(
+            "    {{\"benchmark\": \"{}\", \"routines\": {}, \"outputs\": {k}, \
+             \"loads_hoisted\": {}, \"ops_hoisted\": {}, \"spill_pairs_removed\": {}, \
+             \"spill_dynamic_saved\": {}, \"dyn_insns_base\": {dyn_base}, \
+             \"dyn_insns_pgo\": {dyn_pgo}, \"reduced\": {}}}",
+            p.name,
+            program.routines().len(),
+            rep.loads_hoisted,
+            rep.ops_hoisted,
+            rep.spill_pairs_removed,
+            rep.spill_dynamic_saved,
+            dyn_pgo < dyn_base,
+        ));
+    }
+
+    println!("\n  {reduced} of {total} profiles execute fewer dynamic instructions with PGO");
+    assert!(
+        reduced * 4 >= total * 3,
+        "PGO regression: only {reduced} of {total} profiles improved (acceptance: >= 12 of 16)"
+    );
+
+    let json = format!(
+        "{{\n  \"profile_fuel\": {PROFILE_FUEL},\n  \"seed\": 1,\n  \"profiles\": {total},\n  \
+         \"reduced\": {reduced},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    match std::fs::write("BENCH_pgo.json", &json) {
+        Ok(()) => println!("\n  wrote BENCH_pgo.json\n"),
+        Err(e) => eprintln!("cannot write BENCH_pgo.json: {e}"),
+    }
 }

@@ -44,6 +44,7 @@ mod block;
 mod blockset;
 mod build;
 mod dom;
+mod loops;
 mod order;
 mod program_cfg;
 mod snap;
@@ -52,5 +53,6 @@ pub use block::{BasicBlock, BlockId, CallTarget, TermKind};
 pub use blockset::BlockSet;
 pub use build::RoutineCfg;
 pub use dom::DomTree;
+pub use loops::{LoopForest, NaturalLoop};
 pub use order::{postorder, reverse_postorder};
 pub use program_cfg::{ProgramCfg, SupergraphCounts};

@@ -2,7 +2,7 @@
 
 use std::error::Error;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use spike_core::{analyze, analyze_with, AnalysisCache, AnalysisOptions, Query, Representation};
@@ -21,11 +21,18 @@ commands:
   gen-exec [--routines K] [--seed N] -o <img>       generate a runnable image
   asm <file.s> -o <img>                             assemble a text module
   disasm <img>                                      disassemble to parseable assembly
-  analyze <img> [--summaries] [--routine NAME] [--threads N] [--sparse|--dense]
-                                                    interprocedural dataflow analysis
-  optimize <img> -o <img> [--threads N] [--iterate]
+  analyze <img> [--summaries] [--routine NAME] [--profile p.prof] [--threads N]
+                [--sparse|--dense]                  interprocedural dataflow analysis
+                                                    (--profile adds hot/cold routines)
+  optimize <img> -o <img> [--threads N] [--iterate] [--profile p.prof] [--no-licm]
            [--incremental|--no-incremental]         apply the Figure-1 optimizations
+                                                    plus loop-invariant code motion;
+                                                    --profile weights loop and spill
+                                                    decisions with measured counts
   run <img> [--fuel N]                              execute under the simulator
+  profile <img> [--out p.prof] [--fuel N]           execute with edge/call/routine
+                                                    counters and write (or merge into)
+                                                    an execution profile
   lint <img> [--format human|json]                  interprocedural static checks
   query <kind> <routine> [<callee>] <img>           demand-driven analysis query
                                                     (summary, live-at-entry, uninit,
@@ -71,6 +78,7 @@ pub fn dispatch(args: &[String]) -> Result<ExitCode> {
         Some("analyze") => cmd_analyze(&args[1..]).map(ok),
         Some("optimize") => cmd_optimize(&args[1..]).map(ok),
         Some("run") => cmd_run(&args[1..]).map(ok),
+        Some("profile") => cmd_profile(&args[1..]).map(ok),
         Some("lint") => cmd_lint(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("compare") => compare(&args[1..]).map(ok),
@@ -109,6 +117,8 @@ struct Opts<'a> {
     threads: usize,
     iterate: bool,
     incremental: bool,
+    licm: bool,
+    profile: Option<&'a str>,
     format: &'a str,
     listen: Option<&'a str>,
     unix: Option<&'a str>,
@@ -142,6 +152,8 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
         threads: 0,
         iterate: false,
         incremental: true,
+        licm: true,
+        profile: None,
         format: "human",
         listen: None,
         unix: None,
@@ -178,6 +190,8 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
             "--iterate" => o.iterate = true,
             "--incremental" => o.incremental = true,
             "--no-incremental" => o.incremental = false,
+            "--no-licm" => o.licm = false,
+            "--profile" => o.profile = Some(want("--profile")?),
             "--format" => o.format = want("--format")?,
             "--listen" => o.listen = Some(want("--listen")?),
             "--unix" => o.unix = Some(want("--unix")?),
@@ -213,6 +227,21 @@ fn parse(args: &[String]) -> Result<Opts<'_>> {
 fn load(path: &str) -> Result<Program> {
     let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(Program::from_image(&bytes)?)
+}
+
+/// Loads a `--profile` file and verifies it binds to `image`. A stale or
+/// corrupt profile is a usage error (exit 2), with the same message the
+/// daemon puts in its `bad-request` response.
+fn load_profile(path: &str, image: &[u8]) -> Result<spike_profile::Profile> {
+    let profile = spike_profile::Profile::load(Path::new(path))
+        .map_err(|e| format!("cannot load profile {path}: {e}"))?;
+    if !profile.matches(image) {
+        return Err(format!(
+            "{path}: profile was collected from a different program image (stale profile)"
+        )
+        .into());
+    }
+    Ok(profile)
 }
 
 fn save(program: &Program, path: &str) -> Result<()> {
@@ -286,7 +315,9 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
     let [path] = o.positional[..] else {
         return Err("analyze needs an image path".into());
     };
-    let program = load(path)?;
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = Program::from_image(&bytes)?;
+    let profile = o.profile.map(|p| load_profile(p, &bytes)).transpose()?;
     let options = AnalysisOptions {
         threads: o.threads,
         representation: o.representation,
@@ -298,6 +329,9 @@ fn cmd_analyze(args: &[String]) -> Result<()> {
     // analyze` is byte-identical to this path.
     let report = render::analyze_report(path, &program, &analysis, o.summaries, o.routine)?;
     print!("{report}");
+    if let Some(p) = &profile {
+        print!("{}", render::profile_report(&program, p));
+    }
     eprint!("{}", render::analyze_diag(&analysis.stats));
     Ok(())
 }
@@ -307,7 +341,10 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
     let [path] = o.positional[..] else {
         return Err("optimize needs an image path".into());
     };
-    let program = load(path)?;
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = Program::from_image(&bytes)?;
+    let profile = o.profile.map(|p| load_profile(p, &bytes)).transpose()?;
+    let pgo = profile.is_some();
     let opt_options = spike_opt::OptOptions {
         analysis: AnalysisOptions {
             threads: o.threads,
@@ -316,12 +353,14 @@ fn cmd_optimize(args: &[String]) -> Result<()> {
         },
         iterate: o.iterate,
         incremental: o.incremental,
+        licm: o.licm,
+        profile,
         ..spike_opt::OptOptions::default()
     };
     let (optimized, report) = spike_opt::optimize_with(&program, &opt_options)?;
     let out = o.out.ok_or("optimize needs -o <img>")?;
     save(&optimized, out)?;
-    print!("{}", render::optimize_report(path, out, &report, o.incremental));
+    print!("{}", render::optimize_report(path, out, &report, o.incremental, pgo));
     Ok(())
 }
 
@@ -343,6 +382,51 @@ fn cmd_run(args: &[String]) -> Result<()> {
         Outcome::Fault(f) => Err(format!("fault: {f}").into()),
         other => Err(format!("unexpected simulator outcome: {other:?}").into()),
     }
+}
+
+fn cmd_profile(args: &[String]) -> Result<()> {
+    let o = parse(args)?;
+    let [path] = o.positional[..] else {
+        return Err("profile needs an image path".into());
+    };
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = Program::from_image(&bytes)?;
+    let out = o.out.map(str::to_string).unwrap_or_else(|| format!("{path}.prof"));
+
+    let (outcome, exec) = spike_sim::run_profiled(&program, o.fuel);
+    let mut profile = spike_profile::Profile::collect(&program, &exec);
+
+    // A profile file for the same image accumulates: counts from every
+    // run add up. A file bound to a *different* image is replaced (its
+    // counts are meaningless here), with a note on stderr.
+    let mut merged = false;
+    if fs::metadata(&out).is_ok() {
+        let existing = spike_profile::Profile::load(Path::new(&out))
+            .map_err(|e| format!("cannot load existing profile {out}: {e}"))?;
+        if existing.matches(&bytes) {
+            profile.merge(&existing).map_err(|e| format!("cannot merge into {out}: {e}"))?;
+            merged = true;
+        } else {
+            eprintln!("spike: {out} was collected from a different image; replacing it");
+        }
+    }
+    profile.save(Path::new(&out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    let ending = match &outcome {
+        Outcome::Halted { .. } => "halted",
+        Outcome::OutOfFuel { .. } => "ran out of fuel",
+        Outcome::Fault(_) => "faulted",
+        _ => "stopped",
+    };
+    println!(
+        "wrote {out}: {} after {} instructions, {} call(s); {} run(s) recorded{}",
+        ending,
+        exec.total_steps,
+        profile.calls,
+        profile.runs,
+        if merged { " (merged)" } else { "" }
+    );
+    Ok(())
 }
 
 fn cmd_lint(args: &[String]) -> Result<ExitCode> {
@@ -606,6 +690,7 @@ fn client(args: &[String]) -> Result<ExitCode> {
                     out: out.to_string(),
                     iterate: o.iterate,
                     incremental: o.incremental,
+                    licm: o.licm,
                 },
                 Some(image_path("optimize")?),
             )
@@ -628,19 +713,29 @@ fn client(args: &[String]) -> Result<ExitCode> {
     };
 
     // The image is read client-side: an unreadable file fails here with
-    // the same message and exit code (2) as the local commands.
-    let image = match path {
+    // the same message and exit code (2) as the local commands. A
+    // `--profile` file rides in the same frame blob, after the image;
+    // it is validated client-side too, so a stale profile fails with the
+    // local path's message before any bytes go over the wire.
+    let mut blob = match path {
         Some(p) => fs::read(p).map_err(|e| format!("cannot read {p}: {e}"))?,
         None => Vec::new(),
     };
+    let mut profile_len = 0;
+    if let Some(ppath) = o.profile {
+        let profile_bytes = load_profile(ppath, &blob)?.to_bytes();
+        profile_len = profile_bytes.len();
+        blob.extend_from_slice(&profile_bytes);
+    }
     let request = Request {
         cmd,
         image_name: path.unwrap_or_default().to_string(),
         deadline_ms: o.deadline_ms,
+        profile_len,
     };
     let (response, blob) = match &endpoint {
-        Some(endpoint) => spike_serve::client::request(endpoint, &request, &image)?,
-        None => spike_serve::cluster::cluster_request(&o.cluster, &request, &image)?,
+        Some(endpoint) => spike_serve::client::request(endpoint, &request, &blob)?,
+        None => spike_serve::cluster::cluster_request(&o.cluster, &request, &blob)?,
     };
     if let Some((kind, message)) = &response.error {
         eprint!("{}", response.diag);

@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use spike_cfg::{ProgramCfg, RoutineCfg};
+use spike_cfg::{DomTree, LoopForest, ProgramCfg, RoutineCfg};
 use spike_isa::{CallingStandard, CloneExact, HeapSize, Reg, RegSet};
 use spike_program::{Program, RoutineId};
 
@@ -113,6 +113,52 @@ impl Default for AnalysisOptions {
     }
 }
 
+/// Loop-structure counts for one routine (or, aggregated with
+/// [`Analysis::loop_stats`], a whole program): what the natural-loop
+/// forest over the execution-graph dominator tree
+/// ([`spike_cfg::LoopForest`]) found. These are the static weights the
+/// profile-guided layer falls back to when no execution profile is
+/// supplied — loop depth stands in for execution count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LoopStats {
+    /// Natural loops detected (back edges with a dominating header,
+    /// merged per header).
+    pub loops: usize,
+    /// Loops overlapping an irreducible region; loop optimizations skip
+    /// these.
+    pub irreducible_loops: usize,
+    /// Deepest loop nesting (0 = no loops).
+    pub max_depth: u32,
+    /// Basic blocks inside at least one loop.
+    pub blocks_in_loops: usize,
+}
+
+impl LoopStats {
+    /// Folds another routine's counts into an aggregate: counts add,
+    /// depths max.
+    pub fn absorb(&mut self, other: LoopStats) {
+        self.loops += other.loops;
+        self.irreducible_loops += other.irreducible_loops;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.blocks_in_loops += other.blocks_in_loops;
+    }
+}
+
+/// Loop counts of one routine, from its execution-graph loop forest.
+pub(crate) fn routine_loop_stats(cfg: &RoutineCfg) -> LoopStats {
+    let dom = DomTree::dominators_linked(cfg);
+    let forest = LoopForest::build(cfg, &dom);
+    let blocks_in_loops = (0..cfg.blocks().len())
+        .filter(|&b| forest.depth_of(spike_cfg::BlockId::from_index(b)) > 0)
+        .count();
+    LoopStats {
+        loops: forest.loops().len(),
+        irreducible_loops: forest.loops().iter().filter(|l| l.irreducible).count(),
+        max_depth: forest.max_depth(),
+        blocks_in_loops,
+    }
+}
+
 /// Wall-clock time and effort per pipeline stage (Figure 13 of the paper)
 /// plus the deterministic memory footprint (Table 2 / Figure 15).
 #[derive(Clone, Copy, Debug, Default)]
@@ -195,8 +241,22 @@ pub struct Analysis {
     pub stack: StackAnalysis,
     /// The control-flow graphs the analysis was computed over.
     pub cfg: ProgramCfg,
+    /// Per-routine loop-structure counts (indexed by routine id), from
+    /// the execution-graph loop forest each routine's CFG induces.
+    pub loops: Vec<LoopStats>,
     /// Stage timings, effort counters and memory footprint.
     pub stats: AnalysisStats,
+}
+
+impl Analysis {
+    /// Whole-program aggregate of the per-routine loop counts.
+    pub fn loop_stats(&self) -> LoopStats {
+        let mut total = LoopStats::default();
+        for &l in &self.loops {
+            total.absorb(l);
+        }
+        total
+    }
 }
 
 impl CloneExact for Analysis {
@@ -206,6 +266,7 @@ impl CloneExact for Analysis {
             summary: self.summary.clone_exact(),
             stack: self.stack.clone_exact(),
             cfg: self.cfg.clone_exact(),
+            loops: self.loops.clone(),
             stats: self.stats,
         }
     }
@@ -256,6 +317,9 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
     par_for_each_mut(&mut cfgs, workers, |c| c.init_def_ubd(program));
     let init = t.elapsed();
     let cfg = ProgramCfg::from_cfgs(cfgs);
+    let loops: Vec<LoopStats> = par_map(n_routines, workers, |i| {
+        routine_loop_stats(cfg.routine_cfg(RoutineId::from_index(i)))
+    });
 
     let t = Instant::now();
     let mut psg = build_psg(program, &cfg, options, workers);
@@ -363,6 +427,7 @@ pub fn analyze_with(program: &Program, options: &AnalysisOptions) -> Analysis {
         summary,
         stack,
         cfg,
+        loops,
         stats: AnalysisStats {
             cfg_build,
             init,

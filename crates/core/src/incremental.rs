@@ -34,8 +34,8 @@ use spike_isa::{HeapSize, RegSet};
 use spike_program::{Program, RoutineId};
 
 use crate::analysis::{
-    analyze_with, exported_exit_seeds, phase1_seed_order, Analysis, AnalysisOptions, AnalysisStats,
-    Representation, Scheduler,
+    analyze_with, exported_exit_seeds, phase1_seed_order, routine_loop_stats, Analysis,
+    AnalysisOptions, AnalysisStats, Representation, Scheduler,
 };
 use crate::build::{plan_routine_edges, plan_routine_nodes, RoutineEdgePlan};
 use crate::callee_saved::saved_restored_registers;
@@ -394,7 +394,8 @@ fn try_reanalyze(
     sparse_cache: &mut Option<SparseProgram>,
 ) -> Result<Analysis, ()> {
     let n_routines = program.routines().len();
-    let Analysis { mut psg, summary: _, stack: prev_stack, cfg, stats: _ } = cached;
+    let Analysis { mut psg, summary: _, stack: prev_stack, cfg, loops: mut loop_stats, stats: _ } =
+        cached;
 
     let mut dirty_mask = vec![false; n_routines];
     for &r in dirty {
@@ -424,6 +425,12 @@ fn try_reanalyze(
     }
     let init = t.elapsed();
     let cfg = ProgramCfg::from_cfgs(cfgs);
+    // Loop structure derives purely from block structure: clean routines
+    // keep their counts (rebasing moves addresses, not shape), dirty
+    // routines are redetected.
+    for &r in dirty {
+        loop_stats[r.index()] = routine_loop_stats(cfg.routine_cfg(r));
+    }
 
     // --- Patch the PSG's dirty routines in place. ---
     let t = Instant::now();
@@ -562,6 +569,7 @@ fn try_reanalyze(
         summary,
         stack,
         cfg,
+        loops: loop_stats,
         stats: AnalysisStats {
             cfg_build,
             init,

@@ -63,7 +63,8 @@ mod summary;
 pub mod worklist;
 
 pub use analysis::{
-    analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats, Representation, Scheduler,
+    analyze, analyze_with, Analysis, AnalysisOptions, AnalysisStats, LoopStats, Representation,
+    Scheduler,
 };
 pub use callee_saved::saved_restored_registers;
 pub use incremental::{reanalyze, AnalysisCache};

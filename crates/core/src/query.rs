@@ -345,11 +345,19 @@ impl QueryEngine {
             + self.psg.heap_bytes()
             + summary.heap_bytes()
             + self.stack.heap_bytes();
+        let loops = (0..n_routines)
+            .map(|i| {
+                crate::analysis::routine_loop_stats(
+                    self.cfg.routine_cfg(spike_program::RoutineId::from_index(i)),
+                )
+            })
+            .collect();
         Analysis {
             psg: self.psg,
             summary,
             stack: self.stack,
             cfg: self.cfg,
+            loops,
             stats: AnalysisStats {
                 cfg_build: self.cfg_build,
                 init: self.init,

@@ -44,6 +44,7 @@
 //! ```
 
 mod dead;
+mod licm;
 mod liveness;
 mod save_restore;
 mod spill;
@@ -76,6 +77,14 @@ pub struct OptOptions {
     /// Dead-stack-store elimination and frame shrinking, driven by the
     /// interprocedural stack-slot analysis.
     pub stack: bool,
+    /// Loop-invariant code motion into synthesized preheaders, guarded
+    /// by the interprocedural MOD/REF summaries and register liveness.
+    pub licm: bool,
+    /// An execution profile of the *input* image. When present (and its
+    /// fingerprint matches), LICM weighs hoists by measured execution
+    /// counts instead of the static every-iteration rule, and only hoists
+    /// code that actually ran hotter than its loop entry.
+    pub profile: Option<spike_profile::Profile>,
     /// Loop spills → reallocation → dead code until a whole round finds
     /// nothing to edit (bounded by an internal round cap). The paper's
     /// passes expose each other's opportunities — a removed spill frees a
@@ -99,6 +108,8 @@ impl Default for OptOptions {
             spills: true,
             realloc: true,
             stack: true,
+            licm: true,
+            profile: None,
             iterate: false,
             incremental: true,
             analysis: AnalysisOptions::default(),
@@ -113,6 +124,10 @@ pub struct OptReport {
     pub dead_deleted: usize,
     /// Spill store/reload pairs removed.
     pub spill_pairs_removed: usize,
+    /// Dynamic instructions saved by the removed spill pairs: measured
+    /// execution counts when a matching profile was supplied, otherwise
+    /// the static loop-depth estimate (2 × 10^depth per pair).
+    pub spill_dynamic_saved: u64,
     /// Callee-saved registers reallocated to caller-saved homes (or whose
     /// dead save/restore pairs were deleted).
     pub registers_reallocated: usize,
@@ -120,6 +135,10 @@ pub struct OptReport {
     pub save_restores_deleted: usize,
     /// Dead stack stores deleted by the stack-slot pass.
     pub stack_stores_deleted: usize,
+    /// Loop-invariant loads hoisted into preheaders.
+    pub loads_hoisted: usize,
+    /// Loop-invariant register computations hoisted into preheaders.
+    pub ops_hoisted: usize,
     /// Total bytes removed from stack frames by frame shrinking.
     pub frame_bytes_shrunk: usize,
     /// Instruction count before optimization.
@@ -153,14 +172,18 @@ pub fn optimize(program: &Program) -> Result<(Program, OptReport), RewriteError>
     optimize_with(program, &OptOptions::default())
 }
 
-/// The passes the manager can schedule, in their fixed run order:
-/// removing a spill first makes its register visibly live across the
-/// call, so reallocation cannot claim it; stack DSE runs before
-/// register dead-code elimination because a deleted stack store often
-/// strands the definition that produced the stored value; dead-code
-/// elimination last cleans up whatever the earlier passes expose.
+/// The passes the manager can schedule, in their fixed run order: LICM
+/// goes first, both because motion creates the loop-free straight-line
+/// shapes the deleting passes understand and because profile counts are
+/// only address-valid against the unedited input image; removing a spill
+/// next makes its register visibly live across the call, so reallocation
+/// cannot claim it; stack DSE runs before register dead-code elimination
+/// because a deleted stack store often strands the definition that
+/// produced the stored value; dead-code elimination last cleans up
+/// whatever the earlier passes expose.
 #[derive(Clone, Copy, Debug)]
 enum Pass {
+    Licm,
     Spills,
     Realloc,
     StackDse,
@@ -172,11 +195,13 @@ enum Pass {
 struct PassEdits {
     deletes: Vec<u32>,
     replaces: Vec<(u32, Instruction)>,
+    inserts: Vec<(u32, Vec<Instruction>)>,
+    bypasses: Vec<u32>,
 }
 
 impl PassEdits {
     fn is_empty(&self) -> bool {
-        self.deletes.is_empty() && self.replaces.is_empty()
+        self.deletes.is_empty() && self.replaces.is_empty() && self.inserts.is_empty()
     }
 }
 
@@ -184,14 +209,35 @@ fn collect_edits(
     pass: Pass,
     program: &Program,
     analysis: &Analysis,
+    profile: Option<&spike_profile::Profile>,
     report: &mut OptReport,
 ) -> PassEdits {
-    let mut edits = PassEdits { deletes: Vec::new(), replaces: Vec::new() };
+    let mut edits = PassEdits {
+        deletes: Vec::new(),
+        replaces: Vec::new(),
+        inserts: Vec::new(),
+        bypasses: Vec::new(),
+    };
     match pass {
+        Pass::Licm => {
+            let hoists = licm::find_hoists(program, analysis, profile);
+            report.loads_hoisted += hoists.loads;
+            report.ops_hoisted += hoists.ops;
+            for lh in hoists.loops {
+                let mut moved = Vec::with_capacity(lh.insns.len());
+                for (addr, insn) in lh.insns {
+                    edits.deletes.push(addr);
+                    moved.push(insn);
+                }
+                edits.inserts.push((lh.header_addr, moved));
+                edits.bypasses.extend_from_slice(&lh.bypasses);
+            }
+        }
         Pass::Spills => {
-            let pairs = spill::find_spills(program, analysis);
+            let pairs = spill::find_spills(program, analysis, profile);
             report.spill_pairs_removed += pairs.len();
             for p in &pairs {
+                report.spill_dynamic_saved += p.weight;
                 edits.deletes.push(p.store_addr);
                 edits.deletes.push(p.load_addr);
             }
@@ -247,6 +293,9 @@ pub fn optimize_with(
     report.instructions_after = report.instructions_before;
 
     let mut passes = Vec::new();
+    if options.licm {
+        passes.push(Pass::Licm);
+    }
     if options.spills {
         passes.push(Pass::Spills);
     }
@@ -283,7 +332,17 @@ pub fn optimize_with(
                 };
                 report.routines_reanalyzed += analysis.stats.routines_reanalyzed;
                 report.routines_reused += analysis.stats.routines_reused;
-                collect_edits(pass, &current, analysis, &mut report)
+                // Profile counts are keyed by address, so they only apply
+                // while the program is still byte-identical to the image
+                // that was profiled; once any pass edits, LICM and spill
+                // weighting fall back to their static rules.
+                let profile = match pass {
+                    Pass::Licm | Pass::Spills => {
+                        options.profile.as_ref().filter(|p| p.matches(&current.to_image()))
+                    }
+                    _ => None,
+                };
+                collect_edits(pass, &current, analysis, profile, &mut report)
             };
             if edits.is_empty() {
                 continue;
@@ -294,6 +353,12 @@ pub fn optimize_with(
             }
             for &(addr, insn) in &edits.replaces {
                 rw.replace(addr, insn);
+            }
+            for (addr, insns) in edits.inserts {
+                rw.insert_before(addr, insns);
+            }
+            for &addr in &edits.bypasses {
+                rw.bypass(addr);
             }
             let (next, changed) = rw.finish()?;
             current = Cow::Owned(next);

@@ -19,17 +19,32 @@
 //!   routine never re-points `sp` between frame setup and teardown other
 //!   than in prologue/epilogue (checked by requiring the store and load to
 //!   share the block pair).
+//!
+//! Every pair also carries a *placement weight*: the dynamic instructions
+//! its removal saves. Statically the weight scales with the call block's
+//! loop-nesting depth (a spill inside a loop is worth an order of
+//! magnitude more per level, the classic spill-cost heuristic); with an
+//! execution profile of the input image the weight is the measured
+//! execution count of the two instructions. The weights feed the
+//! optimizer's `spill_dynamic_saved` accounting and the `report pgo`
+//! tables.
 
-use spike_cfg::TermKind;
+use spike_cfg::{DomTree, LoopForest, TermKind};
 use spike_core::Analysis;
 use spike_isa::{Instruction, Reg, RegSet};
+use spike_profile::Profile;
 use spike_program::Program;
 
-/// One removable spill pair.
+/// One removable spill pair, weighted by the dynamic instructions its
+/// removal saves.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) struct SpillPair {
     pub store_addr: u32,
     pub load_addr: u32,
+    /// Dynamic instructions saved: measured (profile counts of the two
+    /// instructions) or estimated (2 executions per visit, ×10 per loop
+    /// nesting level of the call block).
+    pub weight: u64,
 }
 
 /// Counts accesses to `sp+disp` in the whole routine.
@@ -45,11 +60,23 @@ fn slot_accesses(program: &Program, rid: spike_program::RoutineId, disp: i16) ->
         .count()
 }
 
-pub(crate) fn find_spills(program: &Program, analysis: &Analysis) -> Vec<SpillPair> {
+pub(crate) fn find_spills(
+    program: &Program,
+    analysis: &Analysis,
+    profile: Option<&Profile>,
+) -> Vec<SpillPair> {
     let mut pairs = Vec::new();
 
     for (rid, routine) in program.iter() {
         let cfg = analysis.cfg.routine_cfg(rid);
+        // Loop depth prices the pairs when no profile is available; the
+        // forest is only needed then.
+        let forest = if profile.is_none() {
+            let dom = DomTree::dominators_linked(cfg);
+            Some(LoopForest::build(cfg, &dom))
+        } else {
+            None
+        };
         for b in cfg.call_blocks() {
             let block = cfg.block(b);
             let TermKind::Call { return_to: Some(rt), .. } = block.term() else {
@@ -76,7 +103,12 @@ pub(crate) fn find_spills(program: &Program, analysis: &Analysis) -> Vec<SpillPa
                         if let Some(load_addr) =
                             matching_load(routine, ret_block, rs, disp, cs.defined)
                         {
-                            pairs.push(SpillPair { store_addr: addr, load_addr });
+                            let weight = match (profile, &forest) {
+                                (Some(p), _) => p.count_at(addr) + p.count_at(load_addr),
+                                (None, Some(f)) => 2 * 10u64.saturating_pow(f.depth_of(b).min(9)),
+                                (None, None) => 2,
+                            };
+                            pairs.push(SpillPair { store_addr: addr, load_addr, weight });
                         }
                     }
                 }
@@ -125,7 +157,7 @@ mod tests {
     use spike_program::ProgramBuilder;
 
     fn pairs_of(p: &Program) -> Vec<SpillPair> {
-        find_spills(p, &analyze(p))
+        find_spills(p, &analyze(p), None)
     }
 
     /// Figure 1(c): the callee does not kill t0, so the spill around the
@@ -146,7 +178,44 @@ mod tests {
         let pairs = pairs_of(&p);
         assert_eq!(pairs.len(), 1);
         let base = p.routines()[0].addr();
-        assert_eq!(pairs[0], SpillPair { store_addr: base + 1, load_addr: base + 3 });
+        assert_eq!(pairs[0].store_addr, base + 1);
+        assert_eq!(pairs[0].load_addr, base + 3);
+        // Straight-line code: depth 0, so the pair is worth exactly its
+        // two instructions per execution.
+        assert_eq!(pairs[0].weight, 2);
+    }
+
+    /// A spill inside a loop is priced an order of magnitude above one in
+    /// straight-line code; a profile replaces the estimate with the
+    /// measured counts.
+    #[test]
+    fn loop_spills_are_weighted_heavier_and_profiles_override() {
+        use spike_isa::BranchCond;
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .lda(Reg::T1, Reg::ZERO, 3)
+            .label("top")
+            .lda(Reg::T0, Reg::ZERO, 11)
+            .store(Reg::T0, Reg::SP, -8)
+            .call("quiet")
+            .load(Reg::T0, Reg::SP, -8)
+            .op_imm(spike_isa::AluOp::Sub, Reg::T1, 1, Reg::T1)
+            .cond(BranchCond::Ne, Reg::T1, "top")
+            .halt();
+        b.routine("quiet").lda(Reg::int(6), Reg::ZERO, 1).ret();
+        let p = b.build().unwrap();
+
+        let pairs = pairs_of(&p);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].weight, 20, "depth-1 spill must be priced 2 * 10^1");
+
+        let (_, exec) = spike_sim::run_profiled(&p, 10_000);
+        let prof = Profile::collect(&p, &exec);
+        let weighed = find_spills(&p, &analyze(&p), Some(&prof));
+        assert_eq!(weighed.len(), 1);
+        // Three iterations execute the store and the load three times
+        // each: six measured dynamic instructions saved.
+        assert_eq!(weighed[0].weight, 6);
     }
 
     /// If the callee kills the register, the spill must stay.

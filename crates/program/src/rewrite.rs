@@ -47,6 +47,9 @@ pub enum RewriteError {
     /// The instruction at the address may not be deleted: terminators and
     /// relocated address materializations anchor control flow.
     NotDeletable(u32),
+    /// An insertion or bypass request is invalid: inserted instructions
+    /// must not transfer control, and only branches can be bypassed.
+    NotInsertable(u32),
     /// Deleting would leave a routine empty.
     EmptyRoutine(String),
     /// A relocated address constant no longer fits its immediate field.
@@ -63,6 +66,9 @@ impl fmt::Display for RewriteError {
             }
             RewriteError::NotDeletable(a) => {
                 write!(f, "instruction at {a:#x} may not be deleted")
+            }
+            RewriteError::NotInsertable(a) => {
+                write!(f, "invalid insertion or bypass at {a:#x}")
             }
             RewriteError::EmptyRoutine(n) => write!(f, "deleting would empty routine {n}"),
             RewriteError::RelocationOverflow { addr } => {
@@ -99,12 +105,20 @@ pub struct Rewriter<'a> {
     program: &'a Program,
     deleted: BTreeSet<u32>,
     replaced: BTreeMap<u32, Instruction>,
+    inserted: BTreeMap<u32, Vec<Instruction>>,
+    bypassed: BTreeSet<u32>,
 }
 
 impl<'a> Rewriter<'a> {
     /// Creates a rewriter over `program` with no pending edits.
     pub fn new(program: &'a Program) -> Rewriter<'a> {
-        Rewriter { program, deleted: BTreeSet::new(), replaced: BTreeMap::new() }
+        Rewriter {
+            program,
+            deleted: BTreeSet::new(),
+            replaced: BTreeMap::new(),
+            inserted: BTreeMap::new(),
+            bypassed: BTreeSet::new(),
+        }
     }
 
     /// Marks the instruction at `addr` for deletion. Idempotent.
@@ -122,9 +136,35 @@ impl<'a> Rewriter<'a> {
         self
     }
 
-    /// Number of pending edits (deletions plus replacements).
+    /// Schedules `insns` for insertion immediately before the instruction
+    /// at `addr`. Every control transfer that resolved to `addr` —
+    /// branches, jump tables, relocations, entry offsets, and forwarding
+    /// from deleted predecessors — resolves to the first inserted
+    /// instruction instead, so inserted code runs on every path that
+    /// reached `addr`, except through branches marked with
+    /// [`Rewriter::bypass`]. Repeated calls for the same address append.
+    /// Inserted instructions must not transfer control.
+    pub fn insert_before(&mut self, addr: u32, insns: Vec<Instruction>) -> &mut Self {
+        if !insns.is_empty() {
+            self.inserted.entry(addr).or_default().extend(insns);
+        }
+        self
+    }
+
+    /// Marks the branch at `addr` as *bypassing* insertions at its
+    /// target: the branch keeps jumping to the original target
+    /// instruction, past any code inserted before it. This is how a loop
+    /// back edge skips a synthesized preheader. Only `Br` and
+    /// `CondBranch` instructions can be bypassed.
+    pub fn bypass(&mut self, addr: u32) -> &mut Self {
+        self.bypassed.insert(addr);
+        self
+    }
+
+    /// Number of pending edits (deletions, replacements, insertion
+    /// points and bypasses).
     pub fn pending(&self) -> usize {
-        self.deleted.len() + self.replaced.len()
+        self.deleted.len() + self.replaced.len() + self.inserted.len() + self.bypassed.len()
     }
 
     /// Compacts and relinks the program.
@@ -181,29 +221,67 @@ impl<'a> Rewriter<'a> {
                 return Err(RewriteError::NotDeletable(addr));
             }
         }
+        // Validate insertions and bypasses.
+        for (&addr, ins) in &self.inserted {
+            if p.insn_at(addr).is_none() {
+                return Err(RewriteError::NoSuchInstruction(addr));
+            }
+            if ins.iter().any(|i| i.is_terminator()) {
+                return Err(RewriteError::NotInsertable(addr));
+            }
+        }
+        for &addr in &self.bypassed {
+            match p.insn_at(addr) {
+                None => return Err(RewriteError::NoSuchInstruction(addr)),
+                Some(Instruction::Br { .. } | Instruction::CondBranch { .. }) => {}
+                Some(_) => return Err(RewriteError::NotInsertable(addr)),
+            }
+        }
 
         // Pass 1: assign new addresses. `fwd` maps every old address to
-        // the new address of the first surviving instruction at or after
+        // the new address of the first emitted instruction at or after
         // it (within its routine) — branch targets forward past deleted
-        // instructions.
+        // instructions and *into* code inserted before the target.
+        // `skip` maps each insertion address to the new address of the
+        // original instruction (or its surviving successor), which is
+        // where bypassing branches land.
         let mut fwd: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut skip: BTreeMap<u32, u32> = BTreeMap::new();
         let mut new_bases = Vec::with_capacity(p.routines().len());
         let mut next = BASE_ADDR;
         for r in p.routines() {
             new_bases.push(next);
             let mut pending: Vec<u32> = Vec::new();
+            let mut pending_skip: Vec<u32> = Vec::new();
             for old in r.addr()..r.end_addr() {
-                if self.deleted.contains(&old) {
-                    pending.push(old);
-                } else {
+                let inserted = self.inserted.get(&old);
+                if inserted.is_some() || !self.deleted.contains(&old) {
                     for d in pending.drain(..) {
                         fwd.insert(d, next);
                     }
+                    for s in pending_skip.drain(..) {
+                        skip.insert(s, next);
+                    }
+                }
+                if let Some(ins) = inserted {
+                    fwd.insert(old, next);
+                    next += ins.len() as u32;
+                    if self.deleted.contains(&old) {
+                        // The original was deleted too: bypasses forward
+                        // to whatever is emitted next.
+                        pending_skip.push(old);
+                    } else {
+                        skip.insert(old, next);
+                        next += 1;
+                    }
+                } else if self.deleted.contains(&old) {
+                    pending.push(old);
+                } else {
                     fwd.insert(old, next);
                     next += 1;
                 }
             }
-            if !pending.is_empty() {
+            if !pending.is_empty() || !pending_skip.is_empty() {
                 // Trailing deletions are impossible: terminators survive.
                 unreachable!("routine cannot end with deleted instructions");
             }
@@ -217,13 +295,28 @@ impl<'a> Rewriter<'a> {
         let mut routines = Vec::with_capacity(p.routines().len());
         let mut relocations = BTreeMap::new();
         let mut changed = Vec::new();
+        // Branches marked `bypass` resolve their target through `skip`,
+        // landing past any insertions at the target.
+        let map_branch = |branch: u32, target: u32| -> u32 {
+            if self.bypassed.contains(&branch) {
+                if let Some(&s) = skip.get(&target) {
+                    return s;
+                }
+            }
+            fwd[&target]
+        };
         for (ri, r) in p.routines().iter().enumerate() {
             let mut insns = Vec::with_capacity(r.len());
             for old in r.addr()..r.end_addr() {
+                if let Some(ins) = self.inserted.get(&old) {
+                    insns.extend(ins.iter().copied());
+                }
                 if self.deleted.contains(&old) {
                     continue;
                 }
-                let new_addr = map(old);
+                // With an insertion here, `fwd` points at the inserted
+                // code; the original instruction itself sits after it.
+                let new_addr = skip.get(&old).copied().unwrap_or_else(|| map(old));
                 let insn = self
                     .replaced
                     .get(&old)
@@ -231,16 +324,20 @@ impl<'a> Rewriter<'a> {
                     .unwrap_or_else(|| *r.insn_at(old).expect("address in routine"));
                 let relinked = match insn {
                     Instruction::Br { disp } => {
-                        Instruction::Br { disp: relink(old, disp, new_addr, &map) }
+                        let t = map_branch(old, old.wrapping_add(1).wrapping_add(disp as u32));
+                        Instruction::Br { disp: t as i64 as i32 - (new_addr as i32 + 1) }
                     }
                     Instruction::Bsr { disp } => {
                         Instruction::Bsr { disp: relink(old, disp, new_addr, &map) }
                     }
-                    Instruction::CondBranch { cond, ra, disp } => Instruction::CondBranch {
-                        cond,
-                        ra,
-                        disp: relink(old, disp, new_addr, &map),
-                    },
+                    Instruction::CondBranch { cond, ra, disp } => {
+                        let t = map_branch(old, old.wrapping_add(1).wrapping_add(disp as u32));
+                        Instruction::CondBranch {
+                            cond,
+                            ra,
+                            disp: t as i64 as i32 - (new_addr as i32 + 1),
+                        }
+                    }
                     Instruction::Lda { rd, base, .. } if p.relocations().contains_key(&old) => {
                         let target = map(p.relocations()[&old]);
                         relocations.insert(new_addr, target);
@@ -480,6 +577,126 @@ mod tests {
         let mut rw = Rewriter::new(&p);
         rw.replace(base, Instruction::Br { disp: 5 });
         assert!(rw.finish().is_err());
+    }
+
+    #[test]
+    fn insertion_enters_on_branches_and_fallthrough() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .cond(BranchCond::Eq, Reg::A0, "join")
+            .def(Reg::T0)
+            .label("join")
+            .def(Reg::T1)
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.insert_before(
+            base + 2,
+            vec![Instruction::Lda { rd: Reg::T2, base: Reg::ZERO, disp: 7 }],
+        );
+        let (q, changed) = rw.finish().unwrap();
+        assert_eq!(changed, vec![RoutineId::from_index(0)]);
+        assert_eq!(q.total_instructions(), p.total_instructions() + 1);
+        let r = &q.routines()[0];
+        // The branch now targets the inserted lda (two insns ahead of the
+        // fall-through def, which also runs into it).
+        assert_eq!(
+            r.insns()[0],
+            Instruction::CondBranch { cond: BranchCond::Eq, ra: Reg::A0, disp: 1 }
+        );
+        assert_eq!(r.insns()[2], Instruction::Lda { rd: Reg::T2, base: Reg::ZERO, disp: 7 });
+        assert_eq!(r.insns()[3], p.routines()[0].insns()[2]);
+    }
+
+    #[test]
+    fn bypassed_back_edge_skips_the_insertion() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .label("top")
+            .op_imm(AluOp::Sub, Reg::A0, 1, Reg::A0)
+            .cond(BranchCond::Ne, Reg::A0, "top")
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.insert_before(base, vec![Instruction::Lda { rd: Reg::T0, base: Reg::ZERO, disp: 1 }]);
+        rw.bypass(base + 1);
+        let (q, _) = rw.finish().unwrap();
+        let r = &q.routines()[0];
+        // Layout: lda (preheader), subq, bne, halt. The back edge jumps
+        // to the subq, not the lda.
+        assert_eq!(r.insns()[0], Instruction::Lda { rd: Reg::T0, base: Reg::ZERO, disp: 1 });
+        assert_eq!(
+            r.insns()[2],
+            Instruction::CondBranch { cond: BranchCond::Ne, ra: Reg::A0, disp: -2 }
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_at_the_same_address_moves_the_instruction() {
+        // The LICM shape: hoist the loop's first instruction into the
+        // preheader (insert a copy before it, delete the original).
+        let mut b = ProgramBuilder::new();
+        b.routine("main")
+            .label("top")
+            .lda(Reg::T0, Reg::ZERO, 3)
+            .op_imm(AluOp::Sub, Reg::A0, 1, Reg::A0)
+            .cond(BranchCond::Ne, Reg::A0, "top")
+            .halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.insert_before(base, vec![Instruction::Lda { rd: Reg::T0, base: Reg::ZERO, disp: 3 }]);
+        rw.delete(base);
+        rw.bypass(base + 2);
+        let (q, _) = rw.finish().unwrap();
+        let r = &q.routines()[0];
+        assert_eq!(r.len(), p.routines()[0].len());
+        // lda now runs once before the loop; the back edge targets the
+        // subq (the deleted original forwards bypasses to the survivor).
+        assert_eq!(r.insns()[0], Instruction::Lda { rd: Reg::T0, base: Reg::ZERO, disp: 3 });
+        assert_eq!(
+            r.insns()[2],
+            Instruction::CondBranch { cond: BranchCond::Ne, ra: Reg::A0, disp: -2 }
+        );
+    }
+
+    #[test]
+    fn insertion_shifts_later_routines_and_tables() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).call("f").halt();
+        b.routine("f").def(Reg::V0).ret();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.insert_before(
+            base + 1,
+            vec![Instruction::Lda { rd: Reg::T1, base: Reg::ZERO, disp: 2 }],
+        );
+        let (q, changed) = rw.finish().unwrap();
+        let main = q.routine_by_name("main").unwrap();
+        let f = q.routine_by_name("f").unwrap();
+        // The call still reaches f at its shifted address.
+        assert_eq!(q.direct_call_target(q.routine(main).addr() + 2), Some((f, 0)));
+        assert_eq!(changed, vec![main]);
+    }
+
+    #[test]
+    fn inserted_terminators_and_non_branch_bypasses_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.routine("main").def(Reg::T0).halt();
+        let p = b.build().unwrap();
+        let base = p.routines()[0].addr();
+        let mut rw = Rewriter::new(&p);
+        rw.insert_before(base, vec![Instruction::Halt]);
+        assert_eq!(rw.finish().unwrap_err(), RewriteError::NotInsertable(base));
+        let mut rw = Rewriter::new(&p);
+        rw.bypass(base);
+        assert_eq!(rw.finish().unwrap_err(), RewriteError::NotInsertable(base));
+        let mut rw = Rewriter::new(&p);
+        rw.insert_before(0xDEAD, vec![Instruction::Lda { rd: Reg::T0, base: Reg::ZERO, disp: 0 }]);
+        assert_eq!(rw.finish().unwrap_err(), RewriteError::NoSuchInstruction(0xDEAD));
     }
 
     #[test]

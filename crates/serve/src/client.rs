@@ -173,6 +173,7 @@ mod tests {
             cmd: crate::proto::Command::Stats,
             image_name: String::new(),
             deadline_ms: None,
+            profile_len: 0,
         };
         match request(&ep, &req, &[]) {
             Err(ClientError::Connect(_)) => {}

@@ -118,7 +118,9 @@ impl Ring {
 
 /// Sends one request to the shard owning its image (computed
 /// client-side over `shards`), avoiding the router hop entirely.
-/// Blob-less requests go to shard 0.
+/// Blob-less requests go to shard 0. Ownership is keyed on the image
+/// alone — `blob` may carry a profile after it (`req.profile_len`
+/// trailing bytes), which must not perturb the shard choice.
 ///
 /// # Errors
 ///
@@ -126,15 +128,16 @@ impl Ring {
 pub fn cluster_request(
     shards: &[String],
     req: &Request,
-    image: &[u8],
+    blob: &[u8],
 ) -> Result<(Response, Vec<u8>), ClientError> {
     let ring = Ring::new(shards.to_vec());
+    let image = &blob[..blob.len().saturating_sub(req.profile_len)];
     let addr = if image.is_empty() {
         ring.shards()[0].clone()
     } else {
         ring.owner_addr(CacheKey::of(image)).to_string()
     };
-    request(&Endpoint::Tcp(addr), req, image)
+    request(&Endpoint::Tcp(addr), req, blob)
 }
 
 /// What this shard needs to know about its cluster: the ring plus its
@@ -395,8 +398,13 @@ fn relay(mut stream: TcpStream, ring: &Ring, max_frame_bytes: usize) {
         finish(&mut stream, last);
         return;
     }
+    // Ownership is keyed on the image alone; a request may append a
+    // profile blob after it (`profile_len` trailing bytes), which must
+    // not perturb the shard choice.
+    let profile_len = json.get("profile_len").and_then(Json::as_u64).unwrap_or(0) as usize;
+    let image = &blob[..blob.len().saturating_sub(profile_len)];
     let addr =
-        if blob.is_empty() { &ring.shards()[0] } else { ring.owner_addr(CacheKey::of(&blob)) };
+        if image.is_empty() { &ring.shards()[0] } else { ring.owner_addr(CacheKey::of(image)) };
     finish(&mut stream, forward_frame(addr, &json, &blob));
 }
 

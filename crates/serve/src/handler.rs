@@ -51,16 +51,32 @@ pub struct Handler {
 }
 
 impl Handler {
-    /// Serves one request. Returns the response and the response blob
-    /// (non-empty only for `optimize`, which returns the rewritten
-    /// image). Never panics outward for request-level failures — those
-    /// become structured error responses; a genuine handler panic is the
+    /// Serves one request. The frame blob is `image ++ profile` with the
+    /// profile occupying the final `req.profile_len` bytes (zero for no
+    /// profile). Returns the response and the response blob (non-empty
+    /// only for `optimize`, which returns the rewritten image). Never
+    /// panics outward for request-level failures — those become
+    /// structured error responses; a genuine handler panic is the
     /// caller's `catch_unwind` problem.
-    pub fn handle(&self, req: &Request, image: &[u8], deadline: &Deadline) -> (Response, Vec<u8>) {
+    pub fn handle(&self, req: &Request, blob: &[u8], deadline: &Deadline) -> (Response, Vec<u8>) {
         if deadline.expired() {
             self.metrics.rejected_deadline.fetch_add(1, Ordering::Relaxed);
             return (Response::error(ErrorKind::Deadline, "deadline expired"), Vec::new());
         }
+        let Some(image_len) = blob.len().checked_sub(req.profile_len) else {
+            return (
+                Response::error(
+                    ErrorKind::BadRequest,
+                    format!(
+                        "profile_len {} exceeds the {}-byte frame blob",
+                        req.profile_len,
+                        blob.len()
+                    ),
+                ),
+                Vec::new(),
+            );
+        };
+        let (image, profile_bytes) = blob.split_at(image_len);
         if req.cmd.wants_image() && image.is_empty() {
             return (
                 Response::error(ErrorKind::BadRequest, "request carries no image"),
@@ -70,12 +86,14 @@ impl Handler {
         // Misroute forwarding: a request for an image another shard owns
         // is relayed to the owner, whose renderers produce the same
         // bytes this shard would — the client cannot tell which shard
-        // answered, except through the diagnostics.
+        // answered, except through the diagnostics. Ownership is keyed
+        // on the image alone; the forwarded frame carries the full blob
+        // so the owner sees the profile too.
         if let Some(cluster) = &self.cluster {
             if let Some(owner) = cluster.misrouted(image) {
                 self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
                 let addr = &cluster.ring.shards()[owner];
-                return match crate::cluster::forward_frame(addr, &req.to_json(), image) {
+                return match crate::cluster::forward_frame(addr, &req.to_json(), blob) {
                     Ok((json, blob)) => match Response::from_json(&json) {
                         Ok(mut resp) => {
                             let _ =
@@ -88,13 +106,39 @@ impl Handler {
                 };
             }
         }
-        let (mut response, blob) = match &req.cmd {
-            Command::Analyze { summaries, routine } => {
-                (self.analyze(req, image, *summaries, routine.as_deref()), Vec::new())
+        // A profile blob must parse and must bind to *this* image; a
+        // stale or corrupt profile is a clean structured error, exactly
+        // like the local CLI's exit-2 message.
+        let profile = if req.profile_len > 0 {
+            match spike_profile::Profile::from_bytes(profile_bytes) {
+                Ok(p) if !p.matches(image) => {
+                    return (
+                        Response::error(
+                            ErrorKind::BadRequest,
+                            "profile was collected from a different program image (stale profile)",
+                        ),
+                        Vec::new(),
+                    );
+                }
+                Ok(p) => Some(p),
+                Err(e) => {
+                    return (
+                        Response::error(ErrorKind::BadRequest, format!("bad profile blob: {e}")),
+                        Vec::new(),
+                    );
+                }
             }
+        } else {
+            None
+        };
+        let (mut response, blob) = match &req.cmd {
+            Command::Analyze { summaries, routine } => (
+                self.analyze(req, image, profile.as_ref(), *summaries, routine.as_deref()),
+                Vec::new(),
+            ),
             Command::Lint { format } => (self.lint(req, image, *format), Vec::new()),
-            Command::Optimize { out, iterate, incremental } => {
-                self.optimize(req, image, out, *iterate, *incremental)
+            Command::Optimize { out, iterate, incremental, licm } => {
+                self.optimize(req, image, profile, out, *iterate, *incremental, *licm)
             }
             Command::Query { kind, routine, callee } => {
                 (self.query(req, image, *kind, routine, callee.as_deref()), Vec::new())
@@ -123,6 +167,7 @@ impl Handler {
         &self,
         req: &Request,
         image: &[u8],
+        profile: Option<&spike_profile::Profile>,
         summaries: bool,
         routine: Option<&str>,
     ) -> Response {
@@ -137,7 +182,10 @@ impl Handler {
             summaries,
             routine,
         ) {
-            Ok(stdout) => {
+            Ok(mut stdout) => {
+                if let Some(p) = profile {
+                    stdout.push_str(&render::profile_report(&entry.program, p));
+                }
                 let mut diag = render::analyze_diag(&entry.analysis.stats);
                 let _ = writeln!(diag, "cache: {}", outcome.name());
                 Response::ok(stdout, diag)
@@ -235,13 +283,16 @@ impl Handler {
         response
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn optimize(
         &self,
         req: &Request,
         image: &[u8],
+        profile: Option<spike_profile::Profile>,
         out: &str,
         iterate: bool,
         incremental: bool,
+        licm: bool,
     ) -> (Response, Vec<u8>) {
         // Optimization rewrites the program, so there is nothing to share
         // across requests: parse and run fresh, exactly like the local
@@ -251,15 +302,19 @@ impl Handler {
             Ok(p) => p,
             Err(e) => return (Response::error(ErrorKind::BadImage, e.to_string()), Vec::new()),
         };
+        let pgo = profile.is_some();
         let options = spike_opt::OptOptions {
             analysis: self.store.options().clone(),
             iterate,
             incremental,
+            licm,
+            profile,
             ..spike_opt::OptOptions::default()
         };
         match spike_opt::optimize_with(&program, &options) {
             Ok((optimized, report)) => {
-                let stdout = render::optimize_report(&req.image_name, out, &report, incremental);
+                let stdout =
+                    render::optimize_report(&req.image_name, out, &report, incremental, pgo);
                 (Response::ok(stdout, String::new()), optimized.to_image())
             }
             Err(e) => (Response::error(ErrorKind::BadImage, e.to_string()), Vec::new()),
@@ -317,7 +372,7 @@ mod tests {
     }
 
     fn req(cmd: Command) -> Request {
-        Request { cmd, image_name: "x.img".into(), deadline_ms: None }
+        Request { cmd, image_name: "x.img".into(), deadline_ms: None, profile_len: 0 }
     }
 
     fn far_deadline() -> Deadline {
@@ -343,6 +398,91 @@ mod tests {
         let (resp2, _) = h.handle(&r, &img, &far_deadline());
         assert_eq!(resp2.stdout, resp.stdout);
         assert!(resp2.diag.contains("cache: hit"));
+    }
+
+    /// A frame blob of `image ++ profile` plus the request that
+    /// announces the split.
+    fn with_profile(cmd: Command, image: &[u8]) -> (Request, Vec<u8>) {
+        let program = Program::from_image(image).unwrap();
+        let (_, exec) = spike_sim::run_profiled(&program, 10_000);
+        let prof = spike_profile::Profile::collect(&program, &exec).to_bytes();
+        let mut blob = image.to_vec();
+        blob.extend_from_slice(&prof);
+        let mut r = req(cmd);
+        r.profile_len = prof.len();
+        (r, blob)
+    }
+
+    #[test]
+    fn analyze_with_profile_appends_the_hot_cold_section() {
+        let h = handler();
+        let img = image();
+        let (r, blob) = with_profile(Command::Analyze { summaries: false, routine: None }, &img);
+        let (resp, _) = h.handle(&r, &blob, &far_deadline());
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert!(resp.stdout.contains("hot/cold:"), "{}", resp.stdout);
+
+        // The section is exactly what the shared renderer appends, so
+        // the client path stays byte-identical to the local one.
+        let program = Program::from_image(&img).unwrap();
+        let (_, exec) = spike_sim::run_profiled(&program, 10_000);
+        let prof = spike_profile::Profile::collect(&program, &exec);
+        let analysis = spike_core::analyze(&program);
+        let mut expected =
+            render::analyze_report("x.img", &program, &analysis, false, None).unwrap();
+        expected.push_str(&render::profile_report(&program, &prof));
+        assert_eq!(resp.stdout, expected);
+    }
+
+    #[test]
+    fn stale_or_corrupt_profiles_are_bad_requests() {
+        let h = handler();
+        let img = image();
+        // A profile of a *different* program: parses, doesn't bind.
+        let other = spike_synth::generate_executable(3, 2);
+        let (_, exec) = spike_sim::run_profiled(&other, 10_000);
+        let prof = spike_profile::Profile::collect(&other, &exec).to_bytes();
+        let mut blob = img.clone();
+        blob.extend_from_slice(&prof);
+        let mut r = req(Command::Analyze { summaries: false, routine: None });
+        r.profile_len = prof.len();
+        let (resp, _) = h.handle(&r, &blob, &far_deadline());
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
+        assert!(resp.error.unwrap().1.contains("stale profile"));
+
+        // Garbage where the profile should be.
+        let mut blob = img.clone();
+        blob.extend_from_slice(b"not a profile");
+        r.profile_len = 13;
+        let (resp, _) = h.handle(&r, &blob, &far_deadline());
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
+
+        // profile_len longer than the whole blob.
+        r.profile_len = img.len() + 1000;
+        let (resp, _) = h.handle(&r, &img, &far_deadline());
+        assert_eq!(resp.error.as_ref().map(|(k, _)| *k), Some(ErrorKind::BadRequest));
+    }
+
+    #[test]
+    fn optimize_honors_licm_and_profile_flags() {
+        let h = handler();
+        let img = image();
+        let opt = |licm| Command::Optimize {
+            out: "o.img".into(),
+            iterate: false,
+            incremental: true,
+            licm,
+        };
+        let (resp, blob) = h.handle(&req(opt(true)), &img, &far_deadline());
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert!(!blob.is_empty());
+        assert!(resp.stdout.contains("(static loop-depth estimate)"), "{}", resp.stdout);
+
+        let (r, pblob) = with_profile(opt(false), &img);
+        let (resp, _) = h.handle(&r, &pblob, &far_deadline());
+        assert_eq!(resp.exit, 0, "{:?}", resp.error);
+        assert!(resp.stdout.contains("(profile-weighted)"), "{}", resp.stdout);
+        assert!(resp.stdout.contains("licm: 0 load(s) + 0 op(s) hoisted"), "{}", resp.stdout);
     }
 
     #[test]

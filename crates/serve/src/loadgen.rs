@@ -105,6 +105,7 @@ fn analyze_request(name: &str) -> Request {
         cmd: crate::proto::Command::Analyze { summaries: false, routine: None },
         image_name: name.to_string(),
         deadline_ms: None,
+        profile_len: 0,
     }
 }
 

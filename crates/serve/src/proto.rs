@@ -240,6 +240,8 @@ pub enum Command {
         iterate: bool,
         /// Incremental re-analysis between passes (`--incremental`).
         incremental: bool,
+        /// Run loop-invariant code motion (off under `--no-licm`).
+        licm: bool,
     },
     /// A demand-driven query answered from the daemon's warm per-image
     /// engine; the report of `spike query`.
@@ -292,6 +294,10 @@ pub struct Request {
     /// daemon finished reading the request. `Some(0)` is already expired
     /// (useful for probing); `None` uses the daemon's default.
     pub deadline_ms: Option<u64>,
+    /// Length of the execution-profile blob appended after the image in
+    /// the frame blob: the blob is `image ++ profile`, and the image ends
+    /// `profile_len` bytes before the end. Zero means no profile.
+    pub profile_len: usize,
 }
 
 impl Request {
@@ -303,6 +309,9 @@ impl Request {
         }
         if let Some(ms) = self.deadline_ms {
             members.push(("deadline_ms".to_string(), Json::from(ms)));
+        }
+        if self.profile_len > 0 {
+            members.push(("profile_len".to_string(), Json::from(self.profile_len as u64)));
         }
         let mut opts: Vec<(String, Json)> = Vec::new();
         match &self.cmd {
@@ -317,10 +326,11 @@ impl Request {
             Command::Lint { format } => {
                 opts.push(("format".to_string(), Json::from(format.name())));
             }
-            Command::Optimize { out, iterate, incremental } => {
+            Command::Optimize { out, iterate, incremental, licm } => {
                 opts.push(("out".to_string(), Json::from(out.as_str())));
                 opts.push(("iterate".to_string(), Json::Bool(*iterate)));
                 opts.push(("incremental".to_string(), Json::Bool(*incremental)));
+                opts.push(("licm".to_string(), Json::Bool(*licm)));
             }
             Command::Query { kind, routine, callee } => {
                 opts.push(("query".to_string(), Json::from(kind.name())));
@@ -357,6 +367,7 @@ impl Request {
                 out: opt("out").and_then(Json::as_str).unwrap_or("out.img").to_string(),
                 iterate: opt("iterate").and_then(Json::as_bool).unwrap_or(false),
                 incremental: opt("incremental").and_then(Json::as_bool).unwrap_or(true),
+                licm: opt("licm").and_then(Json::as_bool).unwrap_or(true),
             },
             "query" => Command::Query {
                 kind: QueryKind::parse(opt("query").and_then(Json::as_str).unwrap_or(""))?,
@@ -376,6 +387,7 @@ impl Request {
             cmd,
             image_name: json.get("image").and_then(Json::as_str).unwrap_or("").to_string(),
             deadline_ms: json.get("deadline_ms").and_then(Json::as_u64),
+            profile_len: json.get("profile_len").and_then(Json::as_u64).unwrap_or(0) as usize,
         })
     }
 }
@@ -528,18 +540,48 @@ mod tests {
                 cmd: Command::Analyze { summaries: true, routine: Some("main".into()) },
                 image_name: "a.img".into(),
                 deadline_ms: Some(250),
+                profile_len: 0,
+            },
+            Request {
+                cmd: Command::Analyze { summaries: false, routine: None },
+                image_name: "a.img".into(),
+                deadline_ms: None,
+                profile_len: 104,
             },
             Request {
                 cmd: Command::Lint { format: LintFormat::Json },
                 image_name: "b.img".into(),
                 deadline_ms: None,
+                profile_len: 0,
             },
             Request {
-                cmd: Command::Optimize { out: "o.img".into(), iterate: true, incremental: false },
+                cmd: Command::Optimize {
+                    out: "o.img".into(),
+                    iterate: true,
+                    incremental: false,
+                    licm: false,
+                },
                 image_name: "c.img".into(),
                 deadline_ms: None,
+                profile_len: 0,
             },
-            Request { cmd: Command::Compare, image_name: "d.img".into(), deadline_ms: None },
+            Request {
+                cmd: Command::Optimize {
+                    out: "o.img".into(),
+                    iterate: false,
+                    incremental: true,
+                    licm: true,
+                },
+                image_name: "c.img".into(),
+                deadline_ms: None,
+                profile_len: 4096,
+            },
+            Request {
+                cmd: Command::Compare,
+                image_name: "d.img".into(),
+                deadline_ms: None,
+                profile_len: 0,
+            },
             Request {
                 cmd: Command::Query {
                     kind: QueryKind::LiveAtEntry,
@@ -548,6 +590,7 @@ mod tests {
                 },
                 image_name: "e.img".into(),
                 deadline_ms: None,
+                profile_len: 0,
             },
             Request {
                 cmd: Command::Query {
@@ -557,9 +600,20 @@ mod tests {
                 },
                 image_name: "f.img".into(),
                 deadline_ms: Some(100),
+                profile_len: 0,
             },
-            Request { cmd: Command::Stats, image_name: String::new(), deadline_ms: None },
-            Request { cmd: Command::Shutdown, image_name: String::new(), deadline_ms: Some(0) },
+            Request {
+                cmd: Command::Stats,
+                image_name: String::new(),
+                deadline_ms: None,
+                profile_len: 0,
+            },
+            Request {
+                cmd: Command::Shutdown,
+                image_name: String::new(),
+                deadline_ms: Some(0),
+                profile_len: 0,
+            },
         ];
         for r in reqs {
             assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
@@ -584,6 +638,7 @@ mod tests {
             cmd: Command::Lint { format: LintFormat::Human },
             image_name: "x.img".into(),
             deadline_ms: None,
+            profile_len: 0,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &req.to_json(), b"image-bytes").unwrap();

@@ -140,14 +140,16 @@ pub fn analyze_diag(stats: &AnalysisStats) -> String {
     out
 }
 
-/// The deterministic `spike optimize` report (both lines: edit counts and
-/// the rounds/reuse accounting, which are exact replay properties of the
-/// pass pipeline, not timings).
+/// The deterministic `spike optimize` report (edit counts, loop motion,
+/// and the rounds/reuse accounting, which are exact replay properties of
+/// the pass pipeline, not timings). `pgo` records whether an execution
+/// profile weighted the loop and spill decisions.
 pub fn optimize_report(
     image_name: &str,
     out_name: &str,
     report: &OptReport,
     incremental: bool,
+    pgo: bool,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -166,12 +168,74 @@ pub fn optimize_report(
     );
     let _ = writeln!(
         out,
+        "licm: {} load(s) + {} op(s) hoisted; spill placement saved {} dynamic instruction(s) \
+         ({})",
+        report.loads_hoisted,
+        report.ops_hoisted,
+        report.spill_dynamic_saved,
+        if pgo { "profile-weighted" } else { "static loop-depth estimate" }
+    );
+    let _ = writeln!(
+        out,
         "{} round(s); analysis re-ran {} routine(s), reused {} from cache{}",
         report.rounds,
         report.routines_reanalyzed,
         report.routines_reused,
         if incremental { "" } else { " (incremental re-analysis disabled)" }
     );
+    out
+}
+
+/// A profile is *hot* for a routine when that routine's measured share of
+/// executed instructions reaches this fraction.
+pub const HOT_FRACTION: f64 = 0.05;
+
+/// The deterministic hot/cold classification section appended to `spike
+/// analyze --profile` output (and to the daemon's analyze response when
+/// the request carries a profile blob). Fully derived from the profile's
+/// counters, so it is byte-stable for a given (image, profile) pair.
+pub fn profile_report(program: &Program, profile: &spike_profile::Profile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} run(s), {} instructions executed, {} call(s)",
+        profile.runs, profile.total_steps, profile.calls
+    );
+    // Hot routines sorted by measured steps (descending), ties broken by
+    // routine id so the listing is deterministic.
+    let mut hot: Vec<(usize, u64)> = program
+        .iter()
+        .map(|(rid, _)| {
+            let i = rid.index();
+            (i, profile.steps_per_routine.get(i).copied().unwrap_or(0))
+        })
+        .filter(|&(i, steps)| steps > 0 && profile.routine_fraction(i) >= HOT_FRACTION)
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let covered: u64 = hot.iter().map(|&(_, s)| s).sum();
+    let coverage = if profile.total_steps == 0 {
+        0.0
+    } else {
+        100.0 * covered as f64 / profile.total_steps as f64
+    };
+    let _ = writeln!(
+        out,
+        "hot/cold: {} hot routine(s) of {} (>= {:.0}% of execution each, {:.1}% together)",
+        hot.len(),
+        program.routines().len(),
+        100.0 * HOT_FRACTION,
+        coverage
+    );
+    for (i, steps) in hot {
+        let r = program.routines().get(i).expect("routine index from program iteration");
+        let _ = writeln!(
+            out,
+            "  hot {:<24} {:>12} steps ({:.1}%)",
+            r.name(),
+            steps,
+            100.0 * profile.routine_fraction(i)
+        );
+    }
     out
 }
 
@@ -363,6 +427,40 @@ mod tests {
         assert_eq!(query_report("main", Some("leaf"), &r), "main reaches leaf\n");
         let (r, _) = cache.query(&p, &spike_core::Query::Reaches { caller: leaf, callee: main });
         assert_eq!(query_report("leaf", Some("main"), &r), "leaf does not reach main\n");
+    }
+
+    #[test]
+    fn optimize_report_names_the_weighting_mode() {
+        let report = OptReport {
+            instructions_before: 10,
+            instructions_after: 8,
+            loads_hoisted: 1,
+            spill_dynamic_saved: 42,
+            rounds: 1,
+            ..OptReport::default()
+        };
+        let s = optimize_report("x.img", "o.img", &report, true, false);
+        assert!(s.contains("licm: 1 load(s) + 0 op(s) hoisted"), "{s}");
+        assert!(s.contains("saved 42 dynamic instruction(s) (static loop-depth estimate)"), "{s}");
+        let s = optimize_report("x.img", "o.img", &report, true, true);
+        assert!(s.contains("(profile-weighted)"), "{s}");
+    }
+
+    #[test]
+    fn profile_report_classifies_hot_routines() {
+        let p = sample();
+        let (_, exec) = spike_sim::run_profiled(&p, 10_000);
+        let prof = spike_profile::Profile::collect(&p, &exec);
+        let s = profile_report(&p, &prof);
+        assert!(s.starts_with("profile: 1 run(s)"), "{s}");
+        // Both routines run once in a 7-instruction program, so both
+        // clear the 5% bar and together cover everything.
+        assert!(s.contains("hot/cold: 2 hot routine(s) of 2"), "{s}");
+        assert!(s.contains("100.0% together"), "{s}");
+        assert!(s.contains("hot main"), "{s}");
+        assert!(s.contains("hot leaf"), "{s}");
+        // Deterministic, like every report.
+        assert_eq!(s, profile_report(&p, &prof));
     }
 
     #[test]

@@ -53,7 +53,7 @@ use crate::cache::{AnalyzedProgram, CacheKey, ProgramStore};
 
 /// Payload encoding version. Bump on any change to the `Snap` layout of
 /// the analysis structures.
-pub const FORMAT_VERSION: i64 = 1;
+pub const FORMAT_VERSION: i64 = 2;
 
 const MAGIC: &[u8; 8] = b"spiksnap";
 
@@ -406,7 +406,8 @@ mod tests {
         // format field into the JSON header and fix up the length field.
         let header_len = u32::from_le_bytes(good[8..12].try_into().unwrap()) as usize;
         let header = std::str::from_utf8(&good[12..12 + header_len]).unwrap();
-        let bumped_header = header.replacen("\"format\":1", "\"format\":999", 1);
+        let bumped_header =
+            header.replacen(&format!("\"format\":{FORMAT_VERSION}"), "\"format\":999", 1);
         assert_ne!(bumped_header, header, "header must contain the format field");
         let mut bumped = good[..8].to_vec();
         bumped.extend_from_slice(&(bumped_header.len() as u32).to_le_bytes());

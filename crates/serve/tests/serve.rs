@@ -30,7 +30,7 @@ fn start(mutate: impl FnOnce(&mut ServeOptions)) -> (Server, Endpoint) {
 }
 
 fn req(cmd: Command, image_name: &str) -> Request {
-    Request { cmd, image_name: image_name.to_string(), deadline_ms: None }
+    Request { cmd, image_name: image_name.to_string(), deadline_ms: None, profile_len: 0 }
 }
 
 fn send(endpoint: &Endpoint, request: &Request, image: &[u8]) -> Response {
@@ -190,6 +190,7 @@ fn expired_deadlines_are_refused() {
         cmd: Command::Analyze { summaries: false, routine: None },
         image_name: "img".into(),
         deadline_ms: Some(0),
+        profile_len: 0,
     };
     let (r, _) = client::request(&endpoint, &request, &image).unwrap();
     assert_eq!(r.exit, 2);

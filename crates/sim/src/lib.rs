@@ -62,9 +62,32 @@ pub enum Outcome {
     OutOfFuel {
         /// Values emitted before the budget ran out.
         output: Vec<i64>,
+        /// Instructions executed (the budget itself, counted the same
+        /// way as [`Outcome::Halted`]'s `steps` so instrumented and
+        /// plain runs report identical totals).
+        steps: u64,
     },
     /// Execution faulted.
     Fault(Fault),
+}
+
+impl Outcome {
+    /// Instructions executed, when the run stopped cleanly (`None` for
+    /// faults, which stop mid-instruction).
+    pub fn steps(&self) -> Option<u64> {
+        match self {
+            Outcome::Halted { steps, .. } | Outcome::OutOfFuel { steps, .. } => Some(*steps),
+            Outcome::Fault(_) => None,
+        }
+    }
+
+    /// The output emitted before the run stopped (`None` for faults).
+    pub fn output(&self) -> Option<&[i64]> {
+        match self {
+            Outcome::Halted { output, .. } | Outcome::OutOfFuel { output, .. } => Some(output),
+            Outcome::Fault(_) => None,
+        }
+    }
 }
 
 /// A simulated machine fault.
@@ -307,7 +330,7 @@ impl Machine {
             }
             self.pc = next;
         }
-        Outcome::OutOfFuel { output: self.output.clone() }
+        Outcome::OutOfFuel { output: self.output.clone(), steps: self.steps }
     }
 }
 
@@ -380,7 +403,7 @@ pub fn run_shadow(program: &Program, fuel: u64) -> Outcome {
     let mut defined = RegSet::of(&[Reg::RA, Reg::SP, Reg::ZERO, Reg::FZERO]);
     loop {
         if m.steps() >= fuel {
-            return Outcome::OutOfFuel { output: m.output().to_vec() };
+            return Outcome::OutOfFuel { output: m.output().to_vec(), steps: m.steps() };
         }
         let pc = m.pc();
         if pc == EXIT_ADDR {
@@ -440,7 +463,7 @@ pub fn run_shadow_slots(program: &Program, fuel: u64) -> Outcome {
     let mut slots: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
     loop {
         if m.steps() >= fuel {
-            return Outcome::OutOfFuel { output: m.output().to_vec() };
+            return Outcome::OutOfFuel { output: m.output().to_vec(), steps: m.steps() };
         }
         let pc = m.pc();
         if pc == EXIT_ADDR {
@@ -526,6 +549,9 @@ pub fn run_shadow_slots(program: &Program, fuel: u64) -> Outcome {
 pub struct ExecutionProfile {
     /// Instructions executed per routine, indexed by routine id.
     pub steps_per_routine: Vec<u64>,
+    /// Times each routine was entered through a call (plus one for the
+    /// entry routine's initial activation), indexed by routine id.
+    pub entries_per_routine: Vec<u64>,
     /// Calls executed (`bsr` + `jsr`).
     pub calls: u64,
     /// Calling-convention maintenance instructions executed (see type
@@ -533,6 +559,17 @@ pub struct ExecutionProfile {
     pub call_overhead_steps: u64,
     /// Total instructions executed.
     pub total_steps: u64,
+    /// Lowest code address; `insn_counts[addr - code_base]` is the
+    /// execution count of the instruction at `addr`.
+    pub code_base: u32,
+    /// Per-instruction execution counts over the whole code range
+    /// (block counts are the counts at block leaders).
+    pub insn_counts: Vec<u64>,
+    /// Control-transfer edge counts: `(source pc, destination pc) →
+    /// times taken`, recorded for branches (both outcomes), jumps,
+    /// calls, and returns. A `ret` from the entry activation records its
+    /// edge to [`EXIT_ADDR`].
+    pub edges: BTreeMap<(u32, u32), u64>,
 }
 
 impl ExecutionProfile {
@@ -548,17 +585,27 @@ impl ExecutionProfile {
 
 /// Runs `program` and gathers an [`ExecutionProfile`] alongside the
 /// outcome.
+///
+/// Instrumentation never changes the run: the outcome — output, step
+/// total, and the fuel boundary — is identical to [`run`] with the same
+/// budget (property-tested in `tests/prop_pgo.rs`).
 pub fn run_profiled(program: &Program, fuel: u64) -> (Outcome, ExecutionProfile) {
     let callee_saved = spike_isa::CallingStandard::alpha_nt().callee_saved();
     let mut m = Machine::new(program);
+    let code_base = program.routines().first().map(|r| r.addr()).unwrap_or(0);
+    let code_end = program.routines().last().map(|r| r.end_addr()).unwrap_or(code_base);
     let mut profile = ExecutionProfile {
         steps_per_routine: vec![0; program.routines().len()],
+        entries_per_routine: vec![0; program.routines().len()],
+        code_base,
+        insn_counts: vec![0; (code_end - code_base) as usize],
         ..ExecutionProfile::default()
     };
+    profile.entries_per_routine[program.entry().index()] += 1;
 
     let outcome = loop {
         if profile.total_steps >= fuel {
-            break Outcome::OutOfFuel { output: m.output().to_vec() };
+            break Outcome::OutOfFuel { output: m.output().to_vec(), steps: m.steps() };
         }
         let pc = m.pc();
         if pc == EXIT_ADDR {
@@ -571,6 +618,7 @@ pub fn run_profiled(program: &Program, fuel: u64) -> (Outcome, ExecutionProfile)
             profile.steps_per_routine[rid.index()] += 1;
         }
         profile.total_steps += 1;
+        profile.insn_counts[(pc - code_base) as usize] += 1;
         let overhead = match insn {
             Instruction::Bsr { .. } | Instruction::Jsr { .. } => {
                 profile.calls += 1;
@@ -593,8 +641,51 @@ pub fn run_profiled(program: &Program, fuel: u64) -> (Outcome, ExecutionProfile)
             Outcome::OutOfFuel { .. } => {} // single step executed; continue
             done => break done,
         }
+        // Record the control-transfer edge the step just took. The
+        // fall-through of a conditional branch is an edge too; plain
+        // straight-line flow is not.
+        if insn.is_terminator() {
+            *profile.edges.entry((pc, m.pc())).or_insert(0) += 1;
+            if insn.is_call() {
+                if let Some(callee) = program.routine_containing(m.pc()) {
+                    profile.entries_per_routine[callee.index()] += 1;
+                }
+            }
+        }
     };
+    // A `halt` stops inside `m.run` without re-entering the loop; a
+    // `ret` to the exit address records its edge before the loop's
+    // EXIT_ADDR check stops the run. Nothing else to flush.
     (outcome, profile)
+}
+
+/// Runs `program` until it has emitted `k` output values, returning the
+/// number of instructions that took. `None` if the run halted, faulted,
+/// or exhausted `fuel` first — the program never produced `k` values.
+///
+/// This is the dynamic-instruction metric for non-terminating benchmark
+/// profiles: two program variants are compared by the work each needs to
+/// produce the same observable prefix.
+pub fn steps_to_output(program: &Program, fuel: u64, k: usize) -> Option<u64> {
+    if k == 0 {
+        return Some(0);
+    }
+    let mut m = Machine::new(program);
+    loop {
+        if m.output().len() >= k {
+            return Some(m.steps());
+        }
+        if m.steps() >= fuel {
+            return None;
+        }
+        match m.run(program, 1) {
+            Outcome::OutOfFuel { .. } => {}
+            Outcome::Halted { output, steps } => {
+                return (output.len() >= k).then_some(steps);
+            }
+            Outcome::Fault(_) => return None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -310,9 +310,14 @@ fn emit_routine(
     .max(0.3);
 
     let n_calls = if dispatch || binary_dispatch { 0 } else { poisson(rng, plain_call_mean) };
+    // Calling routines also get a hot counted loop over invariant frame
+    // slots (emitted right after the prologue) — the shape the
+    // profile-guided loop optimizer exists for.
+    let hot_loop = n_calls > 0 || dispatch || binary_dispatch;
     // Dispatch loops contribute their own branch instructions (the
     // selector chain and the per-case back-branches); charge them against
-    // the routine's branch budget so Table 3 and block counts hold.
+    // the routine's branch budget so Table 3 and block counts hold. The
+    // hot loop adds two more conditional branches.
     let branch_mean = if binary_dispatch {
         (p.branches_per_routine - 2.0 * binary_k as f64).max(0.5)
     } else if dispatch {
@@ -320,6 +325,7 @@ fn emit_routine(
     } else {
         p.branches_per_routine
     };
+    let branch_mean = if hot_loop { (branch_mean - 2.0).max(0.5) } else { branch_mean };
     let n_branches = poisson(rng, branch_mean);
     let n_multi = poisson(rng, p.multiway_per_routine);
     let n_exits = poisson(rng, p.exits_per_routine).max(1);
@@ -364,7 +370,7 @@ fn emit_routine(
     } else {
         Vec::new()
     };
-    let saves_ra = n_calls > 0 || dispatch || binary_dispatch;
+    let saves_ra = hot_loop;
     // Frame layout, entry SP downwards: saved callee-saved registers at
     // [0, 8s), a 32-byte scratch area above them, `ra` in the top slot.
     // Frameless routines get no scratch and emit no stack traffic at all.
@@ -419,6 +425,44 @@ fn emit_routine(
         e.emitted += 1;
     }
 
+    // The hot counted loop: two frame slots written once ahead of the
+    // loop, reloaded on every trip — one in the header (hoistable by
+    // static loop-invariant code motion, since it dominates the back
+    // edge) and one behind a never-taken guard (hoistable only once a
+    // profile proves it runs hotter than the loop is entered). The
+    // `put_int`s give the dynamic-instruction comparison an observable
+    // output stream to align on. Registers `t10`/`t11`/`at` are reserved
+    // for this pattern — nothing else the generator emits touches them,
+    // so the loads' destinations stay dead at the loop header.
+    if hot_loop {
+        let (val, guarded, cnt) = (Reg::int(24), Reg::int(25), Reg::int(28));
+        let top = e.fresh("hot");
+        let skip = e.fresh("hs");
+        let iters = e.rng.gen_range(6..=20i16);
+        for (slot, offv) in [(0, -64i16..=127), (1, -64i16..=127)] {
+            let v = e.rng.gen_range(offv);
+            e.r.lda(val, Reg::ZERO, v);
+            e.r.store(val, Reg::SP, e.scratch[slot]);
+        }
+        e.r.lda(cnt, Reg::ZERO, iters);
+        e.r.label(&top);
+        e.r.load(val, Reg::SP, e.scratch[0]);
+        e.r.copy(val, Reg::V0);
+        e.r.put_int();
+        // `cnt` stays in [1, iters] at this test, so the guard never
+        // fires at runtime — only a profile can prove the guarded load
+        // hot, which is exactly the case static weighting must refuse.
+        e.r.cond(BranchCond::Eq, cnt, &skip);
+        e.r.load(guarded, Reg::SP, e.scratch[1]);
+        e.r.copy(guarded, Reg::V0);
+        e.r.put_int();
+        e.r.label(&skip);
+        e.r.op_imm(AluOp::Sub, cnt, 1, cnt);
+        e.r.cond(BranchCond::Ne, cnt, &top);
+        e.emitted += 14;
+        e.join();
+    }
+
     // Estimated instruction overhead per event kind, to size the padding.
     let overhead: usize = events
         .iter()
@@ -432,7 +476,8 @@ fn emit_routine(
         })
         .sum::<usize>()
         + 4
-        + saved.len() * 2;
+        + saved.len() * 2
+        + if hot_loop { 14 } else { 0 };
     let slots = events.len() + 1;
     let pad_budget = instr_target.saturating_sub(overhead);
 

@@ -19,6 +19,7 @@
 //! | [`opt`] | `spike-opt` | the Figure 1 summary-driven optimizations |
 //! | [`lint`] | `spike-lint` | interprocedural static checks with a simulator-backed oracle |
 //! | [`sim`] | `spike-sim` | an interpreter used as a soundness oracle |
+//! | [`profile`] | `spike-profile` | versioned on-disk execution profiles: collect, merge, verify |
 //! | [`synth`] | `spike-synth` | paper-calibrated synthetic benchmark generators |
 //!
 //! # Quick start
@@ -56,6 +57,7 @@ pub use spike_core as core;
 pub use spike_isa as isa;
 pub use spike_lint as lint;
 pub use spike_opt as opt;
+pub use spike_profile as profile;
 pub use spike_program as program;
 pub use spike_sim as sim;
 pub use spike_synth as synth;

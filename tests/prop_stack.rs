@@ -219,8 +219,8 @@ fn stack_dse_fires_and_preserves_behaviour_on_profiles() {
             // far: the original's output must be a prefix of whatever
             // the optimized run produced before halting, fuelling out,
             // or reaching a fault further along the trace.
-            (Outcome::OutOfFuel { output: a }, Outcome::Halted { output: b, .. })
-            | (Outcome::OutOfFuel { output: a }, Outcome::OutOfFuel { output: b }) => {
+            (Outcome::OutOfFuel { output: a, .. }, Outcome::Halted { output: b, .. })
+            | (Outcome::OutOfFuel { output: a, .. }, Outcome::OutOfFuel { output: b, .. }) => {
                 assert!(b.starts_with(a), "{}: output diverged", p.name);
             }
             (Outcome::OutOfFuel { .. }, Outcome::Fault(_)) => {}
